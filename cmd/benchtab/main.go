@@ -1,0 +1,138 @@
+// Command benchtab regenerates every table and figure of the paper's
+// evaluation section on the synthetic corpora.
+//
+// Usage:
+//
+//	benchtab -exp all
+//	benchtab -exp fig5a|fig5b|fig6|table2|table3|fig7|table4|motivating
+//	         [-n 24] [-iters 2500] [-seed 1]
+//
+// Absolute numbers differ from the paper (different corpora, different
+// hardware); the comparisons — who wins, by roughly what factor — are the
+// reproduction target. See EXPERIMENTS.md for the per-experiment analysis.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mufuzz/internal/corpus"
+	"mufuzz/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment: all | fig5a | fig5b | fig6 | table2 | table3 | fig7 | table4 | motivating")
+		n     = flag.Int("n", 24, "contracts per generated dataset")
+		iters = flag.Int("iters", 2500, "fuzzing budget (sequence executions) per contract")
+		seed  = flag.Int64("seed", 1, "corpus + campaign seed")
+	)
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  (%s finished in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("table2", func() error {
+		stats, err := experiments.Datasets(*seed, *n, *n/2, *n/2)
+		if err != nil {
+			return err
+		}
+		experiments.PrintDatasets(os.Stdout, stats)
+		return nil
+	})
+
+	run("motivating", func() error {
+		rows, err := experiments.Motivating(*iters, *seed)
+		if err != nil {
+			return err
+		}
+		experiments.PrintMotivating(os.Stdout, rows)
+		return nil
+	})
+
+	run("fig5a", func() error {
+		gens := corpus.GenerateSmall(*seed, *n)
+		curves, err := experiments.CoverageOverTime(gens, experiments.StandardFuzzers(), *iters, *seed)
+		if err != nil {
+			return err
+		}
+		experiments.PrintCoverageCurves(os.Stdout,
+			fmt.Sprintf("Fig. 5(a) analog — coverage over budget, %d small contracts", len(gens)), curves)
+		return nil
+	})
+
+	run("fig5b", func() error {
+		gens := corpus.GenerateLarge(*seed, *n/2)
+		curves, err := experiments.CoverageOverTime(gens, experiments.StandardFuzzers(), *iters*2, *seed)
+		if err != nil {
+			return err
+		}
+		experiments.PrintCoverageCurves(os.Stdout,
+			fmt.Sprintf("Fig. 5(b) analog — coverage over budget, %d large contracts", len(gens)), curves)
+		return nil
+	})
+
+	run("fig6", func() error {
+		small := corpus.GenerateSmall(*seed, *n)
+		large := corpus.GenerateLarge(*seed, *n/2)
+		bs, err := experiments.OverallCoverage(small, experiments.StandardFuzzers(), *iters, *seed)
+		if err != nil {
+			return err
+		}
+		experiments.PrintCoverageBars(os.Stdout, "Fig. 6 analog — overall coverage, small contracts", bs)
+		bl, err := experiments.OverallCoverage(large, experiments.StandardFuzzers(), *iters*2, *seed)
+		if err != nil {
+			return err
+		}
+		experiments.PrintCoverageBars(os.Stdout, "Fig. 6 analog — overall coverage, large contracts", bl)
+		return nil
+	})
+
+	run("table3", func() error {
+		results, err := experiments.BugDetection(
+			corpus.VulnSuite(), corpus.SafeSuite(),
+			experiments.StandardTools(), *iters, *seed)
+		if err != nil {
+			return err
+		}
+		experiments.PrintDetectionTable(os.Stdout, results)
+		return nil
+	})
+
+	run("fig7", func() error {
+		small := corpus.GenerateSmall(*seed+100, *n)
+		large := corpus.GenerateLarge(*seed+100, *n/2)
+		rs, err := experiments.Ablation(small, *iters, *seed)
+		if err != nil {
+			return err
+		}
+		experiments.PrintAblation(os.Stdout, "Fig. 7 analog — ablation, small contracts (share of full MuFuzz)", rs)
+		rl, err := experiments.Ablation(large, *iters*2, *seed)
+		if err != nil {
+			return err
+		}
+		experiments.PrintAblation(os.Stdout, "Fig. 7 analog — ablation, large contracts (share of full MuFuzz)", rl)
+		return nil
+	})
+
+	run("table4", func() error {
+		gens := corpus.GenerateComplex(*seed+200, *n/2)
+		res, err := experiments.CaseStudy(gens, *iters*2, *seed)
+		if err != nil {
+			return err
+		}
+		experiments.PrintCaseStudy(os.Stdout, res)
+		return nil
+	})
+}

@@ -1,0 +1,80 @@
+// Command corpusgen materializes the benchmark corpora to disk as MiniSol
+// source files plus a labels manifest, so datasets can be inspected, diffed,
+// or fed to external tools.
+//
+// Usage:
+//
+//	corpusgen -out ./corpus-out [-seed 1] [-small 24] [-large 12] [-complex 12]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mufuzz/internal/corpus"
+)
+
+func main() {
+	var (
+		out      = flag.String("out", "corpus-out", "output directory")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		nSmall   = flag.Int("small", 24, "number of D1-small contracts")
+		nLarge   = flag.Int("large", 12, "number of D1-large contracts")
+		nComplex = flag.Int("complex", 12, "number of D3 complex contracts")
+	)
+	flag.Parse()
+
+	var manifest strings.Builder
+	write := func(dir, name, src string, labels []string) {
+		full := filepath.Join(*out, dir)
+		if err := os.MkdirAll(full, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "corpusgen:", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(full, name+".sol")
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "corpusgen:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(&manifest, "%s/%s.sol\t%s\n", dir, name, strings.Join(labels, ","))
+	}
+
+	toStrings := func(labels []string) []string { return labels }
+	_ = toStrings
+
+	for _, g := range corpus.GenerateSmall(*seed, *nSmall) {
+		write("d1-small", g.Name, g.Source, classStrings(g.Labels))
+	}
+	for _, g := range corpus.GenerateLarge(*seed, *nLarge) {
+		write("d1-large", g.Name, g.Source, classStrings(g.Labels))
+	}
+	for _, g := range corpus.GenerateComplex(*seed, *nComplex) {
+		write("d3-complex", g.Name, g.Source, classStrings(g.Labels))
+	}
+	for _, l := range corpus.VulnSuite() {
+		write("d2-vuln", l.Name, l.Source, classStrings(l.Labels))
+	}
+	for _, l := range corpus.SafeSuite() {
+		write("d2-safe", l.Name, l.Source, nil)
+	}
+	write("examples", "crowdsale", corpus.Crowdsale(), nil)
+	write("examples", "crowdsale_buggy", corpus.CrowdsaleBuggy(), []string{"BD"})
+	write("examples", "game", corpus.Game(), nil)
+
+	if err := os.WriteFile(filepath.Join(*out, "MANIFEST.tsv"), []byte(manifest.String()), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "corpusgen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("corpus written to %s (see MANIFEST.tsv for labels)\n", *out)
+}
+
+func classStrings[T ~string](labels []T) []string {
+	out := make([]string, len(labels))
+	for i, l := range labels {
+		out[i] = string(l)
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+// Command disasm compiles a MiniSol contract and prints its EVM assembly,
+// control-flow graph, branch sites, and data-flow dependency summary — the
+// same artifacts the fuzzer's static analyses consume.
+//
+// Usage:
+//
+//	disasm -file contract.sol [-cfg] [-dataflow] [-asm]
+//	disasm -example crowdsale -cfg -dataflow
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mufuzz/internal/analysis"
+	"mufuzz/internal/corpus"
+	"mufuzz/internal/minisol"
+)
+
+func main() {
+	var (
+		file     = flag.String("file", "", "MiniSol source file")
+		example  = flag.String("example", "", "built-in example: crowdsale | game")
+		showAsm  = flag.Bool("asm", true, "print disassembly")
+		showCFG  = flag.Bool("cfg", false, "print basic blocks and successors")
+		showFlow = flag.Bool("dataflow", false, "print state-variable dependency summary")
+	)
+	flag.Parse()
+
+	var src string
+	switch {
+	case *file != "":
+		b, err := os.ReadFile(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "disasm:", err)
+			os.Exit(1)
+		}
+		src = string(b)
+	case *example == "crowdsale":
+		src = corpus.Crowdsale()
+	case *example == "game":
+		src = corpus.Game()
+	default:
+		fmt.Fprintln(os.Stderr, "disasm: pass -file or -example")
+		os.Exit(1)
+	}
+
+	comp, err := minisol.Compile(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "disasm: compile:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("contract %s — %d bytes\n", comp.Contract.Name, len(comp.Code))
+	fmt.Println("\nfunction entry points:")
+	for name, pc := range comp.FuncEntry {
+		fmt.Printf("  %-16s @ %d\n", name, pc)
+	}
+	fmt.Println("\nbranch sites:")
+	for _, site := range comp.Branches {
+		fmt.Printf("  pc=%-5d %-10s depth=%d in %s\n", site.PC, site.Kind, site.Depth, site.Func)
+	}
+
+	if *showAsm {
+		fmt.Println("\ndisassembly:")
+		for _, ins := range analysis.Disassemble(comp.Code) {
+			if len(ins.Imm) > 0 {
+				fmt.Printf("  %5d: %-8s 0x%x\n", ins.PC, ins.Op, ins.Imm)
+			} else {
+				fmt.Printf("  %5d: %s\n", ins.PC, ins.Op)
+			}
+		}
+	}
+
+	if *showCFG {
+		cfg := analysis.BuildCFG(comp.Code)
+		fmt.Printf("\ncontrol-flow graph: %d blocks, %d branch sites, %d vulnerable instructions\n",
+			len(cfg.Order), cfg.CountBranches(), len(cfg.VulnPCs))
+		for _, start := range cfg.Order {
+			b := cfg.Blocks[start]
+			vuln := ""
+			if cfg.VulnReachableFrom(start) {
+				vuln = " [vuln-reachable]"
+			}
+			fmt.Printf("  block %5d..%-5d succs=%v%s\n", b.Start, b.End, b.Succs, vuln)
+		}
+	}
+
+	if *showFlow {
+		df := analysis.AnalyzeDataflow(comp.Contract)
+		fmt.Println("\nstate-variable dataflow:")
+		for _, fn := range df.Funcs {
+			fmt.Printf("  %-14s reads=%v writes=%v branch-reads=%v raw=%v\n",
+				fn.Name, fn.Reads.Sorted(), fn.Writes.Sorted(), fn.BranchReads.Sorted(), fn.RAW.Sorted())
+		}
+		fmt.Printf("  dependency order: %v\n", df.DependencyOrder())
+		fmt.Printf("  repeat candidates: %v\n", df.RepeatCandidates())
+	}
+}

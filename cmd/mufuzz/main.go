@@ -1,0 +1,150 @@
+// Command mufuzz fuzzes one MiniSol contract and reports branch coverage and
+// detected vulnerabilities.
+//
+// Usage:
+//
+//	mufuzz -file contract.sol [-strategy mufuzz|sfuzz|confuzzius|irfuzz]
+//	       [-iters 4000] [-seed 1] [-time 10s] [-v]
+//	mufuzz -example crowdsale|game    # fuzz a built-in paper example
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mufuzz/internal/corpus"
+	"mufuzz/internal/fuzz"
+	"mufuzz/internal/minisol"
+	"mufuzz/internal/report"
+)
+
+func main() {
+	var (
+		file     = flag.String("file", "", "MiniSol source file to fuzz")
+		example  = flag.String("example", "", "built-in example: crowdsale | crowdsale-buggy | game")
+		strategy = flag.String("strategy", "mufuzz", "fuzzer strategy: mufuzz | sfuzz | confuzzius | irfuzz | smartian")
+		iters    = flag.Int("iters", 4000, "transaction-sequence execution budget")
+		seed     = flag.Int64("seed", 1, "campaign random seed")
+		budget   = flag.Duration("time", 0, "optional wall-clock budget (e.g. 10s)")
+		verbose  = flag.Bool("v", false, "print per-finding details")
+		minimize = flag.Bool("minimize", false, "shrink and print a proof-of-concept sequence per bug class")
+		jsonOut  = flag.String("json", "", "also write a machine-readable report to this file")
+	)
+	flag.Parse()
+
+	src, name, err := loadSource(*file, *example)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mufuzz:", err)
+		os.Exit(1)
+	}
+
+	strat, err := pickStrategy(*strategy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mufuzz:", err)
+		os.Exit(1)
+	}
+
+	comp, err := minisol.Compile(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mufuzz: compile:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("contract %s: %d bytes of code, %d functions, %d branch sites\n",
+		comp.Contract.Name, len(comp.Code), len(comp.Contract.Functions), len(comp.Branches))
+
+	start := time.Now()
+	campaign := fuzz.NewCampaign(comp, fuzz.Options{
+		Strategy:   strat,
+		Seed:       *seed,
+		Iterations: *iters,
+		TimeBudget: *budget,
+	})
+	res := campaign.Run()
+
+	fmt.Printf("\n[%s] fuzzed %s in %v\n", strat.Name, name, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  executions:      %d\n", res.Executions)
+	fmt.Printf("  branch coverage: %.1f%% (%d/%d edges)\n", res.Coverage*100, res.CoveredEdges, res.TotalEdges)
+	fmt.Printf("  seed queue:      %d entries, %d masks computed, %d sequence mutations\n",
+		res.SeedQueueLen, res.MasksComputed, res.SequencesMutated)
+
+	if len(res.Findings) == 0 {
+		fmt.Println("  findings:        none")
+		return
+	}
+	classes := make([]string, 0)
+	for c := range res.BugClasses {
+		classes = append(classes, string(c))
+	}
+	fmt.Printf("  findings:        %d (%s)\n", len(res.Findings), strings.Join(classes, ", "))
+	if *verbose {
+		for _, f := range res.Findings {
+			fmt.Printf("    [%s] pc=%d %s\n", f.Class, f.PC, f.Description)
+		}
+	}
+	if *minimize {
+		fmt.Println("\nproof-of-concept sequences (minimized):")
+		for class, seq := range res.Repro {
+			min := campaign.MinimizeForBug(seq, class)
+			fmt.Printf("  [%s] %s\n", class, min)
+		}
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mufuzz:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := report.New(comp.Contract.Name, res).WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, "mufuzz:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nJSON report written to %s\n", *jsonOut)
+	}
+}
+
+func loadSource(file, example string) (src, name string, err error) {
+	switch {
+	case file != "" && example != "":
+		return "", "", fmt.Errorf("pass either -file or -example, not both")
+	case file != "":
+		b, err := os.ReadFile(file)
+		if err != nil {
+			return "", "", err
+		}
+		return string(b), file, nil
+	case example != "":
+		switch example {
+		case "crowdsale":
+			return corpus.Crowdsale(), "crowdsale", nil
+		case "crowdsale-buggy":
+			return corpus.CrowdsaleBuggy(), "crowdsale-buggy", nil
+		case "game":
+			return corpus.Game(), "game", nil
+		default:
+			return "", "", fmt.Errorf("unknown example %q", example)
+		}
+	default:
+		return "", "", fmt.Errorf("pass -file <contract.sol> or -example <name>")
+	}
+}
+
+func pickStrategy(name string) (fuzz.Strategy, error) {
+	switch strings.ToLower(name) {
+	case "mufuzz":
+		return fuzz.MuFuzz(), nil
+	case "sfuzz":
+		return fuzz.SFuzz(), nil
+	case "confuzzius":
+		return fuzz.ConFuzzius(), nil
+	case "irfuzz", "ir-fuzz":
+		return fuzz.IRFuzz(), nil
+	case "smartian":
+		return fuzz.Smartian(), nil
+	default:
+		return fuzz.Strategy{}, fmt.Errorf("unknown strategy %q", name)
+	}
+}

@@ -1,0 +1,76 @@
+// Coverage-race runs the four fuzzers of the paper's Fig. 5 side by side on
+// one generated contract and prints their coverage progress as the budget is
+// consumed — a single-contract live view of the coverage-over-time curves.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mufuzz/internal/corpus"
+	"mufuzz/internal/fuzz"
+	"mufuzz/internal/minisol"
+)
+
+func main() {
+	// One deterministic large contract: deep phase chains + strict guards.
+	gen := corpus.GenerateLarge(99, 1)[0]
+	comp, err := minisol.Compile(gen.Source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("contract %s: %d functions, %d branch sites, injected bugs %v\n\n",
+		gen.Name, len(comp.Contract.Functions), len(comp.Branches), gen.Labels)
+
+	const budget = 4000
+	specs := []fuzz.Strategy{fuzz.MuFuzz(), fuzz.IRFuzz(), fuzz.ConFuzzius(), fuzz.SFuzz()}
+	checkpoints := []int{100, 250, 500, 1000, 2000, 4000}
+
+	type lane struct {
+		name   string
+		points []float64
+		final  *fuzz.Result
+	}
+	lanes := make([]lane, len(specs))
+	for i, strat := range specs {
+		res := fuzz.Run(comp, fuzz.Options{Strategy: strat, Seed: 5, Iterations: budget})
+		l := lane{name: strat.Name, final: res}
+		for _, cp := range checkpoints {
+			cov := 0.0
+			for _, tp := range res.Timeline {
+				if tp.Executions <= cp && tp.Coverage > cov {
+					cov = tp.Coverage
+				}
+			}
+			l.points = append(l.points, cov)
+		}
+		lanes[i] = l
+	}
+
+	fmt.Printf("%-12s", "execs")
+	for _, cp := range checkpoints {
+		fmt.Printf("%8d", cp)
+	}
+	fmt.Printf("%10s\n", "bugs")
+	for _, l := range lanes {
+		fmt.Printf("%-12s", l.name)
+		for _, p := range l.points {
+			fmt.Printf("%7.1f%%", p*100)
+		}
+		fmt.Printf("%10d\n", len(l.final.BugClasses))
+	}
+
+	fmt.Println("\nascii race (each # is 2.5% coverage):")
+	for _, l := range lanes {
+		n := int(l.final.Coverage * 40)
+		fmt.Printf("  %-12s %5.1f%% %s\n", l.name, l.final.Coverage*100, repeat('#', n))
+	}
+}
+
+func repeat(c byte, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = c
+	}
+	return string(b)
+}

@@ -1,0 +1,64 @@
+// Crowdsale walks through the paper's §III motivating example step by step:
+// the data-flow analysis (Fig. 3), the derived transaction sequence, the
+// sequence-aware RAW mutation, and the fuzzing outcome on the deep
+// phase == 1 branch that plain fuzzers cannot reach.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mufuzz/internal/analysis"
+	"mufuzz/internal/corpus"
+	"mufuzz/internal/fuzz"
+	"mufuzz/internal/minisol"
+)
+
+func main() {
+	comp, err := minisol.Compile(corpus.Crowdsale())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Step 1: data-flow dependency analysis (paper Fig. 3) ---
+	df := analysis.AnalyzeDataflow(comp.Contract)
+	fmt.Println("state-variable read/write dependencies (paper Fig. 3):")
+	for _, fn := range df.Funcs {
+		fmt.Printf("  %-10s reads=%v writes=%v branch-reads=%v\n",
+			fn.Name, fn.Reads.Sorted(), fn.Writes.Sorted(), fn.BranchReads.Sorted())
+	}
+
+	// --- Step 2: sequence derivation (writers before readers) ---
+	fmt.Printf("\nderived transaction order: constructor → %v\n", df.DependencyOrder())
+
+	// --- Step 3: sequence-aware mutation targets ---
+	fmt.Printf("RAW repeat candidates (functions to execute consecutively): %v\n",
+		df.RepeatCandidates())
+	inv, _ := df.FuncByName("invest")
+	fmt.Printf("  invest has a read-after-write on %v — the 'invested < goal' branch\n",
+		inv.RAW.Sorted())
+
+	// --- Step 4: fuzz with and without sequence-aware mutation ---
+	var withdrawIf uint64
+	for _, s := range comp.Branches {
+		if s.Func == "withdraw" && s.Kind == minisol.BranchIf {
+			withdrawIf = s.PC
+		}
+	}
+	fmt.Println("\nfuzzing the deep branch `if (phase == 1)` in withdraw:")
+	for _, strat := range []fuzz.Strategy{fuzz.MuFuzz(), fuzz.SFuzz()} {
+		c := fuzz.NewCampaign(comp, fuzz.Options{Strategy: strat, Seed: 7, Iterations: 2000})
+		res := c.Run()
+		reached := false
+		for key := range c.Covered() {
+			if key.PC == withdrawIf && !key.Taken {
+				reached = true
+			}
+		}
+		verdict := "MISSED  — cannot generate invest→invest"
+		if reached {
+			verdict = "REACHED — sequence mutation ran invest twice"
+		}
+		fmt.Printf("  %-8s %s (coverage %.1f%%)\n", strat.Name, verdict, res.Coverage*100)
+	}
+}

@@ -1,0 +1,61 @@
+// Quickstart: compile a contract, fuzz it for a few seconds with MuFuzz, and
+// print coverage plus findings — the smallest end-to-end use of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mufuzz/internal/fuzz"
+	"mufuzz/internal/minisol"
+)
+
+// A token with two classic bugs: an unguarded subtraction (integer
+// underflow) and an unchecked send (unhandled exception).
+const src = `
+contract QuickToken {
+    mapping(address => uint256) balances;
+    uint256 totalSupply = 1000000;
+
+    function mint(uint256 amount) public {
+        require(amount < 10000);
+        balances[msg.sender] += amount;
+    }
+    function burn(uint256 amount) public {
+        balances[msg.sender] -= amount; // BUG: underflows when amount > balance
+        totalSupply -= amount;
+    }
+    function payout(address to, uint256 amount) public {
+        to.send(amount); // BUG: failure silently ignored
+    }
+}`
+
+func main() {
+	// 1. Compile MiniSol source to EVM bytecode + ABI + AST.
+	comp, err := minisol.Compile(src)
+	if err != nil {
+		log.Fatalf("compile: %v", err)
+	}
+	fmt.Printf("compiled %s: %d bytes, %d functions, %d branch sites\n\n",
+		comp.Contract.Name, len(comp.Code), len(comp.Contract.Functions), len(comp.Branches))
+
+	// 2. Run a MuFuzz campaign: sequence-aware mutation + mask-guided seed
+	//    mutation + dynamic energy adjustment.
+	res := fuzz.Run(comp, fuzz.Options{
+		Strategy:   fuzz.MuFuzz(),
+		Seed:       1,
+		Iterations: 3000,
+	})
+
+	// 3. Inspect the result.
+	fmt.Printf("executed %d transaction sequences in %v\n", res.Executions, res.Elapsed.Round(1e6))
+	fmt.Printf("branch coverage: %.1f%% (%d/%d edges)\n\n", res.Coverage*100, res.CoveredEdges, res.TotalEdges)
+	if len(res.Findings) == 0 {
+		fmt.Println("no bugs found")
+		return
+	}
+	fmt.Println("findings:")
+	for _, f := range res.Findings {
+		fmt.Printf("  [%s] %s\n", f.Class, f.Description)
+	}
+}

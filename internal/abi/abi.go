@@ -1,0 +1,263 @@
+// Package abi implements the Ethereum contract ABI: type descriptions,
+// argument encoding/decoding, and 4-byte function selectors.
+//
+// The fuzzer treats every transaction input as the byte stream
+// selector || abi-encode(args); the mask-guided mutator (paper §IV-B) works
+// directly on these bytes, and the EVM decodes them with CALLDATALOAD. Only
+// the types MiniSol supports are implemented: uint256, int256, address, bool,
+// bytes32, bytes, and string. Dynamic types follow the standard head/tail
+// layout.
+package abi
+
+import (
+	"fmt"
+	"strings"
+
+	"mufuzz/internal/keccak"
+	"mufuzz/internal/u256"
+)
+
+// Kind enumerates supported ABI types.
+type Kind int
+
+const (
+	Uint256 Kind = iota
+	Int256
+	Address
+	Bool
+	Bytes32
+	Bytes  // dynamic
+	String // dynamic
+)
+
+// String returns the canonical ABI name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Uint256:
+		return "uint256"
+	case Int256:
+		return "int256"
+	case Address:
+		return "address"
+	case Bool:
+		return "bool"
+	case Bytes32:
+		return "bytes32"
+	case Bytes:
+		return "bytes"
+	case String:
+		return "string"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind maps a canonical ABI type name to its Kind.
+func ParseKind(name string) (Kind, error) {
+	switch name {
+	case "uint256", "uint":
+		return Uint256, nil
+	case "int256", "int":
+		return Int256, nil
+	case "address":
+		return Address, nil
+	case "bool":
+		return Bool, nil
+	case "bytes32":
+		return Bytes32, nil
+	case "bytes":
+		return Bytes, nil
+	case "string":
+		return String, nil
+	default:
+		return 0, fmt.Errorf("abi: unsupported type %q", name)
+	}
+}
+
+// IsDynamic reports whether the kind uses head/tail encoding.
+func (k Kind) IsDynamic() bool { return k == Bytes || k == String }
+
+// Value is a decoded ABI value: a u256 word for static types, raw bytes for
+// dynamic ones.
+type Value struct {
+	Kind  Kind
+	Word  u256.Int // static types
+	Bytes []byte   // dynamic types
+}
+
+// NewWord wraps a static word value.
+func NewWord(k Kind, w u256.Int) Value { return Value{Kind: k, Word: w} }
+
+// NewBytes wraps a dynamic byte value.
+func NewBytes(k Kind, b []byte) Value { return Value{Kind: k, Bytes: b} }
+
+// String renders the value for reports.
+func (v Value) String() string {
+	if v.Kind.IsDynamic() {
+		return fmt.Sprintf("%s(%q)", v.Kind, v.Bytes)
+	}
+	return fmt.Sprintf("%s(%s)", v.Kind, v.Word)
+}
+
+// Param is a named function parameter.
+type Param struct {
+	Name string
+	Kind Kind
+}
+
+// Method describes one externally callable function.
+type Method struct {
+	Name    string
+	Inputs  []Param
+	Payable bool
+	// View marks functions that do not write state; the fuzzer deprioritizes
+	// them when building sequences.
+	View bool
+}
+
+// Signature returns the canonical signature, e.g. "invest(uint256)".
+func (m Method) Signature() string {
+	parts := make([]string, len(m.Inputs))
+	for i, p := range m.Inputs {
+		parts[i] = p.Kind.String()
+	}
+	return m.Name + "(" + strings.Join(parts, ",") + ")"
+}
+
+// Selector returns the 4-byte selector of the method.
+func (m Method) Selector() [4]byte {
+	return keccak.Selector(m.Signature())
+}
+
+// ABI is the external interface of a contract.
+type ABI struct {
+	Constructor *Method // nil when the contract has no constructor args
+	Methods     []Method
+}
+
+// MethodByName finds a method by name; ok is false if absent.
+func (a *ABI) MethodByName(name string) (Method, bool) {
+	for _, m := range a.Methods {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Method{}, false
+}
+
+// MethodBySelector finds a method by its 4-byte selector.
+func (a *ABI) MethodBySelector(sel [4]byte) (Method, bool) {
+	for _, m := range a.Methods {
+		if m.Selector() == sel {
+			return m, true
+		}
+	}
+	return Method{}, false
+}
+
+// EncodeArgs ABI-encodes values according to the standard head/tail layout.
+func EncodeArgs(values []Value) []byte {
+	headSize := 32 * len(values)
+	head := make([]byte, 0, headSize)
+	var tail []byte
+	for _, v := range values {
+		if v.Kind.IsDynamic() {
+			off := u256.New(uint64(headSize + len(tail))).Bytes32()
+			head = append(head, off[:]...)
+			tail = append(tail, encodeDynamic(v.Bytes)...)
+		} else {
+			w := v.Word.Bytes32()
+			head = append(head, w[:]...)
+		}
+	}
+	return append(head, tail...)
+}
+
+func encodeDynamic(b []byte) []byte {
+	length := u256.New(uint64(len(b))).Bytes32()
+	out := append([]byte{}, length[:]...)
+	out = append(out, b...)
+	if pad := len(b) % 32; pad != 0 {
+		out = append(out, make([]byte, 32-pad)...)
+	}
+	return out
+}
+
+// EncodeCall produces the full calldata for a method invocation:
+// selector || encoded args.
+func EncodeCall(m Method, args []Value) ([]byte, error) {
+	if len(args) != len(m.Inputs) {
+		return nil, fmt.Errorf("abi: %s expects %d args, got %d", m.Name, len(m.Inputs), len(args))
+	}
+	for i, a := range args {
+		if a.Kind != m.Inputs[i].Kind {
+			return nil, fmt.Errorf("abi: %s arg %d: have %s, want %s", m.Name, i, a.Kind, m.Inputs[i].Kind)
+		}
+	}
+	sel := m.Selector()
+	return append(sel[:], EncodeArgs(args)...), nil
+}
+
+// DecodeArgs decodes data into the kinds given. Decoding is tolerant of
+// truncated data (missing bytes read as zero) because fuzzed calldata is
+// frequently malformed; the EVM behaves the same way via CALLDATALOAD.
+func DecodeArgs(kinds []Kind, data []byte) []Value {
+	word := func(off int) u256.Int {
+		var buf [32]byte
+		if off < len(data) {
+			copy(buf[:], data[off:])
+		}
+		return u256.FromBytes(buf[:])
+	}
+	out := make([]Value, len(kinds))
+	for i, k := range kinds {
+		head := i * 32
+		if k.IsDynamic() {
+			off := word(head)
+			var b []byte
+			if off.FitsUint64() && off.Uint64() < uint64(len(data)) {
+				o := int(off.Uint64())
+				n := word(o)
+				if n.FitsUint64() {
+					start := o + 32
+					end := start + int(n.Uint64())
+					if end > len(data) {
+						end = len(data)
+					}
+					if start < end {
+						b = append([]byte{}, data[start:end]...)
+					}
+				}
+			}
+			out[i] = NewBytes(k, b)
+		} else {
+			w := word(head)
+			if k == Address {
+				// Addresses are 20 bytes; mask the upper 12 the way the EVM does.
+				w = w.And(addressMask)
+			}
+			if k == Bool {
+				if !w.IsZero() {
+					w = u256.One
+				}
+			}
+			out[i] = NewWord(k, w)
+		}
+	}
+	return out
+}
+
+var addressMask = u256.Max.Rsh(96)
+
+// DecodeCall splits calldata into its selector and decoded arguments for the
+// given method. It returns false if the data is shorter than a selector.
+func DecodeCall(m Method, data []byte) ([]Value, bool) {
+	if len(data) < 4 {
+		return nil, false
+	}
+	kinds := make([]Kind, len(m.Inputs))
+	for i, p := range m.Inputs {
+		kinds[i] = p.Kind
+	}
+	return DecodeArgs(kinds, data[4:]), true
+}

@@ -1,0 +1,179 @@
+package abi
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+
+	"mufuzz/internal/u256"
+)
+
+func TestKindRoundTrip(t *testing.T) {
+	for _, k := range []Kind{Uint256, Int256, Address, Bool, Bytes32, Bytes, String} {
+		got, err := ParseKind(k.String())
+		if err != nil {
+			t.Fatalf("ParseKind(%s): %v", k, err)
+		}
+		if got != k {
+			t.Errorf("ParseKind(%s) = %v", k, got)
+		}
+	}
+	if _, err := ParseKind("uint128"); err == nil {
+		t.Error("expected error for unsupported type")
+	}
+}
+
+func TestMethodSignatureAndSelector(t *testing.T) {
+	m := Method{Name: "transfer", Inputs: []Param{{"to", Address}, {"amount", Uint256}}}
+	if got := m.Signature(); got != "transfer(address,uint256)" {
+		t.Errorf("Signature = %s", got)
+	}
+	sel := m.Selector()
+	if hex.EncodeToString(sel[:]) != "a9059cbb" {
+		t.Errorf("Selector = %x, want a9059cbb", sel)
+	}
+}
+
+func TestEncodeStaticArgs(t *testing.T) {
+	vals := []Value{
+		NewWord(Uint256, u256.New(5)),
+		NewWord(Bool, u256.One),
+	}
+	enc := EncodeArgs(vals)
+	if len(enc) != 64 {
+		t.Fatalf("len = %d, want 64", len(enc))
+	}
+	if enc[31] != 5 || enc[63] != 1 {
+		t.Errorf("encoding bytes wrong: %x", enc)
+	}
+}
+
+func TestEncodeDynamicLayout(t *testing.T) {
+	vals := []Value{
+		NewWord(Uint256, u256.New(7)),
+		NewBytes(Bytes, []byte("hello")),
+	}
+	enc := EncodeArgs(vals)
+	// head: word(7), offset(64); tail: len(5), "hello" padded to 32.
+	if len(enc) != 64+32+32 {
+		t.Fatalf("len = %d", len(enc))
+	}
+	if enc[63] != 64 {
+		t.Errorf("dynamic offset = %d, want 64", enc[63])
+	}
+	if enc[95] != 5 {
+		t.Errorf("dynamic length = %d, want 5", enc[95])
+	}
+	if !bytes.Equal(enc[96:101], []byte("hello")) {
+		t.Errorf("payload = %q", enc[96:101])
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(a, b uint64, raw []byte, flag bool) bool {
+		boolWord := u256.Zero
+		if flag {
+			boolWord = u256.One
+		}
+		vals := []Value{
+			NewWord(Uint256, u256.New(a)),
+			NewBytes(String, raw),
+			NewWord(Bool, boolWord),
+			NewWord(Address, u256.New(b)),
+		}
+		enc := EncodeArgs(vals)
+		dec := DecodeArgs([]Kind{Uint256, String, Bool, Address}, enc)
+		if !dec[0].Word.Eq(u256.New(a)) {
+			return false
+		}
+		if len(raw) == 0 {
+			if len(dec[1].Bytes) != 0 {
+				return false
+			}
+		} else if !bytes.Equal(dec[1].Bytes, raw) {
+			return false
+		}
+		if dec[2].Word.Eq(u256.One) != flag {
+			return false
+		}
+		return dec[3].Word.Eq(u256.New(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeTruncatedDataIsSafe(t *testing.T) {
+	// Malformed calldata from mutation must never panic and reads as zeros.
+	kinds := []Kind{Uint256, Bytes, Address}
+	for n := 0; n < 100; n += 7 {
+		data := bytes.Repeat([]byte{0xff}, n)
+		vals := DecodeArgs(kinds, data)
+		if len(vals) != 3 {
+			t.Fatalf("got %d values", len(vals))
+		}
+	}
+}
+
+func TestDecodeAddressMasksHighBytes(t *testing.T) {
+	full := u256.Max
+	enc := EncodeArgs([]Value{NewWord(Uint256, full)})
+	dec := DecodeArgs([]Kind{Address}, enc)
+	if dec[0].Word.BitLen() > 160 {
+		t.Errorf("address not masked to 160 bits: %s", dec[0].Word.Hex())
+	}
+}
+
+func TestEncodeCallValidation(t *testing.T) {
+	m := Method{Name: "f", Inputs: []Param{{"x", Uint256}}}
+	if _, err := EncodeCall(m, nil); err == nil {
+		t.Error("want arity error")
+	}
+	if _, err := EncodeCall(m, []Value{NewWord(Bool, u256.One)}); err == nil {
+		t.Error("want type error")
+	}
+	data, err := EncodeCall(m, []Value{NewWord(Uint256, u256.New(9))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 4+32 {
+		t.Errorf("len = %d", len(data))
+	}
+	vals, ok := DecodeCall(m, data)
+	if !ok || !vals[0].Word.Eq(u256.New(9)) {
+		t.Errorf("DecodeCall round trip failed: %v %v", vals, ok)
+	}
+	if _, ok := DecodeCall(m, []byte{1, 2}); ok {
+		t.Error("DecodeCall should reject data shorter than a selector")
+	}
+}
+
+func TestMethodLookup(t *testing.T) {
+	a := &ABI{Methods: []Method{
+		{Name: "invest", Inputs: []Param{{"donations", Uint256}}, Payable: true},
+		{Name: "refund"},
+		{Name: "withdraw"},
+	}}
+	m, ok := a.MethodByName("refund")
+	if !ok || m.Name != "refund" {
+		t.Fatal("MethodByName failed")
+	}
+	bySel, ok := a.MethodBySelector(m.Selector())
+	if !ok || bySel.Name != "refund" {
+		t.Fatal("MethodBySelector failed")
+	}
+	if _, ok := a.MethodByName("nope"); ok {
+		t.Error("unexpected method")
+	}
+}
+
+func BenchmarkEncodeCall(b *testing.B) {
+	m := Method{Name: "invest", Inputs: []Param{{"donations", Uint256}, {"who", Address}}}
+	args := []Value{NewWord(Uint256, u256.New(100)), NewWord(Address, u256.New(0xabc))}
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeCall(m, args); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,401 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+
+	"mufuzz/internal/abi"
+	"mufuzz/internal/evm"
+	"mufuzz/internal/minisol"
+	"mufuzz/internal/state"
+	"mufuzz/internal/u256"
+)
+
+// crowdsaleSrc mirrors the paper's Fig. 1 contract.
+const crowdsaleSrc = `
+contract Crowdsale {
+    uint256 phase = 0;
+    uint256 goal;
+    uint256 invested;
+    address owner;
+    mapping(address => uint256) invests;
+
+    constructor() public {
+        goal = 100 ether;
+        invested = 0;
+        owner = msg.sender;
+    }
+    function invest(uint256 donations) public payable {
+        if (invested < goal) {
+            invests[msg.sender] += donations;
+            invested += donations;
+            phase = 0;
+        } else {
+            phase = 1;
+        }
+    }
+    function refund() public {
+        if (phase == 0) {
+            msg.sender.transfer(invests[msg.sender]);
+            invests[msg.sender] = 0;
+        }
+    }
+    function withdraw() public {
+        if (phase == 1) {
+            owner.transfer(invested);
+        }
+    }
+}`
+
+func mustCompile(t testing.TB, src string) *minisol.Compiled {
+	t.Helper()
+	comp, err := minisol.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return comp
+}
+
+// --- Dataflow (paper Fig. 3) ---
+
+func TestCrowdsaleDataflowMatchesFig3(t *testing.T) {
+	comp := mustCompile(t, crowdsaleSrc)
+	d := AnalyzeDataflow(comp.Contract)
+
+	inv, ok := d.FuncByName("invest")
+	if !ok {
+		t.Fatal("invest summary missing")
+	}
+	// Fig 3: invest reads goal, invested; writes invested, invests, phase.
+	if got := inv.Reads.Sorted(); !reflect.DeepEqual(got, []string{"goal", "invested", "invests"}) {
+		// invests is read by `invests[msg.sender] += donations` (compound)
+		t.Errorf("invest reads = %v", got)
+	}
+	if got := inv.Writes.Sorted(); !reflect.DeepEqual(got, []string{"invested", "invests", "phase"}) {
+		t.Errorf("invest writes = %v", got)
+	}
+	// The RAW dependency the paper highlights: invested is written and read
+	// by the branch condition `invested < goal`.
+	if !inv.RAW["invested"] {
+		t.Errorf("invest RAW = %v, want invested", inv.RAW.Sorted())
+	}
+
+	ref, _ := d.FuncByName("refund")
+	if !ref.Reads["phase"] || !ref.Reads["invests"] {
+		t.Errorf("refund reads = %v", ref.Reads.Sorted())
+	}
+	if !ref.Writes["invests"] {
+		t.Errorf("refund writes = %v", ref.Writes.Sorted())
+	}
+	if len(ref.RAW) != 0 && !ref.RAW["invests"] {
+		t.Errorf("refund RAW unexpected: %v", ref.RAW.Sorted())
+	}
+
+	wd, _ := d.FuncByName("withdraw")
+	if !wd.Reads["phase"] || !wd.Reads["invested"] {
+		t.Errorf("withdraw reads = %v", wd.Reads.Sorted())
+	}
+	if len(wd.Writes) != 0 {
+		t.Errorf("withdraw writes = %v", wd.Writes.Sorted())
+	}
+}
+
+func TestDependencyOrderCrowdsale(t *testing.T) {
+	comp := mustCompile(t, crowdsaleSrc)
+	d := AnalyzeDataflow(comp.Contract)
+	order := d.DependencyOrder()
+	pos := map[string]int{}
+	for i, n := range order {
+		pos[n] = i
+	}
+	// invest writes phase/invested which refund and withdraw read → invest first.
+	if !(pos["invest"] < pos["refund"] && pos["invest"] < pos["withdraw"]) {
+		t.Errorf("order = %v; invest must precede refund and withdraw", order)
+	}
+}
+
+func TestRepeatCandidates(t *testing.T) {
+	comp := mustCompile(t, crowdsaleSrc)
+	d := AnalyzeDataflow(comp.Contract)
+	cands := d.RepeatCandidates()
+	found := false
+	for _, c := range cands {
+		if c == "invest" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("repeat candidates = %v, want invest", cands)
+	}
+}
+
+func TestStatelessFunctionDetected(t *testing.T) {
+	src := `contract S {
+		uint256 x;
+		function pureMath(uint256 a) public returns (uint256) { return a * 2; }
+		function touch() public { x = 1; }
+	}`
+	d := AnalyzeDataflow(mustCompile(t, src).Contract)
+	pm, _ := d.FuncByName("pureMath")
+	if !pm.Stateless {
+		t.Error("pureMath should be stateless")
+	}
+	th, _ := d.FuncByName("touch")
+	if th.Stateless {
+		t.Error("touch is not stateless")
+	}
+	order := d.DependencyOrder()
+	if order[len(order)-1] != "pureMath" {
+		t.Errorf("stateless functions should sort last: %v", order)
+	}
+}
+
+func TestCtorWritesIncludeInitializers(t *testing.T) {
+	d := AnalyzeDataflow(mustCompile(t, crowdsaleSrc).Contract)
+	if !d.Ctor.Writes["phase"] {
+		t.Errorf("ctor writes = %v, should include initialized phase", d.Ctor.Writes.Sorted())
+	}
+	if !d.Ctor.Writes["owner"] {
+		t.Errorf("ctor writes = %v, should include owner", d.Ctor.Writes.Sorted())
+	}
+}
+
+// --- CFG ---
+
+func TestDisassembleRoundtrip(t *testing.T) {
+	a := evm.NewAssembler()
+	a.PushUint(5).PushUint(7).Op(evm.ADD).Op(evm.STOP)
+	code := a.MustBuild()
+	ins := Disassemble(code)
+	if len(ins) != 4 {
+		t.Fatalf("instructions = %d", len(ins))
+	}
+	if ins[0].Op != evm.PUSH1 || ins[0].Imm[0] != 5 {
+		t.Errorf("ins0 = %+v", ins[0])
+	}
+	if ins[2].Op != evm.ADD || ins[3].Op != evm.STOP {
+		t.Errorf("tail = %+v %+v", ins[2], ins[3])
+	}
+}
+
+func TestCFGBranches(t *testing.T) {
+	comp := mustCompile(t, crowdsaleSrc)
+	cfg := BuildCFG(comp.Code)
+	// Every compiler-recorded site must be a JUMPI in the CFG.
+	pcs := map[uint64]bool{}
+	for _, pc := range cfg.BranchPCs() {
+		pcs[pc] = true
+	}
+	for _, site := range comp.Branches {
+		if !pcs[site.PC] {
+			t.Errorf("site %d (%s in %s) not found as CFG branch", site.PC, site.Kind, site.Func)
+		}
+	}
+	if cfg.CountBranches() < len(comp.Branches) {
+		t.Errorf("cfg branches %d < sites %d", cfg.CountBranches(), len(comp.Branches))
+	}
+}
+
+func TestCFGSuccessorsResolved(t *testing.T) {
+	comp := mustCompile(t, crowdsaleSrc)
+	cfg := BuildCFG(comp.Code)
+	// Each JUMPI block must have exactly two successors (target resolved via
+	// the preceding PUSH2 the compiler always emits).
+	for _, start := range cfg.Order {
+		b := cfg.Blocks[start]
+		if b.HasJumpi && len(b.Succs) != 2 {
+			t.Errorf("JUMPI block at %d has %d successors", b.Start, len(b.Succs))
+		}
+	}
+}
+
+func TestVulnReachability(t *testing.T) {
+	comp := mustCompile(t, crowdsaleSrc)
+	cfg := BuildCFG(comp.Code)
+	// withdraw contains owner.transfer → a CALL. The if(phase==1) branch in
+	// withdraw must show vuln reachable on its taken path... we check at
+	// least one branch distinguishes directions or reaches a CALL.
+	if len(cfg.VulnPCs) == 0 {
+		t.Fatal("no vulnerable instructions found; transfer should emit CALL")
+	}
+	anyReach := false
+	for _, pc := range cfg.BranchPCs() {
+		if cfg.VulnReachablePastBranch(pc, true) || cfg.VulnReachablePastBranch(pc, false) {
+			anyReach = true
+		}
+	}
+	if !anyReach {
+		t.Error("no branch reaches a vulnerable instruction")
+	}
+}
+
+func TestVulnReachDirectionality(t *testing.T) {
+	// if (x == 1) { selfdestruct } else { } — vuln reachable only via taken.
+	src := `contract V {
+		uint256 x;
+		function f(uint256 a) public {
+			if (a == 1) {
+				selfdestruct(msg.sender);
+			} else {
+				x = 2;
+			}
+		}
+	}`
+	comp := mustCompile(t, src)
+	cfg := BuildCFG(comp.Code)
+	// find the if site
+	var ifPC uint64
+	var found bool
+	for _, s := range comp.Branches {
+		if s.Kind == minisol.BranchIf && s.Func == "f" {
+			ifPC, found = s.PC, true
+		}
+	}
+	if !found {
+		t.Fatal("if site missing")
+	}
+	// codegen emits ISZERO JUMPI else — taken = condition false = else branch
+	// (x=2, no vuln); fallthrough = then branch (selfdestruct).
+	if cfg.VulnReachablePastBranch(ifPC, true) {
+		t.Error("else side should not reach selfdestruct")
+	}
+	if !cfg.VulnReachablePastBranch(ifPC, false) {
+		t.Error("then side must reach selfdestruct")
+	}
+}
+
+func TestBranchSiteDepths(t *testing.T) {
+	src := `contract N {
+		uint256 x;
+		function f(uint256 a, uint256 b) public {
+			if (a > 1) {
+				if (b > 2) {
+					if (a + b > 10) { x = 1; }
+				}
+			}
+		}
+	}`
+	comp := mustCompile(t, src)
+	var depths []int
+	for _, s := range comp.Branches {
+		if s.Kind == minisol.BranchIf {
+			depths = append(depths, s.Depth)
+		}
+	}
+	if !reflect.DeepEqual(depths, []int{1, 2, 3}) {
+		t.Errorf("if depths = %v, want [1 2 3]", depths)
+	}
+}
+
+// --- Weights (Algorithm 3) ---
+
+func TestWeightTraceIncreasesAlongPath(t *testing.T) {
+	comp := mustCompile(t, crowdsaleSrc)
+	cfg := BuildCFG(comp.Code)
+	addr := state.AddressFromUint(1)
+	branches := []evm.BranchEvent{
+		{Addr: addr, PC: 10, Taken: true},
+		{Addr: addr, PC: 20, Taken: false},
+		{Addr: addr, PC: 30, Taken: true},
+	}
+	w := WeightTrace(branches, cfg)
+	if len(w) != 3 {
+		t.Fatalf("weights = %v", w)
+	}
+	k1 := branches[0].Key()
+	k3 := branches[2].Key()
+	if w[k3] <= w[k1] {
+		t.Errorf("later branches must weigh more: %v vs %v", w[k3], w[k1])
+	}
+}
+
+func TestWeightVulnBonus(t *testing.T) {
+	src := `contract V {
+		uint256 x;
+		function f(uint256 a) public {
+			if (a == 1) { selfdestruct(msg.sender); } else { x = 2; }
+		}
+	}`
+	comp := mustCompile(t, src)
+	cfg := BuildCFG(comp.Code)
+	var ifPC uint64
+	for _, s := range comp.Branches {
+		if s.Kind == minisol.BranchIf {
+			ifPC = s.PC
+		}
+	}
+	addr := state.AddressFromUint(1)
+	// Same position in path; only direction differs.
+	wVuln := WeightTrace([]evm.BranchEvent{{Addr: addr, PC: ifPC, Taken: false}}, cfg)
+	wSafe := WeightTrace([]evm.BranchEvent{{Addr: addr, PC: ifPC, Taken: true}}, cfg)
+	kV := evm.BranchKey{Addr: addr, PC: ifPC, Taken: false}
+	kS := evm.BranchKey{Addr: addr, PC: ifPC, Taken: true}
+	if wVuln[kV] <= wSafe[kS] {
+		t.Errorf("vulnerable side weight %v should exceed safe side %v", wVuln[kV], wSafe[kS])
+	}
+}
+
+func TestWeightCapAndMerge(t *testing.T) {
+	addr := state.AddressFromUint(1)
+	var branches []evm.BranchEvent
+	for i := 0; i < 100; i++ {
+		branches = append(branches, evm.BranchEvent{Addr: addr, PC: uint64(i), Taken: true})
+	}
+	w := WeightTrace(branches, nil)
+	last := evm.BranchKey{Addr: addr, PC: 99, Taken: true}
+	if w[last] > maxNestedScore+vulnBonus {
+		t.Errorf("weight should be capped: %v", w[last])
+	}
+	// Merge keeps maxima.
+	w2 := BranchWeights{last: 1.0}
+	w2.Merge(w)
+	if w2[last] != w[last] {
+		t.Error("merge should keep the larger weight")
+	}
+}
+
+func TestPathWeightDedupes(t *testing.T) {
+	addr := state.AddressFromUint(1)
+	br := evm.BranchEvent{Addr: addr, PC: 5, Taken: true}
+	w := BranchWeights{br.Key(): 3.0}
+	total := PathWeight([]evm.BranchEvent{br, br, br}, w)
+	if total != 3.0 {
+		t.Errorf("repeated edges must count once, got %v", total)
+	}
+}
+
+// --- Integration: weights from a real pre-fuzz run ---
+
+func TestWeightsFromExecution(t *testing.T) {
+	comp := mustCompile(t, crowdsaleSrc)
+	st := state.New()
+	deployer := state.AddressFromUint(0xd)
+	user := state.AddressFromUint(0xa)
+	addrC := state.AddressFromUint(0xc)
+	st.SetBalance(deployer, u256.New(1).Lsh(100))
+	st.SetBalance(user, u256.New(1).Lsh(100))
+	st.Commit()
+	e := evm.New(st, evm.BlockCtx{Timestamp: 1000, Number: 1})
+	e.Trace = evm.NewTrace()
+	if err := minisol.Deploy(e, deployer, addrC, comp, nil, u256.Zero, 10_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	m, _ := comp.ABI.MethodByName("invest")
+	data, err := abi.EncodeCall(m, []abi.Value{abi.NewWord(abi.Uint256, u256.New(5))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Trace = evm.NewTrace()
+	if _, err := e.Transact(user, addrC, u256.Zero, data, 10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	cfg := BuildCFG(comp.Code)
+	w := WeightTrace(e.Trace.Branches, cfg)
+	if len(w) == 0 {
+		t.Fatal("no weights from a real execution")
+	}
+	if PathWeight(e.Trace.Branches, w) <= 0 {
+		t.Error("path weight should be positive")
+	}
+}

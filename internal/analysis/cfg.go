@@ -1,0 +1,247 @@
+package analysis
+
+import (
+	"mufuzz/internal/evm"
+)
+
+// Instruction is one decoded opcode with its immediate.
+type Instruction struct {
+	PC  uint64
+	Op  evm.OpCode
+	Imm []byte // PUSH immediate, nil otherwise
+}
+
+// Disassemble decodes bytecode into instructions.
+func Disassemble(code []byte) []Instruction {
+	var out []Instruction
+	for pc := 0; pc < len(code); {
+		op := evm.OpCode(code[pc])
+		ins := Instruction{PC: uint64(pc), Op: op}
+		if n := op.PushBytes(); n > 0 {
+			end := pc + 1 + n
+			if end > len(code) {
+				end = len(code)
+			}
+			ins.Imm = code[pc+1 : end]
+			pc = end
+		} else {
+			pc++
+		}
+		out = append(out, ins)
+	}
+	return out
+}
+
+// Block is a basic block of the control-flow graph.
+type Block struct {
+	Start uint64 // pc of first instruction
+	End   uint64 // pc just past the last instruction
+	Instr []Instruction
+	// Succs are pcs of successor blocks.
+	Succs []uint64
+	// JumpiPC is the pc of the terminating JUMPI (0 and false when the block
+	// ends some other way).
+	JumpiPC  uint64
+	HasJumpi bool
+}
+
+// CFG is a bytecode control-flow graph with statically resolved jumps. Jump
+// targets are resolved from the PUSH immediately preceding JUMP/JUMPI — the
+// pattern the MiniSol compiler (and solc, for direct jumps) always emits.
+type CFG struct {
+	Blocks map[uint64]*Block // keyed by start pc
+	Order  []uint64          // block start pcs in ascending order
+	// VulnPCs is the set of pcs holding vulnerable instructions.
+	VulnPCs map[uint64]evm.OpCode
+	// vulnReach[start] is true when a vulnerable instruction is reachable
+	// from the block at start.
+	vulnReach map[uint64]bool
+}
+
+// vulnerableOps are instructions that may introduce vulnerabilities (paper
+// §IV-C: e.g. call.value, block.timestamp).
+var vulnerableOps = map[evm.OpCode]bool{
+	evm.CALL:         true,
+	evm.DELEGATECALL: true,
+	evm.SELFDESTRUCT: true,
+	evm.TIMESTAMP:    true,
+	evm.NUMBER:       true,
+	evm.ORIGIN:       true,
+	evm.BALANCE:      true,
+	evm.SELFBALANCE:  true,
+}
+
+// BuildCFG constructs the CFG of a contract's runtime bytecode.
+func BuildCFG(code []byte) *CFG {
+	instrs := Disassemble(code)
+
+	// Block leaders: offset 0, JUMPDESTs, and instructions following a
+	// terminator (JUMP/JUMPI/STOP/RETURN/REVERT/INVALID/SELFDESTRUCT).
+	leaders := map[uint64]bool{0: true}
+	for i, ins := range instrs {
+		switch ins.Op {
+		case evm.JUMPDEST:
+			leaders[ins.PC] = true
+		case evm.JUMP, evm.JUMPI, evm.STOP, evm.RETURN, evm.REVERT, evm.INVALID, evm.SELFDESTRUCT:
+			if i+1 < len(instrs) {
+				leaders[instrs[i+1].PC] = true
+			}
+		}
+	}
+
+	cfg := &CFG{
+		Blocks:    make(map[uint64]*Block),
+		VulnPCs:   make(map[uint64]evm.OpCode),
+		vulnReach: make(map[uint64]bool),
+	}
+	var cur *Block
+	for i, ins := range instrs {
+		if leaders[ins.PC] {
+			cur = &Block{Start: ins.PC}
+			cfg.Blocks[ins.PC] = cur
+			cfg.Order = append(cfg.Order, ins.PC)
+		}
+		cur.Instr = append(cur.Instr, ins)
+		cur.End = ins.PC + 1 + uint64(len(ins.Imm))
+		if vulnerableOps[ins.Op] {
+			cfg.VulnPCs[ins.PC] = ins.Op
+		}
+
+		// Successor edges at block terminators.
+		switch ins.Op {
+		case evm.JUMP:
+			if t, ok := staticTarget(instrs, i); ok {
+				cur.Succs = append(cur.Succs, t)
+			}
+		case evm.JUMPI:
+			cur.HasJumpi = true
+			cur.JumpiPC = ins.PC
+			if t, ok := staticTarget(instrs, i); ok {
+				cur.Succs = append(cur.Succs, t)
+			}
+			if i+1 < len(instrs) {
+				cur.Succs = append(cur.Succs, instrs[i+1].PC)
+			}
+		case evm.STOP, evm.RETURN, evm.REVERT, evm.INVALID, evm.SELFDESTRUCT:
+			// no successors
+		default:
+			// fallthrough into the next leader
+			if i+1 < len(instrs) && leaders[instrs[i+1].PC] {
+				cur.Succs = append(cur.Succs, instrs[i+1].PC)
+			}
+		}
+	}
+	cfg.computeVulnReach()
+	return cfg
+}
+
+// staticTarget resolves the jump target from the preceding PUSH.
+func staticTarget(instrs []Instruction, jumpIdx int) (uint64, bool) {
+	if jumpIdx == 0 {
+		return 0, false
+	}
+	prev := instrs[jumpIdx-1]
+	if !prev.Op.IsPush() || len(prev.Imm) == 0 || len(prev.Imm) > 8 {
+		return 0, false
+	}
+	var t uint64
+	for _, b := range prev.Imm {
+		t = t<<8 | uint64(b)
+	}
+	return t, true
+}
+
+// computeVulnReach marks blocks from which a vulnerable instruction is
+// reachable, by reverse propagation to a fixed point.
+func (c *CFG) computeVulnReach() {
+	// Base: block contains a vulnerable instruction.
+	for start, b := range c.Blocks {
+		for _, ins := range b.Instr {
+			if vulnerableOps[ins.Op] {
+				c.vulnReach[start] = true
+				break
+			}
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for start, b := range c.Blocks {
+			if c.vulnReach[start] {
+				continue
+			}
+			for _, s := range b.Succs {
+				if c.vulnReach[s] {
+					c.vulnReach[start] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// BlockOf returns the basic block containing pc.
+func (c *CFG) BlockOf(pc uint64) (*Block, bool) {
+	for _, start := range c.Order {
+		b := c.Blocks[start]
+		if pc >= b.Start && pc < b.End {
+			return b, true
+		}
+	}
+	return nil, false
+}
+
+// VulnReachableFrom reports whether a vulnerable instruction is reachable
+// from the block starting at pc.
+func (c *CFG) VulnReachableFrom(start uint64) bool {
+	return c.vulnReach[start]
+}
+
+// VulnReachablePastBranch reports whether taking the given direction at the
+// JUMPI pc can still reach a vulnerable instruction — the per-branch
+// reachability the energy adjuster uses (Algorithm 3, PREFIX_INFERENCE).
+func (c *CFG) VulnReachablePastBranch(jumpiPC uint64, taken bool) bool {
+	b, ok := c.BlockOf(jumpiPC)
+	if !ok || !b.HasJumpi || b.JumpiPC != jumpiPC {
+		return false
+	}
+	// Succs for a JUMPI block: [target, fallthrough] (target may be absent
+	// when unresolvable; then only fallthrough is present).
+	var target, fall uint64
+	var hasTarget, hasFall bool
+	switch len(b.Succs) {
+	case 2:
+		target, fall = b.Succs[0], b.Succs[1]
+		hasTarget, hasFall = true, true
+	case 1:
+		fall = b.Succs[0]
+		hasFall = true
+	}
+	if taken {
+		return hasTarget && c.vulnReach[target]
+	}
+	return hasFall && c.vulnReach[fall]
+}
+
+// CountBranches returns the number of JUMPI sites in the code.
+func (c *CFG) CountBranches() int {
+	n := 0
+	for _, b := range c.Blocks {
+		if b.HasJumpi {
+			n++
+		}
+	}
+	return n
+}
+
+// BranchPCs returns every JUMPI pc in ascending order.
+func (c *CFG) BranchPCs() []uint64 {
+	var out []uint64
+	for _, start := range c.Order {
+		if b := c.Blocks[start]; b.HasJumpi {
+			out = append(out, b.JumpiPC)
+		}
+	}
+	return out
+}

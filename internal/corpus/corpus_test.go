@@ -1,0 +1,171 @@
+package corpus
+
+import (
+	"testing"
+
+	"mufuzz/internal/fuzz"
+	"mufuzz/internal/minisol"
+	"mufuzz/internal/oracle"
+)
+
+func TestPaperExamplesCompile(t *testing.T) {
+	for name, src := range map[string]string{
+		"Crowdsale":      Crowdsale(),
+		"CrowdsaleBuggy": CrowdsaleBuggy(),
+		"Game":           Game(),
+	} {
+		if _, err := minisol.Compile(src); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestVulnSuiteCompiles(t *testing.T) {
+	suite := VulnSuite()
+	if len(suite) < 20 {
+		t.Fatalf("suite has %d entries, want >= 20", len(suite))
+	}
+	for _, l := range suite {
+		if _, err := minisol.Compile(l.Source); err != nil {
+			t.Errorf("%s: %v", l.Name, err)
+		}
+		if len(l.Labels) == 0 {
+			t.Errorf("%s: vulnerable contract without labels", l.Name)
+		}
+	}
+}
+
+func TestSafeSuiteCompiles(t *testing.T) {
+	for _, l := range SafeSuite() {
+		if _, err := minisol.Compile(l.Source); err != nil {
+			t.Errorf("%s: %v", l.Name, err)
+		}
+		if len(l.Labels) != 0 {
+			t.Errorf("%s: safe contract carries labels", l.Name)
+		}
+	}
+}
+
+func TestVulnSuiteCoversAllClasses(t *testing.T) {
+	seen := map[oracle.BugClass]int{}
+	for _, l := range VulnSuite() {
+		for _, c := range l.Labels {
+			seen[c]++
+		}
+	}
+	for _, c := range oracle.AllClasses {
+		if seen[c] == 0 {
+			t.Errorf("class %s has no labelled contract", c)
+		}
+	}
+	// every class except the structurally-unique EF should have a hard variant
+	hard := 0
+	for _, l := range VulnSuite() {
+		if l.Hard {
+			hard++
+		}
+	}
+	if hard < 5 {
+		t.Errorf("only %d hard contracts; need deep-state cases", hard)
+	}
+}
+
+func TestGeneratedContractsCompile(t *testing.T) {
+	for _, profile := range []struct {
+		name string
+		gen  []Generated
+	}{
+		{"small", GenerateSmall(1, 20)},
+		{"large", GenerateLarge(2, 10)},
+		{"complex", GenerateComplex(3, 5)},
+	} {
+		for _, g := range profile.gen {
+			comp, err := minisol.Compile(g.Source)
+			if err != nil {
+				t.Fatalf("%s/%s: %v\n%s", profile.name, g.Name, err, g.Source)
+			}
+			if len(comp.Contract.Functions) == 0 {
+				t.Errorf("%s/%s: no functions", profile.name, g.Name)
+			}
+		}
+	}
+}
+
+func TestGenerationDeterministic(t *testing.T) {
+	a := GenerateSmall(42, 5)
+	b := GenerateSmall(42, 5)
+	for i := range a {
+		if a[i].Source != b[i].Source {
+			t.Fatalf("contract %d differs between runs", i)
+		}
+	}
+	c := GenerateSmall(43, 5)
+	same := 0
+	for i := range a {
+		if a[i].Source == c[i].Source {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds should generate different corpora")
+	}
+}
+
+func TestLargeContractsAreLarger(t *testing.T) {
+	small := GenerateSmall(7, 10)
+	large := GenerateLarge(7, 10)
+	avg := func(gs []Generated) float64 {
+		total := 0
+		for _, g := range gs {
+			comp, err := minisol.Compile(g.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += len(comp.Code)
+		}
+		return float64(total) / float64(len(gs))
+	}
+	if avg(large) <= avg(small)*1.5 {
+		t.Errorf("large contracts should be much bigger: small=%.0f large=%.0f bytes", avg(small), avg(large))
+	}
+}
+
+func TestGeneratedBugsAreFindable(t *testing.T) {
+	// Ground truth sanity: MuFuzz with a generous budget should confirm a
+	// decent share of injected labels on a sample.
+	gens := GenerateSmall(11, 6)
+	confirmed, total := 0, 0
+	for _, g := range gens {
+		if len(g.Labels) == 0 {
+			continue
+		}
+		comp, err := minisol.Compile(g.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := fuzz.Run(comp, fuzz.Options{Strategy: fuzz.MuFuzz(), Seed: 1, Iterations: 1200})
+		for _, c := range g.Labels {
+			total++
+			if res.BugClasses[c] {
+				confirmed++
+			}
+		}
+	}
+	if total == 0 {
+		t.Skip("sample had no injected bugs")
+	}
+	if confirmed*2 < total {
+		t.Errorf("only %d/%d injected bugs confirmed by MuFuzz", confirmed, total)
+	}
+}
+
+func TestHasLabelHelpers(t *testing.T) {
+	l := Labeled{Labels: []oracle.BugClass{oracle.RE}}
+	if !l.HasLabel(oracle.RE) || l.HasLabel(oracle.BD) {
+		t.Error("Labeled.HasLabel wrong")
+	}
+	g := Generated{Labels: []oracle.BugClass{oracle.IO}}
+	if !g.HasLabel(oracle.IO) || g.HasLabel(oracle.SE) {
+		t.Error("Generated.HasLabel wrong")
+	}
+}

@@ -1,0 +1,369 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"mufuzz/internal/oracle"
+)
+
+// Generated is one synthetic benchmark contract with ground truth.
+type Generated struct {
+	Name   string
+	Source string
+	// Labels are the injected bug classes.
+	Labels []oracle.BugClass
+	// Blocks counts the feature blocks composed into the contract; a proxy
+	// for contract size.
+	Blocks int
+}
+
+// HasLabel reports whether the generated contract carries the class.
+func (g Generated) HasLabel(c oracle.BugClass) bool {
+	for _, x := range g.Labels {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+// Profile controls the shape of generated contracts.
+type Profile struct {
+	// MinBlocks/MaxBlocks bound how many feature blocks are composed.
+	MinBlocks, MaxBlocks int
+	// ChainDepth gates blocks behind the phase of earlier blocks,
+	// lengthening the transaction sequences needed to reach deep code.
+	ChainDepth int
+	// BugChance is the per-block probability (percent) of injecting a bug
+	// payload into the deep region.
+	BugChance int
+	// StrictGuards adds require(x == C) style strict-equality gates.
+	StrictGuards bool
+}
+
+// SmallProfile mirrors D1-small: compact contracts, shallow chains.
+func SmallProfile() Profile {
+	return Profile{MinBlocks: 2, MaxBlocks: 4, ChainDepth: 1, BugChance: 45, StrictGuards: true}
+}
+
+// LargeProfile mirrors D1-large: more functions, deeper state chains.
+func LargeProfile() Profile {
+	return Profile{MinBlocks: 6, MaxBlocks: 10, ChainDepth: 3, BugChance: 45, StrictGuards: true}
+}
+
+// ComplexProfile mirrors D3: the largest contracts with the deepest chains.
+func ComplexProfile() Profile {
+	return Profile{MinBlocks: 10, MaxBlocks: 14, ChainDepth: 4, BugChance: 55, StrictGuards: true}
+}
+
+// Generate produces n deterministic contracts for a profile.
+func Generate(profile Profile, seed int64, n int) []Generated {
+	out := make([]Generated, 0, n)
+	for i := 0; i < n; i++ {
+		rng := rand.New(rand.NewSource(seed + int64(i)*7919))
+		out = append(out, generateOne(profile, rng, fmt.Sprintf("Gen%d_%d", seed, i)))
+	}
+	return out
+}
+
+// GenerateSmall / GenerateLarge / GenerateComplex are the dataset presets.
+func GenerateSmall(seed int64, n int) []Generated   { return Generate(SmallProfile(), seed, n) }
+func GenerateLarge(seed int64, n int) []Generated   { return Generate(LargeProfile(), seed, n) }
+func GenerateComplex(seed int64, n int) []Generated { return Generate(ComplexProfile(), seed, n) }
+
+// builder assembles a MiniSol contract from feature blocks.
+type builder struct {
+	name   string
+	rng    *rand.Rand
+	vars   []string
+	funcs  []string
+	labels map[oracle.BugClass]bool
+	blocks int
+	// hasPayable / hasValueOut drive the implicit EF ground truth: a
+	// contract that accepts ether but contains no value-out instruction
+	// freezes funds whether or not a bug payload was injected.
+	hasPayable  bool
+	hasValueOut bool
+	// lastPhase is the phase variable of the previous chained block ("" when
+	// the next block starts a fresh chain).
+	lastPhase string
+	chainLeft int
+}
+
+func (b *builder) addVar(decl string)      { b.vars = append(b.vars, decl) }
+func (b *builder) addFunc(src string)      { b.funcs = append(b.funcs, src) }
+func (b *builder) label(c oracle.BugClass) { b.labels[c] = true }
+
+// gate returns a require/if prefix enforcing the chain dependency, making
+// deep blocks reachable only after earlier blocks completed their phase.
+func (b *builder) gate() string {
+	if b.lastPhase == "" {
+		return ""
+	}
+	return fmt.Sprintf("require(%s == 1);\n", b.lastPhase)
+}
+
+// generateOne builds one contract.
+func generateOne(p Profile, rng *rand.Rand, name string) Generated {
+	b := &builder{name: name, rng: rng, labels: make(map[oracle.BugClass]bool)}
+	nBlocks := p.MinBlocks
+	if p.MaxBlocks > p.MinBlocks {
+		nBlocks += rng.Intn(p.MaxBlocks - p.MinBlocks + 1)
+	}
+	b.chainLeft = p.ChainDepth
+
+	for i := 0; i < nBlocks; i++ {
+		injectBug := rng.Intn(100) < p.BugChance
+		b.emitBlock(i, p, injectBug)
+		b.blocks++
+	}
+
+	if b.hasPayable && !b.hasValueOut {
+		b.label(oracle.EF)
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "contract %s {\n", name)
+	for _, v := range b.vars {
+		sb.WriteString("    " + v + "\n")
+	}
+	sb.WriteString("    address owner;\n")
+	sb.WriteString("    constructor() public { owner = msg.sender; }\n")
+	for _, f := range b.funcs {
+		sb.WriteString(f)
+	}
+	sb.WriteString("}\n")
+
+	labels := make([]oracle.BugClass, 0, len(b.labels))
+	for _, c := range oracle.AllClasses {
+		if b.labels[c] {
+			labels = append(labels, c)
+		}
+	}
+	return Generated{Name: name, Source: sb.String(), Labels: labels, Blocks: b.blocks}
+}
+
+// emitBlock appends one feature block: a phase machine whose deep region may
+// carry a bug payload, plus auxiliary guarded functions.
+func (b *builder) emitBlock(i int, p Profile, injectBug bool) {
+	kind := b.rng.Intn(5)
+	switch kind {
+	case 0:
+		b.emitPhaseMachine(i, p, injectBug)
+	case 1:
+		b.emitStrictGuard(i, p, injectBug)
+	case 2:
+		b.emitNested(i, p, injectBug)
+	case 3:
+		b.emitCombo(i, p, injectBug)
+	default:
+		b.emitBank(i, p, injectBug)
+	}
+}
+
+// emitCombo is a multi-word combination lock: nested guards over several
+// parameters whose satisfying values are *derived* (modular and multiplied
+// constraints), so no bytecode-constant dictionary contains them. Cracking
+// it requires branch-distance descent on each word while preserving the
+// words already solved — the workload mutation masking (paper §IV-B,
+// FairFuzz-style) is built for.
+func (b *builder) emitCombo(i int, p Profile, injectBug bool) {
+	won := fmt.Sprintf("won%d", i)
+	b.addVar(fmt.Sprintf("uint256 %s;", won))
+	m1 := 50 + b.rng.Intn(150)
+	r1 := b.rng.Intn(m1)
+	k2 := 3 + b.rng.Intn(9)
+	c2 := k2 * (500 + b.rng.Intn(5000)) // b*k2 == c2 has the non-constant solution c2/k2
+	lim := 1000 + b.rng.Intn(20000)
+	gate := b.gate()
+	payload := b.payload(i, injectBug)
+	if payload == "" {
+		payload = fmt.Sprintf("                    %s = 1;\n", won)
+	}
+	b.addFunc(fmt.Sprintf(`
+    function combo%d(uint256 a, uint256 b, uint256 c) public {
+        %sif (a %% %d == %d) {
+            if (b * %d == %d) {
+                if (a + b + c > %d) {
+%s                }
+            }
+        }
+    }
+`, i, gate, m1, r1, k2, c2, lim, payload))
+	b.lastPhase = ""
+}
+
+// emitPhaseMachine is the Crowdsale pattern: a counter with a RAW dependency
+// whose else-branch flips a phase, and a reaper gated on the phase.
+func (b *builder) emitPhaseMachine(i int, p Profile, injectBug bool) {
+	counter := fmt.Sprintf("counter%d", i)
+	phase := fmt.Sprintf("phase%d", i)
+	limit := 50 + b.rng.Intn(200)
+	b.addVar(fmt.Sprintf("uint256 %s;", counter))
+	b.addVar(fmt.Sprintf("uint256 %s;", phase))
+
+	gate := b.gate()
+	b.hasPayable = true
+	b.addFunc(fmt.Sprintf(`
+    function pump%d(uint256 x) public payable {
+        %srequire(x < 1000);
+        if (%s < %d) {
+            %s += x;
+        } else {
+            %s = 1;
+        }
+    }
+`, i, gate, counter, limit, counter, phase))
+
+	payload := b.payload(i, injectBug)
+	b.addFunc(fmt.Sprintf(`
+    function reap%d() public {
+        if (%s == 1) {
+%s        }
+    }
+`, i, phase, payload))
+
+	// chain bookkeeping
+	if b.chainLeft > 0 {
+		b.lastPhase = phase
+		b.chainLeft--
+	} else {
+		b.lastPhase = ""
+		b.chainLeft = p.ChainDepth
+	}
+}
+
+// emitStrictGuard is the Game pattern: a strict equality gate in front of
+// state, exercising branch-distance + masking.
+func (b *builder) emitStrictGuard(i int, p Profile, injectBug bool) {
+	opened := fmt.Sprintf("opened%d", i)
+	code := 1000 + b.rng.Intn(100000)
+	b.addVar(fmt.Sprintf("uint256 %s;", opened))
+	gate := b.gate()
+	b.addFunc(fmt.Sprintf(`
+    function unlock%d(uint256 code) public {
+        %srequire(code == %d);
+        %s = 1;
+    }
+`, i, gate, code, opened))
+	payload := b.payload(i, injectBug)
+	b.addFunc(fmt.Sprintf(`
+    function use%d(uint256 y) public {
+        if (%s == 1) {
+            if (y > %d) {
+%s            }
+        }
+    }
+`, i, opened, b.rng.Intn(50), payload))
+	b.lastPhase = ""
+}
+
+// emitNested adds a deeply nested conditional ladder over parameters.
+func (b *builder) emitNested(i int, p Profile, injectBug bool) {
+	mark := fmt.Sprintf("mark%d", i)
+	b.addVar(fmt.Sprintf("uint256 %s;", mark))
+	depth := 2 + b.rng.Intn(3)
+	gate := b.gate()
+	var body strings.Builder
+	indent := "        "
+	for d := 0; d < depth; d++ {
+		c1 := b.rng.Intn(200)
+		var cond string
+		switch b.rng.Intn(3) {
+		case 0:
+			cond = fmt.Sprintf("a + %d > b", c1)
+		case 1:
+			cond = fmt.Sprintf("a %% %d == %d", c1+2, b.rng.Intn(c1+2))
+		default:
+			cond = fmt.Sprintf("b > %d", c1)
+		}
+		fmt.Fprintf(&body, "%sif (%s) {\n", indent, cond)
+		indent += "    "
+	}
+	payload := b.payload(i, injectBug)
+	if payload == "" {
+		payload = fmt.Sprintf("%s%s = a;\n", indent, mark)
+	}
+	body.WriteString(payload)
+	for d := depth - 1; d >= 0; d-- {
+		indent = indent[:len(indent)-4]
+		body.WriteString(indent + "}\n")
+	}
+	b.addFunc(fmt.Sprintf(`
+    function maze%d(uint256 a, uint256 b) public {
+        %s%s    }
+`, i, gate, body.String()))
+	b.lastPhase = ""
+}
+
+// emitBank adds a per-sender accounting block.
+func (b *builder) emitBank(i int, p Profile, injectBug bool) {
+	ledger := fmt.Sprintf("ledger%d", i)
+	b.addVar(fmt.Sprintf("mapping(address => uint256) %s;", ledger))
+	gate := b.gate()
+	b.hasPayable = true
+	b.addFunc(fmt.Sprintf(`
+    function save%d() public payable {
+        %s%s[msg.sender] += msg.value;
+    }
+`, i, gate, ledger))
+	if injectBug && b.rng.Intn(2) == 0 {
+		// reentrant withdrawal
+		b.label(oracle.RE)
+		b.hasValueOut = true
+		b.addFunc(fmt.Sprintf(`
+    function take%d() public {
+        uint256 amount%d = %s[msg.sender];
+        if (amount%d > 0) {
+            require(msg.sender.call.value(amount%d)());
+            %s[msg.sender] = 0;
+        }
+    }
+`, i, i, ledger, i, i, ledger))
+	} else {
+		b.hasValueOut = true
+		b.addFunc(fmt.Sprintf(`
+    function take%d(uint256 n) public {
+        require(%s[msg.sender] >= n);
+        %s[msg.sender] -= n;
+        msg.sender.transfer(n);
+    }
+`, i, ledger, ledger))
+	}
+	b.lastPhase = ""
+}
+
+// payload returns bug-payload statements (with trailing newline, indented),
+// or a benign payload when injectBug is false.
+func (b *builder) payload(i int, injectBug bool) string {
+	ind := "            "
+	if !injectBug {
+		return fmt.Sprintf("%sowner = msg.sender;\n", ind)
+	}
+	switch b.rng.Intn(6) {
+	case 0: // BD
+		b.label(oracle.BD)
+		return fmt.Sprintf("%sif (block.timestamp %% 3 == 0) { owner = msg.sender; }\n", ind)
+	case 1: // IO underflow on a fresh accumulator
+		b.label(oracle.IO)
+		acc := fmt.Sprintf("acc%d", i)
+		b.addVar(fmt.Sprintf("uint256 %s;", acc))
+		return fmt.Sprintf("%s%s -= 7;\n", ind, acc)
+	case 2: // UE unchecked send
+		b.label(oracle.UE)
+		b.hasValueOut = true
+		return fmt.Sprintf("%smsg.sender.send(1000000 ether);\n", ind)
+	case 3: // US unprotected selfdestruct
+		b.label(oracle.US)
+		b.hasValueOut = true
+		return fmt.Sprintf("%sselfdestruct(msg.sender);\n", ind)
+	case 4: // TO origin guard
+		b.label(oracle.TO)
+		return fmt.Sprintf("%srequire(tx.origin == owner);\n%sowner = msg.sender;\n", ind, ind)
+	default: // SE strict balance equality
+		b.label(oracle.SE)
+		return fmt.Sprintf("%sif (this.balance == %d) { owner = msg.sender; }\n", ind, 100+b.rng.Intn(1000))
+	}
+}

@@ -1,0 +1,209 @@
+package corpus
+
+import "mufuzz/internal/oracle"
+
+// extraSuite extends the labelled vulnerability suite with contracts
+// modelled on well-known Ethereum incidents and SWC-registry patterns. They
+// are appended to VulnSuite().
+func extraSuite() []Labeled {
+	return []Labeled{
+		// FoMo3D-style timer game: the winner is decided by block state.
+		{
+			Name: "bd_fomo_timer",
+			Source: `contract BdFomo {
+				address lastBuyer;
+				uint256 deadline;
+				uint256 pot;
+				constructor() public { deadline = block.timestamp + 600; }
+				function buyKey() public payable {
+					require(msg.value >= 1 finney);
+					pot += msg.value;
+					lastBuyer = msg.sender;
+					deadline = block.timestamp + 600;
+				}
+				function claim() public {
+					if (block.timestamp > deadline) {
+						lastBuyer.transfer(pot);
+						pot = 0;
+					}
+				}
+			}`,
+			Labels: []oracle.BugClass{oracle.BD},
+		},
+		// King-of-the-Ether-Throne: the dethroned king's compensation is sent
+		// with an unchecked send that can exceed the contract balance (the
+		// compensation formula promises more than the pot holds).
+		{
+			Name: "ue_kote_throne",
+			Source: `contract UeThrone {
+				address king;
+				uint256 claimPrice = 100;
+				function claimThrone() public payable {
+					require(msg.value >= claimPrice);
+					king.send(claimPrice * 3);
+					king = msg.sender;
+					claimPrice = msg.value * 2;
+				}
+			}`,
+			Labels: []oracle.BugClass{oracle.UE},
+		},
+		// The DAO split pattern: balance zeroed after the external call, and
+		// the amount is attacker-controlled.
+		{
+			Name: "re_dao_split",
+			Hard: true,
+			Source: `contract ReDaoSplit {
+				mapping(address => uint256) credit;
+				uint256 epoch;
+				function join() public payable {
+					credit[msg.sender] += msg.value;
+				}
+				function season(uint256 k) public {
+					if (epoch < 1) { epoch += 1; }
+				}
+				function splitDAO(uint256 amount) public {
+					require(epoch >= 1);
+					if (credit[msg.sender] >= amount) {
+						if (amount > 0) {
+							require(msg.sender.call.value(amount)());
+							credit[msg.sender] -= amount;
+						}
+					}
+				}
+			}`,
+			Labels: []oracle.BugClass{oracle.RE},
+		},
+		// Rubixi-style: the "constructor" is a plain public function after a
+		// rename, so anyone can become the owner and then drain.
+		{
+			Name: "us_rubixi_owner",
+			Hard: true,
+			Source: `contract UsRubixi {
+				address creator;
+				uint256 pot;
+				function dynamicPyramid() public {
+					creator = msg.sender;
+				}
+				function collect() public {
+					require(msg.sender == creator);
+					selfdestruct(creator);
+				}
+				function feed() public payable { pot += msg.value; }
+			}`,
+			Labels: []oracle.BugClass{oracle.US},
+		},
+		// Honeypot-style strict balance trap.
+		{
+			Name: "se_honeypot_trap",
+			Source: `contract SeHoneypot {
+				uint256 unlocked;
+				function poke() public payable {
+					if (this.balance == 1 finney) {
+						unlocked = 1;
+					}
+				}
+				function drain() public {
+					require(unlocked == 1);
+					msg.sender.transfer(this.balance);
+				}
+			}`,
+			Labels: []oracle.BugClass{oracle.SE},
+		},
+		// Proxy wallet with user-supplied library address (Parity-like).
+		{
+			Name: "ud_wallet_library",
+			Hard: true,
+			Source: `contract UdWalletLib {
+				uint256 configured;
+				address lib;
+				function configure(address library) public {
+					if (configured == 0) {
+						lib = library;
+						configured = 1;
+					}
+				}
+				function invoke(uint256 op, uint256 arg) public {
+					require(configured == 1);
+					lib.delegatecall(op, arg);
+				}
+			}`,
+			Labels: []oracle.BugClass{oracle.UD},
+		},
+		// Airdrop with multiplication overflow (BEC-style) behind a whitelist
+		// round counter.
+		{
+			Name: "io_airdrop_rounds",
+			Hard: true,
+			Source: `contract IoAirdrop {
+				mapping(address => uint256) bal;
+				uint256 round;
+				function advance(uint256 x) public {
+					if (round < 2) { round += 1; }
+				}
+				function airdrop(uint256 cnt, uint256 each) public {
+					if (round >= 2) {
+						uint256 total = cnt * each;
+						bal[msg.sender] += total;
+					}
+				}
+			}`,
+			Labels: []oracle.BugClass{oracle.IO},
+		},
+		// Phishable wallet: authentication via tx.origin lets a malicious
+		// intermediary spend on the victim's behalf.
+		{
+			Name: "to_phishable",
+			Source: `contract ToPhishable {
+				address owner;
+				constructor() public { owner = msg.sender; }
+				function pay(address to, uint256 amount) public {
+					require(tx.origin == owner);
+					to.transfer(amount);
+				}
+				function fund() public payable { }
+			}`,
+			Labels: []oracle.BugClass{oracle.TO},
+		},
+		// GovernMental-style jackpot: ether accumulates, payout path is
+		// blocked by a strict condition no one can satisfy, and there is no
+		// other way out — combined SE + freeze behaviour.
+		{
+			Name: "se_governmental",
+			Source: `contract SeGovernmental {
+				uint256 jackpot;
+				uint256 lastCreditor;
+				function lend() public payable {
+					require(msg.value >= 1 finney);
+					jackpot += msg.value;
+					lastCreditor = uint256(msg.sender);
+				}
+				function payoutCheck() public {
+					if (this.balance == 10 ether) {
+						lastCreditor = 0;
+					}
+				}
+			}`,
+			Labels: []oracle.BugClass{oracle.SE, oracle.EF},
+		},
+		// Multi-bug DeFi pool: timestamp reward schedule, unchecked reward
+		// send, and an unguarded burn underflow.
+		{
+			Name: "multi_defipool",
+			Source: `contract MultiDefi {
+				mapping(address => uint256) shares;
+				uint256 rewardRate = 5;
+				function stake() public payable { shares[msg.sender] += msg.value; }
+				function reward() public {
+					if (block.number % 10 == 0) {
+						msg.sender.send(shares[msg.sender] * rewardRate);
+					}
+				}
+				function exit(uint256 n) public {
+					shares[msg.sender] -= n;
+					msg.sender.transfer(n);
+				}
+			}`,
+			Labels: []oracle.BugClass{oracle.BD, oracle.UE, oracle.IO},
+		},
+	}
+}

@@ -1,0 +1,206 @@
+package corpus
+
+import "mufuzz/internal/oracle"
+
+// swcSuite is a third batch of labelled contracts following SWC-registry
+// patterns (SWC-101 arithmetic, SWC-104 unchecked call, SWC-105/106 access
+// control, SWC-107 reentrancy, SWC-115 tx.origin, SWC-116 block values,
+// SWC-132 strict ether balance). Appended to VulnSuite().
+func swcSuite() []Labeled {
+	return []Labeled{
+		// SWC-116: block values as a proxy for time, gating a payout.
+		{
+			Name: "bd_swc116_auction",
+			Source: `contract BdAuction {
+				address highBidder;
+				uint256 highBid;
+				uint256 closesAt;
+				constructor() public { closesAt = block.number + 100; }
+				function bid() public payable {
+					require(msg.value > highBid);
+					highBidder = msg.sender;
+					highBid = msg.value;
+				}
+				function settle() public {
+					if (block.number > closesAt) {
+						highBidder.transfer(highBid);
+					}
+				}
+			}`,
+			Labels: []oracle.BugClass{oracle.BD},
+		},
+		// SWC-101: token with a fee computation that underflows before the
+		// balance check can help.
+		{
+			Name: "io_swc101_feetoken",
+			Source: `contract IoFeeToken {
+				mapping(address => uint256) bal;
+				uint256 fee = 10;
+				function transferOut(address to, uint256 n) public {
+					bal[msg.sender] -= n + fee;
+					bal[to] += n;
+				}
+				function top() public payable {
+					bal[msg.sender] += msg.value;
+				}
+			}`,
+			// no value-out instruction anywhere: deposits also freeze
+			Labels: []oracle.BugClass{oracle.IO, oracle.EF},
+		},
+		// SWC-104: refund loop member whose failure is swallowed.
+		{
+			Name: "ue_swc104_refunder",
+			Source: `contract UeRefunder {
+				mapping(address => uint256) owed;
+				uint256 pot;
+				function register() public payable {
+					owed[msg.sender] += msg.value * 2;
+					pot += msg.value;
+				}
+				function refundMe() public {
+					msg.sender.send(owed[msg.sender]);
+					owed[msg.sender] = 0;
+				}
+			}`,
+			// owed is 2x the deposit, so the send can exceed the pot and
+			// fail silently.
+			Labels: []oracle.BugClass{oracle.UE},
+		},
+		// SWC-105: anyone can sweep the contract because the guard checks
+		// the wrong variable.
+		{
+			Name: "us_swc105_sweeper",
+			Hard: true,
+			Source: `contract UsSweeper {
+				address owner;
+				uint256 armed;
+				constructor() public { owner = msg.sender; }
+				function arm(uint256 pin) public {
+					require(pin == 4242);
+					armed = 1;
+				}
+				function sweep() public {
+					require(armed == 1);
+					selfdestruct(msg.sender);
+				}
+			}`,
+			Labels: []oracle.BugClass{oracle.US},
+		},
+		// SWC-107: cross-function reentrancy — the external call lives in one
+		// function, the state update in another path.
+		{
+			Name: "re_swc107_crossfn",
+			Hard: true,
+			Source: `contract ReCrossFn {
+				mapping(address => uint256) shares;
+				uint256 open;
+				function fund() public payable {
+					shares[msg.sender] += msg.value;
+					open = 1;
+				}
+				function redeem() public {
+					require(open == 1);
+					uint256 due = shares[msg.sender];
+					if (due > 0) {
+						require(msg.sender.call.value(due)());
+						shares[msg.sender] = 0;
+					}
+				}
+			}`,
+			Labels: []oracle.BugClass{oracle.RE},
+		},
+		// SWC-115: tx.origin in a nested authorization path.
+		{
+			Name: "to_swc115_nested",
+			Hard: true,
+			Source: `contract ToNested {
+				address owner;
+				uint256 level;
+				uint256 flag;
+				constructor() public { owner = msg.sender; }
+				function promote(uint256 k) public {
+					if (level < 2) { level += 1; }
+				}
+				function admin() public {
+					if (level >= 2) {
+						if (tx.origin == owner) {
+							flag = 1;
+						}
+					}
+				}
+			}`,
+			Labels: []oracle.BugClass{oracle.TO},
+		},
+		// SWC-132: strict balance equality deciding a jackpot round.
+		{
+			Name: "se_swc132_round",
+			Source: `contract SeRound {
+				uint256 round;
+				uint256 winner;
+				function enter() public payable {
+					require(msg.value == 1 finney);
+					round += 1;
+					if (this.balance == 5 finney) {
+						winner = round;
+					}
+				}
+			}`,
+			Labels: []oracle.BugClass{oracle.SE, oracle.EF},
+		},
+		// Unprotected proxy upgrade: delegatecall target swap is open.
+		{
+			Name: "ud_swc_open_upgrade",
+			Source: `contract UdOpenUpgrade {
+				address impl;
+				function upgrade(address next) public { impl = next; }
+				function run(uint256 op) public {
+					impl.delegatecall(op);
+				}
+			}`,
+			Labels: []oracle.BugClass{oracle.UD},
+		},
+		// Lottery combining block randomness and a reentrant payout.
+		{
+			Name: "multi_swc_lottery",
+			Hard: true,
+			Source: `contract MultiLottery {
+				mapping(address => uint256) tickets;
+				uint256 pot;
+				function buy() public payable {
+					require(msg.value >= 1 finney);
+					tickets[msg.sender] += 1;
+					pot += msg.value;
+				}
+				function draw(uint256 nonce) public {
+					if (keccak256(block.timestamp, nonce) % 10 == 3) {
+						uint256 prize = pot;
+						if (tickets[msg.sender] > 0) {
+							require(msg.sender.call.value(prize)());
+							pot = 0;
+						}
+					}
+				}
+			}`,
+			Labels: []oracle.BugClass{oracle.BD, oracle.RE},
+		},
+		// Deposit box whose withdraw path exists but is unreachable: the
+		// unlock code was set from a hash no one can produce, so funds
+		// freeze in practice — we label what the oracles can prove: the
+		// strict-equality guard on the unlock comparison is balance-free,
+		// so this one is a pure EF case with a payable sink.
+		{
+			Name: "ef_swc_deadbox",
+			Source: `contract EfDeadbox {
+				uint256 sealed = 1;
+				uint256 stored;
+				function deposit() public payable {
+					stored += msg.value;
+				}
+				function sealCheck() public view returns (uint256) {
+					return sealed;
+				}
+			}`,
+			Labels: []oracle.BugClass{oracle.EF},
+		},
+	}
+}

@@ -1,0 +1,129 @@
+package evm
+
+import (
+	"fmt"
+
+	"mufuzz/internal/u256"
+)
+
+// Assembler builds EVM bytecode programmatically with label-based jumps.
+// The MiniSol code generator and the EVM tests both target it.
+type Assembler struct {
+	code   []byte
+	labels map[string]int   // label -> code offset
+	fixups map[int]string   // offset of 2-byte push immediate -> label
+	marks  map[string][]int // diagnostics: labels referenced
+	err    error
+}
+
+// NewAssembler returns an empty assembler.
+func NewAssembler() *Assembler {
+	return &Assembler{
+		labels: make(map[string]int),
+		fixups: make(map[int]string),
+		marks:  make(map[string][]int),
+	}
+}
+
+// Op appends raw opcodes.
+func (a *Assembler) Op(ops ...OpCode) *Assembler {
+	for _, op := range ops {
+		a.code = append(a.code, byte(op))
+	}
+	return a
+}
+
+// Push appends the smallest PUSHn for the value.
+func (a *Assembler) Push(v u256.Int) *Assembler {
+	b := v.Bytes32()
+	// strip leading zeros; PUSH1 0x00 for zero
+	i := 0
+	for i < 31 && b[i] == 0 {
+		i++
+	}
+	imm := b[i:]
+	a.code = append(a.code, byte(PUSH1)+byte(len(imm)-1))
+	a.code = append(a.code, imm...)
+	return a
+}
+
+// PushUint is Push for small values.
+func (a *Assembler) PushUint(v uint64) *Assembler { return a.Push(u256.New(v)) }
+
+// PushBytes appends a PUSHn with exactly the given immediate (1..32 bytes).
+func (a *Assembler) PushBytes(b []byte) *Assembler {
+	if len(b) == 0 || len(b) > 32 {
+		a.fail(fmt.Errorf("asm: PushBytes length %d", len(b)))
+		return a
+	}
+	a.code = append(a.code, byte(PUSH1)+byte(len(b)-1))
+	a.code = append(a.code, b...)
+	return a
+}
+
+// Label defines a jump target at the current position and emits JUMPDEST.
+func (a *Assembler) Label(name string) *Assembler {
+	if _, dup := a.labels[name]; dup {
+		a.fail(fmt.Errorf("asm: duplicate label %q", name))
+		return a
+	}
+	a.labels[name] = len(a.code)
+	a.code = append(a.code, byte(JUMPDEST))
+	return a
+}
+
+// PushLabel emits PUSH2 with a placeholder later patched to the label offset.
+func (a *Assembler) PushLabel(name string) *Assembler {
+	a.code = append(a.code, byte(PUSH1)+1) // PUSH2
+	a.fixups[len(a.code)] = name
+	a.marks[name] = append(a.marks[name], len(a.code))
+	a.code = append(a.code, 0, 0)
+	return a
+}
+
+// JumpTo emits an unconditional jump to the label.
+func (a *Assembler) JumpTo(name string) *Assembler {
+	return a.PushLabel(name).Op(JUMP)
+}
+
+// JumpITo emits a conditional jump to the label (condition must be on stack).
+func (a *Assembler) JumpITo(name string) *Assembler {
+	return a.PushLabel(name).Op(JUMPI)
+}
+
+func (a *Assembler) fail(err error) {
+	if a.err == nil {
+		a.err = err
+	}
+}
+
+// Len returns the current code size.
+func (a *Assembler) Len() int { return len(a.code) }
+
+// Build patches label references and returns the final bytecode.
+func (a *Assembler) Build() ([]byte, error) {
+	if a.err != nil {
+		return nil, a.err
+	}
+	for off, name := range a.fixups {
+		target, ok := a.labels[name]
+		if !ok {
+			return nil, fmt.Errorf("asm: undefined label %q", name)
+		}
+		if target > 0xffff {
+			return nil, fmt.Errorf("asm: label %q offset %d exceeds PUSH2", name, target)
+		}
+		a.code[off] = byte(target >> 8)
+		a.code[off+1] = byte(target)
+	}
+	return a.code, nil
+}
+
+// MustBuild is Build that panics on error; for tests and fixed codegen.
+func (a *Assembler) MustBuild() []byte {
+	code, err := a.Build()
+	if err != nil {
+		panic(err)
+	}
+	return code
+}

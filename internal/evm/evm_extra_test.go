@@ -1,0 +1,236 @@
+package evm
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"mufuzz/internal/state"
+	"mufuzz/internal/u256"
+)
+
+// TestSignedOpcodes pins the signed-arithmetic opcode family.
+func TestSignedOpcodes(t *testing.T) {
+	minusTen := u256.New(10).Neg()
+	cases := []struct {
+		name string
+		prog func(a *Assembler)
+		want u256.Int
+	}{
+		{"sdiv", func(a *Assembler) { a.PushUint(2).Push(minusTen).Op(SDIV) }, u256.New(5).Neg()},
+		{"smod", func(a *Assembler) { a.PushUint(3).Push(minusTen).Op(SMOD) }, u256.One.Neg()},
+		{"slt_true", func(a *Assembler) { a.PushUint(1).Push(minusTen).Op(SLT) }, u256.One},
+		{"sgt_false", func(a *Assembler) { a.PushUint(1).Push(minusTen).Op(SGT) }, u256.Zero},
+		{"signextend", func(a *Assembler) { a.PushUint(0xff).PushUint(0).Op(SIGNEXTEND) }, u256.Max},
+		{"sar", func(a *Assembler) { a.Push(u256.New(8).Neg()).PushUint(2).Op(SAR) }, u256.New(2).Neg()},
+		{"byte", func(a *Assembler) { a.PushUint(0xab).PushUint(31).Op(BYTE) }, u256.New(0xab)},
+		{"not", func(a *Assembler) { a.PushUint(0).Op(NOT) }, u256.Max},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e, sender, contract := testEnv(t, returnTop(tc.prog))
+			out, err := run(t, e, sender, contract, u256.Zero, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantWord(t, out, tc.want)
+		})
+	}
+}
+
+func TestMemoryLimitEnforced(t *testing.T) {
+	// MSTORE far beyond the 1 MiB cap must fail cleanly, not OOM.
+	a := NewAssembler()
+	a.PushUint(1).Push(u256.New(1 << 30)).Op(MSTORE).Op(STOP)
+	e, sender, contract := testEnv(t, a.MustBuild())
+	if _, err := run(t, e, sender, contract, u256.Zero, nil); !errors.Is(err, ErrMemLimit) {
+		t.Fatalf("err = %v, want ErrMemLimit", err)
+	}
+	// Absurd offsets (non-uint64) also fail.
+	b := NewAssembler()
+	b.PushUint(1).Push(u256.Max).Op(MSTORE).Op(STOP)
+	e, sender, contract = testEnv(t, b.MustBuild())
+	if _, err := run(t, e, sender, contract, u256.Zero, nil); !errors.Is(err, ErrMemLimit) {
+		t.Fatalf("err = %v, want ErrMemLimit", err)
+	}
+}
+
+func TestCallDepthLimit(t *testing.T) {
+	// A contract that calls itself with all gas recurses until the depth cap.
+	a := NewAssembler()
+	a.PushUint(0).PushUint(0).PushUint(0).PushUint(0)
+	a.PushUint(0) // value 0
+	a.Op(ADDRESS) // to = self
+	a.Op(GAS)     // all gas
+	a.Op(CALL).Op(POP).Op(STOP)
+	e, sender, contract := testEnv(t, a.MustBuild())
+	e.MaxDepth = 8
+	if _, err := run(t, e, sender, contract, u256.Zero, nil); err != nil {
+		t.Fatalf("outer call should survive inner depth errors: %v", err)
+	}
+	// innermost call failed with depth error: at least one unsuccessful call
+	failed := false
+	for _, c := range e.Trace.Calls {
+		if !c.Success {
+			failed = true
+		}
+	}
+	if !failed {
+		t.Error("expected an inner call to fail at the depth limit")
+	}
+}
+
+func TestMSTORE8AndMLOAD(t *testing.T) {
+	e, sender, contract := testEnv(t, returnTop(func(a *Assembler) {
+		a.PushUint(0x42).PushUint(5).Op(MSTORE8) // mem[5] = 0x42
+		a.PushUint(0).Op(MLOAD)
+	}))
+	out, err := run(t, e, sender, contract, u256.Zero, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// byte 5 of the first word holds 0x42
+	if out[5] != 0x42 {
+		t.Errorf("mem byte = %#x, want 0x42", out[5])
+	}
+}
+
+func TestCalldataCopyAndSize(t *testing.T) {
+	// copy calldata[0:8] into memory and return the first word
+	a := NewAssembler()
+	a.PushUint(8).PushUint(0).PushUint(0).Op(CALLDATACOPY)
+	a.Op(CALLDATASIZE).PushUint(32).Op(MSTORE)
+	a.PushUint(64).PushUint(0).Op(RETURN)
+	e, sender, contract := testEnv(t, a.MustBuild())
+	input := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	out, err := run(t, e, sender, contract, u256.Zero, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if out[i] != input[i] {
+			t.Errorf("copied byte %d = %d, want %d", i, out[i], input[i])
+		}
+	}
+	size := u256.FromBytes(out[32:64])
+	if !size.Eq(u256.New(10)) {
+		t.Errorf("calldatasize = %s, want 10", size)
+	}
+}
+
+func TestReturndataPlumbing(t *testing.T) {
+	// callee returns 0xbeef; caller forwards it via RETURNDATACOPY
+	callee := NewAssembler()
+	callee.PushUint(0xbeef).PushUint(0).Op(MSTORE).PushUint(32).PushUint(0).Op(RETURN)
+	calleeAddr := state.AddressFromUint(0xca11)
+
+	caller := NewAssembler()
+	caller.PushUint(0).PushUint(0).PushUint(0).PushUint(0)
+	caller.PushUint(0)
+	caller.Push(calleeAddr.Word())
+	caller.PushUint(100_000)
+	caller.Op(CALL).Op(POP)
+	caller.Op(RETURNDATASIZE).PushUint(32).Op(MSTORE)
+	caller.PushUint(32).PushUint(0).PushUint(0).Op(RETURNDATACOPY)
+	caller.PushUint(64).PushUint(0).Op(RETURN)
+
+	e, sender, contract := testEnv(t, caller.MustBuild())
+	e.State.CreateContract(calleeAddr, callee.MustBuild(), sender)
+	e.State.Commit()
+	out, err := run(t, e, sender, contract, u256.Zero, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := u256.FromBytes(out[:32]); !got.Eq(u256.New(0xbeef)) {
+		t.Errorf("returndata = %s, want 0xbeef", got)
+	}
+	if got := u256.FromBytes(out[32:]); !got.Eq(u256.New(32)) {
+		t.Errorf("returndatasize = %s, want 32", got)
+	}
+}
+
+func TestTaintSnapshotRestore(t *testing.T) {
+	e := New(state.New(), BlockCtx{})
+	key := StorageKey{addr: state.AddressFromUint(1), slot: u256.New(2)}
+	e.StorageTaint[key] = TaintTimestamp
+	snap := e.TaintSnapshot()
+	e.StorageTaint[key] = TaintOrigin
+	e.StorageTaint[StorageKey{addr: state.AddressFromUint(3)}] = TaintInput
+	e.RestoreTaint(snap)
+	if e.StorageTaint[key] != TaintTimestamp {
+		t.Error("restore lost the original taint")
+	}
+	if len(e.StorageTaint) != 1 {
+		t.Error("restore kept extra entries")
+	}
+	// snapshot is a copy: mutating it must not affect the EVM
+	snap[key] = TaintBalance
+	if e.StorageTaint[key] != TaintTimestamp {
+		t.Error("snapshot aliases live map")
+	}
+}
+
+func TestFlipDistanceProperties(t *testing.T) {
+	// FlipDistance is positive for any comparison outcome and exactly
+	// |a-b| (or 1) for EQ.
+	f := func(a, b uint64) bool {
+		cmp := CmpInfo{Op: EQ, A: u256.New(a), B: u256.New(b)}
+		d := cmp.FlipDistance()
+		if a == b {
+			return d.Eq(u256.One)
+		}
+		return d.Eq(u256.New(a).AbsDiff(u256.New(b)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b uint64) bool {
+		lt := CmpInfo{Op: LT, A: u256.New(a), B: u256.New(b)}
+		d := lt.FlipDistance()
+		if a < b {
+			return d.Eq(u256.New(b - a))
+		}
+		return d.Eq(u256.New(a - b + 1))
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArityCoversAllExecutedOpcodes(t *testing.T) {
+	// every opcode the interpreter claims to support reports an arity
+	ops := []OpCode{
+		STOP, ADD, MUL, SUB, DIV, SDIV, MOD, SMOD, ADDMOD, MULMOD, EXP,
+		SIGNEXTEND, LT, GT, SLT, SGT, EQ, ISZERO, AND, OR, XOR, NOT, BYTE,
+		SHL, SHR, SAR, KECCAK256, ADDRESS, BALANCE, ORIGIN, CALLER,
+		CALLVALUE, CALLDATALOAD, CALLDATASIZE, CALLDATACOPY, CODESIZE,
+		CODECOPY, GASPRICE, RETURNDATASIZE, RETURNDATACOPY, BLOCKHASH,
+		COINBASE, TIMESTAMP, NUMBER, DIFFICULTY, GASLIMIT, SELFBALANCE, POP,
+		MLOAD, MSTORE, MSTORE8, SLOAD, SSTORE, JUMP, JUMPI, PC, MSIZE, GAS,
+		JUMPDEST, PUSH1, PUSH32, DUP1, DUP16, SWAP1, SWAP16, LOG0, LOG4,
+		CALL, RETURN, DELEGATECALL, STATICCALL, REVERT, INVALID, SELFDESTRUCT,
+	}
+	for _, op := range ops {
+		if _, _, ok := op.Arity(); !ok {
+			t.Errorf("opcode %s has no arity", op)
+		}
+	}
+	if _, _, ok := OpCode(0x21).Arity(); ok {
+		t.Error("undefined opcode should have no arity")
+	}
+}
+
+func TestOpcodeStringCoverage(t *testing.T) {
+	for _, tc := range []struct {
+		op   OpCode
+		want string
+	}{
+		{PUSH1, "PUSH1"}, {PUSH32, "PUSH32"}, {DUP1, "DUP1"}, {DUP16, "DUP16"},
+		{SWAP1, "SWAP1"}, {SWAP16, "SWAP16"}, {LOG0, "LOG0"}, {LOG4, "LOG4"},
+		{KECCAK256, "KECCAK256"}, {OpCode(0x21), "op(0x21)"},
+	} {
+		if got := tc.op.String(); got != tc.want {
+			t.Errorf("%v.String() = %q, want %q", byte(tc.op), got, tc.want)
+		}
+	}
+}

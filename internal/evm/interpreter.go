@@ -1,0 +1,1117 @@
+package evm
+
+import (
+	"errors"
+	"fmt"
+
+	"mufuzz/internal/keccak"
+	"mufuzz/internal/state"
+	"mufuzz/internal/u256"
+)
+
+// Execution errors. ErrRevert distinguishes an orderly REVERT (state rolled
+// back, no bug) from abnormal termination.
+var (
+	ErrOutOfGas       = errors.New("evm: out of gas")
+	ErrStackUnderflow = errors.New("evm: stack underflow")
+	ErrStackOverflow  = errors.New("evm: stack overflow")
+	ErrInvalidJump    = errors.New("evm: invalid jump destination")
+	ErrInvalidOpcode  = errors.New("evm: invalid opcode")
+	ErrRevert         = errors.New("evm: execution reverted")
+	ErrDepth          = errors.New("evm: max call depth exceeded")
+	ErrStepLimit      = errors.New("evm: step limit exceeded")
+	ErrMemLimit       = errors.New("evm: memory limit exceeded")
+	ErrBalance        = errors.New("evm: insufficient balance for transfer")
+)
+
+const (
+	maxStack     = 1024
+	maxMemory    = 1 << 20 // 1 MiB per frame; fuzzed inputs must not OOM the host
+	callStipend  = 2300    // gas stipend added to value-bearing calls (transfer/send)
+	defaultDepth = 64
+)
+
+// BlockCtx is the block-level environment visible to contracts.
+type BlockCtx struct {
+	Timestamp  uint64
+	Number     uint64
+	Difficulty uint64
+	GasLimit   uint64
+	Coinbase   state.Address
+}
+
+// Native is a Go-implemented account. The fuzzer installs a reentrant
+// attacker as a native so `msg.sender.call.value(x)()` can call back into the
+// victim, reproducing the reentrancy precondition without a second compiled
+// contract.
+type Native interface {
+	Run(evm *EVM, caller state.Address, value u256.Int, input []byte, gas uint64) ([]byte, error)
+}
+
+// StorageKey addresses one storage slot for cross-transaction taint.
+type StorageKey struct {
+	addr state.Address
+	slot u256.Int
+}
+
+// frameID identifies an active call frame for reentry detection.
+type frameID struct {
+	addr     state.Address
+	selector [4]byte
+}
+
+// EVM executes transactions against a world state. One EVM value handles one
+// transaction at a time; reuse across a sequence keeps StorageTaint alive so
+// taints flow through persistent storage.
+type EVM struct {
+	State  *state.State
+	Block  BlockCtx
+	Origin state.Address
+	// Trace receives execution events; nil disables tracing.
+	Trace *Trace
+	// StorageTaint persists taint across the transactions of one sequence.
+	// Callers reset it when starting a fresh sequence.
+	StorageTaint map[StorageKey]Taint
+	// MaxDepth bounds call nesting (default 64).
+	MaxDepth int
+	// MaxSteps bounds total instructions per transaction (default 200000).
+	MaxSteps int
+	// CollectPCs enables recording the top-level program-counter path in the
+	// trace (used by the pre-fuzz path-prefix analysis, paper §IV-C).
+	CollectPCs bool
+
+	// TopLevelTo / TopLevelInput describe the outermost transaction; natives
+	// (the reentrant attacker) use them to call back into the victim.
+	TopLevelTo    state.Address
+	TopLevelInput []byte
+
+	natives      map[state.Address]Native
+	steps        int
+	callCounter  int
+	activeFrames []frameID
+	callIndex    map[int]int // call ID -> index in Trace.Calls
+	// valueCallActive counts in-flight external calls that carried value and
+	// more than the gas stipend — the enabler condition for reentrancy.
+	valueCallActive int
+}
+
+// New constructs an EVM over the given state.
+func New(st *state.State, block BlockCtx) *EVM {
+	return &EVM{
+		State:        st,
+		Block:        block,
+		StorageTaint: make(map[StorageKey]Taint),
+		MaxDepth:     defaultDepth,
+		MaxSteps:     200000,
+		natives:      make(map[state.Address]Native),
+		callIndex:    make(map[int]int),
+	}
+}
+
+// RegisterNative installs a Go-implemented account at addr.
+func (e *EVM) RegisterNative(addr state.Address, n Native) {
+	e.natives[addr] = n
+}
+
+// ResetTaint clears cross-transaction storage taint (new sequence).
+func (e *EVM) ResetTaint() {
+	e.StorageTaint = make(map[StorageKey]Taint)
+}
+
+// TaintSnapshot returns a copy of the cross-transaction storage taint, so a
+// caller can checkpoint mid-sequence state (prefix caching).
+func (e *EVM) TaintSnapshot() map[StorageKey]Taint {
+	out := make(map[StorageKey]Taint, len(e.StorageTaint))
+	for k, v := range e.StorageTaint {
+		out[k] = v
+	}
+	return out
+}
+
+// RestoreTaint replaces the storage taint with a copy of m.
+func (e *EVM) RestoreTaint(m map[StorageKey]Taint) {
+	e.StorageTaint = make(map[StorageKey]Taint, len(m))
+	for k, v := range m {
+		e.StorageTaint[k] = v
+	}
+}
+
+// Transact runs a top-level transaction: transfers value from sender to
+// contract, executes the contract code, and rolls back all state effects if
+// execution fails (including revert). The trace survives rollback so oracles
+// still see what happened. Returns output data and the execution error.
+func (e *EVM) Transact(sender, to state.Address, value u256.Int, input []byte, gas uint64) ([]byte, error) {
+	e.steps = 0
+	e.callCounter = 0
+	e.activeFrames = e.activeFrames[:0]
+	e.valueCallActive = 0
+	e.callIndex = make(map[int]int)
+	e.Origin = sender
+	e.TopLevelTo = to
+	e.TopLevelInput = input
+
+	snap := e.State.Snapshot()
+	ret, _, err := e.call(CALL, sender, to, to, value, input, gas, 1)
+	if err != nil {
+		e.State.RevertTo(snap)
+		if e.Trace != nil {
+			e.Trace.Reverted = true
+		}
+	} else {
+		e.State.Commit()
+	}
+	return ret, err
+}
+
+// call implements the shared CALL/DELEGATECALL/STATICCALL machinery.
+// selfAddr is the storage context; codeAddr supplies the code.
+func (e *EVM) call(op OpCode, caller, selfAddr, codeAddr state.Address, value u256.Int, input []byte, gas uint64, depth int) ([]byte, uint64, error) {
+	if depth > e.maxDepth() {
+		return nil, gas, ErrDepth
+	}
+	snap := e.State.Snapshot()
+	if op == CALL && !value.IsZero() {
+		if !e.State.Transfer(caller, selfAddr, value) {
+			e.State.RevertTo(snap)
+			return nil, gas, ErrBalance
+		}
+	}
+
+	// Reentry detection: entering a contract already active on the stack.
+	var sel [4]byte
+	if len(input) >= 4 {
+		copy(sel[:], input[:4])
+	}
+	for _, f := range e.activeFrames {
+		if f.addr == selfAddr {
+			if e.Trace != nil {
+				e.Trace.Reentries = append(e.Trace.Reentries, ReentryEvent{
+					Addr:               selfAddr,
+					Selector:           sel,
+					EnabledByValueCall: e.valueCallActive > 0,
+				})
+			}
+			break
+		}
+	}
+
+	if n, ok := e.natives[selfAddr]; ok {
+		ret, err := n.Run(e, caller, value, input, gas)
+		if err != nil {
+			e.State.RevertTo(snap)
+		}
+		return ret, gas, err
+	}
+
+	code := e.State.Code(codeAddr)
+	if len(code) == 0 {
+		// Plain value transfer to an EOA.
+		return nil, gas, nil
+	}
+
+	e.activeFrames = append(e.activeFrames, frameID{addr: selfAddr, selector: sel})
+	f := newFrame(e, selfAddr, caller, value, input, code, gas, depth)
+	ret, err := f.run()
+	e.activeFrames = e.activeFrames[:len(e.activeFrames)-1]
+	if err != nil {
+		e.State.RevertTo(snap)
+	}
+	return ret, f.gas, err
+}
+
+func (e *EVM) maxDepth() int {
+	if e.MaxDepth > 0 {
+		return e.MaxDepth
+	}
+	return defaultDepth
+}
+
+func (e *EVM) maxSteps() int {
+	if e.MaxSteps > 0 {
+		return e.MaxSteps
+	}
+	return 200000
+}
+
+// meta is the shadow record tracked for every stack slot.
+type meta struct {
+	taint  Taint
+	cmp    *CmpInfo
+	callID int
+}
+
+func (m meta) merge(o meta) meta {
+	out := meta{taint: m.taint | o.taint}
+	if m.callID != 0 {
+		out.callID = m.callID
+	} else {
+		out.callID = o.callID
+	}
+	return out
+}
+
+// frame is one call frame.
+type frame struct {
+	evm      *EVM
+	addr     state.Address // storage context (self)
+	caller   state.Address
+	value    u256.Int
+	input    []byte
+	code     []byte
+	gas      uint64
+	pc       uint64
+	stack    []u256.Int
+	metas    []meta
+	mem      []byte
+	memTaint map[uint64]Taint
+	retData  []byte
+	depth    int
+	dests    map[uint64]bool
+}
+
+func newFrame(e *EVM, addr, caller state.Address, value u256.Int, input, code []byte, gas uint64, depth int) *frame {
+	return &frame{
+		evm:      e,
+		addr:     addr,
+		caller:   caller,
+		value:    value,
+		input:    input,
+		code:     code,
+		gas:      gas,
+		stack:    make([]u256.Int, 0, 32),
+		metas:    make([]meta, 0, 32),
+		mem:      nil,
+		memTaint: make(map[uint64]Taint),
+		depth:    depth,
+		dests:    validJumpDests(code),
+	}
+}
+
+// validJumpDests scans code for JUMPDEST positions, skipping PUSH immediates.
+func validJumpDests(code []byte) map[uint64]bool {
+	dests := make(map[uint64]bool)
+	for i := 0; i < len(code); i++ {
+		op := OpCode(code[i])
+		if op == JUMPDEST {
+			dests[uint64(i)] = true
+		}
+		i += op.PushBytes()
+	}
+	return dests
+}
+
+func (f *frame) push(v u256.Int, m meta) error {
+	if len(f.stack) >= maxStack {
+		return ErrStackOverflow
+	}
+	f.stack = append(f.stack, v)
+	f.metas = append(f.metas, m)
+	return nil
+}
+
+func (f *frame) pop() (u256.Int, meta, error) {
+	if len(f.stack) == 0 {
+		return u256.Zero, meta{}, ErrStackUnderflow
+	}
+	i := len(f.stack) - 1
+	v, m := f.stack[i], f.metas[i]
+	f.stack = f.stack[:i]
+	f.metas = f.metas[:i]
+	return v, m, nil
+}
+
+// ensureMem grows memory to cover [off, off+size).
+func (f *frame) ensureMem(off, size uint64) error {
+	if size == 0 {
+		return nil
+	}
+	end := off + size
+	if end < off || end > maxMemory {
+		return ErrMemLimit
+	}
+	if uint64(len(f.mem)) < end {
+		grown := make([]byte, end)
+		copy(grown, f.mem)
+		f.mem = grown
+	}
+	return nil
+}
+
+// memSlice returns memory [off, off+size) after expansion.
+func (f *frame) memSlice(off, size uint64) ([]byte, error) {
+	if err := f.ensureMem(off, size); err != nil {
+		return nil, err
+	}
+	return f.mem[off : off+size], nil
+}
+
+// memTaintRange unions taint over [off, off+size) at word granularity.
+func (f *frame) memTaintRange(off, size uint64) Taint {
+	var t Taint
+	for o := off &^ 31; o < off+size; o += 32 {
+		t |= f.memTaint[o]
+	}
+	return t
+}
+
+func (f *frame) useGas(amount uint64) error {
+	if f.gas < amount {
+		return ErrOutOfGas
+	}
+	f.gas -= amount
+	return nil
+}
+
+// u64 converts a word to uint64 clamping to max on overflow. Memory bounds
+// checks then reject absurd offsets.
+func u64(v u256.Int) uint64 {
+	if !v.FitsUint64() {
+		return ^uint64(0)
+	}
+	return v.Uint64()
+}
+
+func (f *frame) storageKeyFor(slot u256.Int) StorageKey {
+	return StorageKey{addr: f.addr, slot: slot}
+}
+
+// recordSink appends a taint sink event when taint is interesting.
+func (f *frame) recordSink(kind SinkKind, t Taint) {
+	if t == 0 || f.evm.Trace == nil {
+		return
+	}
+	f.evm.Trace.Sinks = append(f.evm.Trace.Sinks, TaintSink{
+		Addr: f.addr, PC: f.pc, Kind: kind, Taint: t,
+	})
+}
+
+// run executes the frame until termination. Returns the output data.
+func (f *frame) run() ([]byte, error) {
+	e := f.evm
+	tr := e.Trace
+	for {
+		if f.pc >= uint64(len(f.code)) {
+			return nil, nil // implicit STOP off the end of code
+		}
+		e.steps++
+		if e.steps > e.maxSteps() {
+			return nil, ErrStepLimit
+		}
+		op := OpCode(f.code[f.pc])
+		if tr != nil {
+			tr.Steps++
+			tr.markOp(op)
+			if e.CollectPCs && f.depth == 1 {
+				tr.PCs = append(tr.PCs, f.pc)
+			}
+		}
+		pop, _, known := op.Arity()
+		if !known {
+			return nil, fmt.Errorf("%w: %s at pc %d", ErrInvalidOpcode, op, f.pc)
+		}
+		if len(f.stack) < pop {
+			return nil, fmt.Errorf("%w: %s at pc %d", ErrStackUnderflow, op, f.pc)
+		}
+		if err := f.useGas(gasCost(op)); err != nil {
+			return nil, err
+		}
+
+		switch {
+		case op.IsPush():
+			n := op.PushBytes()
+			end := int(f.pc) + 1 + n
+			if end > len(f.code) {
+				end = len(f.code)
+			}
+			v := u256.FromBytes(rightPad(f.code[f.pc+1:end], n))
+			if err := f.push(v, meta{}); err != nil {
+				return nil, err
+			}
+			f.pc += uint64(n) + 1
+			continue
+
+		case op.IsDup():
+			n := int(op-DUP1) + 1
+			idx := len(f.stack) - n
+			if err := f.push(f.stack[idx], f.metas[idx]); err != nil {
+				return nil, err
+			}
+
+		case op.IsSwap():
+			n := int(op-SWAP1) + 1
+			top := len(f.stack) - 1
+			f.stack[top], f.stack[top-n] = f.stack[top-n], f.stack[top]
+			f.metas[top], f.metas[top-n] = f.metas[top-n], f.metas[top]
+
+		case op.IsLog():
+			// Pop offset, size and the topics; logs are not used by oracles.
+			n := int(op-LOG0) + 2
+			for i := 0; i < n; i++ {
+				if _, _, err := f.pop(); err != nil {
+					return nil, err
+				}
+			}
+
+		default:
+			done, out, err := f.execute(op)
+			if err != nil {
+				return nil, err
+			}
+			if done {
+				return out, nil
+			}
+		}
+		f.pc++
+	}
+}
+
+func rightPad(b []byte, n int) []byte {
+	if len(b) >= n {
+		return b[:n]
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+// execute handles all non-family opcodes. It returns done=true with the
+// output when the frame terminates normally.
+func (f *frame) execute(op OpCode) (done bool, out []byte, err error) {
+	e := f.evm
+	switch op {
+	case STOP:
+		return true, nil, nil
+
+	case ADD, MUL, SUB:
+		a, ma, _ := f.pop()
+		b, mb, _ := f.pop()
+		var z u256.Int
+		var wrapped bool
+		switch op {
+		case ADD:
+			z, wrapped = a.AddOverflow(b)
+		case SUB:
+			z, wrapped = a.SubUnderflow(b)
+		case MUL:
+			z, wrapped = a.MulOverflow(b)
+		}
+		m := ma.merge(mb)
+		if wrapped {
+			m.taint |= TaintOverflow
+			if e.Trace != nil {
+				e.Trace.Overflows = append(e.Trace.Overflows, OverflowEvent{
+					Addr: f.addr, PC: f.pc, Op: op, A: a, B: b,
+				})
+			}
+		}
+		return false, nil, f.push(z, m)
+
+	case DIV, SDIV, MOD, SMOD, EXP, SIGNEXTEND, AND, OR, XOR, BYTE, SHL, SHR, SAR:
+		a, ma, _ := f.pop()
+		b, mb, _ := f.pop()
+		var z u256.Int
+		switch op {
+		case DIV:
+			z = a.Div(b)
+		case SDIV:
+			z = a.SDiv(b)
+		case MOD:
+			z = a.Mod(b)
+		case SMOD:
+			z = a.SMod(b)
+		case EXP:
+			z = a.Exp(b)
+		case SIGNEXTEND:
+			z = b.SignExtend(a)
+		case AND:
+			z = a.And(b)
+		case OR:
+			z = a.Or(b)
+		case XOR:
+			z = a.Xor(b)
+		case BYTE:
+			z = b.Byte(a)
+		case SHL:
+			z = b.Lsh(uint(u64(a) & 0x1ff))
+		case SHR:
+			z = b.Rsh(uint(u64(a) & 0x1ff))
+		case SAR:
+			z = b.Sar(uint(u64(a) & 0x1ff))
+		}
+		m := ma.merge(mb)
+		// Masking with AND keeps comparison provenance through solidity's
+		// address/bool cleanup patterns.
+		if op == AND && (ma.cmp != nil || mb.cmp != nil) {
+			if ma.cmp != nil {
+				m.cmp = ma.cmp
+			} else {
+				m.cmp = mb.cmp
+			}
+		}
+		return false, nil, f.push(z, m)
+
+	case ADDMOD, MULMOD:
+		a, ma, _ := f.pop()
+		b, mb, _ := f.pop()
+		n, mn, _ := f.pop()
+		var z u256.Int
+		if op == ADDMOD {
+			z = a.AddMod(b, n)
+		} else {
+			z = a.MulMod(b, n)
+		}
+		return false, nil, f.push(z, ma.merge(mb).merge(mn))
+
+	case LT, GT, SLT, SGT, EQ:
+		a, ma, _ := f.pop()
+		b, mb, _ := f.pop()
+		var truth bool
+		switch op {
+		case LT:
+			truth = a.Lt(b)
+		case GT:
+			truth = a.Gt(b)
+		case SLT:
+			truth = a.Scmp(b) < 0
+		case SGT:
+			truth = a.Scmp(b) > 0
+		case EQ:
+			truth = a.Eq(b)
+		}
+		combined := ma.taint | mb.taint
+		if combined != 0 {
+			f.recordSink(SinkCompare, combined)
+			if op == EQ {
+				f.recordSink(SinkEq, combined)
+			}
+		}
+		z := u256.Zero
+		if truth {
+			z = u256.One
+		}
+		m := meta{taint: combined, cmp: &CmpInfo{Op: op, A: a, B: b}}
+		m.callID = ma.callID
+		if m.callID == 0 {
+			m.callID = mb.callID
+		}
+		return false, nil, f.push(z, m)
+
+	case ISZERO:
+		a, ma, _ := f.pop()
+		z := u256.Zero
+		if a.IsZero() {
+			z = u256.One
+		}
+		// Keep comparison provenance: ISZERO is solidity's negation step
+		// before JUMPI. If the operand had no provenance, it is itself the
+		// quantity being tested against zero: record EQ(a, 0) so the branch
+		// distance toward "a == 0" (or != 0) is |a|.
+		m := ma
+		if m.cmp == nil {
+			m.cmp = &CmpInfo{Op: EQ, A: a, B: u256.Zero}
+		}
+		return false, nil, f.push(z, m)
+
+	case NOT:
+		a, ma, _ := f.pop()
+		return false, nil, f.push(a.Not(), meta{taint: ma.taint, callID: ma.callID})
+
+	case KECCAK256:
+		offV, _, _ := f.pop()
+		sizeV, _, _ := f.pop()
+		off, size := u64(offV), u64(sizeV)
+		data, err := f.memSlice(off, size)
+		if err != nil {
+			return false, nil, err
+		}
+		sum := keccak.Sum256(data)
+		return false, nil, f.push(u256.FromBytes(sum[:]), meta{taint: f.memTaintRange(off, size)})
+
+	case ADDRESS:
+		return false, nil, f.push(f.addr.Word(), meta{})
+	case BALANCE:
+		a, _, _ := f.pop()
+		bal := e.State.Balance(state.AddressFromWord(a))
+		return false, nil, f.push(bal, meta{taint: TaintBalance})
+	case SELFBALANCE:
+		return false, nil, f.push(e.State.Balance(f.addr), meta{taint: TaintBalance})
+	case ORIGIN:
+		return false, nil, f.push(e.Origin.Word(), meta{taint: TaintOrigin})
+	case CALLER:
+		return false, nil, f.push(f.caller.Word(), meta{taint: TaintCaller})
+	case CALLVALUE:
+		return false, nil, f.push(f.value, meta{taint: TaintInput})
+
+	case CALLDATALOAD:
+		offV, _, _ := f.pop()
+		var buf [32]byte
+		if offV.FitsUint64() {
+			off := offV.Uint64()
+			for i := uint64(0); i < 32; i++ {
+				if off+i < uint64(len(f.input)) {
+					buf[i] = f.input[off+i]
+				}
+			}
+		}
+		return false, nil, f.push(u256.FromBytes(buf[:]), meta{taint: TaintInput})
+
+	case CALLDATASIZE:
+		return false, nil, f.push(u256.New(uint64(len(f.input))), meta{taint: TaintInput})
+
+	case CALLDATACOPY:
+		dstV, _, _ := f.pop()
+		srcV, _, _ := f.pop()
+		szV, _, _ := f.pop()
+		dst, src, sz := u64(dstV), u64(srcV), u64(szV)
+		mem, err := f.memSlice(dst, sz)
+		if err != nil {
+			return false, nil, err
+		}
+		for i := uint64(0); i < sz; i++ {
+			if src+i < uint64(len(f.input)) {
+				mem[i] = f.input[src+i]
+			} else {
+				mem[i] = 0
+			}
+		}
+		for o := dst &^ 31; o < dst+sz; o += 32 {
+			f.memTaint[o] |= TaintInput
+		}
+		return false, nil, nil
+
+	case CODESIZE:
+		return false, nil, f.push(u256.New(uint64(len(f.code))), meta{})
+
+	case CODECOPY:
+		dstV, _, _ := f.pop()
+		srcV, _, _ := f.pop()
+		szV, _, _ := f.pop()
+		dst, src, sz := u64(dstV), u64(srcV), u64(szV)
+		mem, err := f.memSlice(dst, sz)
+		if err != nil {
+			return false, nil, err
+		}
+		for i := uint64(0); i < sz; i++ {
+			if src+i < uint64(len(f.code)) {
+				mem[i] = f.code[src+i]
+			} else {
+				mem[i] = 0
+			}
+		}
+		return false, nil, nil
+
+	case GASPRICE:
+		return false, nil, f.push(u256.New(1), meta{})
+
+	case RETURNDATASIZE:
+		return false, nil, f.push(u256.New(uint64(len(f.retData))), meta{})
+
+	case RETURNDATACOPY:
+		dstV, _, _ := f.pop()
+		srcV, _, _ := f.pop()
+		szV, _, _ := f.pop()
+		dst, src, sz := u64(dstV), u64(srcV), u64(szV)
+		mem, err := f.memSlice(dst, sz)
+		if err != nil {
+			return false, nil, err
+		}
+		for i := uint64(0); i < sz; i++ {
+			if src+i < uint64(len(f.retData)) {
+				mem[i] = f.retData[src+i]
+			} else {
+				mem[i] = 0
+			}
+		}
+		return false, nil, nil
+
+	case BLOCKHASH:
+		n, _, _ := f.pop()
+		w := n.Bytes32()
+		sum := keccak.Sum256(w[:])
+		return false, nil, f.push(u256.FromBytes(sum[:]), meta{taint: TaintNumber})
+	case COINBASE:
+		return false, nil, f.push(e.Block.Coinbase.Word(), meta{})
+	case TIMESTAMP:
+		return false, nil, f.push(u256.New(e.Block.Timestamp), meta{taint: TaintTimestamp})
+	case NUMBER:
+		return false, nil, f.push(u256.New(e.Block.Number), meta{taint: TaintNumber})
+	case DIFFICULTY:
+		return false, nil, f.push(u256.New(e.Block.Difficulty), meta{taint: TaintNumber})
+	case GASLIMIT:
+		return false, nil, f.push(u256.New(e.Block.GasLimit), meta{})
+
+	case POP:
+		_, _, err := f.pop()
+		return false, nil, err
+
+	case MLOAD:
+		offV, _, _ := f.pop()
+		off := u64(offV)
+		mem, err := f.memSlice(off, 32)
+		if err != nil {
+			return false, nil, err
+		}
+		return false, nil, f.push(u256.FromBytes(mem), meta{taint: f.memTaintRange(off, 32)})
+
+	case MSTORE:
+		offV, _, _ := f.pop()
+		val, mv, _ := f.pop()
+		off := u64(offV)
+		mem, err := f.memSlice(off, 32)
+		if err != nil {
+			return false, nil, err
+		}
+		w := val.Bytes32()
+		copy(mem, w[:])
+		f.memTaint[off&^31] = mv.taint
+		if off%32 != 0 {
+			f.memTaint[(off&^31)+32] |= mv.taint
+		}
+		return false, nil, nil
+
+	case MSTORE8:
+		offV, _, _ := f.pop()
+		val, mv, _ := f.pop()
+		off := u64(offV)
+		mem, err := f.memSlice(off, 1)
+		if err != nil {
+			return false, nil, err
+		}
+		mem[0] = byte(val.Uint64())
+		f.memTaint[off&^31] |= mv.taint
+		return false, nil, nil
+
+	case SLOAD:
+		slot, _, _ := f.pop()
+		val := e.State.GetStorage(f.addr, slot)
+		t := e.StorageTaint[f.storageKeyFor(slot)]
+		return false, nil, f.push(val, meta{taint: t})
+
+	case SSTORE:
+		slot, _, _ := f.pop()
+		val, mv, _ := f.pop()
+		e.State.SetStorage(f.addr, slot, val)
+		e.StorageTaint[f.storageKeyFor(slot)] = mv.taint
+		if e.Trace != nil {
+			e.Trace.SStores = append(e.Trace.SStores, SStoreEvent{
+				Addr: f.addr, Slot: slot, Value: val, Taint: mv.taint,
+			})
+		}
+		f.recordSink(SinkStore, mv.taint)
+		return false, nil, nil
+
+	case JUMP:
+		dst, _, _ := f.pop()
+		if !dst.FitsUint64() || !f.dests[dst.Uint64()] {
+			return false, nil, fmt.Errorf("%w: to %s at pc %d", ErrInvalidJump, dst, f.pc)
+		}
+		f.pc = dst.Uint64() - 1 // main loop will +1
+		return false, nil, nil
+
+	case JUMPI:
+		dst, _, _ := f.pop()
+		cond, mc, _ := f.pop()
+		taken := !cond.IsZero()
+		if e.Trace != nil {
+			ev := BranchEvent{
+				Addr:      f.addr,
+				PC:        f.pc,
+				Taken:     taken,
+				CondTaint: mc.taint,
+				Depth:     f.depth,
+			}
+			if mc.cmp != nil {
+				ev.HasCmp = true
+				ev.Cmp = *mc.cmp
+			}
+			e.Trace.Branches = append(e.Trace.Branches, ev)
+			if mc.callID != 0 {
+				if idx, ok := e.callIndex[mc.callID]; ok {
+					e.Trace.Calls[idx].Checked = true
+				}
+			}
+		}
+		f.recordSink(SinkJumpCond, mc.taint)
+		if taken {
+			if !dst.FitsUint64() || !f.dests[dst.Uint64()] {
+				return false, nil, fmt.Errorf("%w: to %s at pc %d", ErrInvalidJump, dst, f.pc)
+			}
+			f.pc = dst.Uint64() - 1
+		}
+		return false, nil, nil
+
+	case PC:
+		return false, nil, f.push(u256.New(f.pc), meta{})
+	case MSIZE:
+		return false, nil, f.push(u256.New(uint64(len(f.mem))), meta{})
+	case GAS:
+		return false, nil, f.push(u256.New(f.gas), meta{})
+	case JUMPDEST:
+		return false, nil, nil
+
+	case CALL:
+		return f.opCall()
+	case DELEGATECALL:
+		return f.opDelegateCall()
+	case STATICCALL:
+		return f.opStaticCall()
+
+	case RETURN:
+		offV, _, _ := f.pop()
+		szV, _, _ := f.pop()
+		data, err := f.memSlice(u64(offV), u64(szV))
+		if err != nil {
+			return false, nil, err
+		}
+		return true, append([]byte(nil), data...), nil
+
+	case REVERT:
+		offV, _, _ := f.pop()
+		szV, _, _ := f.pop()
+		data, err := f.memSlice(u64(offV), u64(szV))
+		if err != nil {
+			return false, nil, err
+		}
+		_ = data
+		return false, nil, ErrRevert
+
+	case INVALID:
+		return false, nil, fmt.Errorf("%w: INVALID at pc %d", ErrInvalidOpcode, f.pc)
+
+	case SELFDESTRUCT:
+		benV, _, _ := f.pop()
+		ben := state.AddressFromWord(benV)
+		creator := e.State.Creator(f.addr)
+		if e.Trace != nil {
+			e.Trace.SelfDestructs = append(e.Trace.SelfDestructs, SelfDestructEvent{
+				Addr:            f.addr,
+				Beneficiary:     ben,
+				CallerIsCreator: f.caller == creator,
+				OriginIsCreator: e.Origin == creator,
+			})
+			e.Trace.ValueOutAttempted = true
+		}
+		e.State.Destroy(f.addr, ben)
+		return true, nil, nil
+
+	default:
+		return false, nil, fmt.Errorf("%w: %s at pc %d", ErrInvalidOpcode, op, f.pc)
+	}
+}
+
+// opCall implements the CALL opcode.
+func (f *frame) opCall() (bool, []byte, error) {
+	e := f.evm
+	gasV, _, _ := f.pop()
+	toV, mTo, _ := f.pop()
+	valV, mVal, _ := f.pop()
+	inOffV, _, _ := f.pop()
+	inSzV, _, _ := f.pop()
+	outOffV, _, _ := f.pop()
+	outSzV, _, _ := f.pop()
+
+	to := state.AddressFromWord(toV)
+	input, err := f.memSlice(u64(inOffV), u64(inSzV))
+	if err != nil {
+		return false, nil, err
+	}
+	input = append([]byte(nil), input...)
+
+	// Gas forwarded: requested, capped by what the frame has, plus the
+	// stipend for value-bearing calls (the transfer/send 2300 distinction
+	// that gates reentrancy).
+	forward := u64(gasV)
+	if forward > f.gas {
+		forward = f.gas
+	}
+	if err := f.useGas(forward); err != nil {
+		return false, nil, err
+	}
+	if !valV.IsZero() {
+		forward += callStipend
+	}
+
+	f.recordSink(SinkCallValue, mVal.taint)
+	f.recordSink(SinkCallTarget, mTo.taint)
+
+	e.callCounter++
+	id := e.callCounter
+	valueCall := !valV.IsZero() && forward > callStipend
+	if valueCall {
+		e.valueCallActive++
+	}
+	ret, leftGas, callErr := e.call(CALL, f.addr, to, to, valV, input, forward, f.depth+1)
+	if valueCall {
+		e.valueCallActive--
+	}
+	f.gas += leftGas
+	f.retData = ret
+
+	success := callErr == nil
+	if e.Trace != nil {
+		e.Trace.Calls = append(e.Trace.Calls, CallEvent{
+			ID: id, Op: CALL, From: f.addr, To: to, Value: valV, Gas: forward,
+			Success: success, Depth: f.depth, TargetTaint: mTo.taint, ValueTaint: mVal.taint,
+		})
+		e.callIndex[id] = len(e.Trace.Calls) - 1
+		if !valV.IsZero() {
+			e.Trace.ValueOutAttempted = true
+		}
+	}
+
+	// Write return data into the requested output window.
+	outOff, outSz := u64(outOffV), u64(outSzV)
+	if outSz > 0 {
+		mem, err := f.memSlice(outOff, outSz)
+		if err != nil {
+			return false, nil, err
+		}
+		for i := range mem {
+			if i < len(ret) {
+				mem[i] = ret[i]
+			} else {
+				mem[i] = 0
+			}
+		}
+	}
+
+	statusWord := u256.Zero
+	if success {
+		statusWord = u256.One
+	}
+	return false, nil, f.push(statusWord, meta{taint: TaintCallResult, callID: id})
+}
+
+// opDelegateCall implements DELEGATECALL: callee code runs in the caller's
+// storage context with the caller's value.
+func (f *frame) opDelegateCall() (bool, []byte, error) {
+	e := f.evm
+	gasV, _, _ := f.pop()
+	toV, mTo, _ := f.pop()
+	inOffV, _, _ := f.pop()
+	inSzV, _, _ := f.pop()
+	outOffV, _, _ := f.pop()
+	outSzV, _, _ := f.pop()
+
+	to := state.AddressFromWord(toV)
+	input, err := f.memSlice(u64(inOffV), u64(inSzV))
+	if err != nil {
+		return false, nil, err
+	}
+	input = append([]byte(nil), input...)
+
+	forward := u64(gasV)
+	if forward > f.gas {
+		forward = f.gas
+	}
+	if err := f.useGas(forward); err != nil {
+		return false, nil, err
+	}
+
+	if e.Trace != nil {
+		e.Trace.Delegates = append(e.Trace.Delegates, DelegateEvent{
+			Addr:            f.addr,
+			TargetTaint:     mTo.taint,
+			InputTaint:      f.memTaintRange(u64(inOffV), u64(inSzV)) | TaintInput&mTo.taint,
+			CallerIsCreator: f.caller == e.State.Creator(f.addr),
+		})
+	}
+
+	e.callCounter++
+	id := e.callCounter
+	// Storage context stays f.addr; code comes from `to`; caller preserved.
+	ret, leftGas, callErr := e.call(DELEGATECALL, f.caller, f.addr, to, f.value, input, forward, f.depth+1)
+	f.gas += leftGas
+	f.retData = ret
+
+	success := callErr == nil
+	if e.Trace != nil {
+		e.Trace.Calls = append(e.Trace.Calls, CallEvent{
+			ID: id, Op: DELEGATECALL, From: f.addr, To: to, Gas: forward,
+			Success: success, Depth: f.depth, TargetTaint: mTo.taint,
+		})
+		e.callIndex[id] = len(e.Trace.Calls) - 1
+	}
+
+	outOff, outSz := u64(outOffV), u64(outSzV)
+	if outSz > 0 {
+		mem, err := f.memSlice(outOff, outSz)
+		if err != nil {
+			return false, nil, err
+		}
+		for i := range mem {
+			if i < len(ret) {
+				mem[i] = ret[i]
+			} else {
+				mem[i] = 0
+			}
+		}
+	}
+	statusWord := u256.Zero
+	if success {
+		statusWord = u256.One
+	}
+	return false, nil, f.push(statusWord, meta{taint: TaintCallResult, callID: id})
+}
+
+// opStaticCall implements STATICCALL as a value-less CALL. Write protection
+// is not enforced; MiniSol does not emit state writes under staticcall.
+func (f *frame) opStaticCall() (bool, []byte, error) {
+	e := f.evm
+	gasV, _, _ := f.pop()
+	toV, mTo, _ := f.pop()
+	inOffV, _, _ := f.pop()
+	inSzV, _, _ := f.pop()
+	outOffV, _, _ := f.pop()
+	outSzV, _, _ := f.pop()
+
+	to := state.AddressFromWord(toV)
+	input, err := f.memSlice(u64(inOffV), u64(inSzV))
+	if err != nil {
+		return false, nil, err
+	}
+	input = append([]byte(nil), input...)
+
+	forward := u64(gasV)
+	if forward > f.gas {
+		forward = f.gas
+	}
+	if err := f.useGas(forward); err != nil {
+		return false, nil, err
+	}
+
+	e.callCounter++
+	id := e.callCounter
+	ret, leftGas, callErr := e.call(STATICCALL, f.addr, to, to, u256.Zero, input, forward, f.depth+1)
+	f.gas += leftGas
+	f.retData = ret
+
+	success := callErr == nil
+	if e.Trace != nil {
+		e.Trace.Calls = append(e.Trace.Calls, CallEvent{
+			ID: id, Op: STATICCALL, From: f.addr, To: to, Gas: forward,
+			Success: success, Depth: f.depth, TargetTaint: mTo.taint,
+		})
+		e.callIndex[id] = len(e.Trace.Calls) - 1
+	}
+
+	outOff, outSz := u64(outOffV), u64(outSzV)
+	if outSz > 0 {
+		mem, err := f.memSlice(outOff, outSz)
+		if err != nil {
+			return false, nil, err
+		}
+		for i := range mem {
+			if i < len(ret) {
+				mem[i] = ret[i]
+			} else {
+				mem[i] = 0
+			}
+		}
+	}
+	statusWord := u256.Zero
+	if success {
+		statusWord = u256.One
+	}
+	return false, nil, f.push(statusWord, meta{taint: TaintCallResult, callID: id})
+}

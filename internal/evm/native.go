@@ -1,0 +1,68 @@
+package evm
+
+import (
+	"mufuzz/internal/state"
+	"mufuzz/internal/u256"
+)
+
+// ReentrantAttacker is a Go-implemented account that models the canonical
+// reentrancy adversary: whenever it receives a call carrying more gas than
+// the 2300 stipend, it calls straight back into the transaction's original
+// target with the original calldata.
+//
+// The fuzzer uses the attacker as the transaction sender, so a contract that
+// does `msg.sender.call.value(x)()` hands the attacker execution control,
+// while `msg.sender.transfer(x)` (2300 gas) does not — reproducing exactly
+// the distinction the RE oracle in paper §IV-D keys on.
+type ReentrantAttacker struct {
+	// Addr is the attacker's own account address (set when registering).
+	Addr state.Address
+	// MaxReentries bounds recursion (default 2).
+	MaxReentries int
+	active       int
+	// Reentered counts successful callback attempts across a campaign.
+	Reentered int
+}
+
+// Run implements Native.
+func (a *ReentrantAttacker) Run(e *EVM, caller state.Address, value u256.Int, input []byte, gas uint64) ([]byte, error) {
+	maxRe := a.MaxReentries
+	if maxRe == 0 {
+		maxRe = 2
+	}
+	// Below the stipend threshold the attacker cannot do anything useful:
+	// it just accepts the funds like a plain EOA would.
+	if gas <= callStipend || a.active >= maxRe {
+		return nil, nil
+	}
+	a.active++
+	defer func() { a.active-- }()
+	a.Reentered++
+	// Call back into the victim with the original top-level calldata, as the
+	// attacker itself (msg.sender = attacker). The callback's own failure
+	// must not fail the transfer to the attacker — a real attacker contract
+	// would swallow the error.
+	_ = caller
+	_, _, _ = e.call(CALL, a.Addr, e.TopLevelTo, e.TopLevelTo, u256.Zero, e.TopLevelInput, gas/2, len(e.activeFrames)+1)
+	return nil, nil
+}
+
+// PassiveReceiver is a native account that accepts any call and does nothing;
+// it stands in for an ordinary externally-owned account that can receive
+// funds.
+type PassiveReceiver struct{}
+
+// Run implements Native.
+func (PassiveReceiver) Run(*EVM, state.Address, u256.Int, []byte, uint64) ([]byte, error) {
+	return nil, nil
+}
+
+// RevertingReceiver is a native account that rejects every call, the way a
+// contract without a payable fallback does. Sending value to it makes the
+// CALL fail, which lets the fuzzer exercise unhandled-exception paths.
+type RevertingReceiver struct{}
+
+// Run implements Native.
+func (RevertingReceiver) Run(*EVM, state.Address, u256.Int, []byte, uint64) ([]byte, error) {
+	return nil, ErrRevert
+}

@@ -1,0 +1,239 @@
+// Package evm implements a from-scratch Ethereum Virtual Machine interpreter
+// with first-class tracing hooks for fuzzing feedback.
+//
+// The interpreter executes real EVM bytecode (the MiniSol compiler in
+// internal/minisol targets it) and exposes exactly the events MuFuzz's
+// feedback loops need: JUMPI branch outcomes with comparison-operand
+// provenance (branch distance, paper §IV-B), taint flags for
+// environment-derived values (bug oracles, §IV-D), and per-instruction
+// traces (path-prefix analysis, §IV-C).
+package evm
+
+import "fmt"
+
+// OpCode is a single EVM instruction byte.
+type OpCode byte
+
+// Opcode values follow the Ethereum yellow paper numbering.
+const (
+	STOP       OpCode = 0x00
+	ADD        OpCode = 0x01
+	MUL        OpCode = 0x02
+	SUB        OpCode = 0x03
+	DIV        OpCode = 0x04
+	SDIV       OpCode = 0x05
+	MOD        OpCode = 0x06
+	SMOD       OpCode = 0x07
+	ADDMOD     OpCode = 0x08
+	MULMOD     OpCode = 0x09
+	EXP        OpCode = 0x0a
+	SIGNEXTEND OpCode = 0x0b
+
+	LT     OpCode = 0x10
+	GT     OpCode = 0x11
+	SLT    OpCode = 0x12
+	SGT    OpCode = 0x13
+	EQ     OpCode = 0x14
+	ISZERO OpCode = 0x15
+	AND    OpCode = 0x16
+	OR     OpCode = 0x17
+	XOR    OpCode = 0x18
+	NOT    OpCode = 0x19
+	BYTE   OpCode = 0x1a
+	SHL    OpCode = 0x1b
+	SHR    OpCode = 0x1c
+	SAR    OpCode = 0x1d
+
+	KECCAK256 OpCode = 0x20
+
+	ADDRESS        OpCode = 0x30
+	BALANCE        OpCode = 0x31
+	ORIGIN         OpCode = 0x32
+	CALLER         OpCode = 0x33
+	CALLVALUE      OpCode = 0x34
+	CALLDATALOAD   OpCode = 0x35
+	CALLDATASIZE   OpCode = 0x36
+	CALLDATACOPY   OpCode = 0x37
+	CODESIZE       OpCode = 0x38
+	CODECOPY       OpCode = 0x39
+	GASPRICE       OpCode = 0x3a
+	RETURNDATASIZE OpCode = 0x3d
+	RETURNDATACOPY OpCode = 0x3e
+
+	BLOCKHASH   OpCode = 0x40
+	COINBASE    OpCode = 0x41
+	TIMESTAMP   OpCode = 0x42
+	NUMBER      OpCode = 0x43
+	DIFFICULTY  OpCode = 0x44
+	GASLIMIT    OpCode = 0x45
+	SELFBALANCE OpCode = 0x47
+
+	POP      OpCode = 0x50
+	MLOAD    OpCode = 0x51
+	MSTORE   OpCode = 0x52
+	MSTORE8  OpCode = 0x53
+	SLOAD    OpCode = 0x54
+	SSTORE   OpCode = 0x55
+	JUMP     OpCode = 0x56
+	JUMPI    OpCode = 0x57
+	PC       OpCode = 0x58
+	MSIZE    OpCode = 0x59
+	GAS      OpCode = 0x5a
+	JUMPDEST OpCode = 0x5b
+
+	PUSH1  OpCode = 0x60
+	PUSH32 OpCode = 0x7f
+	DUP1   OpCode = 0x80
+	DUP16  OpCode = 0x8f
+	SWAP1  OpCode = 0x90
+	SWAP16 OpCode = 0x9f
+
+	LOG0 OpCode = 0xa0
+	LOG4 OpCode = 0xa4
+
+	CALL         OpCode = 0xf1
+	RETURN       OpCode = 0xf3
+	DELEGATECALL OpCode = 0xf4
+	STATICCALL   OpCode = 0xfa
+	REVERT       OpCode = 0xfd
+	INVALID      OpCode = 0xfe
+	SELFDESTRUCT OpCode = 0xff
+)
+
+// IsPush reports whether op is PUSH1..PUSH32.
+func (op OpCode) IsPush() bool { return op >= PUSH1 && op <= PUSH32 }
+
+// PushBytes returns the immediate size of a PUSH op (0 for others).
+func (op OpCode) PushBytes() int {
+	if op.IsPush() {
+		return int(op-PUSH1) + 1
+	}
+	return 0
+}
+
+// IsDup reports whether op is DUP1..DUP16.
+func (op OpCode) IsDup() bool { return op >= DUP1 && op <= DUP16 }
+
+// IsSwap reports whether op is SWAP1..SWAP16.
+func (op OpCode) IsSwap() bool { return op >= SWAP1 && op <= SWAP16 }
+
+// IsLog reports whether op is LOG0..LOG4.
+func (op OpCode) IsLog() bool { return op >= LOG0 && op <= LOG4 }
+
+// IsComparison reports whether op produces a boolean from comparing values.
+func (op OpCode) IsComparison() bool {
+	switch op {
+	case LT, GT, SLT, SGT, EQ:
+		return true
+	}
+	return false
+}
+
+var opNames = map[OpCode]string{
+	STOP: "STOP", ADD: "ADD", MUL: "MUL", SUB: "SUB", DIV: "DIV", SDIV: "SDIV",
+	MOD: "MOD", SMOD: "SMOD", ADDMOD: "ADDMOD", MULMOD: "MULMOD", EXP: "EXP",
+	SIGNEXTEND: "SIGNEXTEND", LT: "LT", GT: "GT", SLT: "SLT", SGT: "SGT",
+	EQ: "EQ", ISZERO: "ISZERO", AND: "AND", OR: "OR", XOR: "XOR", NOT: "NOT",
+	BYTE: "BYTE", SHL: "SHL", SHR: "SHR", SAR: "SAR", KECCAK256: "KECCAK256",
+	ADDRESS: "ADDRESS", BALANCE: "BALANCE", ORIGIN: "ORIGIN", CALLER: "CALLER",
+	CALLVALUE: "CALLVALUE", CALLDATALOAD: "CALLDATALOAD", CALLDATASIZE: "CALLDATASIZE",
+	CALLDATACOPY: "CALLDATACOPY", CODESIZE: "CODESIZE", CODECOPY: "CODECOPY",
+	GASPRICE: "GASPRICE", RETURNDATASIZE: "RETURNDATASIZE", RETURNDATACOPY: "RETURNDATACOPY",
+	BLOCKHASH: "BLOCKHASH", COINBASE: "COINBASE", TIMESTAMP: "TIMESTAMP",
+	NUMBER: "NUMBER", DIFFICULTY: "DIFFICULTY", GASLIMIT: "GASLIMIT",
+	SELFBALANCE: "SELFBALANCE", POP: "POP", MLOAD: "MLOAD", MSTORE: "MSTORE",
+	MSTORE8: "MSTORE8", SLOAD: "SLOAD", SSTORE: "SSTORE", JUMP: "JUMP",
+	JUMPI: "JUMPI", PC: "PC", MSIZE: "MSIZE", GAS: "GAS", JUMPDEST: "JUMPDEST",
+	LOG0: "LOG0", CALL: "CALL", RETURN: "RETURN", DELEGATECALL: "DELEGATECALL",
+	STATICCALL: "STATICCALL", REVERT: "REVERT", INVALID: "INVALID",
+	SELFDESTRUCT: "SELFDESTRUCT",
+}
+
+// String returns the mnemonic of op.
+func (op OpCode) String() string {
+	if name, ok := opNames[op]; ok {
+		return name
+	}
+	if op.IsPush() {
+		return fmt.Sprintf("PUSH%d", op.PushBytes())
+	}
+	if op.IsDup() {
+		return fmt.Sprintf("DUP%d", int(op-DUP1)+1)
+	}
+	if op.IsSwap() {
+		return fmt.Sprintf("SWAP%d", int(op-SWAP1)+1)
+	}
+	if op.IsLog() {
+		return fmt.Sprintf("LOG%d", int(op-LOG0))
+	}
+	return fmt.Sprintf("op(%#x)", byte(op))
+}
+
+// stackReq holds the pop/push arity of an opcode.
+type stackReq struct{ pop, push int }
+
+var stackReqs = map[OpCode]stackReq{
+	STOP: {0, 0}, ADD: {2, 1}, MUL: {2, 1}, SUB: {2, 1}, DIV: {2, 1},
+	SDIV: {2, 1}, MOD: {2, 1}, SMOD: {2, 1}, ADDMOD: {3, 1}, MULMOD: {3, 1},
+	EXP: {2, 1}, SIGNEXTEND: {2, 1}, LT: {2, 1}, GT: {2, 1}, SLT: {2, 1},
+	SGT: {2, 1}, EQ: {2, 1}, ISZERO: {1, 1}, AND: {2, 1}, OR: {2, 1},
+	XOR: {2, 1}, NOT: {1, 1}, BYTE: {2, 1}, SHL: {2, 1}, SHR: {2, 1},
+	SAR: {2, 1}, KECCAK256: {2, 1}, ADDRESS: {0, 1}, BALANCE: {1, 1},
+	ORIGIN: {0, 1}, CALLER: {0, 1}, CALLVALUE: {0, 1}, CALLDATALOAD: {1, 1},
+	CALLDATASIZE: {0, 1}, CALLDATACOPY: {3, 0}, CODESIZE: {0, 1},
+	CODECOPY: {3, 0}, GASPRICE: {0, 1}, RETURNDATASIZE: {0, 1},
+	RETURNDATACOPY: {3, 0}, BLOCKHASH: {1, 1}, COINBASE: {0, 1},
+	TIMESTAMP: {0, 1}, NUMBER: {0, 1}, DIFFICULTY: {0, 1}, GASLIMIT: {0, 1},
+	SELFBALANCE: {0, 1}, POP: {1, 0}, MLOAD: {1, 1}, MSTORE: {2, 0},
+	MSTORE8: {2, 0}, SLOAD: {1, 1}, SSTORE: {2, 0}, JUMP: {1, 0},
+	JUMPI: {2, 0}, PC: {0, 1}, MSIZE: {0, 1}, GAS: {0, 1}, JUMPDEST: {0, 0},
+	CALL: {7, 1}, RETURN: {2, 0}, DELEGATECALL: {6, 1}, STATICCALL: {6, 1},
+	REVERT: {2, 0}, INVALID: {0, 0}, SELFDESTRUCT: {1, 0},
+}
+
+// Arity returns the stack pop/push counts for op, covering the parameterized
+// families (PUSH/DUP/SWAP/LOG) that the table omits.
+func (op OpCode) Arity() (pop, push int, ok bool) {
+	if r, found := stackReqs[op]; found {
+		return r.pop, r.push, true
+	}
+	switch {
+	case op.IsPush():
+		return 0, 1, true
+	case op.IsDup():
+		return int(op-DUP1) + 1, int(op-DUP1) + 2, true
+	case op.IsSwap():
+		return int(op-SWAP1) + 2, int(op-SWAP1) + 2, true
+	case op.IsLog():
+		return int(op-LOG0) + 2, 0, true
+	}
+	return 0, 0, false
+}
+
+// gasCost is a simplified constant cost model per opcode class. The fuzzer
+// does not meter real Ethereum gas schedules; gas exists to bound execution
+// (loops) and to reproduce the 2300-stipend reentrancy distinction.
+func gasCost(op OpCode) uint64 {
+	switch {
+	case op == SSTORE:
+		return 5000
+	case op == SLOAD:
+		return 200
+	case op == BALANCE || op == SELFBALANCE:
+		return 400
+	case op == KECCAK256:
+		return 30
+	case op == CALL || op == DELEGATECALL || op == STATICCALL:
+		return 700
+	case op == SELFDESTRUCT:
+		return 5000
+	case op == EXP:
+		return 60
+	case op.IsLog():
+		return 375
+	case op == JUMPI || op == JUMP:
+		return 8
+	default:
+		return 3
+	}
+}

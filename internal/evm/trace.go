@@ -1,0 +1,227 @@
+package evm
+
+import (
+	"mufuzz/internal/state"
+	"mufuzz/internal/u256"
+)
+
+// Taint is a bitmask recording which environment sources influenced a value.
+// Taints propagate through arithmetic, memory, and (across transactions)
+// storage; the bug oracles (paper §IV-D) match sources against sinks.
+type Taint uint16
+
+const (
+	// TaintInput marks values derived from transaction calldata.
+	TaintInput Taint = 1 << iota
+	// TaintTimestamp marks values derived from block.timestamp.
+	TaintTimestamp
+	// TaintNumber marks values derived from block.number.
+	TaintNumber
+	// TaintOrigin marks values derived from tx.origin.
+	TaintOrigin
+	// TaintBalance marks values derived from a BALANCE/SELFBALANCE query.
+	TaintBalance
+	// TaintOverflow marks values produced by a wrapping ADD/SUB/MUL.
+	TaintOverflow
+	// TaintCallResult marks the success flag of an external call.
+	TaintCallResult
+	// TaintCaller marks values derived from msg.sender.
+	TaintCaller
+)
+
+// Has reports whether t includes all bits of q.
+func (t Taint) Has(q Taint) bool { return t&q == q }
+
+// CmpInfo records the comparison that produced a boolean value, so branch
+// distance (paper §IV-B, sFuzz-style) can be computed for the untaken side.
+type CmpInfo struct {
+	Op OpCode // LT, GT, SLT, SGT, EQ
+	A  u256.Int
+	B  u256.Int
+}
+
+// FlipDistance returns how far the comparison is from producing the opposite
+// outcome — the branch distance toward the uncovered side. Zero means the
+// comparison already flips (should not occur); 1 means "one unit away".
+func (c CmpInfo) FlipDistance() u256.Int {
+	switch c.Op {
+	case EQ:
+		if c.A.Eq(c.B) {
+			return u256.One // any change of either operand flips it
+		}
+		return c.A.AbsDiff(c.B)
+	case LT:
+		if c.A.Lt(c.B) { // true; to make false need A >= B
+			return c.B.Sub(c.A)
+		}
+		return c.A.Sub(c.B).Add(u256.One)
+	case GT:
+		if c.A.Gt(c.B) {
+			return c.A.Sub(c.B)
+		}
+		return c.B.Sub(c.A).Add(u256.One)
+	case SLT:
+		if c.A.Scmp(c.B) < 0 {
+			return c.B.Sub(c.A)
+		}
+		return c.A.Sub(c.B).Add(u256.One)
+	case SGT:
+		if c.A.Scmp(c.B) > 0 {
+			return c.A.Sub(c.B)
+		}
+		return c.B.Sub(c.A).Add(u256.One)
+	default:
+		return u256.Max
+	}
+}
+
+// BranchEvent records one executed JUMPI.
+type BranchEvent struct {
+	Addr      state.Address
+	PC        uint64 // program counter of the JUMPI
+	Taken     bool   // whether the jump was taken
+	CondTaint Taint
+	HasCmp    bool
+	Cmp       CmpInfo
+	Depth     int // call depth at execution
+}
+
+// CallEvent records one external CALL / DELEGATECALL / STATICCALL.
+type CallEvent struct {
+	ID          int
+	Op          OpCode
+	From        state.Address
+	To          state.Address
+	Value       u256.Int
+	Gas         uint64
+	Success     bool
+	Depth       int
+	TargetTaint Taint // taint of the callee address operand
+	ValueTaint  Taint // taint of the value operand
+	Checked     bool  // success flag later consumed by a JUMPI
+	Reentered   bool  // executing the callee re-entered an active contract
+}
+
+// OverflowEvent records a wrapping arithmetic operation.
+type OverflowEvent struct {
+	Addr state.Address
+	PC   uint64
+	Op   OpCode
+	A, B u256.Int
+	// Stored is set when the overflowed result (tracked by taint) later
+	// reaches an SSTORE or a CALL value in the same transaction.
+	Stored bool
+}
+
+// SinkKind classifies where a tainted value was consumed.
+type SinkKind uint8
+
+const (
+	SinkJumpCond   SinkKind = iota // JUMPI condition
+	SinkCompare                    // LT/GT/SLT/SGT/EQ operand
+	SinkEq                         // EQ operand specifically
+	SinkCallValue                  // CALL value argument
+	SinkCallTarget                 // CALL target address
+	SinkStore                      // SSTORE value
+)
+
+// TaintSink records a tainted value reaching an oracle-relevant sink.
+type TaintSink struct {
+	Addr  state.Address
+	PC    uint64
+	Kind  SinkKind
+	Taint Taint
+}
+
+// SStoreEvent records one storage write.
+type SStoreEvent struct {
+	Addr  state.Address
+	Slot  u256.Int
+	Value u256.Int
+	Taint Taint
+}
+
+// SelfDestructEvent records a SELFDESTRUCT execution.
+type SelfDestructEvent struct {
+	Addr            state.Address
+	Beneficiary     state.Address
+	CallerIsCreator bool
+	OriginIsCreator bool
+}
+
+// DelegateEvent records a DELEGATECALL execution.
+type DelegateEvent struct {
+	Addr            state.Address
+	TargetTaint     Taint
+	InputTaint      Taint
+	CallerIsCreator bool
+}
+
+// ReentryEvent records a re-entry: a frame began executing a contract that
+// was already active further up the call stack.
+type ReentryEvent struct {
+	Addr state.Address
+	// Selector of the re-entered function (zero when calldata < 4 bytes).
+	Selector [4]byte
+	// EnabledByValueCall is true when the enabling outer call carried value
+	// and more than the 2300 gas stipend — the reentrancy precondition from
+	// paper §IV-D.
+	EnabledByValueCall bool
+}
+
+// Trace accumulates every event of one transaction execution.
+type Trace struct {
+	Branches      []BranchEvent
+	Calls         []CallEvent
+	Overflows     []OverflowEvent
+	Sinks         []TaintSink
+	SStores       []SStoreEvent
+	SelfDestructs []SelfDestructEvent
+	Delegates     []DelegateEvent
+	Reentries     []ReentryEvent
+	// ExecutedOps is the set of opcodes executed, used by campaign-level
+	// oracles (e.g. ether freezing).
+	ExecutedOps map[OpCode]bool
+	// ValueOutAttempted is set when the contract attempted to move value out
+	// (CALL with value, SELFDESTRUCT) regardless of success.
+	ValueOutAttempted bool
+	// Reverted is set when the top-level call reverted or failed.
+	Reverted bool
+	// Steps counts executed instructions.
+	Steps int
+	// PCs is the ordered program-counter path of the top-level frame; the
+	// path-prefix analysis (paper §IV-C, Algorithm 3) walks it.
+	PCs []uint64
+}
+
+// NewTrace returns an empty trace ready for one transaction.
+func NewTrace() *Trace {
+	return &Trace{ExecutedOps: make(map[OpCode]bool)}
+}
+
+// markOp records op execution.
+func (t *Trace) markOp(op OpCode) {
+	if t == nil {
+		return
+	}
+	t.ExecutedOps[op] = true
+}
+
+// BranchKey identifies a branch edge: a JUMPI site plus the direction taken.
+// The number of distinct BranchKeys covered is the paper's coverage metric
+// ("basic block transitions").
+type BranchKey struct {
+	Addr  state.Address
+	PC    uint64
+	Taken bool
+}
+
+// Key returns the coverage key of a branch event.
+func (b BranchEvent) Key() BranchKey {
+	return BranchKey{Addr: b.Addr, PC: b.PC, Taken: b.Taken}
+}
+
+// Opposite returns the coverage key of the direction not taken.
+func (b BranchEvent) Opposite() BranchKey {
+	return BranchKey{Addr: b.Addr, PC: b.PC, Taken: !b.Taken}
+}

@@ -1,0 +1,791 @@
+package fuzz
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"mufuzz/internal/abi"
+	"mufuzz/internal/analysis"
+	"mufuzz/internal/evm"
+	"mufuzz/internal/minisol"
+	"mufuzz/internal/oracle"
+	"mufuzz/internal/state"
+	"mufuzz/internal/u256"
+)
+
+// Options configures one fuzzing campaign.
+type Options struct {
+	Strategy Strategy
+	// Seed makes the campaign deterministic.
+	Seed int64
+	// Iterations is the transaction-sequence execution budget (mask probes
+	// count against it). Default 2000.
+	Iterations int
+	// TimeBudget optionally caps wall-clock time (0 = unlimited).
+	TimeBudget time.Duration
+	// MaxSeqLen bounds sequence growth. Default 8.
+	MaxSeqLen int
+	// GasPerTx is the gas limit per transaction. Default 2,000,000.
+	GasPerTx uint64
+	// EnergyBase is the mutation budget per selected seed. Default 16.
+	EnergyBase int
+	// InitialSeeds is the size of the initial corpus. Default 4.
+	InitialSeeds int
+	// NoPrefixCache disables the intermediate-state checkpoint optimization
+	// (paper §VI); used for ablation and equivalence testing.
+	NoPrefixCache bool
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Iterations == 0 {
+		out.Iterations = 2000
+	}
+	if out.MaxSeqLen == 0 {
+		out.MaxSeqLen = 8
+	}
+	if out.GasPerTx == 0 {
+		out.GasPerTx = 2_000_000
+	}
+	if out.EnergyBase == 0 {
+		out.EnergyBase = 16
+	}
+	if out.InitialSeeds == 0 {
+		out.InitialSeeds = 4
+	}
+	return out
+}
+
+// TimelinePoint samples coverage growth for the Fig. 5 curves.
+type TimelinePoint struct {
+	Executions int
+	Elapsed    time.Duration
+	Coverage   float64
+}
+
+// Result is the outcome of one campaign.
+type Result struct {
+	Strategy     string
+	CoveredEdges int
+	TotalEdges   int
+	Coverage     float64 // CoveredEdges / TotalEdges
+	Findings     []oracle.Finding
+	Executions   int
+	Elapsed      time.Duration
+	Timeline     []TimelinePoint
+	BugClasses   map[oracle.BugClass]bool
+	// Repro maps each detected bug class to the first transaction sequence
+	// that triggered it (a proof of concept; see Campaign.MinimizeForBug).
+	Repro            map[oracle.BugClass]Sequence
+	SeedQueueLen     int
+	MasksComputed    int
+	SequencesMutated int
+}
+
+// Campaign is the fuzzing engine for one contract.
+type Campaign struct {
+	comp     *minisol.Compiled
+	opts     Options
+	rng      *rand.Rand
+	dataflow *analysis.Dataflow
+	cfg      *analysis.CFG
+	detector *oracle.Detector
+
+	// identities
+	genesis      *state.State
+	contractAddr state.Address
+	deployer     state.Address
+	senders      []state.Address
+	attackerAddr state.Address
+
+	// feedback state
+	covered map[evm.BranchKey]bool
+	minDist map[evm.BranchKey]u256.Int // uncovered edge -> best distance
+	distCmp map[evm.BranchKey]evm.CmpInfo
+	// distSeed is the branch-distance frontier of Algorithm 1 (lines 7-13):
+	// for every uncovered edge, the seed that came closest to flipping it.
+	// Seed selection alternates between the queue and this frontier so
+	// descent always continues from the best-known point. Storing the Seed
+	// (not just the sequence) preserves its computed mask cache.
+	distSeed   map[evm.BranchKey]*Seed
+	weights    analysis.BranchWeights
+	totalEdges int
+	pool       []u256.Int
+	addrPool   []u256.Int
+
+	prefixes *prefixCache
+	// repro holds, per bug class, the first sequence observed triggering it
+	// — the proof-of-concept the CLI minimizes and prints.
+	repro map[oracle.BugClass]Sequence
+
+	queue      []*Seed
+	executions int
+	started    time.Time
+	timeline   []TimelinePoint
+
+	masksComputed    int
+	maskProbes       int
+	sequencesMutated int
+	lastNewEdgeExec  int
+	lineSearches     int
+	lineSteps        int
+}
+
+// LineSearchStats reports (searches, total steps) for diagnostics.
+func (c *Campaign) LineSearchStats() (int, int) { return c.lineSearches, c.lineSteps }
+
+// PrefixCacheStats reports checkpoint cache hits and misses.
+func (c *Campaign) PrefixCacheStats() (hits, misses int) { return c.prefixes.stats() }
+
+// NewCampaign prepares a campaign for a compiled contract.
+func NewCampaign(comp *minisol.Compiled, opts Options) *Campaign {
+	o := opts.withDefaults()
+	c := &Campaign{
+		comp:     comp,
+		opts:     o,
+		rng:      rand.New(rand.NewSource(o.Seed)),
+		dataflow: analysis.AnalyzeDataflow(comp.Contract),
+		cfg:      analysis.BuildCFG(comp.Code),
+		covered:  make(map[evm.BranchKey]bool),
+		minDist:  make(map[evm.BranchKey]u256.Int),
+		distCmp:  make(map[evm.BranchKey]evm.CmpInfo),
+		distSeed: make(map[evm.BranchKey]*Seed),
+		weights:  make(analysis.BranchWeights),
+	}
+	if !o.NoPrefixCache {
+		c.prefixes = newPrefixCache(96)
+	}
+	c.repro = make(map[oracle.BugClass]Sequence)
+
+	c.deployer = state.AddressFromUint(0xd431)
+	userA := state.AddressFromUint(0x0a11)
+	userB := state.AddressFromUint(0x0b22)
+	c.attackerAddr = state.AddressFromUint(0xa77c)
+	c.contractAddr = state.AddressFromUint(0xc0de)
+	c.senders = []state.Address{c.deployer, userA, userB, c.attackerAddr}
+
+	c.genesis = state.New()
+	rich := u256.One.Lsh(120)
+	for _, s := range c.senders {
+		c.genesis.SetBalance(s, rich)
+	}
+	c.genesis.Commit()
+
+	c.detector = oracle.NewDetector(c.contractAddr, comp.Code)
+	c.totalEdges = 2 * len(c.cfg.BranchPCs())
+
+	// Address argument pool: every account that exists in the fuzzed world.
+	for _, s := range c.senders {
+		c.addrPool = append(c.addrPool, s.Word())
+	}
+	c.addrPool = append(c.addrPool, c.contractAddr.Word())
+
+	// Value pool: defaults + constants harvested from PUSH immediates.
+	c.pool = defaultValuePool()
+	for _, ins := range analysis.Disassemble(comp.Code) {
+		if ins.Op.IsPush() && len(ins.Imm) > 0 && len(ins.Imm) <= 32 {
+			v := u256.FromBytes(ins.Imm)
+			if !v.IsZero() && v.BitLen() < 200 {
+				c.pool = append(c.pool, v)
+			}
+		}
+	}
+	return c
+}
+
+// --- Sequence construction ---
+
+// newTx builds a transaction for fn with random inputs.
+func (c *Campaign) newTx(fn string) TxInput {
+	var m abi.Method
+	if fn == minisol.CtorName {
+		m = c.comp.Ctor
+	} else {
+		m, _ = c.comp.ABI.MethodByName(fn)
+	}
+	tx := TxInput{
+		Func:   fn,
+		Args:   randomArgsFor(m, c.rng, c.pool, c.addrPool),
+		Sender: c.rng.Intn(len(c.senders)),
+	}
+	if m.Payable && c.rng.Intn(2) == 0 {
+		tx.Value = c.pool[c.rng.Intn(len(c.pool))]
+	}
+	return tx
+}
+
+// initialSequence builds a base sequence per the strategy: the dependency
+// order of §IV-A for dataflow strategies, a random order otherwise. The
+// constructor is always first.
+func (c *Campaign) initialSequence() Sequence {
+	seq := Sequence{c.newTx(minisol.CtorName)}
+	seq[0].Sender = 0 // the deployer deploys
+	seq[0].Value = u256.Zero
+
+	var order []string
+	if c.opts.Strategy.DataflowSequences {
+		order = c.dataflow.DependencyOrder()
+	} else {
+		for _, fn := range c.comp.Contract.Functions {
+			order = append(order, fn.Name)
+		}
+		c.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	}
+	for _, fn := range order {
+		if len(seq) >= c.opts.MaxSeqLen {
+			break
+		}
+		seq = append(seq, c.newTx(fn))
+	}
+	return seq
+}
+
+// --- Execution ---
+
+// execResult is the feedback from running one sequence.
+type execResult struct {
+	newEdges       int
+	hitNestedDepth int
+	distImproved   bool
+	branchesByTx   [][]evm.BranchEvent
+	allBranches    []evm.BranchEvent
+}
+
+// fold integrates a batch of contract branch events into the campaign's
+// coverage, nesting, and branch-distance bookkeeping. It is shared between
+// live execution and prefix-checkpoint replay so both paths produce
+// identical feedback.
+func (c *Campaign) fold(res *execResult, branches []evm.BranchEvent, seq Sequence) {
+	for _, br := range branches {
+		key := br.Key()
+		if !c.covered[key] {
+			c.covered[key] = true
+			res.newEdges++
+			c.lastNewEdgeExec = c.executions
+			delete(c.minDist, key)
+			delete(c.distCmp, key)
+			delete(c.distSeed, key)
+		}
+		if site, ok := c.comp.BranchSiteAt(br.PC); ok && site.Depth > res.hitNestedDepth {
+			res.hitNestedDepth = site.Depth
+		}
+		// branch distance toward the uncovered opposite direction
+		opp := br.Opposite()
+		if !c.covered[opp] && br.HasCmp {
+			d := br.Cmp.FlipDistance()
+			cur, seen := c.minDist[opp]
+			if !seen || d.Lt(cur) {
+				res.distImproved = true
+				c.minDist[opp] = d
+				c.distCmp[opp] = br.Cmp
+				c.distSeed[opp] = &Seed{Seq: seq.Clone(), DistanceImproved: true}
+			}
+		}
+	}
+	if c.opts.Strategy.DynamicEnergy {
+		c.weights.Merge(analysis.WeightTrace(branches, c.cfg))
+	}
+}
+
+// execute runs a sequence against a fresh state and folds its feedback into
+// the campaign. Every execution — including Algorithm 2 mask probes — counts
+// toward coverage and the oracles, the way any AFL-family fuzzer counts all
+// of its executions. When a prefix of the sequence has a cached checkpoint
+// (paper §VI's intermediate-state optimization), execution resumes from it.
+func (c *Campaign) execute(seq Sequence) *execResult {
+	c.executions++
+	res := &execResult{}
+	valueCap := u256.One.Lsh(96).Sub(u256.One)
+
+	var st *state.State
+	var e *evm.EVM
+	start := 0
+	var runBranchesByTx [][]evm.BranchEvent // per-tx contract branch events since tx 0
+	prefixNested := 0
+
+	if entry := c.prefixes.lookup(seq); entry != nil {
+		st = entry.st.Copy()
+		e = evm.New(st, evm.BlockCtx{Timestamp: 1_700_000_000, Number: 1_000_000, GasLimit: 30_000_000})
+		e.RestoreTaint(entry.taint)
+		start = entry.txs
+		// Replay the prefix's feedback per transaction so bookkeeping
+		// (including per-tx weight traces) matches a full run exactly.
+		for _, txBranches := range entry.branchesByTx {
+			c.fold(res, txBranches, seq)
+			res.branchesByTx = append(res.branchesByTx, txBranches)
+			res.allBranches = append(res.allBranches, txBranches...)
+			runBranchesByTx = append(runBranchesByTx, txBranches)
+		}
+		if entry.nestedDepth > res.hitNestedDepth {
+			res.hitNestedDepth = entry.nestedDepth
+		}
+		prefixNested = entry.nestedDepth
+	} else {
+		st = c.genesis.Copy()
+		e = evm.New(st, evm.BlockCtx{Timestamp: 1_700_000_000, Number: 1_000_000, GasLimit: 30_000_000})
+		st.CreateContract(c.contractAddr, c.comp.Code, c.deployer)
+		st.Commit()
+	}
+	attacker := &evm.ReentrantAttacker{Addr: c.attackerAddr, MaxReentries: 1}
+	e.RegisterNative(c.attackerAddr, attacker)
+
+	for i := start; i < len(seq); i++ {
+		tx := seq[i]
+		data := c.encodeTx(tx)
+		sender := c.senders[tx.Sender%len(c.senders)]
+		value := tx.Value.And(valueCap)
+		e.Trace = evm.NewTrace()
+		_, err := e.Transact(sender, c.contractAddr, value, data, c.opts.GasPerTx)
+
+		var txBranches []evm.BranchEvent
+		for _, br := range e.Trace.Branches {
+			if br.Addr == c.contractAddr {
+				txBranches = append(txBranches, br)
+			}
+		}
+		c.fold(res, txBranches, seq)
+		res.branchesByTx = append(res.branchesByTx, txBranches)
+		res.allBranches = append(res.allBranches, txBranches...)
+		runBranchesByTx = append(runBranchesByTx, txBranches)
+		if d := res.hitNestedDepth; d > prefixNested {
+			prefixNested = d
+		}
+
+		for _, class := range c.detector.Inspect(e.Trace, value, err == nil) {
+			if _, have := c.repro[class]; !have {
+				// keep only the prefix up to and including the tx that fired
+				c.repro[class] = seq[:i+1].Clone()
+			}
+		}
+
+		// Checkpoint the state after this transaction (except the last: the
+		// cache only serves proper prefixes).
+		if i < len(seq)-1 {
+			key := hashPrefix(seq, i+1)
+			if !c.prefixes.contains(key) {
+				c.prefixes.storeKeyed(key, i+1, st.Copy(), e.TaintSnapshot(), runBranchesByTx, prefixNested)
+			}
+		}
+	}
+	if res.newEdges > 0 {
+		c.timeline = append(c.timeline, TimelinePoint{
+			Executions: c.executions,
+			Elapsed:    time.Since(c.started),
+			Coverage:   c.CoverageRatio(),
+		})
+	}
+	return res
+}
+
+// encodeTx builds the full calldata of a transaction.
+func (c *Campaign) encodeTx(tx TxInput) []byte {
+	var m abi.Method
+	if tx.Func == minisol.CtorName {
+		m = c.comp.Ctor
+	} else {
+		m, _ = c.comp.ABI.MethodByName(tx.Func)
+	}
+	sel := m.Selector()
+	return append(sel[:], tx.Args...)
+}
+
+// Covered returns the set of covered branch edges (read-only view).
+func (c *Campaign) Covered() map[evm.BranchKey]bool {
+	return c.covered
+}
+
+// CoverageRatio returns covered/total branch edges.
+func (c *Campaign) CoverageRatio() float64 {
+	if c.totalEdges == 0 {
+		return 1
+	}
+	return float64(len(c.covered)) / float64(c.totalEdges)
+}
+
+// --- Energy (paper §IV-C) ---
+
+// energyFor assigns the mutation budget of a seed. With dynamic energy the
+// budget scales with the Algorithm 3 weight of the seed's path; otherwise it
+// is uniform (sFuzz's default scheme).
+func (c *Campaign) energyFor(seed *Seed) int {
+	base := c.opts.EnergyBase
+	if !c.opts.Strategy.DynamicEnergy || len(c.weights) == 0 {
+		return base
+	}
+	var total float64
+	for _, w := range c.weights {
+		total += w
+	}
+	avg := total / float64(len(c.weights))
+	if avg <= 0 {
+		return base
+	}
+	scale := 1.0 + seed.PathWeight/(avg*8)
+	if scale > 4 {
+		scale = 4
+	}
+	e := int(float64(base) * scale)
+	if e < 1 {
+		e = 1
+	}
+	return e
+}
+
+// --- Mutation of one seed ---
+
+// mutateSeed produces a child: sequence-level mutation (sometimes) plus
+// input-level byte mutations filtered by the seed's masks.
+func (c *Campaign) mutateSeed(seed *Seed) *Seed {
+	child := seed.Clone()
+	sm := &seqMutator{
+		strategy:   c.opts.Strategy,
+		repeatable: c.dataflow.RepeatCandidates(),
+		callable:   c.callableFuncs(),
+	}
+
+	// Sequence-level mutation with probability 1/3 (the paper mutates the
+	// sequence once and then focuses on inputs).
+	if c.rng.Intn(3) == 0 {
+		child.Seq = sm.mutateSequence(child.Seq, c.rng, c.newTx, c.opts.MaxSeqLen)
+		c.sequencesMutated++
+	}
+
+	// Sender alignment: same-account deposit/withdraw patterns (reentrancy,
+	// refunds) need every transaction issued by one identity; occasionally
+	// unify all senders.
+	if c.rng.Intn(8) == 0 {
+		s := c.rng.Intn(len(c.senders))
+		for i := 1; i < len(child.Seq); i++ {
+			child.Seq[i].Sender = s
+		}
+	}
+
+	// Input-level mutation on 1-2 transactions.
+	nMut := 1 + c.rng.Intn(2)
+	for k := 0; k < nMut; k++ {
+		if len(child.Seq) <= 1 {
+			break
+		}
+		ti := c.rng.Intn(len(child.Seq)-1) + 1
+		tx := &child.Seq[ti]
+		stream := tx.Stream()
+		if len(stream) == 0 {
+			continue
+		}
+		var mask *Mask
+		if c.opts.Strategy.MutationMasking && ti < len(seed.masks) {
+			mask = seed.masks[ti]
+		}
+		// A mask is a license to mutate hard: critical positions are frozen,
+		// so several mutations can be stacked per child without destroying
+		// the property that made the seed valuable (the FairFuzz effect).
+		rounds := 1
+		if mask != nil && mask.AllowedCount() > 0 {
+			rounds = 2 + c.rng.Intn(4)
+		}
+		for r := 0; r < rounds; r++ {
+			var nudge *nudgeInfo
+			stream, nudge = c.mutateStream(stream, mask)
+			if nudge != nil {
+				nudge.txIdx = ti
+				child.lastNudge = nudge
+			}
+		}
+		tx.SetStream(stream)
+		// occasionally flip the sender
+		if c.rng.Intn(8) == 0 {
+			tx.Sender = c.rng.Intn(len(c.senders))
+		}
+	}
+	return child
+}
+
+// mutateStream applies one input mutation respecting the mask. When the
+// mutation is an arithmetic word nudge, its descriptor is returned so the
+// campaign can replay it as a greedy line search on branch distance.
+func (c *Campaign) mutateStream(stream []byte, mask *Mask) ([]byte, *nudgeInfo) {
+	// Distance-directed mutation: copy a comparison operand of an uncovered
+	// branch into a word, or nudge a word arithmetically (sFuzz-style
+	// descent). Available to strategies with branch-distance feedback.
+	if c.opts.Strategy.BranchDistance && len(c.distCmp) > 0 && c.rng.Intn(2) == 0 {
+		cmp, ok := c.randomUncoveredCmp()
+		if ok {
+			i := c.rng.Intn(len(stream))
+			if mask.OK(MutOverwrite, (i/32)*32) {
+				switch c.rng.Intn(3) {
+				case 0:
+					return WriteWordAt(stream, i, cmp.A), nil
+				case 1:
+					return WriteWordAt(stream, i, cmp.B), nil
+				default:
+					deltas := []int64{1, -1, 2, -2, 16, -16, 256, -256, 4096, -4096, 65536, -65536}
+					d := deltas[c.rng.Intn(len(deltas))]
+					return NudgeWordAt(stream, i, d), &nudgeInfo{pos: i, delta: d}
+				}
+			}
+		}
+	}
+
+	// Plain O/I/R/D mutation; retry a few times to find a permitted spot.
+	for attempt := 0; attempt < 8; attempt++ {
+		x := MutType(c.rng.Intn(int(numMutTypes)))
+		n := 1 + c.rng.Intn(4)
+		if x == MutReplace {
+			n = 1 + c.rng.Intn(32)
+		}
+		i := c.rng.Intn(len(stream) + 1)
+		if i == len(stream) && x != MutInsert {
+			i = len(stream) - 1
+		}
+		if !mask.OK(x, i) {
+			continue
+		}
+		return ApplyMutation(stream, x, n, i, c.rng, c.pool), nil
+	}
+	return stream, nil
+}
+
+// sortedBranchKeys returns map keys in a deterministic order so random
+// selection is reproducible across runs (Go map iteration is randomized).
+func sortedBranchKeys[V any](m map[evm.BranchKey]V) []evm.BranchKey {
+	keys := make([]evm.BranchKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].PC != keys[j].PC {
+			return keys[i].PC < keys[j].PC
+		}
+		return !keys[i].Taken && keys[j].Taken
+	})
+	return keys
+}
+
+// randomUncoveredCmp picks the comparison info of a random uncovered edge.
+func (c *Campaign) randomUncoveredCmp() (evm.CmpInfo, bool) {
+	keys := sortedBranchKeys(c.distCmp)
+	if len(keys) == 0 {
+		return evm.CmpInfo{}, false
+	}
+	return c.distCmp[keys[c.rng.Intn(len(keys))]], true
+}
+
+func (c *Campaign) callableFuncs() []string {
+	var out []string
+	for _, fn := range c.comp.Contract.Functions {
+		out = append(out, fn.Name)
+	}
+	return out
+}
+
+// --- Mask computation (Algorithm 2 driver) ---
+
+// ensureMasks computes per-transaction masks for a qualifying seed: one that
+// hits a nested branch or improves a branch distance (Algorithm 1 line 17).
+// Mask probes are capped at a fraction of the campaign budget so Algorithm 2
+// cannot starve the main mutation loop.
+func (c *Campaign) ensureMasks(seed *Seed) {
+	if seed.masks != nil || !c.opts.Strategy.MutationMasking {
+		return
+	}
+	if seed.HitNestedDepth < 2 && !seed.DistanceImproved {
+		return
+	}
+	if c.maskProbes*5 > c.opts.Iterations {
+		return
+	}
+	// Masks pay off on hard branches; while plain mutation is still finding
+	// new edges cheaply, defer the probe cost (stall detection).
+	if c.executions-c.lastNewEdgeExec < 50 {
+		return
+	}
+	seed.masks = make([]*Mask, len(seed.Seq))
+	baseline := c.execute(seed.Seq)
+	for ti := 1; ti < len(seed.Seq); ti++ {
+		if c.budgetExhausted() {
+			return
+		}
+		tx := seed.Seq[ti]
+		stream := tx.Stream()
+		if len(stream) == 0 {
+			continue
+		}
+		c.masksComputed++
+		seed.masks[ti] = ComputeMask(stream, c.rng, c.pool, func(candidate []byte) bool {
+			if c.budgetExhausted() || c.maskProbes*5 > c.opts.Iterations {
+				// Out of budget: deny, leaving the position frozen rather
+				// than probing past the campaign's execution budget.
+				return false
+			}
+			c.maskProbes++
+			probeSeq := seed.Seq.Clone()
+			probeSeq[ti].SetStream(candidate)
+			r := c.execute(probeSeq)
+			// property preserved: still reaches the nested depth, or still
+			// improves some distance
+			if baseline.hitNestedDepth >= 2 && r.hitNestedDepth >= baseline.hitNestedDepth {
+				return true
+			}
+			return r.distImproved
+		})
+	}
+}
+
+func (c *Campaign) budgetExhausted() bool {
+	if c.executions >= c.opts.Iterations {
+		return true
+	}
+	if c.opts.TimeBudget > 0 && time.Since(c.started) > c.opts.TimeBudget {
+		return true
+	}
+	return false
+}
+
+// --- Main loop (Algorithm 1) ---
+
+// Run executes the campaign to its budget and returns the result.
+func (c *Campaign) Run() *Result {
+	c.started = time.Now()
+
+	// Initial corpus.
+	for i := 0; i < c.opts.InitialSeeds && !c.budgetExhausted(); i++ {
+		seed := &Seed{Seq: c.initialSequence()}
+		r := c.execute(seed.Seq)
+		seed.NewEdges = r.newEdges
+		seed.HitNestedDepth = r.hitNestedDepth
+		seed.DistanceImproved = r.distImproved
+		seed.PathWeight = analysis.PathWeight(r.allBranches, c.weights)
+		c.queue = append(c.queue, seed)
+	}
+
+	// Fuzzing rounds.
+	qi := 0
+	for !c.budgetExhausted() && len(c.queue) > 0 {
+		seed := c.pickSeed(&qi)
+		c.ensureMasks(seed)
+		energy := c.energyFor(seed)
+		for e := 0; e < energy && !c.budgetExhausted(); e++ {
+			child := c.mutateSeed(seed)
+			r := c.execute(child.Seq)
+			// Greedy line search: an arithmetic nudge that improved some
+			// branch distance is repeated while it keeps improving — the
+			// hill-climbing descent that cracks derived-value guards
+			// (b*7 == 9163 style) in O(distance/step) executions.
+			if c.opts.Strategy.BranchDistance && r.distImproved && r.newEdges == 0 && child.lastNudge != nil {
+				child, r = c.lineSearch(child, r)
+			}
+			if r.newEdges > 0 || (c.opts.Strategy.BranchDistance && r.distImproved) {
+				child.NewEdges = r.newEdges
+				child.HitNestedDepth = r.hitNestedDepth
+				child.DistanceImproved = r.distImproved
+				child.PathWeight = analysis.PathWeight(r.allBranches, c.weights)
+				c.queue = append(c.queue, child)
+				// cap queue growth: keep the newest/most valuable seeds
+				if len(c.queue) > 256 {
+					c.queue = c.queue[len(c.queue)-192:]
+					qi = 0
+				}
+			}
+		}
+		qi++
+	}
+
+	findings := c.detector.Finalize()
+	repro := make(map[oracle.BugClass]Sequence, len(c.repro))
+	for class, seq := range c.repro {
+		repro[class] = seq
+	}
+	return &Result{
+		Repro:            repro,
+		Strategy:         c.opts.Strategy.Name,
+		CoveredEdges:     len(c.covered),
+		TotalEdges:       c.totalEdges,
+		Coverage:         c.CoverageRatio(),
+		Findings:         findings,
+		Executions:       c.executions,
+		Elapsed:          time.Since(c.started),
+		Timeline:         c.timeline,
+		BugClasses:       c.detector.Classes(),
+		SeedQueueLen:     len(c.queue),
+		MasksComputed:    c.masksComputed,
+		SequencesMutated: c.sequencesMutated,
+	}
+}
+
+// lineSearch repeats a seed's last nudge while branch distance keeps
+// improving, returning the furthest point reached (or the first point that
+// discovers new edges).
+func (c *Campaign) lineSearch(child *Seed, r *execResult) (*Seed, *execResult) {
+	const maxSteps = 64
+	best, bestRes := child, r
+	c.lineSearches++
+	for step := 0; step < maxSteps && !c.budgetExhausted(); step++ {
+		c.lineSteps++
+		n := best.lastNudge
+		next := best.Clone()
+		next.lastNudge = n
+		tx := &next.Seq[n.txIdx%len(next.Seq)]
+		stream := tx.Stream()
+		if len(stream) == 0 {
+			break
+		}
+		tx.SetStream(NudgeWordAt(stream, n.pos%len(stream), n.delta))
+		res := c.execute(next.Seq)
+		if res.newEdges > 0 {
+			return next, res
+		}
+		if !res.distImproved {
+			break
+		}
+		best, bestRes = next, res
+	}
+	return best, bestRes
+}
+
+// pickSeed selects the next seed to fuzz. With dynamic energy, seeds whose
+// paths carry more weight are preferred (weighted sampling); otherwise
+// round-robin over the queue.
+func (c *Campaign) pickSeed(qi *int) *Seed {
+	// Branch-distance frontier: half the time, continue from the sequence
+	// that is closest to flipping some uncovered edge.
+	if c.opts.Strategy.BranchDistance && len(c.distSeed) > 0 && c.rng.Intn(2) == 0 {
+		keys := sortedBranchKeys(c.distSeed)
+		return c.distSeed[keys[c.rng.Intn(len(keys))]]
+	}
+	if !c.opts.Strategy.DynamicEnergy || len(c.queue) == 1 {
+		return c.queue[*qi%len(c.queue)]
+	}
+	// weighted pick among a sample window, favoring higher path weight and
+	// seeds that reached nested branches
+	best := c.queue[*qi%len(c.queue)]
+	bestScore := seedScore(best)
+	for k := 0; k < 3; k++ {
+		cand := c.queue[c.rng.Intn(len(c.queue))]
+		if s := seedScore(cand); s > bestScore {
+			best, bestScore = cand, s
+		}
+	}
+	return best
+}
+
+func seedScore(s *Seed) float64 {
+	score := s.PathWeight + float64(s.NewEdges)*4
+	if s.HitNestedDepth >= 2 {
+		score += 10 * float64(s.HitNestedDepth)
+	}
+	if s.DistanceImproved {
+		score += 5
+	}
+	return score
+}
+
+// Run is the package-level convenience: build a campaign and run it.
+func Run(comp *minisol.Compiled, opts Options) *Result {
+	return NewCampaign(comp, opts).Run()
+}
+
+// DistCmp exposes the uncovered-edge comparison map for diagnostics.
+func (c *Campaign) DistCmp() map[evm.BranchKey]evm.CmpInfo {
+	return c.distCmp
+}

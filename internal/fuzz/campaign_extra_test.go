@@ -1,0 +1,164 @@
+package fuzz
+
+import (
+	"testing"
+	"time"
+
+	"mufuzz/internal/oracle"
+	"mufuzz/internal/u256"
+)
+
+func TestTimeBudgetRespected(t *testing.T) {
+	comp := mustCompile(t, crowdsaleSrc)
+	start := time.Now()
+	res := Run(comp, Options{
+		Strategy:   MuFuzz(),
+		Seed:       1,
+		Iterations: 1 << 30, // effectively unbounded
+		TimeBudget: 150 * time.Millisecond,
+	})
+	elapsed := time.Since(start)
+	if elapsed > 2*time.Second {
+		t.Errorf("campaign ran %v despite a 150ms budget", elapsed)
+	}
+	if res.Executions == 0 {
+		t.Error("campaign did no work")
+	}
+}
+
+func TestInitialSequenceRespectsStrategy(t *testing.T) {
+	comp := mustCompile(t, crowdsaleSrc)
+	// dataflow strategy: invest (writer) precedes withdraw (reader)
+	c := NewCampaign(comp, Options{Strategy: ConFuzzius(), Seed: 1})
+	seq := c.initialSequence()
+	pos := map[string]int{}
+	for i, tx := range seq {
+		pos[tx.Func] = i
+	}
+	if pos["invest"] > pos["withdraw"] {
+		t.Errorf("dataflow order violated: %s", seq)
+	}
+	if seq[0].Func != "__ctor" {
+		t.Error("constructor must head the sequence")
+	}
+}
+
+func TestValueOnlySetForPayable(t *testing.T) {
+	comp := mustCompile(t, crowdsaleSrc)
+	c := NewCampaign(comp, Options{Strategy: MuFuzz(), Seed: 3})
+	// refund is not payable: newTx must not assign value to it
+	for i := 0; i < 50; i++ {
+		tx := c.newTx("refund")
+		if !tx.Value.IsZero() {
+			t.Fatal("non-payable function got a value")
+		}
+	}
+	// invest is payable: a value should appear sometimes
+	seen := false
+	for i := 0; i < 50; i++ {
+		if !c.newTx("invest").Value.IsZero() {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Error("payable function never received a value")
+	}
+}
+
+func TestPoolHarvestsBytecodeConstants(t *testing.T) {
+	src := `contract P {
+		uint256 x;
+		function f(uint256 a) public { require(a == 123456789); x = 1; }
+	}`
+	comp := mustCompile(t, src)
+	c := NewCampaign(comp, Options{Strategy: MuFuzz(), Seed: 1})
+	found := false
+	for _, v := range c.pool {
+		if v.Eq(u256.New(123456789)) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("PUSH immediate 123456789 missing from the value pool")
+	}
+}
+
+func TestCampaignOnContractWithoutFunctions(t *testing.T) {
+	comp := mustCompile(t, `contract Empty { uint256 x = 5; }`)
+	res := Run(comp, Options{Strategy: MuFuzz(), Seed: 1, Iterations: 50})
+	if res.Executions == 0 {
+		t.Error("even an empty contract runs its constructor")
+	}
+	if len(res.Findings) != 0 {
+		t.Errorf("empty contract produced findings: %v", res.Findings)
+	}
+}
+
+func TestCampaignOnViewOnlyContract(t *testing.T) {
+	comp := mustCompile(t, `contract V {
+		uint256 x = 7;
+		function get() public view returns (uint256) { return x; }
+	}`)
+	res := Run(comp, Options{Strategy: MuFuzz(), Seed: 1, Iterations: 100})
+	if res.Coverage <= 0 {
+		t.Error("view calls still cover dispatcher branches")
+	}
+}
+
+func TestResultFieldsPopulated(t *testing.T) {
+	comp := mustCompile(t, crowdsaleSrc)
+	res := Run(comp, Options{Strategy: MuFuzz(), Seed: 2, Iterations: 400})
+	if res.Strategy != "MuFuzz" {
+		t.Errorf("strategy name = %q", res.Strategy)
+	}
+	if res.TotalEdges == 0 || res.CoveredEdges == 0 {
+		t.Error("edge accounting empty")
+	}
+	if res.Coverage <= 0 || res.Coverage > 1 {
+		t.Errorf("coverage = %f", res.Coverage)
+	}
+	if res.Elapsed <= 0 {
+		t.Error("elapsed not recorded")
+	}
+	if res.SeedQueueLen == 0 {
+		t.Error("queue empty after campaign")
+	}
+}
+
+func TestSmartianStrategyFindsSequenceBugsEventually(t *testing.T) {
+	// Smartian has dataflow + prolongation but no distance feedback: it can
+	// still crack the Crowdsale via prolongation, slower than MuFuzz.
+	comp := mustCompile(t, crowdsaleSrc)
+	res := Run(comp, Options{Strategy: Smartian(), Seed: 5, Iterations: 3000})
+	if res.Coverage < 0.5 {
+		t.Errorf("Smartian coverage %.2f suspiciously low", res.Coverage)
+	}
+}
+
+func TestBugClassesMatchFindings(t *testing.T) {
+	src := `contract B {
+		uint256 acc;
+		function f(uint256 n) public { acc -= n; }
+	}`
+	comp := mustCompile(t, src)
+	res := Run(comp, Options{Strategy: MuFuzz(), Seed: 1, Iterations: 300})
+	if !res.BugClasses[oracle.IO] {
+		t.Fatal("underflow not found")
+	}
+	found := false
+	for _, f := range res.Findings {
+		if f.Class == oracle.IO {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("BugClasses and Findings disagree")
+	}
+}
+
+func TestSeedStringRendering(t *testing.T) {
+	s := &Seed{Seq: Sequence{{Func: "__ctor"}, {Func: "a"}}, PathWeight: 2}
+	if s.String() == "" || s.Seq.String() != "__ctor → a" {
+		t.Errorf("rendering wrong: %q / %q", s.String(), s.Seq.String())
+	}
+}

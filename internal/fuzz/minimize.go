@@ -1,0 +1,121 @@
+package fuzz
+
+import (
+	"mufuzz/internal/evm"
+	"mufuzz/internal/minisol"
+	"mufuzz/internal/oracle"
+	"mufuzz/internal/state"
+	"mufuzz/internal/u256"
+)
+
+// ReplayResult is what one replay of a sequence observed.
+type ReplayResult struct {
+	BugClasses map[oracle.BugClass]bool
+	Edges      map[evm.BranchKey]bool
+}
+
+// Replay executes a sequence against a fresh world (same identities the
+// campaign uses) and reports the bug classes triggered and edges covered.
+// It lets a finding be re-confirmed independently of the campaign, and is
+// the predicate engine for Minimize.
+func (c *Campaign) Replay(seq Sequence) *ReplayResult {
+	st := c.genesis.Copy()
+	e := evm.New(st, evm.BlockCtx{Timestamp: 1_700_000_000, Number: 1_000_000, GasLimit: 30_000_000})
+	attacker := &evm.ReentrantAttacker{Addr: c.attackerAddr, MaxReentries: 1}
+	e.RegisterNative(c.attackerAddr, attacker)
+	st.CreateContract(c.contractAddr, c.comp.Code, c.deployer)
+	st.Commit()
+
+	det := oracle.NewDetector(c.contractAddr, c.comp.Code)
+	out := &ReplayResult{
+		BugClasses: make(map[oracle.BugClass]bool),
+		Edges:      make(map[evm.BranchKey]bool),
+	}
+	valueCap := u256.One.Lsh(96).Sub(u256.One)
+	for _, tx := range seq {
+		data := c.encodeTx(tx)
+		sender := c.senders[tx.Sender%len(c.senders)]
+		value := tx.Value.And(valueCap)
+		e.Trace = evm.NewTrace()
+		_, err := e.Transact(sender, c.contractAddr, value, data, c.opts.GasPerTx)
+		det.Inspect(e.Trace, value, err == nil)
+		for _, br := range e.Trace.Branches {
+			if br.Addr == c.contractAddr {
+				out.Edges[br.Key()] = true
+			}
+		}
+	}
+	for cl := range det.Classes() {
+		out.BugClasses[cl] = true
+	}
+	return out
+}
+
+// Minimize shrinks a sequence while the predicate keeps holding, using
+// ddmin-style chunk removal followed by single-transaction removal. The
+// constructor (element 0) is never removed. The returned sequence satisfies
+// pred; if the input does not, it is returned unchanged.
+func Minimize(seq Sequence, pred func(Sequence) bool) Sequence {
+	if len(seq) <= 1 || !pred(seq) {
+		return seq
+	}
+	cur := seq.Clone()
+
+	// Chunked removal: try dropping halves, quarters, ... of the tail.
+	for chunk := (len(cur) - 1) / 2; chunk >= 1; chunk /= 2 {
+		for start := 1; start+chunk <= len(cur); {
+			cand := append(cur[:start:start], cur[start+chunk:]...)
+			if pred(cand) {
+				cur = cand
+				// retry same start with the shorter sequence
+			} else {
+				start++
+			}
+		}
+	}
+
+	// Final single-pass sweep.
+	for i := 1; i < len(cur); {
+		cand := append(cur[:i:i], cur[i+1:]...)
+		if pred(cand) {
+			cur = cand
+		} else {
+			i++
+		}
+	}
+	return cur
+}
+
+// MinimizeForBug shrinks a sequence to the fewest transactions that still
+// trigger the given bug class when replayed.
+func (c *Campaign) MinimizeForBug(seq Sequence, class oracle.BugClass) Sequence {
+	return Minimize(seq, func(s Sequence) bool {
+		return c.Replay(s).BugClasses[class]
+	})
+}
+
+// MinimizeForEdge shrinks a sequence to the fewest transactions that still
+// cover the given branch edge.
+func (c *Campaign) MinimizeForEdge(seq Sequence, key evm.BranchKey) Sequence {
+	return Minimize(seq, func(s Sequence) bool {
+		return c.Replay(s).Edges[key]
+	})
+}
+
+// WithdrawDeepEdge is a helper returning the coverage key of the not-taken
+// (condition-true) side of the first `if` branch in the named function —
+// the kind of deep edge the motivating example reasons about.
+func WithdrawDeepEdge(comp *minisol.Compiled, contractAddr state.Address, fn string) (evm.BranchKey, bool) {
+	for _, s := range comp.Branches {
+		if s.Func == fn && s.Kind == minisol.BranchIf {
+			return evm.BranchKey{Addr: contractAddr, PC: s.PC, Taken: false}, true
+		}
+	}
+	return evm.BranchKey{}, false
+}
+
+// ContractAddr exposes the campaign's contract address (used with
+// MinimizeForEdge and external trace inspection).
+func (c *Campaign) ContractAddr() state.Address {
+	return c.contractAddr
+}

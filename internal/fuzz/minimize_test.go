@@ -1,0 +1,142 @@
+package fuzz
+
+import (
+	"testing"
+
+	"mufuzz/internal/oracle"
+	"mufuzz/internal/u256"
+)
+
+func TestMinimizePredicateRespected(t *testing.T) {
+	// synthetic predicate: sequence must contain at least two "a" calls
+	mk := func(names ...string) Sequence {
+		s := Sequence{{Func: "__ctor"}}
+		for _, n := range names {
+			s = append(s, TxInput{Func: n})
+		}
+		return s
+	}
+	pred := func(s Sequence) bool {
+		n := 0
+		for _, tx := range s {
+			if tx.Func == "a" {
+				n++
+			}
+		}
+		return n >= 2
+	}
+	seq := mk("b", "a", "c", "a", "d", "e", "a")
+	min := Minimize(seq, pred)
+	if !pred(min) {
+		t.Fatal("minimized sequence violates predicate")
+	}
+	if len(min) != 3 { // ctor + two a's
+		t.Errorf("minimized length = %d (%s), want 3", len(min), min)
+	}
+	if min[0].Func != "__ctor" {
+		t.Error("ctor must stay first")
+	}
+}
+
+func TestMinimizeNonMatchingInputUnchanged(t *testing.T) {
+	seq := Sequence{{Func: "__ctor"}, {Func: "x"}}
+	min := Minimize(seq, func(Sequence) bool { return false })
+	if len(min) != len(seq) {
+		t.Error("non-matching sequence must be returned unchanged")
+	}
+}
+
+func TestMinimizeForBugCrowdsaleLike(t *testing.T) {
+	// A bug gated behind a two-call phase machine: minimization must keep
+	// both pump calls and the reap call.
+	src := `contract P {
+		uint256 counter;
+		uint256 phase;
+		uint256 acc;
+		function pump(uint256 x) public {
+			require(x < 1000);
+			if (counter < 100) { counter += x; } else { phase = 1; }
+		}
+		function reap() public {
+			if (phase == 1) { acc -= 7; }
+		}
+		function noise() public { }
+	}`
+	comp := mustCompile(t, src)
+	c := NewCampaign(comp, Options{Strategy: MuFuzz(), Seed: 4, Iterations: 10})
+
+	// hand-build a triggering sequence with noise interleaved
+	arg := func(v uint64) []byte {
+		b := u256.New(v).Bytes32()
+		return b[:]
+	}
+	seq := Sequence{
+		{Func: "__ctor"},
+		{Func: "noise"},
+		{Func: "pump", Args: arg(999)},
+		{Func: "noise"},
+		{Func: "pump", Args: arg(999)},
+		{Func: "noise"},
+		{Func: "reap"},
+		{Func: "noise"},
+	}
+	if !c.Replay(seq).BugClasses[oracle.IO] {
+		t.Fatal("hand-built sequence should trigger IO")
+	}
+	min := c.MinimizeForBug(seq, oracle.IO)
+	if !c.Replay(min).BugClasses[oracle.IO] {
+		t.Fatal("minimized sequence lost the bug")
+	}
+	if len(min) != 4 { // ctor + pump + pump + reap
+		t.Errorf("minimized = %s (len %d), want ctor+pump+pump+reap", min, len(min))
+	}
+	for _, tx := range min {
+		if tx.Func == "noise" {
+			t.Error("noise transaction survived minimization")
+		}
+	}
+}
+
+func TestMinimizeForEdge(t *testing.T) {
+	comp := mustCompile(t, crowdsaleSrc)
+	c := NewCampaign(comp, Options{Strategy: MuFuzz(), Seed: 4, Iterations: 10})
+	key, ok := WithdrawDeepEdge(comp, c.ContractAddr(), "withdraw")
+	if !ok {
+		t.Fatal("withdraw edge not found")
+	}
+	ether := u256.New(1_000_000_000_000_000_000)
+	arg := func(v u256.Int) []byte {
+		b := v.Bytes32()
+		return b[:]
+	}
+	seq := Sequence{
+		{Func: "__ctor"},
+		{Func: "refund"},
+		{Func: "invest", Args: arg(u256.New(100).Mul(ether))},
+		{Func: "refund"},
+		{Func: "invest", Args: arg(u256.One)},
+		{Func: "withdraw"},
+	}
+	if !c.Replay(seq).Edges[key] {
+		t.Fatal("sequence should reach the deep branch")
+	}
+	min := c.MinimizeForEdge(seq, key)
+	// minimal: ctor + invest + invest + withdraw
+	if len(min) != 4 {
+		t.Errorf("minimized = %s (len %d), want 4", min, len(min))
+	}
+	if !c.Replay(min).Edges[key] {
+		t.Error("minimized sequence lost the edge")
+	}
+}
+
+func TestReplayIndependentOfCampaignState(t *testing.T) {
+	comp := mustCompile(t, crowdsaleSrc)
+	c := NewCampaign(comp, Options{Strategy: MuFuzz(), Seed: 4, Iterations: 10})
+	seq := Sequence{{Func: "__ctor"}, {Func: "refund"}}
+	r1 := c.Replay(seq)
+	r2 := c.Replay(seq)
+	if len(r1.Edges) != len(r2.Edges) {
+		t.Error("replay must be deterministic and state-free")
+	}
+}

@@ -1,0 +1,133 @@
+package fuzz
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+
+	"mufuzz/internal/evm"
+	"mufuzz/internal/state"
+)
+
+// prefixCache memoizes the world state reached after executing a sequence
+// prefix, so a mutated child that shares a prefix with an earlier execution
+// can resume from the checkpoint instead of re-running every transaction.
+//
+// This implements the improvement the paper sketches in §VI ("not to
+// re-execute the previous transactions, but to move directly to some
+// intermediate state"). Entries capture everything semantically relevant:
+// the post-prefix state, the cross-transaction storage taint, and the branch
+// events of the prefix (replayed into the campaign's feedback fold so
+// coverage/distance bookkeeping is identical to a full execution).
+type prefixCache struct {
+	entries map[uint64]*prefixEntry
+	order   []uint64 // FIFO eviction order
+	max     int
+	hits    int
+	misses  int
+}
+
+type prefixEntry struct {
+	// txs is the prefix length the entry checkpoints.
+	txs int
+	// st is the world state after the prefix (committed).
+	st *state.State
+	// taint is the EVM's cross-transaction storage taint after the prefix.
+	taint map[evm.StorageKey]evm.Taint
+	// branchesByTx are the contract's branch events of the prefix, one batch
+	// per transaction, so the feedback fold (per-transaction weight traces)
+	// sees exactly what a re-execution would produce.
+	branchesByTx [][]evm.BranchEvent
+	// nestedDepth is the deepest branch-site nesting reached in the prefix.
+	nestedDepth int
+}
+
+func newPrefixCache(max int) *prefixCache {
+	return &prefixCache{entries: make(map[uint64]*prefixEntry), max: max}
+}
+
+// hashPrefix fingerprints the first n transactions of a sequence.
+func hashPrefix(seq Sequence, n int) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := 0; i < n && i < len(seq); i++ {
+		tx := seq[i]
+		h.Write([]byte(tx.Func))
+		h.Write([]byte{0})
+		h.Write(tx.Args)
+		v := tx.Value.Bytes32()
+		h.Write(v[:])
+		binary.LittleEndian.PutUint64(buf[:], uint64(tx.Sender))
+		h.Write(buf[:])
+		h.Write([]byte{0xfe})
+	}
+	return h.Sum64()
+}
+
+// lookup returns the entry for the longest cached proper prefix of seq
+// (at least 1 transaction, at most len(seq)-1 so the suffix still runs).
+func (pc *prefixCache) lookup(seq Sequence) *prefixEntry {
+	if pc == nil {
+		return nil
+	}
+	for n := len(seq) - 1; n >= 1; n-- {
+		if e, ok := pc.entries[hashPrefix(seq, n)]; ok && e.txs == n {
+			pc.hits++
+			return e
+		}
+	}
+	pc.misses++
+	return nil
+}
+
+// contains reports whether a prefix hash is already checkpointed.
+func (pc *prefixCache) contains(key uint64) bool {
+	if pc == nil {
+		return false
+	}
+	_, ok := pc.entries[key]
+	return ok
+}
+
+// storeKeyed records a checkpoint for a pre-computed prefix hash.
+// Oversized branch logs are not cached (loop-heavy prefixes would make
+// replaying the fold as costly as re-execution).
+func (pc *prefixCache) storeKeyed(key uint64, n int, st *state.State, taint map[evm.StorageKey]evm.Taint, branchesByTx [][]evm.BranchEvent, nestedDepth int) {
+	if pc == nil || n < 1 {
+		return
+	}
+	total := 0
+	for _, b := range branchesByTx {
+		total += len(b)
+	}
+	if total > 4096 {
+		return
+	}
+	if _, dup := pc.entries[key]; dup {
+		return
+	}
+	if len(pc.order) >= pc.max {
+		oldest := pc.order[0]
+		pc.order = pc.order[1:]
+		delete(pc.entries, oldest)
+	}
+	cp := make([][]evm.BranchEvent, len(branchesByTx))
+	for i, b := range branchesByTx {
+		cp[i] = append([]evm.BranchEvent(nil), b...)
+	}
+	pc.entries[key] = &prefixEntry{
+		txs:          n,
+		st:           st,
+		taint:        taint,
+		branchesByTx: cp,
+		nestedDepth:  nestedDepth,
+	}
+	pc.order = append(pc.order, key)
+}
+
+// Stats reports cache hits and misses.
+func (pc *prefixCache) stats() (hits, misses int) {
+	if pc == nil {
+		return 0, 0
+	}
+	return pc.hits, pc.misses
+}

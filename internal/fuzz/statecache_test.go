@@ -1,0 +1,121 @@
+package fuzz
+
+import (
+	"testing"
+
+	"mufuzz/internal/u256"
+)
+
+func TestHashPrefixDistinguishesSequences(t *testing.T) {
+	a := Sequence{{Func: "__ctor"}, {Func: "f", Args: []byte{1, 2}}}
+	b := Sequence{{Func: "__ctor"}, {Func: "f", Args: []byte{1, 3}}}
+	c := Sequence{{Func: "__ctor"}, {Func: "g", Args: []byte{1, 2}}}
+	d := Sequence{{Func: "__ctor"}, {Func: "f", Args: []byte{1, 2}, Value: u256.One}}
+	e := Sequence{{Func: "__ctor"}, {Func: "f", Args: []byte{1, 2}, Sender: 1}}
+	h := func(s Sequence) uint64 { return hashPrefix(s, 2) }
+	hashes := map[uint64]string{}
+	for name, s := range map[string]Sequence{"a": a, "b": b, "c": c, "d": d, "e": e} {
+		hv := h(s)
+		if prev, dup := hashes[hv]; dup {
+			t.Errorf("hash collision between %s and %s", prev, name)
+		}
+		hashes[hv] = name
+	}
+	// prefix length participates
+	if hashPrefix(a, 1) == hashPrefix(a, 2) {
+		t.Error("different prefix lengths must hash differently")
+	}
+	// identical prefixes hash equal regardless of suffix
+	long := append(a.Clone(), TxInput{Func: "tail"})
+	if hashPrefix(a, 2) != hashPrefix(long, 2) {
+		t.Error("same prefix must hash equal under different suffixes")
+	}
+}
+
+func TestPrefixCacheEviction(t *testing.T) {
+	pc := newPrefixCache(2)
+	seqs := []Sequence{
+		{{Func: "a"}, {Func: "t"}},
+		{{Func: "b"}, {Func: "t"}},
+		{{Func: "c"}, {Func: "t"}},
+	}
+	for _, s := range seqs {
+		key := hashPrefix(s, 1)
+		pc.storeKeyed(key, 1, nil, nil, nil, 0)
+	}
+	if len(pc.entries) != 2 {
+		t.Errorf("cache size = %d, want 2 (FIFO eviction)", len(pc.entries))
+	}
+	if pc.contains(hashPrefix(seqs[0], 1)) {
+		t.Error("oldest entry should have been evicted")
+	}
+	if !pc.contains(hashPrefix(seqs[2], 1)) {
+		t.Error("newest entry must remain")
+	}
+}
+
+func TestNilPrefixCacheSafe(t *testing.T) {
+	var pc *prefixCache
+	if pc.lookup(Sequence{{Func: "x"}, {Func: "y"}}) != nil {
+		t.Error("nil cache lookup must miss")
+	}
+	pc.storeKeyed(1, 1, nil, nil, nil, 0) // must not panic
+	if pc.contains(1) {
+		t.Error("nil cache contains nothing")
+	}
+	h, m := pc.stats()
+	if h != 0 || m != 0 {
+		t.Error("nil cache has no stats")
+	}
+}
+
+// The decisive property: a campaign with the checkpoint cache must produce
+// exactly the same coverage, findings, and execution count as one without —
+// the cache is a pure performance optimization.
+func TestPrefixCacheEquivalence(t *testing.T) {
+	for _, src := range []string{crowdsaleSrc} {
+		comp := mustCompile(t, src)
+		for seed := int64(1); seed <= 3; seed++ {
+			with := Run(comp, Options{Strategy: MuFuzz(), Seed: seed, Iterations: 600})
+			without := Run(comp, Options{Strategy: MuFuzz(), Seed: seed, Iterations: 600, NoPrefixCache: true})
+			if with.CoveredEdges != without.CoveredEdges {
+				t.Errorf("seed %d: coverage diverges with cache: %d vs %d",
+					seed, with.CoveredEdges, without.CoveredEdges)
+			}
+			if len(with.Findings) != len(without.Findings) {
+				t.Errorf("seed %d: findings diverge: %d vs %d",
+					seed, len(with.Findings), len(without.Findings))
+			}
+			if with.Executions != without.Executions {
+				t.Errorf("seed %d: executions diverge: %d vs %d",
+					seed, with.Executions, without.Executions)
+			}
+		}
+	}
+}
+
+func TestPrefixCacheGetsHits(t *testing.T) {
+	comp := mustCompile(t, crowdsaleSrc)
+	c := NewCampaign(comp, Options{Strategy: MuFuzz(), Seed: 2, Iterations: 800})
+	c.Run()
+	hits, misses := c.PrefixCacheStats()
+	if hits == 0 {
+		t.Errorf("cache never hit (misses=%d); mutated children share prefixes, hits expected", misses)
+	}
+	t.Logf("prefix cache: %d hits, %d misses (%.0f%% hit rate)",
+		hits, misses, 100*float64(hits)/float64(hits+misses))
+}
+
+func BenchmarkCampaignWithPrefixCache(b *testing.B) {
+	comp := mustCompile(b, crowdsaleSrc)
+	for i := 0; i < b.N; i++ {
+		Run(comp, Options{Strategy: MuFuzz(), Seed: int64(i), Iterations: 400})
+	}
+}
+
+func BenchmarkCampaignWithoutPrefixCache(b *testing.B) {
+	comp := mustCompile(b, crowdsaleSrc)
+	for i := 0; i < b.N; i++ {
+		Run(comp, Options{Strategy: MuFuzz(), Seed: int64(i), Iterations: 400, NoPrefixCache: true})
+	}
+}

@@ -1,0 +1,109 @@
+// Package fuzz implements the MuFuzz fuzzing campaign: sequence-aware
+// mutation (paper §IV-A), mask-guided seed mutation with branch-distance
+// feedback (§IV-B, Algorithms 1–2), and dynamic-adaptive energy adjustment
+// (§IV-C, Algorithm 3), over the EVM/compiler substrates.
+//
+// Baseline fuzzers (sFuzz, ConFuzzius, IR-Fuzz) are expressed as strategy
+// configurations on the same runtime, mirroring how the paper's ablation
+// isolates each component.
+package fuzz
+
+// Strategy selects which feedback mechanisms a campaign uses. MuFuzz enables
+// everything; each baseline disables the dimensions that tool lacks.
+type Strategy struct {
+	Name string
+	// DataflowSequences orders transactions by state-variable write→read
+	// dependencies (§IV-A). Off = random ordering (sFuzz).
+	DataflowSequences bool
+	// RAWRepetition repeats functions with a read-after-write dependency on
+	// a branch-read state variable consecutively — the sequence-aware
+	// mutation that cracks the Crowdsale example. MuFuzz only.
+	RAWRepetition bool
+	// Prolongation occasionally extends sequences with extra calls
+	// (IR-Fuzz's invocation prolongation).
+	Prolongation bool
+	// BranchDistance enables distance-feedback seed selection and
+	// comparison-operand-directed mutations (sFuzz-style).
+	BranchDistance bool
+	// MutationMasking enables the Algorithm 2 mask computation and
+	// OK_TO_MUTATE filtering. MuFuzz only.
+	MutationMasking bool
+	// DynamicEnergy enables Algorithm 3 branch-weighted energy allocation.
+	// Off = uniform energy (sFuzz's default scheme).
+	DynamicEnergy bool
+}
+
+// MuFuzz returns the full strategy: all three components on.
+func MuFuzz() Strategy {
+	return Strategy{
+		Name:              "MuFuzz",
+		DataflowSequences: true,
+		RAWRepetition:     true,
+		Prolongation:      true,
+		BranchDistance:    true,
+		MutationMasking:   true,
+		DynamicEnergy:     true,
+	}
+}
+
+// SFuzz approximates sFuzz: random transaction ordering, AFL-style random
+// byte mutation with branch-distance seed selection, uniform energy.
+func SFuzz() Strategy {
+	return Strategy{
+		Name:           "sFuzz",
+		BranchDistance: true,
+	}
+}
+
+// ConFuzzius approximates ConFuzzius: data-dependency-ordered sequences and
+// distance feedback, but no consecutive repetition, masking, or dynamic
+// energy.
+func ConFuzzius() Strategy {
+	return Strategy{
+		Name:              "ConFuzzius",
+		DataflowSequences: true,
+		BranchDistance:    true,
+	}
+}
+
+// IRFuzz approximates IR-Fuzz: dependency ordering plus sequence
+// prolongation and static branch-weighted energy, but no mutation masking
+// and no RAW repetition.
+func IRFuzz() Strategy {
+	return Strategy{
+		Name:              "IR-Fuzz",
+		DataflowSequences: true,
+		Prolongation:      true,
+		BranchDistance:    true,
+		DynamicEnergy:     true,
+	}
+}
+
+// Smartian approximates Smartian: static+dynamic data-flow guided sequences
+// with uniform energy and no distance feedback on comparisons.
+func Smartian() Strategy {
+	return Strategy{
+		Name:              "Smartian",
+		DataflowSequences: true,
+		Prolongation:      true,
+	}
+}
+
+// Ablations returns the three paper ablation variants of MuFuzz (§V-D):
+// each disables exactly one component.
+func Ablations() []Strategy {
+	noSeq := MuFuzz()
+	noSeq.Name = "MuFuzz w/o sequence-aware mutation"
+	noSeq.DataflowSequences = false
+	noSeq.RAWRepetition = false
+
+	noMask := MuFuzz()
+	noMask.Name = "MuFuzz w/o mask-guided seed mutation"
+	noMask.MutationMasking = false
+
+	noEnergy := MuFuzz()
+	noEnergy.Name = "MuFuzz w/o dynamic energy adjustment"
+	noEnergy.DynamicEnergy = false
+
+	return []Strategy{noSeq, noMask, noEnergy}
+}

@@ -1,0 +1,314 @@
+package minisol
+
+import (
+	"mufuzz/internal/u256"
+)
+
+// TypeKind enumerates MiniSol value types.
+type TypeKind int
+
+const (
+	TyUint TypeKind = iota // uint256 / uint
+	TyInt                  // int256 / int
+	TyBool
+	TyAddress
+	TyBytes32
+	TyMapping // mapping(key => value); only as state variable type
+)
+
+// Type is a MiniSol type. For mappings, Key and Val are set.
+type Type struct {
+	Kind TypeKind
+	Key  *Type // mapping key
+	Val  *Type // mapping value
+}
+
+func (t Type) String() string {
+	switch t.Kind {
+	case TyUint:
+		return "uint256"
+	case TyInt:
+		return "int256"
+	case TyBool:
+		return "bool"
+	case TyAddress:
+		return "address"
+	case TyBytes32:
+		return "bytes32"
+	case TyMapping:
+		return "mapping(" + t.Key.String() + " => " + t.Val.String() + ")"
+	default:
+		return "?"
+	}
+}
+
+// Equal reports structural type equality.
+func (t Type) Equal(o Type) bool {
+	if t.Kind != o.Kind {
+		return false
+	}
+	if t.Kind == TyMapping {
+		return t.Key.Equal(*o.Key) && t.Val.Equal(*o.Val)
+	}
+	return true
+}
+
+// word-compatible types can freely mix in arithmetic/comparison.
+func (t Type) isWord() bool {
+	return t.Kind == TyUint || t.Kind == TyInt || t.Kind == TyBytes32
+}
+
+// --- Expressions ---
+
+// Expr is a MiniSol expression node.
+type Expr interface {
+	exprNode()
+	Pos() (line, col int)
+}
+
+type exprBase struct{ line, col int }
+
+func (e exprBase) exprNode()       {}
+func (e exprBase) Pos() (int, int) { return e.line, e.col }
+func at(tok Token) exprBase        { return exprBase{line: tok.Line, col: tok.Col} }
+
+// NumberLit is an integer literal (unit multipliers already applied).
+type NumberLit struct {
+	exprBase
+	Value u256.Int
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	exprBase
+	Value bool
+}
+
+// Ident references a state variable, local, or parameter. Sema fills Binding.
+type Ident struct {
+	exprBase
+	Name    string
+	Binding *Binding
+}
+
+// BindingKind distinguishes what an identifier resolved to.
+type BindingKind int
+
+const (
+	BindStateVar BindingKind = iota
+	BindLocal
+	BindParam
+)
+
+// Binding is the sema resolution of an identifier.
+type Binding struct {
+	Kind BindingKind
+	Type Type
+	// Slot is the storage slot for state vars.
+	Slot u256.Int
+	// MemOffset is the memory offset for locals and params.
+	MemOffset uint64
+	// Index is the declaration index (params: ABI position).
+	Index int
+	Name  string
+}
+
+// EnvExpr is a builtin environment value.
+type EnvExpr struct {
+	exprBase
+	// Name: msg.sender, msg.value, tx.origin, block.timestamp, block.number,
+	// this, now
+	Name string
+}
+
+// IndexExpr is mapping access m[k].
+type IndexExpr struct {
+	exprBase
+	Map *Ident
+	Key Expr
+}
+
+// BinaryExpr is a binary operation. Op is the source token (+ - * / % < > <=
+// >= == != && || & | ^).
+type BinaryExpr struct {
+	exprBase
+	Op   string
+	L, R Expr
+}
+
+// UnaryExpr is !x or -x.
+type UnaryExpr struct {
+	exprBase
+	Op string
+	X  Expr
+}
+
+// BalanceExpr is addr.balance or this.balance.
+type BalanceExpr struct {
+	exprBase
+	Addr Expr
+}
+
+// KeccakExpr is keccak256(a, b, ...) over 32-byte words, returning uint256.
+type KeccakExpr struct {
+	exprBase
+	Args []Expr
+}
+
+// CallValueExpr is target.call.value(amount)() — value call forwarding all
+// gas; evaluates to bool success.
+type CallValueExpr struct {
+	exprBase
+	Target Expr
+	Amount Expr
+}
+
+// SendExpr is target.send(amount) — stipend-only value call; bool success.
+type SendExpr struct {
+	exprBase
+	Target Expr
+	Amount Expr
+}
+
+// DelegateCallExpr is target.delegatecall(args...) → bool success. Arguments
+// are packed as consecutive 32-byte words of calldata.
+type DelegateCallExpr struct {
+	exprBase
+	Target Expr
+	Args   []Expr
+}
+
+// CastExpr is uint256(x) / address(x) / bytes32(x).
+type CastExpr struct {
+	exprBase
+	To Type
+	X  Expr
+}
+
+// --- Statements ---
+
+// Stmt is a MiniSol statement node.
+type Stmt interface {
+	stmtNode()
+}
+
+// VarDeclStmt declares a local: `uint256 x = expr;`.
+type VarDeclStmt struct {
+	Name    string
+	Type    Type
+	Init    Expr // may be nil (zero value)
+	Binding *Binding
+}
+
+// AssignStmt assigns to a state var, local, or mapping element. Op is "=",
+// "+=", "-=", "*=" or "/=".
+type AssignStmt struct {
+	Target Expr // Ident or IndexExpr
+	Op     string
+	Value  Expr
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt // nil when absent
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body []Stmt
+}
+
+// RequireStmt reverts when the condition is false.
+type RequireStmt struct {
+	Cond Expr
+}
+
+// ReturnStmt exits the function, optionally with a value.
+type ReturnStmt struct {
+	Value Expr // nil for plain return
+}
+
+// TransferStmt is target.transfer(amount): stipend call, reverts on failure.
+type TransferStmt struct {
+	Target Expr
+	Amount Expr
+}
+
+// SelfDestructStmt is selfdestruct(beneficiary).
+type SelfDestructStmt struct {
+	Beneficiary Expr
+}
+
+// ExprStmt evaluates an expression for effect (send/call.value/delegatecall
+// used as statements).
+type ExprStmt struct {
+	X Expr
+}
+
+func (*VarDeclStmt) stmtNode()      {}
+func (*AssignStmt) stmtNode()       {}
+func (*IfStmt) stmtNode()           {}
+func (*WhileStmt) stmtNode()        {}
+func (*RequireStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()       {}
+func (*TransferStmt) stmtNode()     {}
+func (*SelfDestructStmt) stmtNode() {}
+func (*ExprStmt) stmtNode()         {}
+
+// --- Declarations ---
+
+// StateVar is one contract storage variable.
+type StateVar struct {
+	Name string
+	Type Type
+	Slot u256.Int
+	Init Expr // may be nil
+}
+
+// Param is a function parameter.
+type Param struct {
+	Name string
+	Type Type
+}
+
+// Function is a contract function (or constructor when IsCtor).
+type Function struct {
+	Name    string
+	Params  []Param
+	Payable bool
+	View    bool
+	Returns *Type // single optional return value
+	Body    []Stmt
+	IsCtor  bool
+}
+
+// Contract is a parsed MiniSol contract.
+type Contract struct {
+	Name      string
+	StateVars []StateVar
+	Ctor      *Function // nil when absent
+	Functions []Function
+}
+
+// StateVarByName finds a state variable; ok=false when absent.
+func (c *Contract) StateVarByName(name string) (*StateVar, bool) {
+	for i := range c.StateVars {
+		if c.StateVars[i].Name == name {
+			return &c.StateVars[i], true
+		}
+	}
+	return nil, false
+}
+
+// FunctionByName finds a function by name.
+func (c *Contract) FunctionByName(name string) (*Function, bool) {
+	for i := range c.Functions {
+		if c.Functions[i].Name == name {
+			return &c.Functions[i], true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,49 @@
+package minisol
+
+import (
+	"fmt"
+
+	"mufuzz/internal/abi"
+	"mufuzz/internal/evm"
+	"mufuzz/internal/state"
+	"mufuzz/internal/u256"
+)
+
+// Deploy installs the compiled contract at addr and executes its constructor
+// as a transaction from deployer. The constructor heads every transaction
+// sequence, mirroring the paper's sequencing rule (§IV-A).
+func Deploy(e *evm.EVM, deployer, addr state.Address, comp *Compiled, ctorArgs []abi.Value, value u256.Int, gas uint64) error {
+	e.State.CreateContract(addr, comp.Code, deployer)
+	e.State.Commit()
+	data, err := abi.EncodeCall(comp.Ctor, ctorArgs)
+	if err != nil {
+		return fmt.Errorf("minisol: encode constructor: %w", err)
+	}
+	if _, err := e.Transact(deployer, addr, value, data, gas); err != nil {
+		return fmt.Errorf("minisol: constructor of %s: %w", comp.Contract.Name, err)
+	}
+	return nil
+}
+
+// CallData builds calldata for a named function with the given argument
+// words (each coerced to the parameter's ABI kind).
+func (c *Compiled) CallData(fnName string, args ...u256.Int) ([]byte, error) {
+	var m abi.Method
+	if fnName == CtorName || fnName == "constructor" {
+		m = c.Ctor
+	} else {
+		var ok bool
+		m, ok = c.ABI.MethodByName(fnName)
+		if !ok {
+			return nil, fmt.Errorf("minisol: no function %q in %s", fnName, c.Contract.Name)
+		}
+	}
+	if len(args) != len(m.Inputs) {
+		return nil, fmt.Errorf("minisol: %s expects %d args, got %d", fnName, len(m.Inputs), len(args))
+	}
+	vals := make([]abi.Value, len(args))
+	for i, a := range args {
+		vals[i] = abi.NewWord(m.Inputs[i].Kind, a)
+	}
+	return abi.EncodeCall(m, vals)
+}

@@ -1,0 +1,278 @@
+package minisol
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mufuzz/internal/evm"
+	"mufuzz/internal/u256"
+)
+
+// TestArithmeticSemanticsMatchU256 drives compiled arithmetic with random
+// operands and cross-checks against the u256 reference — a compiler/VM
+// conformance property test.
+func TestArithmeticSemanticsMatchU256(t *testing.T) {
+	src := `contract Arith {
+		uint256 r;
+		function add(uint256 a, uint256 b) public { r = a + b; }
+		function sub(uint256 a, uint256 b) public { r = a - b; }
+		function mul(uint256 a, uint256 b) public { r = a * b; }
+		function div(uint256 a, uint256 b) public { r = a / b; }
+		function mod(uint256 a, uint256 b) public { r = a % b; }
+	}`
+	tc := compileAndDeploy(t, src)
+	rng := rand.New(rand.NewSource(99))
+	word := func() u256.Int {
+		switch rng.Intn(3) {
+		case 0:
+			return u256.New(rng.Uint64() % 100)
+		case 1:
+			return u256.Max.Sub(u256.New(rng.Uint64() % 100))
+		default:
+			return u256.NewFromLimbs(rng.Uint64(), rng.Uint64(), rng.Uint64(), rng.Uint64())
+		}
+	}
+	ops := map[string]func(a, b u256.Int) u256.Int{
+		"add": u256.Int.Add,
+		"sub": u256.Int.Sub,
+		"mul": u256.Int.Mul,
+		"div": u256.Int.Div,
+		"mod": u256.Int.Mod,
+	}
+	for name, ref := range ops {
+		for i := 0; i < 25; i++ {
+			a, b := word(), word()
+			if err := tc.call(t, tc.user, u256.Zero, name, a, b); err != nil {
+				t.Fatalf("%s(%s,%s): %v", name, a, b, err)
+			}
+			want := ref(a, b)
+			if got := tc.slot(0); !got.Eq(want) {
+				t.Fatalf("%s(%s,%s) = %s, want %s", name, a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestComparisonSemantics drives compiled comparisons with quick-generated
+// operands.
+func TestComparisonSemantics(t *testing.T) {
+	src := `contract Cmp {
+		bool r;
+		function lt(uint256 a, uint256 b) public { r = a < b; }
+		function le(uint256 a, uint256 b) public { r = a <= b; }
+		function gt(uint256 a, uint256 b) public { r = a > b; }
+		function ge(uint256 a, uint256 b) public { r = a >= b; }
+		function eq(uint256 a, uint256 b) public { r = a == b; }
+		function ne(uint256 a, uint256 b) public { r = a != b; }
+	}`
+	tc := compileAndDeploy(t, src)
+	f := func(a, b uint64) bool {
+		A, B := u256.New(a), u256.New(b)
+		checks := []struct {
+			fn   string
+			want bool
+		}{
+			{"lt", a < b}, {"le", a <= b}, {"gt", a > b},
+			{"ge", a >= b}, {"eq", a == b}, {"ne", a != b},
+		}
+		for _, ck := range checks {
+			if err := tc.call(t, tc.user, u256.Zero, ck.fn, A, B); err != nil {
+				return false
+			}
+			got := tc.slot(0).Eq(u256.One)
+			if got != ck.want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNestedIfLadder(t *testing.T) {
+	src := `contract Ladder {
+		uint256 depth;
+		function probe(uint256 a, uint256 b, uint256 c) public {
+			depth = 0;
+			if (a > 10) {
+				depth = 1;
+				if (b > 20) {
+					depth = 2;
+					if (c > 30) {
+						depth = 3;
+					}
+				}
+			}
+		}
+	}`
+	tc := compileAndDeploy(t, src)
+	cases := []struct {
+		a, b, c uint64
+		want    uint64
+	}{
+		{0, 0, 0, 0},
+		{11, 0, 0, 1},
+		{11, 21, 0, 2},
+		{11, 21, 31, 3},
+		{0, 21, 31, 0},
+	}
+	for _, c := range cases {
+		if err := tc.call(t, tc.user, u256.Zero, "probe", u256.New(c.a), u256.New(c.b), u256.New(c.c)); err != nil {
+			t.Fatal(err)
+		}
+		if !tc.slot(0).Eq(u256.New(c.want)) {
+			t.Errorf("probe(%d,%d,%d) depth = %s, want %d", c.a, c.b, c.c, tc.slot(0), c.want)
+		}
+	}
+}
+
+func TestMappingUintKeys(t *testing.T) {
+	src := `contract MapU {
+		mapping(uint256 => uint256) m;
+		function set(uint256 k, uint256 v) public { m[k] = v; }
+		function bump(uint256 k) public { m[k] += 1; }
+	}`
+	tc := compileAndDeploy(t, src)
+	if err := tc.call(t, tc.user, u256.Zero, "set", u256.New(7), u256.New(70)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.call(t, tc.user, u256.Zero, "bump", u256.New(7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.call(t, tc.user, u256.Zero, "bump", u256.New(8)); err != nil {
+		t.Fatal(err)
+	}
+	if got := tc.mapSlot(0, u256.New(7)); !got.Eq(u256.New(71)) {
+		t.Errorf("m[7] = %s, want 71", got)
+	}
+	if got := tc.mapSlot(0, u256.New(8)); !got.Eq(u256.One) {
+		t.Errorf("m[8] = %s, want 1", got)
+	}
+}
+
+func TestKeccakExprDeterminism(t *testing.T) {
+	src := `contract H {
+		uint256 h1;
+		uint256 h2;
+		function go(uint256 x) public {
+			h1 = keccak256(x);
+			h2 = keccak256(x, block.timestamp);
+		}
+	}`
+	tc := compileAndDeploy(t, src)
+	if err := tc.call(t, tc.user, u256.Zero, "go", u256.New(5)); err != nil {
+		t.Fatal(err)
+	}
+	first1, first2 := tc.slot(0), tc.slot(1)
+	if first1.IsZero() || first2.IsZero() {
+		t.Fatal("hashes should be nonzero")
+	}
+	if first1.Eq(first2) {
+		t.Error("different preimages must hash differently")
+	}
+	if err := tc.call(t, tc.user, u256.Zero, "go", u256.New(5)); err != nil {
+		t.Fatal(err)
+	}
+	if !tc.slot(0).Eq(first1) {
+		t.Error("keccak of same input must be stable")
+	}
+}
+
+func TestModifierKeywordOrder(t *testing.T) {
+	// modifiers accepted in any order, incl. returns before payable
+	srcs := []string{
+		`contract A { function f() payable public { } }`,
+		`contract B { function f() public payable returns (uint256) { return 1; } }`,
+		`contract C { function f() returns (uint256) public view { return 2; } }`,
+	}
+	for _, src := range srcs {
+		if _, err := Compile(src); err != nil {
+			t.Errorf("%s: %v", src, err)
+		}
+	}
+}
+
+func TestRevertsDoNotLeakStateAcrossSequence(t *testing.T) {
+	src := `contract R {
+		uint256 x;
+		function ok(uint256 v) public { x = v; }
+		function boom() public { x = 999; require(x == 0); }
+	}`
+	tc := compileAndDeploy(t, src)
+	if err := tc.call(t, tc.user, u256.Zero, "ok", u256.New(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.call(t, tc.user, u256.Zero, "boom"); !errors.Is(err, evm.ErrRevert) {
+		t.Fatalf("boom: %v", err)
+	}
+	if !tc.slot(0).Eq(u256.New(5)) {
+		t.Errorf("x = %s after reverted tx, want 5", tc.slot(0))
+	}
+}
+
+func TestBranchSiteKindsRecorded(t *testing.T) {
+	src := `contract K {
+		uint256 a;
+		function f(uint256 x, bool p, bool q) public payable {
+			require(x > 0);
+			if (p && q) { a = 1; }
+			while (a < 3) { a += 1; }
+			msg.sender.transfer(1);
+		}
+	}`
+	comp, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[BranchKind]int{}
+	for _, s := range comp.Branches {
+		kinds[s.Kind]++
+	}
+	for _, want := range []BranchKind{BranchRequire, BranchIf, BranchWhile, BranchBoolOp, BranchTransfer, BranchDispatch} {
+		if kinds[want] == 0 {
+			t.Errorf("no %s site recorded (%v)", want, kinds)
+		}
+	}
+}
+
+func TestIntTypeSignedDivision(t *testing.T) {
+	src := `contract S {
+		int256 r;
+		function f(int256 a, int256 b) public { r = a / b; }
+	}`
+	tc := compileAndDeploy(t, src)
+	minusSix := u256.New(6).Neg()
+	if err := tc.call(t, tc.user, u256.Zero, "f", minusSix, u256.New(2)); err != nil {
+		t.Fatal(err)
+	}
+	if !tc.slot(0).Eq(u256.New(3).Neg()) {
+		t.Errorf("-6 / 2 = %s, want -3 two's complement", tc.slot(0).Hex())
+	}
+}
+
+func TestEtherUnits(t *testing.T) {
+	src := `contract U {
+		uint256 w;
+		uint256 f;
+		uint256 e;
+		constructor() public {
+			w = 5 wei;
+			f = 2 finney;
+			e = 3 ether;
+		}
+	}`
+	tc := compileAndDeploy(t, src)
+	if !tc.slot(0).Eq(u256.New(5)) {
+		t.Errorf("wei = %s", tc.slot(0))
+	}
+	if !tc.slot(1).Eq(u256.New(2_000_000_000_000_000)) {
+		t.Errorf("finney = %s", tc.slot(1))
+	}
+	if !tc.slot(2).Eq(u256.New(3_000_000_000_000_000_000)) {
+		t.Errorf("ether = %s", tc.slot(2))
+	}
+}

@@ -1,0 +1,784 @@
+package minisol
+
+import (
+	"fmt"
+	"math/big"
+
+	"mufuzz/internal/u256"
+)
+
+// transferExpr is a parse-time node for `target.transfer(amount)`. It is only
+// legal as a statement; the statement parser converts it to TransferStmt and
+// sema rejects it anywhere else.
+type transferExpr struct {
+	exprBase
+	Target Expr
+	Amount Expr
+}
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses one MiniSol contract from source.
+func Parse(src string) (*Contract, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	c, err := p.parseContract()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errorf("unexpected %s after contract", p.cur())
+	}
+	return c, nil
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) atEOF() bool { return p.cur().Kind == TokEOF }
+
+func (p *parser) peekText() string { return p.cur().Text }
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	t := p.cur()
+	return fmt.Errorf("minisol: line %d col %d: %s", t.Line, t.Col, fmt.Sprintf(format, args...))
+}
+
+// accept consumes the token if it matches text.
+func (p *parser) accept(text string) bool {
+	if p.cur().Kind != TokEOF && p.cur().Text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// expect consumes a token with the given text or fails.
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		return p.errorf("expected %q, found %s", text, p.cur())
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (Token, error) {
+	if p.cur().Kind != TokIdent {
+		return Token{}, p.errorf("expected identifier, found %s", p.cur())
+	}
+	return p.next(), nil
+}
+
+// isTypeKeyword reports whether text begins a (non-mapping) type.
+func isTypeKeyword(text string) bool {
+	switch text {
+	case "uint256", "uint", "int256", "int", "bool", "address", "bytes32":
+		return true
+	}
+	return false
+}
+
+func simpleType(text string) Type {
+	switch text {
+	case "uint256", "uint":
+		return Type{Kind: TyUint}
+	case "int256", "int":
+		return Type{Kind: TyInt}
+	case "bool":
+		return Type{Kind: TyBool}
+	case "address":
+		return Type{Kind: TyAddress}
+	case "bytes32":
+		return Type{Kind: TyBytes32}
+	}
+	panic("minisol: not a simple type: " + text)
+}
+
+// parseType parses a type, including mapping types.
+func (p *parser) parseType() (Type, error) {
+	t := p.cur()
+	if t.Text == "mapping" {
+		p.next()
+		if err := p.expect("("); err != nil {
+			return Type{}, err
+		}
+		if !isTypeKeyword(p.peekText()) {
+			return Type{}, p.errorf("expected mapping key type, found %s", p.cur())
+		}
+		key := simpleType(p.next().Text)
+		if err := p.expect("=>"); err != nil {
+			return Type{}, err
+		}
+		if !isTypeKeyword(p.peekText()) {
+			return Type{}, p.errorf("expected mapping value type, found %s", p.cur())
+		}
+		val := simpleType(p.next().Text)
+		if err := p.expect(")"); err != nil {
+			return Type{}, err
+		}
+		return Type{Kind: TyMapping, Key: &key, Val: &val}, nil
+	}
+	if isTypeKeyword(t.Text) {
+		p.next()
+		return simpleType(t.Text), nil
+	}
+	return Type{}, p.errorf("expected type, found %s", t)
+}
+
+// parseContract parses `contract Name { members }`.
+func (p *parser) parseContract() (*Contract, error) {
+	if err := p.expect("contract"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	c := &Contract{Name: name.Text}
+	for !p.accept("}") {
+		if p.atEOF() {
+			return nil, p.errorf("unterminated contract body")
+		}
+		switch {
+		case p.peekText() == "function" || p.peekText() == "constructor":
+			fn, err := p.parseFunction()
+			if err != nil {
+				return nil, err
+			}
+			if fn.IsCtor {
+				if c.Ctor != nil {
+					return nil, p.errorf("duplicate constructor")
+				}
+				c.Ctor = fn
+			} else {
+				if _, dup := c.FunctionByName(fn.Name); dup {
+					return nil, p.errorf("duplicate function %q", fn.Name)
+				}
+				c.Functions = append(c.Functions, *fn)
+			}
+		default:
+			sv, err := p.parseStateVar(len(c.StateVars))
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := c.StateVarByName(sv.Name); dup {
+				return nil, p.errorf("duplicate state variable %q", sv.Name)
+			}
+			c.StateVars = append(c.StateVars, sv)
+		}
+	}
+	return c, nil
+}
+
+// parseStateVar parses `type name (= expr)? ;` with optional visibility.
+func (p *parser) parseStateVar(index int) (StateVar, error) {
+	ty, err := p.parseType()
+	if err != nil {
+		return StateVar{}, err
+	}
+	// optional visibility keywords
+	for p.accept("public") || p.accept("private") || p.accept("internal") {
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return StateVar{}, err
+	}
+	sv := StateVar{Name: name.Text, Type: ty, Slot: u256.New(uint64(index))}
+	if p.accept("=") {
+		if ty.Kind == TyMapping {
+			return StateVar{}, p.errorf("mappings cannot have initializers")
+		}
+		init, err := p.parseExpr()
+		if err != nil {
+			return StateVar{}, err
+		}
+		sv.Init = init
+	}
+	if err := p.expect(";"); err != nil {
+		return StateVar{}, err
+	}
+	return sv, nil
+}
+
+// parseFunction parses function or constructor declarations.
+func (p *parser) parseFunction() (*Function, error) {
+	fn := &Function{}
+	if p.accept("constructor") {
+		fn.IsCtor = true
+		fn.Name = "constructor"
+	} else {
+		if err := p.expect("function"); err != nil {
+			return nil, err
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		fn.Name = name.Text
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	for !p.accept(")") {
+		if len(fn.Params) > 0 {
+			if err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if ty.Kind == TyMapping {
+			return nil, p.errorf("mapping parameters are not supported")
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		fn.Params = append(fn.Params, Param{Name: name.Text, Type: ty})
+	}
+	// modifiers in any order
+	for {
+		switch {
+		case p.accept("public"), p.accept("private"), p.accept("internal"), p.accept("external"):
+		case p.accept("payable"):
+			fn.Payable = true
+		case p.accept("view"), p.accept("pure"):
+			fn.View = true
+		case p.accept("returns"):
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			ty, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			if ty.Kind == TyMapping {
+				return nil, p.errorf("cannot return a mapping")
+			}
+			fn.Returns = &ty
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+		default:
+			goto body
+		}
+	}
+body:
+	block, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = block
+	return fn, nil
+}
+
+// parseBlock parses `{ stmt* }`.
+func (p *parser) parseBlock() ([]Stmt, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var stmts []Stmt
+	for !p.accept("}") {
+		if p.atEOF() {
+			return nil, p.errorf("unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	return stmts, nil
+}
+
+// parseStmt parses one statement.
+func (p *parser) parseStmt() (Stmt, error) {
+	switch p.peekText() {
+	case "if":
+		return p.parseIf()
+	case "while":
+		return p.parseWhile()
+	case "require":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &RequireStmt{Cond: cond}, nil
+	case "return":
+		p.next()
+		if p.accept(";") {
+			return &ReturnStmt{}, nil
+		}
+		v, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{Value: v}, nil
+	case "selfdestruct":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		ben, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &SelfDestructStmt{Beneficiary: ben}, nil
+	}
+
+	// local declaration: type keyword followed by identifier
+	if isTypeKeyword(p.peekText()) && p.pos+1 < len(p.toks) && p.toks[p.pos+1].Kind == TokIdent {
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		decl := &VarDeclStmt{Name: name.Text, Type: ty}
+		if p.accept("=") {
+			init, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			decl.Init = init
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return decl, nil
+	}
+
+	// expression-led statement: assignment, transfer, or plain expression
+	x, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch op := p.peekText(); op {
+	case "=", "+=", "-=", "*=", "/=":
+		p.next()
+		switch x.(type) {
+		case *Ident, *IndexExpr:
+		default:
+			return nil, p.errorf("invalid assignment target")
+		}
+		v, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Target: x, Op: op, Value: v}, nil
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	if tr, ok := x.(*transferExpr); ok {
+		return &TransferStmt{Target: tr.Target, Amount: tr.Amount}, nil
+	}
+	return &ExprStmt{X: x}, nil
+}
+
+func (p *parser) parseIf() (Stmt, error) {
+	p.next() // if
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{Cond: cond, Then: then}
+	if p.accept("else") {
+		if p.peekText() == "if" {
+			inner, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = []Stmt{inner}
+		} else {
+			els, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) parseWhile() (Stmt, error) {
+	p.next() // while
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Cond: cond, Body: body}, nil
+}
+
+// --- Expression parsing (precedence climbing) ---
+
+// binary precedence levels, loosest first.
+var precLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"==", "!="},
+	{"<", ">", "<=", ">="},
+	{"|", "^", "&"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) parseExpr() (Expr, error) {
+	return p.parseBinary(0)
+}
+
+func (p *parser) parseBinary(level int) (Expr, error) {
+	if level >= len(precLevels) {
+		return p.parseUnary()
+	}
+	left, err := p.parseBinary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range precLevels[level] {
+			if p.peekText() == op {
+				tok := p.next()
+				right, err := p.parseBinary(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				left = &BinaryExpr{exprBase: at(tok), Op: op, L: left, R: right}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	tok := p.cur()
+	if p.accept("!") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{exprBase: at(tok), Op: "!", X: x}, nil
+	}
+	if p.accept("-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{exprBase: at(tok), Op: "-", X: x}, nil
+	}
+	return p.parsePostfix()
+}
+
+// parsePostfix parses a primary expression followed by member/index suffixes.
+func (p *parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept("["):
+			id, ok := x.(*Ident)
+			if !ok {
+				return nil, p.errorf("only mappings support indexing")
+			}
+			key, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			x = &IndexExpr{exprBase: exprBase{line: id.line, col: id.col}, Map: id, Key: key}
+
+		case p.accept("."):
+			member, err := p.expectMember()
+			if err != nil {
+				return nil, err
+			}
+			switch member {
+			case "balance":
+				x = &BalanceExpr{exprBase: exprBase{}, Addr: x}
+			case "transfer":
+				amt, err := p.parseSingleArg()
+				if err != nil {
+					return nil, err
+				}
+				x = &transferExpr{Target: x, Amount: amt}
+			case "send":
+				amt, err := p.parseSingleArg()
+				if err != nil {
+					return nil, err
+				}
+				x = &SendExpr{Target: x, Amount: amt}
+			case "call":
+				// .call.value(amount)()
+				if err := p.expect("."); err != nil {
+					return nil, err
+				}
+				if err := p.expect("value"); err != nil {
+					return nil, err
+				}
+				amt, err := p.parseSingleArg()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expect("("); err != nil {
+					return nil, err
+				}
+				if err := p.expect(")"); err != nil {
+					return nil, err
+				}
+				x = &CallValueExpr{Target: x, Amount: amt}
+			case "delegatecall":
+				if err := p.expect("("); err != nil {
+					return nil, err
+				}
+				var args []Expr
+				for !p.accept(")") {
+					if len(args) > 0 {
+						if err := p.expect(","); err != nil {
+							return nil, err
+						}
+					}
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+				}
+				x = &DelegateCallExpr{Target: x, Args: args}
+			default:
+				return nil, p.errorf("unknown member %q", member)
+			}
+
+		default:
+			return x, nil
+		}
+	}
+}
+
+// expectMember reads a member name after '.'; member names may collide with
+// identifiers, so accept any ident-like token.
+func (p *parser) expectMember() (string, error) {
+	t := p.cur()
+	if t.Kind != TokIdent && t.Kind != TokKeyword {
+		return "", p.errorf("expected member name, found %s", t)
+	}
+	p.next()
+	return t.Text, nil
+}
+
+func (p *parser) parseSingleArg() (Expr, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	x, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+var unitMultipliers = map[string]string{
+	"wei":    "1",
+	"finney": "1000000000000000",
+	"ether":  "1000000000000000000",
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	tok := p.cur()
+	switch {
+	case tok.Kind == TokNumber:
+		p.next()
+		n := new(big.Int)
+		if _, ok := n.SetString(tok.Text, 0); !ok {
+			return nil, p.errorf("invalid number literal %q", tok.Text)
+		}
+		// optional unit suffix
+		if mul, ok := unitMultipliers[p.peekText()]; ok {
+			p.next()
+			m, _ := new(big.Int).SetString(mul, 10)
+			n.Mul(n, m)
+		}
+		return &NumberLit{exprBase: at(tok), Value: u256.FromBig(n)}, nil
+
+	case tok.Text == "true" || tok.Text == "false":
+		p.next()
+		return &BoolLit{exprBase: at(tok), Value: tok.Text == "true"}, nil
+
+	case tok.Text == "msg":
+		p.next()
+		if err := p.expect("."); err != nil {
+			return nil, err
+		}
+		m, err := p.expectMember()
+		if err != nil {
+			return nil, err
+		}
+		if m != "sender" && m != "value" {
+			return nil, p.errorf("unknown msg member %q", m)
+		}
+		return &EnvExpr{exprBase: at(tok), Name: "msg." + m}, nil
+
+	case tok.Text == "tx":
+		p.next()
+		if err := p.expect("."); err != nil {
+			return nil, err
+		}
+		m, err := p.expectMember()
+		if err != nil {
+			return nil, err
+		}
+		if m != "origin" {
+			return nil, p.errorf("unknown tx member %q", m)
+		}
+		return &EnvExpr{exprBase: at(tok), Name: "tx.origin"}, nil
+
+	case tok.Text == "block":
+		p.next()
+		if err := p.expect("."); err != nil {
+			return nil, err
+		}
+		m, err := p.expectMember()
+		if err != nil {
+			return nil, err
+		}
+		if m != "timestamp" && m != "number" {
+			return nil, p.errorf("unknown block member %q", m)
+		}
+		return &EnvExpr{exprBase: at(tok), Name: "block." + m}, nil
+
+	case tok.Text == "now":
+		p.next()
+		return &EnvExpr{exprBase: at(tok), Name: "block.timestamp"}, nil
+
+	case tok.Text == "this":
+		p.next()
+		return &EnvExpr{exprBase: at(tok), Name: "this"}, nil
+
+	case tok.Text == "keccak256":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		var args []Expr
+		for !p.accept(")") {
+			if len(args) > 0 {
+				if err := p.expect(","); err != nil {
+					return nil, err
+				}
+			}
+			a, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+		}
+		if len(args) == 0 {
+			return nil, p.errorf("keccak256 needs at least one argument")
+		}
+		return &KeccakExpr{exprBase: at(tok), Args: args}, nil
+
+	case isTypeKeyword(tok.Text):
+		// cast: type '(' expr ')'
+		ty := simpleType(tok.Text)
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return &CastExpr{exprBase: at(tok), To: ty, X: x}, nil
+
+	case tok.Kind == TokIdent:
+		p.next()
+		return &Ident{exprBase: at(tok), Name: tok.Text}, nil
+
+	case tok.Text == "(":
+		p.next()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return nil, p.errorf("unexpected %s in expression", tok)
+}

@@ -1,0 +1,484 @@
+package minisol
+
+import (
+	"fmt"
+
+	"mufuzz/internal/u256"
+)
+
+// Checked is the output of semantic analysis: the contract with all
+// identifiers resolved, plus a type annotation for every expression.
+type Checked struct {
+	Contract *Contract
+	// Types maps every expression node to its type.
+	Types map[Expr]Type
+}
+
+// TypeOf returns the checked type of an expression.
+func (c *Checked) TypeOf(e Expr) Type {
+	return c.Types[e]
+}
+
+// paramsMemBase is where function parameters and locals live in memory.
+// 0x00..0x3f is scratch (keccak, returns); 0x400+ stages external call data.
+const paramsMemBase = 0x80
+
+// checker walks the AST resolving names and checking types.
+type checker struct {
+	contract *Contract
+	types    map[Expr]Type
+	// function scope
+	fn     *Function
+	locals map[string]*Binding
+	nLocal int
+}
+
+// Check runs semantic analysis over a parsed contract.
+func Check(c *Contract) (*Checked, error) {
+	ck := &checker{contract: c, types: make(map[Expr]Type)}
+
+	// State variable initializers are evaluated in constructor context.
+	for i := range c.StateVars {
+		sv := &c.StateVars[i]
+		if sv.Init == nil {
+			continue
+		}
+		ty, err := ck.checkExpr(sv.Init)
+		if err != nil {
+			return nil, fmt.Errorf("initializer of %s: %w", sv.Name, err)
+		}
+		if !assignable(sv.Type, ty) {
+			return nil, fmt.Errorf("minisol: cannot initialize %s (%s) with %s", sv.Name, sv.Type, ty)
+		}
+	}
+
+	if c.Ctor != nil {
+		if err := ck.checkFunction(c.Ctor); err != nil {
+			return nil, err
+		}
+	}
+	for i := range c.Functions {
+		if err := ck.checkFunction(&c.Functions[i]); err != nil {
+			return nil, err
+		}
+	}
+	return &Checked{Contract: c, Types: ck.types}, nil
+}
+
+// assignable reports whether a value of type src can be stored into dst.
+// Word types (uint/int/bytes32) interconvert freely, as EVM words do.
+func assignable(dst, src Type) bool {
+	if dst.Kind == src.Kind {
+		return true
+	}
+	if dst.isWord() && src.isWord() {
+		return true
+	}
+	return false
+}
+
+func (ck *checker) checkFunction(fn *Function) error {
+	ck.fn = fn
+	ck.locals = make(map[string]*Binding)
+	ck.nLocal = 0
+	for i, p := range fn.Params {
+		if _, dup := ck.locals[p.Name]; dup {
+			return fmt.Errorf("minisol: %s: duplicate parameter %q", fn.Name, p.Name)
+		}
+		if _, shadow := ck.contract.StateVarByName(p.Name); shadow {
+			return fmt.Errorf("minisol: %s: parameter %q shadows a state variable", fn.Name, p.Name)
+		}
+		ck.locals[p.Name] = &Binding{
+			Kind:      BindParam,
+			Type:      p.Type,
+			MemOffset: uint64(paramsMemBase + 32*i),
+			Index:     i,
+			Name:      p.Name,
+		}
+		ck.nLocal++
+	}
+	return ck.checkBlock(fn.Body)
+}
+
+func (ck *checker) checkBlock(stmts []Stmt) error {
+	for _, s := range stmts {
+		if err := ck.checkStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ck *checker) checkStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *VarDeclStmt:
+		if st.Type.Kind == TyMapping {
+			return fmt.Errorf("minisol: %s: local mappings are not supported", ck.fn.Name)
+		}
+		if _, dup := ck.locals[st.Name]; dup {
+			return fmt.Errorf("minisol: %s: duplicate local %q", ck.fn.Name, st.Name)
+		}
+		if _, shadow := ck.contract.StateVarByName(st.Name); shadow {
+			return fmt.Errorf("minisol: %s: local %q shadows a state variable", ck.fn.Name, st.Name)
+		}
+		if st.Init != nil {
+			ty, err := ck.checkExpr(st.Init)
+			if err != nil {
+				return err
+			}
+			if !assignable(st.Type, ty) {
+				return fmt.Errorf("minisol: %s: cannot assign %s to %s %s", ck.fn.Name, ty, st.Type, st.Name)
+			}
+		}
+		b := &Binding{
+			Kind:      BindLocal,
+			Type:      st.Type,
+			MemOffset: uint64(paramsMemBase + 32*ck.nLocal),
+			Index:     ck.nLocal,
+			Name:      st.Name,
+		}
+		ck.locals[st.Name] = b
+		st.Binding = b
+		ck.nLocal++
+		return nil
+
+	case *AssignStmt:
+		tyT, err := ck.checkLValue(st.Target)
+		if err != nil {
+			return err
+		}
+		tyV, err := ck.checkExpr(st.Value)
+		if err != nil {
+			return err
+		}
+		if !assignable(tyT, tyV) {
+			return fmt.Errorf("minisol: %s: cannot assign %s to %s", ck.fn.Name, tyV, tyT)
+		}
+		if st.Op != "=" && !tyT.isWord() {
+			return fmt.Errorf("minisol: %s: %s requires numeric operands", ck.fn.Name, st.Op)
+		}
+		return nil
+
+	case *IfStmt:
+		ty, err := ck.checkExpr(st.Cond)
+		if err != nil {
+			return err
+		}
+		if ty.Kind != TyBool {
+			return fmt.Errorf("minisol: %s: if condition must be bool, got %s", ck.fn.Name, ty)
+		}
+		if err := ck.checkBlock(st.Then); err != nil {
+			return err
+		}
+		return ck.checkBlock(st.Else)
+
+	case *WhileStmt:
+		ty, err := ck.checkExpr(st.Cond)
+		if err != nil {
+			return err
+		}
+		if ty.Kind != TyBool {
+			return fmt.Errorf("minisol: %s: while condition must be bool, got %s", ck.fn.Name, ty)
+		}
+		return ck.checkBlock(st.Body)
+
+	case *RequireStmt:
+		ty, err := ck.checkExpr(st.Cond)
+		if err != nil {
+			return err
+		}
+		if ty.Kind != TyBool {
+			return fmt.Errorf("minisol: %s: require condition must be bool, got %s", ck.fn.Name, ty)
+		}
+		return nil
+
+	case *ReturnStmt:
+		if st.Value == nil {
+			if ck.fn.Returns != nil {
+				return fmt.Errorf("minisol: %s: missing return value", ck.fn.Name)
+			}
+			return nil
+		}
+		if ck.fn.Returns == nil {
+			return fmt.Errorf("minisol: %s: function has no return type", ck.fn.Name)
+		}
+		ty, err := ck.checkExpr(st.Value)
+		if err != nil {
+			return err
+		}
+		if !assignable(*ck.fn.Returns, ty) {
+			return fmt.Errorf("minisol: %s: cannot return %s as %s", ck.fn.Name, ty, ck.fn.Returns)
+		}
+		return nil
+
+	case *TransferStmt:
+		tyT, err := ck.checkExpr(st.Target)
+		if err != nil {
+			return err
+		}
+		if tyT.Kind != TyAddress {
+			return fmt.Errorf("minisol: %s: transfer target must be address, got %s", ck.fn.Name, tyT)
+		}
+		tyA, err := ck.checkExpr(st.Amount)
+		if err != nil {
+			return err
+		}
+		if !tyA.isWord() {
+			return fmt.Errorf("minisol: %s: transfer amount must be numeric, got %s", ck.fn.Name, tyA)
+		}
+		return nil
+
+	case *SelfDestructStmt:
+		ty, err := ck.checkExpr(st.Beneficiary)
+		if err != nil {
+			return err
+		}
+		if ty.Kind != TyAddress {
+			return fmt.Errorf("minisol: %s: selfdestruct beneficiary must be address, got %s", ck.fn.Name, ty)
+		}
+		return nil
+
+	case *ExprStmt:
+		_, err := ck.checkExpr(st.X)
+		return err
+
+	default:
+		return fmt.Errorf("minisol: unknown statement %T", s)
+	}
+}
+
+// checkLValue resolves an assignment target and returns its value type.
+func (ck *checker) checkLValue(e Expr) (Type, error) {
+	switch t := e.(type) {
+	case *Ident:
+		ty, err := ck.checkExpr(t)
+		if err != nil {
+			return Type{}, err
+		}
+		if ty.Kind == TyMapping {
+			return Type{}, fmt.Errorf("minisol: cannot assign to mapping %q directly", t.Name)
+		}
+		return ty, nil
+	case *IndexExpr:
+		return ck.checkExpr(t)
+	default:
+		return Type{}, fmt.Errorf("minisol: invalid assignment target %T", e)
+	}
+}
+
+func (ck *checker) checkExpr(e Expr) (Type, error) {
+	ty, err := ck.typeExpr(e)
+	if err != nil {
+		return Type{}, err
+	}
+	ck.types[e] = ty
+	return ty, nil
+}
+
+func (ck *checker) typeExpr(e Expr) (Type, error) {
+	switch t := e.(type) {
+	case *NumberLit:
+		return Type{Kind: TyUint}, nil
+	case *BoolLit:
+		return Type{Kind: TyBool}, nil
+
+	case *Ident:
+		if b, ok := ck.locals[t.Name]; ok {
+			t.Binding = b
+			return b.Type, nil
+		}
+		if sv, ok := ck.contract.StateVarByName(t.Name); ok {
+			t.Binding = &Binding{Kind: BindStateVar, Type: sv.Type, Slot: sv.Slot, Name: sv.Name}
+			return sv.Type, nil
+		}
+		line, col := t.Pos()
+		return Type{}, fmt.Errorf("minisol: line %d col %d: undefined identifier %q", line, col, t.Name)
+
+	case *EnvExpr:
+		switch t.Name {
+		case "msg.sender", "tx.origin", "this":
+			return Type{Kind: TyAddress}, nil
+		case "msg.value", "block.timestamp", "block.number":
+			return Type{Kind: TyUint}, nil
+		}
+		return Type{}, fmt.Errorf("minisol: unknown environment value %q", t.Name)
+
+	case *IndexExpr:
+		mapTy, err := ck.checkExpr(t.Map)
+		if err != nil {
+			return Type{}, err
+		}
+		if mapTy.Kind != TyMapping {
+			return Type{}, fmt.Errorf("minisol: %q is not a mapping", t.Map.Name)
+		}
+		keyTy, err := ck.checkExpr(t.Key)
+		if err != nil {
+			return Type{}, err
+		}
+		if !assignable(*mapTy.Key, keyTy) && mapTy.Key.Kind != keyTy.Kind {
+			return Type{}, fmt.Errorf("minisol: mapping %q key is %s, got %s", t.Map.Name, mapTy.Key, keyTy)
+		}
+		return *mapTy.Val, nil
+
+	case *BinaryExpr:
+		lt, err := ck.checkExpr(t.L)
+		if err != nil {
+			return Type{}, err
+		}
+		rt, err := ck.checkExpr(t.R)
+		if err != nil {
+			return Type{}, err
+		}
+		switch t.Op {
+		case "&&", "||":
+			if lt.Kind != TyBool || rt.Kind != TyBool {
+				return Type{}, fmt.Errorf("minisol: %s requires bool operands, got %s and %s", t.Op, lt, rt)
+			}
+			return Type{Kind: TyBool}, nil
+		case "==", "!=":
+			if lt.Kind == TyAddress && rt.Kind == TyAddress {
+				return Type{Kind: TyBool}, nil
+			}
+			if lt.Kind == TyBool && rt.Kind == TyBool {
+				return Type{Kind: TyBool}, nil
+			}
+			if lt.isWord() && rt.isWord() {
+				return Type{Kind: TyBool}, nil
+			}
+			return Type{}, fmt.Errorf("minisol: cannot compare %s with %s", lt, rt)
+		case "<", ">", "<=", ">=":
+			if lt.isWord() && rt.isWord() {
+				return Type{Kind: TyBool}, nil
+			}
+			return Type{}, fmt.Errorf("minisol: cannot order %s and %s", lt, rt)
+		case "+", "-", "*", "/", "%", "&", "|", "^":
+			if lt.isWord() && rt.isWord() {
+				// int dominates for signed semantics
+				if lt.Kind == TyInt || rt.Kind == TyInt {
+					return Type{Kind: TyInt}, nil
+				}
+				return Type{Kind: TyUint}, nil
+			}
+			return Type{}, fmt.Errorf("minisol: %s requires numeric operands, got %s and %s", t.Op, lt, rt)
+		}
+		return Type{}, fmt.Errorf("minisol: unknown operator %q", t.Op)
+
+	case *UnaryExpr:
+		xt, err := ck.checkExpr(t.X)
+		if err != nil {
+			return Type{}, err
+		}
+		switch t.Op {
+		case "!":
+			if xt.Kind != TyBool {
+				return Type{}, fmt.Errorf("minisol: ! requires bool, got %s", xt)
+			}
+			return Type{Kind: TyBool}, nil
+		case "-":
+			if !xt.isWord() {
+				return Type{}, fmt.Errorf("minisol: unary - requires numeric, got %s", xt)
+			}
+			return Type{Kind: TyInt}, nil
+		}
+		return Type{}, fmt.Errorf("minisol: unknown unary %q", t.Op)
+
+	case *BalanceExpr:
+		at, err := ck.checkExpr(t.Addr)
+		if err != nil {
+			return Type{}, err
+		}
+		if at.Kind != TyAddress {
+			return Type{}, fmt.Errorf("minisol: .balance requires address, got %s", at)
+		}
+		return Type{Kind: TyUint}, nil
+
+	case *KeccakExpr:
+		for _, a := range t.Args {
+			if _, err := ck.checkExpr(a); err != nil {
+				return Type{}, err
+			}
+		}
+		return Type{Kind: TyUint}, nil
+
+	case *CallValueExpr:
+		if err := ck.checkAddrAmount(t.Target, t.Amount, "call.value"); err != nil {
+			return Type{}, err
+		}
+		return Type{Kind: TyBool}, nil
+
+	case *SendExpr:
+		if err := ck.checkAddrAmount(t.Target, t.Amount, "send"); err != nil {
+			return Type{}, err
+		}
+		return Type{Kind: TyBool}, nil
+
+	case *DelegateCallExpr:
+		at, err := ck.checkExpr(t.Target)
+		if err != nil {
+			return Type{}, err
+		}
+		if at.Kind != TyAddress {
+			return Type{}, fmt.Errorf("minisol: delegatecall target must be address, got %s", at)
+		}
+		for _, a := range t.Args {
+			if _, err := ck.checkExpr(a); err != nil {
+				return Type{}, err
+			}
+		}
+		return Type{Kind: TyBool}, nil
+
+	case *CastExpr:
+		xt, err := ck.checkExpr(t.X)
+		if err != nil {
+			return Type{}, err
+		}
+		ok := false
+		switch {
+		case t.To.isWord() && (xt.isWord() || xt.Kind == TyAddress || xt.Kind == TyBool):
+			ok = true
+		case t.To.Kind == TyAddress && (xt.isWord() || xt.Kind == TyAddress):
+			ok = true
+		case t.To.Kind == TyBool && xt.Kind == TyBool:
+			ok = true
+		}
+		if !ok {
+			return Type{}, fmt.Errorf("minisol: cannot cast %s to %s", xt, t.To)
+		}
+		return t.To, nil
+
+	case *transferExpr:
+		return Type{}, fmt.Errorf("minisol: .transfer(...) is a statement, not an expression")
+
+	default:
+		return Type{}, fmt.Errorf("minisol: unknown expression %T", e)
+	}
+}
+
+func (ck *checker) checkAddrAmount(target, amount Expr, what string) error {
+	at, err := ck.checkExpr(target)
+	if err != nil {
+		return err
+	}
+	if at.Kind != TyAddress {
+		return fmt.Errorf("minisol: %s target must be address, got %s", what, at)
+	}
+	amt, err := ck.checkExpr(amount)
+	if err != nil {
+		return err
+	}
+	if !amt.isWord() {
+		return fmt.Errorf("minisol: %s amount must be numeric, got %s", what, amt)
+	}
+	return nil
+}
+
+// SlotOfMapping computes the storage slot of m[key] the way Solidity does:
+// keccak256(key . slot).
+func SlotOfMapping(mapSlot u256.Int, key u256.Int) u256.Int {
+	var buf [64]byte
+	k := key.Bytes32()
+	s := mapSlot.Bytes32()
+	copy(buf[:32], k[:])
+	copy(buf[32:], s[:])
+	return hashWords(buf[:])
+}

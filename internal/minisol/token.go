@@ -1,0 +1,201 @@
+// Package minisol implements a compiler for MiniSol, a Solidity subset rich
+// enough to express the paper's motivating contracts (the Crowdsale of Fig. 1
+// and the guess-number Game of Fig. 4), the labelled vulnerability suite, and
+// the synthetic benchmark corpora.
+//
+// The compiler mirrors the artifacts the paper's pipeline consumes (§IV-A):
+// it produces EVM bytecode, an ABI, and a typed AST from which the data-flow
+// dependency analysis derives state-variable read/write sets.
+package minisol
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind classifies lexer tokens.
+type TokKind int
+
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+	TokKeyword
+	TokPunct
+)
+
+// Token is one lexeme with position info for error messages.
+type Token struct {
+	Kind TokKind
+	Text string
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	if t.Kind == TokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+var keywords = map[string]bool{
+	"contract": true, "function": true, "constructor": true,
+	"uint256": true, "uint": true, "int256": true, "int": true,
+	"bool": true, "address": true, "bytes32": true, "mapping": true,
+	"public": true, "private": true, "internal": true, "external": true,
+	"payable": true, "view": true, "pure": true,
+	"returns": true, "return": true,
+	"if": true, "else": true, "while": true, "require": true,
+	"true": true, "false": true,
+	"msg": true, "tx": true, "block": true, "this": true, "now": true,
+	"ether": true, "finney": true, "wei": true,
+	"selfdestruct": true, "keccak256": true,
+}
+
+// multi-character punctuation, longest first.
+var multiPunct = []string{
+	"=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=", "/=",
+}
+
+// singlePunct characters.
+const singlePunct = "(){}[];,.=<>!+-*/%&|^"
+
+// lexer turns source text into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// Lex tokenizes src. Comments (// and /* */) are skipped.
+func Lex(src string) ([]Token, error) {
+	lx := &lexer{src: src, line: 1, col: 1}
+	var toks []Token
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, tok)
+		if tok.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *lexer) peekAt(off int) byte {
+	if lx.pos+off < len(lx.src) {
+		return lx.src[lx.pos+off]
+	}
+	return 0
+}
+
+func (lx *lexer) advance(n int) {
+	for i := 0; i < n && lx.pos < len(lx.src); i++ {
+		if lx.src[lx.pos] == '\n' {
+			lx.line++
+			lx.col = 1
+		} else {
+			lx.col++
+		}
+		lx.pos++
+	}
+}
+
+func (lx *lexer) skipSpaceAndComments() error {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance(1)
+		case c == '/' && lx.peekAt(1) == '/':
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.advance(1)
+			}
+		case c == '/' && lx.peekAt(1) == '*':
+			start := lx.line
+			lx.advance(2)
+			for {
+				if lx.pos >= len(lx.src) {
+					return fmt.Errorf("minisol: unterminated block comment starting line %d", start)
+				}
+				if lx.src[lx.pos] == '*' && lx.peekAt(1) == '/' {
+					lx.advance(2)
+					break
+				}
+				lx.advance(1)
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func (lx *lexer) next() (Token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	if lx.pos >= len(lx.src) {
+		return Token{Kind: TokEOF, Line: lx.line, Col: lx.col}, nil
+	}
+	line, col := lx.line, lx.col
+	c := lx.src[lx.pos]
+
+	// identifiers / keywords
+	if unicode.IsLetter(rune(c)) || c == '_' {
+		start := lx.pos
+		for lx.pos < len(lx.src) {
+			r := rune(lx.src[lx.pos])
+			if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' {
+				break
+			}
+			lx.advance(1)
+		}
+		text := lx.src[start:lx.pos]
+		kind := TokIdent
+		if keywords[text] {
+			kind = TokKeyword
+		}
+		return Token{Kind: kind, Text: text, Line: line, Col: col}, nil
+	}
+
+	// numbers: decimal, hex, with optional underscores
+	if unicode.IsDigit(rune(c)) {
+		start := lx.pos
+		if c == '0' && (lx.peekAt(1) == 'x' || lx.peekAt(1) == 'X') {
+			lx.advance(2)
+			for lx.pos < len(lx.src) && isHexDigit(lx.src[lx.pos]) {
+				lx.advance(1)
+			}
+		} else {
+			for lx.pos < len(lx.src) && (unicode.IsDigit(rune(lx.src[lx.pos])) || lx.src[lx.pos] == '_') {
+				lx.advance(1)
+			}
+		}
+		text := strings.ReplaceAll(lx.src[start:lx.pos], "_", "")
+		return Token{Kind: TokNumber, Text: text, Line: line, Col: col}, nil
+	}
+
+	// multi-char punct
+	for _, p := range multiPunct {
+		if strings.HasPrefix(lx.src[lx.pos:], p) {
+			lx.advance(len(p))
+			return Token{Kind: TokPunct, Text: p, Line: line, Col: col}, nil
+		}
+	}
+
+	if strings.IndexByte(singlePunct, c) >= 0 {
+		lx.advance(1)
+		return Token{Kind: TokPunct, Text: string(c), Line: line, Col: col}, nil
+	}
+
+	return Token{}, fmt.Errorf("minisol: unexpected character %q at line %d col %d", c, line, col)
+}
+
+func isHexDigit(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}

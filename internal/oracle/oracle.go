@@ -1,0 +1,273 @@
+// Package oracle implements the nine bug oracles of paper §IV-D. Oracles
+// consume EVM execution traces (taint sinks, call events, overflow events,
+// reentry events) plus a little campaign-level state, and emit findings.
+package oracle
+
+import (
+	"fmt"
+	"sort"
+
+	"mufuzz/internal/analysis"
+	"mufuzz/internal/evm"
+	"mufuzz/internal/state"
+	"mufuzz/internal/u256"
+)
+
+// BugClass identifies one of the nine vulnerability classes of Table I.
+type BugClass string
+
+// The nine bug classes.
+const (
+	BD BugClass = "BD" // block dependency
+	UD BugClass = "UD" // unprotected delegatecall
+	EF BugClass = "EF" // ether freezing
+	IO BugClass = "IO" // integer over-/under-flow
+	RE BugClass = "RE" // reentrancy
+	US BugClass = "US" // unprotected selfdestruct
+	SE BugClass = "SE" // strict ether equality
+	TO BugClass = "TO" // tx.origin use
+	UE BugClass = "UE" // unhandled exception
+)
+
+// AllClasses lists every bug class in report order.
+var AllClasses = []BugClass{BD, UD, EF, IO, RE, US, SE, TO, UE}
+
+// Finding is one detected vulnerability instance.
+type Finding struct {
+	Class       BugClass
+	Addr        state.Address
+	PC          uint64
+	Description string
+}
+
+// Key dedups findings per (class, location).
+func (f Finding) Key() string {
+	return fmt.Sprintf("%s@%s:%d", f.Class, f.Addr, f.PC)
+}
+
+// Detector accumulates findings for one contract across a fuzzing campaign.
+type Detector struct {
+	addr state.Address
+
+	// static facts about the code, for the ether-freezing oracle
+	hasValueOutOp bool
+
+	receivedValue bool
+	findings      map[string]Finding
+}
+
+// NewDetector builds a detector for the contract at addr with the given
+// runtime code. The code is scanned once for value-out instructions (CALL,
+// DELEGATECALL, SELFDESTRUCT) — a contract with none of them can never move
+// ether out, the static half of the EF oracle.
+func NewDetector(addr state.Address, code []byte) *Detector {
+	d := &Detector{addr: addr, findings: make(map[string]Finding)}
+	for _, ins := range analysis.Disassemble(code) {
+		switch ins.Op {
+		case evm.CALL, evm.DELEGATECALL, evm.SELFDESTRUCT:
+			d.hasValueOutOp = true
+		}
+	}
+	return d
+}
+
+func (d *Detector) add(f Finding) {
+	if _, dup := d.findings[f.Key()]; !dup {
+		d.findings[f.Key()] = f
+	}
+}
+
+// Inspect applies all per-transaction oracles to one execution trace.
+// txValue is the value sent with the transaction, txOK whether it succeeded.
+// It returns the bug classes newly discovered by this trace (empty for
+// repeats of known findings).
+func (d *Detector) Inspect(tr *evm.Trace, txValue u256.Int, txOK bool) []BugClass {
+	if tr == nil {
+		return nil
+	}
+	if txOK && !txValue.IsZero() {
+		d.receivedValue = true
+	}
+	before := make(map[BugClass]bool)
+	for _, f := range d.findings {
+		before[f.Class] = true
+	}
+
+	d.inspectSinks(tr)
+	d.inspectOverflows(tr)
+	d.inspectCalls(tr)
+	d.inspectReentry(tr)
+	d.inspectSelfDestructs(tr)
+	d.inspectDelegates(tr)
+
+	var fresh []BugClass
+	seen := make(map[BugClass]bool)
+	for _, f := range d.findings {
+		if !before[f.Class] && !seen[f.Class] {
+			fresh = append(fresh, f.Class)
+			seen[f.Class] = true
+		}
+	}
+	return fresh
+}
+
+// inspectSinks covers BD, SE, and TO, which are all source→sink taint rules.
+func (d *Detector) inspectSinks(tr *evm.Trace) {
+	for _, s := range tr.Sinks {
+		if s.Addr != d.addr {
+			continue
+		}
+		// BD: block state contaminates a CALL, JUMPI, or comparison.
+		if s.Taint&(evm.TaintTimestamp|evm.TaintNumber) != 0 {
+			switch s.Kind {
+			case evm.SinkJumpCond, evm.SinkCompare, evm.SinkCallValue, evm.SinkCallTarget:
+				d.add(Finding{
+					Class: BD, Addr: s.Addr, PC: s.PC,
+					Description: "block state (timestamp/number) influences a branch or call",
+				})
+			}
+		}
+		// SE: BALANCE flows into a strict equality comparison.
+		if s.Kind == evm.SinkEq && s.Taint.Has(evm.TaintBalance) {
+			d.add(Finding{
+				Class: SE, Addr: s.Addr, PC: s.PC,
+				Description: "contract balance compared with strict equality",
+			})
+		}
+		// TO: tx.origin used in a comparison (authentication misuse).
+		if (s.Kind == evm.SinkCompare || s.Kind == evm.SinkEq || s.Kind == evm.SinkJumpCond) &&
+			s.Taint.Has(evm.TaintOrigin) {
+			d.add(Finding{
+				Class: TO, Addr: s.Addr, PC: s.PC,
+				Description: "tx.origin used in a comparison/guard",
+			})
+		}
+	}
+}
+
+// inspectOverflows covers IO: a wrapping ADD/SUB/MUL whose result reached
+// persistent storage or a call value in the same transaction.
+func (d *Detector) inspectOverflows(tr *evm.Trace) {
+	if len(tr.Overflows) == 0 {
+		return
+	}
+	sinkSeen := false
+	for _, s := range tr.Sinks {
+		if s.Addr == d.addr && s.Taint.Has(evm.TaintOverflow) &&
+			(s.Kind == evm.SinkStore || s.Kind == evm.SinkCallValue) {
+			sinkSeen = true
+			break
+		}
+	}
+	if !sinkSeen {
+		return
+	}
+	for _, ov := range tr.Overflows {
+		if ov.Addr != d.addr {
+			continue
+		}
+		d.add(Finding{
+			Class: IO, Addr: ov.Addr, PC: ov.PC,
+			Description: fmt.Sprintf("%s wraps mod 2^256 and the result persists", ov.Op),
+		})
+	}
+}
+
+// inspectCalls covers UE: an external call failed and its status word was
+// never consumed by a conditional jump.
+func (d *Detector) inspectCalls(tr *evm.Trace) {
+	for _, c := range tr.Calls {
+		if c.From != d.addr || c.Op != evm.CALL {
+			continue
+		}
+		if !c.Success && !c.Checked {
+			d.add(Finding{
+				Class: UE, Addr: c.From, PC: uint64(c.ID),
+				Description: "external call failed and the status was not checked",
+			})
+		}
+	}
+}
+
+// inspectReentry covers RE: the contract was re-entered while an outer
+// value-bearing call with more than the gas stipend was in flight.
+func (d *Detector) inspectReentry(tr *evm.Trace) {
+	for _, r := range tr.Reentries {
+		if r.Addr != d.addr || !r.EnabledByValueCall {
+			continue
+		}
+		d.add(Finding{
+			Class: RE, Addr: r.Addr, PC: 0,
+			Description: "contract re-entered during a value call with forwarded gas",
+		})
+	}
+}
+
+// inspectSelfDestructs covers US: SELFDESTRUCT executed by a caller that is
+// neither the creator nor sent by the creator.
+func (d *Detector) inspectSelfDestructs(tr *evm.Trace) {
+	for _, sd := range tr.SelfDestructs {
+		if sd.Addr != d.addr {
+			continue
+		}
+		if !sd.CallerIsCreator && !sd.OriginIsCreator {
+			d.add(Finding{
+				Class: US, Addr: sd.Addr, PC: 0,
+				Description: "selfdestruct reachable by a non-owner caller",
+			})
+		}
+	}
+}
+
+// inspectDelegates covers UD: DELEGATECALL whose target or input derives
+// from transaction input, executed without an owner guard.
+func (d *Detector) inspectDelegates(tr *evm.Trace) {
+	for _, dg := range tr.Delegates {
+		if dg.Addr != d.addr {
+			continue
+		}
+		userControlled := dg.TargetTaint.Has(evm.TaintInput) || dg.InputTaint.Has(evm.TaintInput)
+		if userControlled && !dg.CallerIsCreator {
+			d.add(Finding{
+				Class: UD, Addr: dg.Addr, PC: 0,
+				Description: "delegatecall with user-controlled target reachable by non-owner",
+			})
+		}
+	}
+}
+
+// Finalize applies campaign-level oracles (EF) and returns all findings in
+// deterministic order.
+func (d *Detector) Finalize() []Finding {
+	// EF: the contract accepted ether during the campaign but its code
+	// contains no instruction that could ever move value out.
+	if d.receivedValue && !d.hasValueOutOp {
+		d.add(Finding{
+			Class: EF, Addr: d.addr, PC: 0,
+			Description: "contract accepts ether but has no value-transferring instruction",
+		})
+	}
+	out := make([]Finding, 0, len(d.findings))
+	for _, f := range d.findings {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Class != out[j].Class {
+			return out[i].Class < out[j].Class
+		}
+		return out[i].PC < out[j].PC
+	})
+	return out
+}
+
+// Classes returns the distinct bug classes found so far.
+func (d *Detector) Classes() map[BugClass]bool {
+	out := make(map[BugClass]bool)
+	for _, f := range d.findings {
+		out[f.Class] = true
+	}
+	if d.receivedValue && !d.hasValueOutOp {
+		out[EF] = true
+	}
+	return out
+}

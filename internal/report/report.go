@@ -1,0 +1,165 @@
+// Package report renders fuzzing campaign results for humans (text) and
+// machines (JSON): coverage, per-class findings, proof-of-concept sequences,
+// and the coverage timeline. The mufuzz CLI uses it for -json output; CI
+// pipelines can parse the JSON to gate on new findings.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"mufuzz/internal/fuzz"
+	"mufuzz/internal/oracle"
+)
+
+// Report is the serializable summary of one campaign.
+type Report struct {
+	Contract string    `json:"contract"`
+	Strategy string    `json:"strategy"`
+	When     time.Time `json:"when,omitempty"`
+
+	Executions   int     `json:"executions"`
+	ElapsedMS    int64   `json:"elapsed_ms"`
+	Coverage     float64 `json:"coverage"`
+	CoveredEdges int     `json:"covered_edges"`
+	TotalEdges   int     `json:"total_edges"`
+
+	Findings []FindingEntry  `json:"findings"`
+	Timeline []TimelineEntry `json:"timeline,omitempty"`
+}
+
+// FindingEntry is one finding with its PoC call order.
+type FindingEntry struct {
+	Class       string   `json:"class"`
+	Description string   `json:"description"`
+	PC          uint64   `json:"pc"`
+	PoC         []string `json:"poc,omitempty"` // function call order
+}
+
+// TimelineEntry samples coverage growth.
+type TimelineEntry struct {
+	Executions int     `json:"executions"`
+	Coverage   float64 `json:"coverage"`
+}
+
+// New builds a report from a campaign result.
+func New(contract string, res *fuzz.Result) *Report {
+	r := &Report{
+		Contract:     contract,
+		Strategy:     res.Strategy,
+		When:         time.Now().UTC(),
+		Executions:   res.Executions,
+		ElapsedMS:    res.Elapsed.Milliseconds(),
+		Coverage:     res.Coverage,
+		CoveredEdges: res.CoveredEdges,
+		TotalEdges:   res.TotalEdges,
+	}
+	for _, f := range res.Findings {
+		entry := FindingEntry{
+			Class:       string(f.Class),
+			Description: f.Description,
+			PC:          f.PC,
+		}
+		if seq, ok := res.Repro[f.Class]; ok {
+			for _, tx := range seq {
+				entry.PoC = append(entry.PoC, tx.Func)
+			}
+		}
+		r.Findings = append(r.Findings, entry)
+	}
+	sort.Slice(r.Findings, func(i, j int) bool {
+		if r.Findings[i].Class != r.Findings[j].Class {
+			return r.Findings[i].Class < r.Findings[j].Class
+		}
+		return r.Findings[i].PC < r.Findings[j].PC
+	})
+	for _, tp := range res.Timeline {
+		r.Timeline = append(r.Timeline, TimelineEntry{
+			Executions: tp.Executions,
+			Coverage:   tp.Coverage,
+		})
+	}
+	return r
+}
+
+// Classes returns the distinct bug classes in the report.
+func (r *Report) Classes() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, f := range r.Findings {
+		if !seen[f.Class] {
+			seen[f.Class] = true
+			out = append(out, f.Class)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasClass reports whether the campaign found the given class.
+func (r *Report) HasClass(c oracle.BugClass) bool {
+	for _, f := range r.Findings {
+		if f.Class == string(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteJSON serializes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ParseJSON reads a report back (for CI gating on previous runs).
+func ParseJSON(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("report: %w", err)
+	}
+	return &r, nil
+}
+
+// WriteText renders a human-readable summary.
+func (r *Report) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "contract %s — fuzzed with %s\n", r.Contract, r.Strategy)
+	fmt.Fprintf(w, "  executions: %d in %dms\n", r.Executions, r.ElapsedMS)
+	fmt.Fprintf(w, "  coverage:   %.1f%% (%d/%d edges)\n", r.Coverage*100, r.CoveredEdges, r.TotalEdges)
+	if len(r.Findings) == 0 {
+		fmt.Fprintln(w, "  findings:   none")
+		return
+	}
+	fmt.Fprintf(w, "  findings:   %d (%s)\n", len(r.Findings), strings.Join(r.Classes(), ", "))
+	for _, f := range r.Findings {
+		fmt.Fprintf(w, "    [%s] %s\n", f.Class, f.Description)
+		if len(f.PoC) > 0 {
+			fmt.Fprintf(w, "         PoC: %s\n", strings.Join(f.PoC, " → "))
+		}
+	}
+}
+
+// Diff compares two reports and returns the bug classes present in the new
+// report but absent from the old one — the regression signal a CI gate
+// cares about.
+func Diff(old, new *Report) []string {
+	had := map[string]bool{}
+	for _, f := range old.Findings {
+		had[f.Class] = true
+	}
+	var fresh []string
+	seen := map[string]bool{}
+	for _, f := range new.Findings {
+		if !had[f.Class] && !seen[f.Class] {
+			fresh = append(fresh, f.Class)
+			seen[f.Class] = true
+		}
+	}
+	sort.Strings(fresh)
+	return fresh
+}

@@ -1,0 +1,104 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mufuzz/internal/fuzz"
+	"mufuzz/internal/minisol"
+	"mufuzz/internal/oracle"
+)
+
+func campaignResult(t *testing.T) *fuzz.Result {
+	t.Helper()
+	comp, err := minisol.Compile(`contract R {
+		uint256 acc;
+		function f(uint256 n) public { acc -= n; }
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fuzz.Run(comp, fuzz.Options{Strategy: fuzz.MuFuzz(), Seed: 1, Iterations: 300})
+}
+
+func TestNewReportFromResult(t *testing.T) {
+	res := campaignResult(t)
+	r := New("R", res)
+	if r.Contract != "R" || r.Strategy != "MuFuzz" {
+		t.Errorf("header wrong: %+v", r)
+	}
+	if r.Executions != res.Executions || r.Coverage != res.Coverage {
+		t.Error("metrics not copied")
+	}
+	if !r.HasClass(oracle.IO) {
+		t.Fatalf("IO missing: %v", r.Classes())
+	}
+	// the IO finding carries its PoC call order
+	var poc []string
+	for _, f := range r.Findings {
+		if f.Class == "IO" {
+			poc = f.PoC
+		}
+	}
+	if len(poc) == 0 || poc[0] != minisol.CtorName {
+		t.Errorf("PoC = %v, want ctor-led sequence", poc)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r := New("R", campaignResult(t))
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseJSON(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Contract != r.Contract || len(back.Findings) != len(r.Findings) {
+		t.Error("round trip lost data")
+	}
+	if back.Coverage != r.Coverage {
+		t.Error("coverage lost")
+	}
+}
+
+func TestParseJSONRejectsGarbage(t *testing.T) {
+	if _, err := ParseJSON([]byte("{nope")); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := New("R", campaignResult(t))
+	var buf bytes.Buffer
+	r.WriteText(&buf)
+	out := buf.String()
+	for _, want := range []string{"contract R", "coverage:", "[IO]", "PoC:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteTextNoFindings(t *testing.T) {
+	r := &Report{Contract: "clean", Strategy: "MuFuzz"}
+	var buf bytes.Buffer
+	r.WriteText(&buf)
+	if !strings.Contains(buf.String(), "none") {
+		t.Error("clean report should say none")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	old := &Report{Findings: []FindingEntry{{Class: "IO"}}}
+	new := &Report{Findings: []FindingEntry{{Class: "IO"}, {Class: "RE"}, {Class: "RE"}}}
+	fresh := Diff(old, new)
+	if len(fresh) != 1 || fresh[0] != "RE" {
+		t.Errorf("diff = %v, want [RE]", fresh)
+	}
+	if got := Diff(new, old); len(got) != 0 {
+		t.Errorf("reverse diff = %v, want empty", got)
+	}
+}

@@ -1,0 +1,289 @@
+// Package state implements the Ethereum world state the EVM executes
+// against: accounts with balances, code, and key-value Storage, plus
+// journaled snapshots so a fuzzing campaign can cheaply roll back failed
+// transactions and replay sequences from a clean deployment.
+//
+// Smart contracts are stateful programs (paper §I): the whole point of
+// sequence-aware fuzzing is that persistent Storage survives between
+// transactions. This package is that persistence layer.
+package state
+
+import (
+	"fmt"
+	"sort"
+
+	"mufuzz/internal/u256"
+)
+
+// Address is a 20-byte account address.
+type Address [20]byte
+
+// AddressFromUint derives a deterministic address from an integer; handy for
+// test and fuzzing identities.
+func AddressFromUint(v uint64) Address {
+	var a Address
+	for i := 0; i < 8; i++ {
+		a[19-i] = byte(v >> (8 * i))
+	}
+	return a
+}
+
+// AddressFromWord truncates a 256-bit word to its low 20 bytes.
+func AddressFromWord(w u256.Int) Address {
+	b := w.Bytes32()
+	var a Address
+	copy(a[:], b[12:])
+	return a
+}
+
+// Word widens the address back to a 256-bit word.
+func (a Address) Word() u256.Int {
+	return u256.FromBytes(a[:])
+}
+
+// String formats the address as 0x-prefixed hex.
+func (a Address) String() string {
+	return fmt.Sprintf("0x%x", a[:])
+}
+
+// Account is one entry in the world state.
+type Account struct {
+	Balance u256.Int
+	Code    []byte
+	Storage map[u256.Int]u256.Int
+	// Creator is the address that deployed the account's code. Oracles use
+	// it to decide whether a caller is the legitimate owner (e.g. the US and
+	// UD oracles, paper §IV-D).
+	Creator Address
+	// Destroyed marks the account as self-destructed.
+	Destroyed bool
+}
+
+// journalEntry records one reversible state change.
+type journalEntry struct {
+	kind    journalKind
+	addr    Address
+	slot    u256.Int
+	prevVal u256.Int
+	prevBal u256.Int
+	created bool // account did not exist before
+	prevDes bool
+}
+
+type journalKind uint8
+
+const (
+	jStorage journalKind = iota
+	jBalance
+	jCreate
+	jDestroy
+)
+
+// State is the mutable world state with snapshot/revert support.
+type State struct {
+	accounts map[Address]*Account
+	journal  []journalEntry
+}
+
+// New returns an empty world state.
+func New() *State {
+	return &State{accounts: make(map[Address]*Account)}
+}
+
+// getOrCreate returns the account, creating (and journaling) it if needed.
+func (s *State) getOrCreate(addr Address) *Account {
+	if acc, ok := s.accounts[addr]; ok {
+		return acc
+	}
+	acc := &Account{Storage: make(map[u256.Int]u256.Int)}
+	s.accounts[addr] = acc
+	s.journal = append(s.journal, journalEntry{kind: jCreate, addr: addr, created: true})
+	return acc
+}
+
+// Exists reports whether an account is present.
+func (s *State) Exists(addr Address) bool {
+	_, ok := s.accounts[addr]
+	return ok
+}
+
+// CreateContract installs code at addr, recording its creator.
+func (s *State) CreateContract(addr Address, code []byte, creator Address) {
+	acc := s.getOrCreate(addr)
+	acc.Code = code
+	acc.Creator = creator
+}
+
+// Code returns the code at addr (nil for absent accounts).
+func (s *State) Code(addr Address) []byte {
+	if acc, ok := s.accounts[addr]; ok && !acc.Destroyed {
+		return acc.Code
+	}
+	return nil
+}
+
+// Creator returns the deployer of addr.
+func (s *State) Creator(addr Address) Address {
+	if acc, ok := s.accounts[addr]; ok {
+		return acc.Creator
+	}
+	return Address{}
+}
+
+// GetStorage reads a storage slot (zero for absent slots).
+func (s *State) GetStorage(addr Address, slot u256.Int) u256.Int {
+	if acc, ok := s.accounts[addr]; ok {
+		return acc.Storage[slot]
+	}
+	return u256.Zero
+}
+
+// SetStorage writes a storage slot, journaling the previous value.
+func (s *State) SetStorage(addr Address, slot, val u256.Int) {
+	acc := s.getOrCreate(addr)
+	prev := acc.Storage[slot]
+	s.journal = append(s.journal, journalEntry{kind: jStorage, addr: addr, slot: slot, prevVal: prev})
+	if val.IsZero() {
+		delete(acc.Storage, slot)
+	} else {
+		acc.Storage[slot] = val
+	}
+}
+
+// Balance returns the balance of addr.
+func (s *State) Balance(addr Address) u256.Int {
+	if acc, ok := s.accounts[addr]; ok {
+		return acc.Balance
+	}
+	return u256.Zero
+}
+
+// SetBalance overwrites the balance of addr, journaling the previous value.
+func (s *State) SetBalance(addr Address, bal u256.Int) {
+	acc := s.getOrCreate(addr)
+	s.journal = append(s.journal, journalEntry{kind: jBalance, addr: addr, prevBal: acc.Balance})
+	acc.Balance = bal
+}
+
+// AddBalance credits addr by amount (wrapping per EVM semantics).
+func (s *State) AddBalance(addr Address, amount u256.Int) {
+	s.SetBalance(addr, s.Balance(addr).Add(amount))
+}
+
+// Transfer moves value from one account to another. It returns false (and
+// leaves state untouched) when the sender balance is insufficient.
+func (s *State) Transfer(from, to Address, value u256.Int) bool {
+	if value.IsZero() {
+		return true
+	}
+	bal := s.Balance(from)
+	if bal.Lt(value) {
+		return false
+	}
+	s.SetBalance(from, bal.Sub(value))
+	s.AddBalance(to, value)
+	return true
+}
+
+// Destroy marks addr self-destructed and moves its balance to beneficiary.
+func (s *State) Destroy(addr, beneficiary Address) {
+	acc := s.getOrCreate(addr)
+	s.journal = append(s.journal, journalEntry{kind: jDestroy, addr: addr, prevDes: acc.Destroyed, prevBal: acc.Balance})
+	if !acc.Destroyed {
+		s.AddBalance(beneficiary, acc.Balance)
+		// Direct mutation: the balance restore is handled by the jDestroy entry.
+		acc.Balance = u256.Zero
+		acc.Destroyed = true
+	}
+}
+
+// Destroyed reports whether addr has self-destructed.
+func (s *State) Destroyed(addr Address) bool {
+	if acc, ok := s.accounts[addr]; ok {
+		return acc.Destroyed
+	}
+	return false
+}
+
+// Snapshot returns a revision token for the current state.
+func (s *State) Snapshot() int {
+	return len(s.journal)
+}
+
+// RevertTo undoes every change after the given snapshot token.
+func (s *State) RevertTo(snap int) {
+	if snap < 0 || snap > len(s.journal) {
+		panic(fmt.Sprintf("state: invalid snapshot %d (journal %d)", snap, len(s.journal)))
+	}
+	for i := len(s.journal) - 1; i >= snap; i-- {
+		e := s.journal[i]
+		acc := s.accounts[e.addr]
+		switch e.kind {
+		case jStorage:
+			if e.prevVal.IsZero() {
+				delete(acc.Storage, e.slot)
+			} else {
+				acc.Storage[e.slot] = e.prevVal
+			}
+		case jBalance:
+			acc.Balance = e.prevBal
+		case jCreate:
+			delete(s.accounts, e.addr)
+		case jDestroy:
+			acc.Destroyed = e.prevDes
+			acc.Balance = e.prevBal
+		}
+	}
+	s.journal = s.journal[:snap]
+}
+
+// Commit discards journal history, making all changes permanent. Snapshot
+// tokens taken before Commit become invalid.
+func (s *State) Commit() {
+	s.journal = s.journal[:0]
+}
+
+// Copy returns a deep copy sharing nothing with the receiver. The copy has
+// an empty journal.
+func (s *State) Copy() *State {
+	ns := New()
+	for addr, acc := range s.accounts {
+		na := &Account{
+			Balance:   acc.Balance,
+			Code:      append([]byte(nil), acc.Code...),
+			Storage:   make(map[u256.Int]u256.Int, len(acc.Storage)),
+			Creator:   acc.Creator,
+			Destroyed: acc.Destroyed,
+		}
+		for k, v := range acc.Storage {
+			na.Storage[k] = v
+		}
+		ns.accounts[addr] = na
+	}
+	return ns
+}
+
+// Accounts returns all addresses in deterministic order.
+func (s *State) Accounts() []Address {
+	out := make([]Address, 0, len(s.accounts))
+	for a := range s.accounts {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for k := 0; k < len(out[i]); k++ {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// StorageSize returns the number of non-zero slots at addr.
+func (s *State) StorageSize(addr Address) int {
+	if acc, ok := s.accounts[addr]; ok {
+		return len(acc.Storage)
+	}
+	return 0
+}

@@ -1,0 +1,252 @@
+package state
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mufuzz/internal/u256"
+)
+
+func TestAddressConversions(t *testing.T) {
+	a := AddressFromUint(0xdeadbeef)
+	if got := AddressFromWord(a.Word()); got != a {
+		t.Errorf("round trip failed: %v vs %v", got, a)
+	}
+	w := u256.Max
+	a2 := AddressFromWord(w)
+	if a2.Word().BitLen() > 160 {
+		t.Error("AddressFromWord should truncate to 160 bits")
+	}
+}
+
+func TestStorageReadWrite(t *testing.T) {
+	s := New()
+	addr := AddressFromUint(1)
+	slot := u256.New(42)
+	if !s.GetStorage(addr, slot).IsZero() {
+		t.Error("absent slot should read zero")
+	}
+	s.SetStorage(addr, slot, u256.New(7))
+	if !s.GetStorage(addr, slot).Eq(u256.New(7)) {
+		t.Error("storage write lost")
+	}
+	s.SetStorage(addr, slot, u256.Zero)
+	if s.StorageSize(addr) != 0 {
+		t.Error("zero write should delete slot")
+	}
+}
+
+func TestSnapshotRevert(t *testing.T) {
+	s := New()
+	a := AddressFromUint(1)
+	b := AddressFromUint(2)
+	s.SetBalance(a, u256.New(100))
+	s.SetStorage(a, u256.New(1), u256.New(11))
+	s.Commit()
+
+	snap := s.Snapshot()
+	s.SetStorage(a, u256.New(1), u256.New(22))
+	s.SetStorage(a, u256.New(2), u256.New(33))
+	s.SetBalance(b, u256.New(5))
+	s.Transfer(a, b, u256.New(50))
+	if !s.Balance(b).Eq(u256.New(55)) {
+		t.Fatalf("balance b = %s", s.Balance(b))
+	}
+	s.RevertTo(snap)
+
+	if !s.GetStorage(a, u256.New(1)).Eq(u256.New(11)) {
+		t.Error("slot 1 not reverted")
+	}
+	if !s.GetStorage(a, u256.New(2)).IsZero() {
+		t.Error("slot 2 not reverted")
+	}
+	if !s.Balance(a).Eq(u256.New(100)) {
+		t.Errorf("balance a = %s, want 100", s.Balance(a))
+	}
+	if s.Exists(b) {
+		t.Error("account b should have been un-created")
+	}
+}
+
+func TestNestedSnapshots(t *testing.T) {
+	s := New()
+	a := AddressFromUint(1)
+	s.SetStorage(a, u256.New(0), u256.New(1))
+	outer := s.Snapshot()
+	s.SetStorage(a, u256.New(0), u256.New(2))
+	inner := s.Snapshot()
+	s.SetStorage(a, u256.New(0), u256.New(3))
+	s.RevertTo(inner)
+	if !s.GetStorage(a, u256.New(0)).Eq(u256.New(2)) {
+		t.Error("inner revert wrong")
+	}
+	s.RevertTo(outer)
+	if !s.GetStorage(a, u256.New(0)).Eq(u256.New(1)) {
+		t.Error("outer revert wrong")
+	}
+}
+
+func TestTransferInsufficient(t *testing.T) {
+	s := New()
+	a, b := AddressFromUint(1), AddressFromUint(2)
+	s.SetBalance(a, u256.New(10))
+	if s.Transfer(a, b, u256.New(11)) {
+		t.Error("transfer should fail")
+	}
+	if !s.Balance(a).Eq(u256.New(10)) || !s.Balance(b).IsZero() {
+		t.Error("failed transfer must not move funds")
+	}
+	if !s.Transfer(a, b, u256.New(10)) {
+		t.Error("transfer should succeed")
+	}
+	if !s.Transfer(a, b, u256.Zero) {
+		t.Error("zero transfer always succeeds")
+	}
+}
+
+func TestDestroyAndRevert(t *testing.T) {
+	s := New()
+	c := AddressFromUint(9)
+	ben := AddressFromUint(10)
+	s.CreateContract(c, []byte{0x60}, AddressFromUint(1))
+	s.SetBalance(c, u256.New(77))
+	s.Commit()
+
+	snap := s.Snapshot()
+	s.Destroy(c, ben)
+	if !s.Destroyed(c) {
+		t.Fatal("not destroyed")
+	}
+	if !s.Balance(ben).Eq(u256.New(77)) {
+		t.Fatal("beneficiary not credited")
+	}
+	if s.Code(c) != nil {
+		t.Fatal("destroyed contract should expose no code")
+	}
+	s.RevertTo(snap)
+	if s.Destroyed(c) {
+		t.Error("destroy not reverted")
+	}
+	if !s.Balance(c).Eq(u256.New(77)) {
+		t.Errorf("balance not restored: %s", s.Balance(c))
+	}
+	if s.Code(c) == nil {
+		t.Error("code should be visible again")
+	}
+}
+
+func TestCreatorTracking(t *testing.T) {
+	s := New()
+	deployer := AddressFromUint(5)
+	c := AddressFromUint(6)
+	s.CreateContract(c, []byte{1}, deployer)
+	if s.Creator(c) != deployer {
+		t.Error("creator lost")
+	}
+}
+
+func TestCopyIsDeep(t *testing.T) {
+	s := New()
+	a := AddressFromUint(1)
+	s.CreateContract(a, []byte{1, 2, 3}, AddressFromUint(0))
+	s.SetStorage(a, u256.New(1), u256.New(9))
+	s.SetBalance(a, u256.New(4))
+
+	cp := s.Copy()
+	cp.SetStorage(a, u256.New(1), u256.New(100))
+	cp.SetBalance(a, u256.New(200))
+	cp.Code(a)[0] = 0xff
+
+	if !s.GetStorage(a, u256.New(1)).Eq(u256.New(9)) {
+		t.Error("copy shares storage")
+	}
+	if !s.Balance(a).Eq(u256.New(4)) {
+		t.Error("copy shares balance")
+	}
+	if s.Code(a)[0] != 1 {
+		t.Error("copy shares code slice")
+	}
+}
+
+func TestAccountsDeterministicOrder(t *testing.T) {
+	s := New()
+	for i := 10; i > 0; i-- {
+		s.SetBalance(AddressFromUint(uint64(i)), u256.New(1))
+	}
+	got := s.Accounts()
+	for i := 1; i < len(got); i++ {
+		a, b := got[i-1], got[i]
+		less := false
+		for k := 0; k < len(a); k++ {
+			if a[k] != b[k] {
+				less = a[k] < b[k]
+				break
+			}
+		}
+		if !less {
+			t.Fatal("Accounts not sorted")
+		}
+	}
+}
+
+// Property: revert after arbitrary operations restores the prior observable
+// state for the touched addresses.
+func TestRevertRestoresProperty(t *testing.T) {
+	f := func(ops []uint8, vals []uint8) bool {
+		s := New()
+		a := AddressFromUint(1)
+		s.SetBalance(a, u256.New(1000))
+		s.SetStorage(a, u256.New(0), u256.New(5))
+		s.Commit()
+		beforeBal := s.Balance(a)
+		beforeSlot := s.GetStorage(a, u256.New(0))
+
+		snap := s.Snapshot()
+		for i, op := range ops {
+			v := u256.New(uint64(i%7 + 1))
+			if i < len(vals) {
+				v = u256.New(uint64(vals[i]))
+			}
+			switch op % 4 {
+			case 0:
+				s.SetStorage(a, u256.New(uint64(op%3)), v)
+			case 1:
+				s.SetBalance(a, v)
+			case 2:
+				s.Transfer(a, AddressFromUint(uint64(op)), v)
+			case 3:
+				s.Destroy(a, AddressFromUint(2))
+			}
+		}
+		s.RevertTo(snap)
+		return s.Balance(a).Eq(beforeBal) &&
+			s.GetStorage(a, u256.New(0)).Eq(beforeSlot) &&
+			!s.Destroyed(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRevertToInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on invalid snapshot")
+		}
+	}()
+	New().RevertTo(5)
+}
+
+func BenchmarkSnapshotRevert(b *testing.B) {
+	s := New()
+	a := AddressFromUint(1)
+	s.SetBalance(a, u256.New(1000))
+	s.Commit()
+	for i := 0; i < b.N; i++ {
+		snap := s.Snapshot()
+		for j := 0; j < 16; j++ {
+			s.SetStorage(a, u256.New(uint64(j)), u256.New(uint64(i)))
+		}
+		s.RevertTo(snap)
+	}
+}

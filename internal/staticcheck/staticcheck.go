@@ -1,0 +1,388 @@
+// Package staticcheck implements a pattern-based static analyzer baseline in
+// the mold of Oyente/Mythril/Slither: it never executes the contract, it
+// matches syntactic and bytecode patterns, and it is deliberately both over-
+// and under-approximate. Table III of the paper contrasts exactly this
+// failure mode (static FP/FN) against dynamic confirmation by fuzzers; this
+// package reproduces the static side of that comparison honestly.
+package staticcheck
+
+import (
+	"mufuzz/internal/analysis"
+	"mufuzz/internal/evm"
+	"mufuzz/internal/minisol"
+	"mufuzz/internal/oracle"
+)
+
+// Finding mirrors oracle.Finding for the static analyzer.
+type Finding struct {
+	Class       oracle.BugClass
+	Func        string
+	Description string
+}
+
+// Analyze runs every static rule over a compiled contract.
+func Analyze(comp *minisol.Compiled) []Finding {
+	var out []Finding
+	a := &analyzer{comp: comp}
+	out = append(out, a.blockDependency()...)
+	out = append(out, a.integerOverflow()...)
+	out = append(out, a.reentrancy()...)
+	out = append(out, a.selfDestruct()...)
+	out = append(out, a.delegatecall()...)
+	out = append(out, a.strictEquality()...)
+	out = append(out, a.txOrigin()...)
+	out = append(out, a.unhandledException()...)
+	out = append(out, a.etherFreezing()...)
+	return out
+}
+
+// Classes returns the distinct classes flagged.
+func Classes(findings []Finding) map[oracle.BugClass]bool {
+	out := make(map[oracle.BugClass]bool)
+	for _, f := range findings {
+		out[f.Class] = true
+	}
+	return out
+}
+
+type analyzer struct {
+	comp *minisol.Compiled
+}
+
+func (a *analyzer) functions() []*minisol.Function {
+	c := a.comp.Contract
+	var fns []*minisol.Function
+	if c.Ctor != nil {
+		fns = append(fns, c.Ctor)
+	}
+	for i := range c.Functions {
+		fns = append(fns, &c.Functions[i])
+	}
+	return fns
+}
+
+// --- expression/statement pattern helpers ---
+
+// exprContains walks an expression looking for a predicate match.
+func exprContains(e minisol.Expr, pred func(minisol.Expr) bool) bool {
+	if e == nil {
+		return false
+	}
+	if pred(e) {
+		return true
+	}
+	switch t := e.(type) {
+	case *minisol.BinaryExpr:
+		return exprContains(t.L, pred) || exprContains(t.R, pred)
+	case *minisol.UnaryExpr:
+		return exprContains(t.X, pred)
+	case *minisol.IndexExpr:
+		return exprContains(t.Key, pred)
+	case *minisol.BalanceExpr:
+		return exprContains(t.Addr, pred)
+	case *minisol.KeccakExpr:
+		for _, x := range t.Args {
+			if exprContains(x, pred) {
+				return true
+			}
+		}
+	case *minisol.CallValueExpr:
+		return exprContains(t.Target, pred) || exprContains(t.Amount, pred)
+	case *minisol.SendExpr:
+		return exprContains(t.Target, pred) || exprContains(t.Amount, pred)
+	case *minisol.DelegateCallExpr:
+		if exprContains(t.Target, pred) {
+			return true
+		}
+		for _, x := range t.Args {
+			if exprContains(x, pred) {
+				return true
+			}
+		}
+	case *minisol.CastExpr:
+		return exprContains(t.X, pred)
+	}
+	return false
+}
+
+// stmtWalk visits every statement (including nested blocks).
+func stmtWalk(stmts []minisol.Stmt, visit func(minisol.Stmt)) {
+	for _, s := range stmts {
+		visit(s)
+		switch t := s.(type) {
+		case *minisol.IfStmt:
+			stmtWalk(t.Then, visit)
+			stmtWalk(t.Else, visit)
+		case *minisol.WhileStmt:
+			stmtWalk(t.Body, visit)
+		}
+	}
+}
+
+// stmtExprs yields every expression directly referenced by a statement.
+func stmtExprs(s minisol.Stmt) []minisol.Expr {
+	switch t := s.(type) {
+	case *minisol.VarDeclStmt:
+		return []minisol.Expr{t.Init}
+	case *minisol.AssignStmt:
+		return []minisol.Expr{t.Target, t.Value}
+	case *minisol.IfStmt:
+		return []minisol.Expr{t.Cond}
+	case *minisol.WhileStmt:
+		return []minisol.Expr{t.Cond}
+	case *minisol.RequireStmt:
+		return []minisol.Expr{t.Cond}
+	case *minisol.ReturnStmt:
+		return []minisol.Expr{t.Value}
+	case *minisol.TransferStmt:
+		return []minisol.Expr{t.Target, t.Amount}
+	case *minisol.SelfDestructStmt:
+		return []minisol.Expr{t.Beneficiary}
+	case *minisol.ExprStmt:
+		return []minisol.Expr{t.X}
+	}
+	return nil
+}
+
+func isEnv(name string) func(minisol.Expr) bool {
+	return func(e minisol.Expr) bool {
+		env, ok := e.(*minisol.EnvExpr)
+		return ok && env.Name == name
+	}
+}
+
+// hasSenderGuard reports whether a function body starts with a
+// require(msg.sender == ...) style guard — the modifier heuristic.
+func hasSenderGuard(fn *minisol.Function) bool {
+	for _, s := range fn.Body {
+		req, ok := s.(*minisol.RequireStmt)
+		if !ok {
+			continue
+		}
+		if exprContains(req.Cond, isEnv("msg.sender")) || exprContains(req.Cond, isEnv("tx.origin")) {
+			return true
+		}
+	}
+	return false
+}
+
+// --- rules ---
+
+// blockDependency flags any function whose code touches block state near a
+// branch. Over-approximate: even benign logging of timestamps gets flagged.
+func (a *analyzer) blockDependency() []Finding {
+	var out []Finding
+	for _, fn := range a.functions() {
+		uses := false
+		stmtWalk(fn.Body, func(s minisol.Stmt) {
+			for _, e := range stmtExprs(s) {
+				if exprContains(e, isEnv("block.timestamp")) || exprContains(e, isEnv("block.number")) {
+					uses = true
+				}
+			}
+		})
+		if uses {
+			out = append(out, Finding{Class: oracle.BD, Func: fn.Name,
+				Description: "function reads block state"})
+		}
+	}
+	return out
+}
+
+// integerOverflow flags arithmetic assignments to state without a require
+// guard in the same function. FP on if-guarded code, FN on overflow through
+// locals — the classic static trade-off.
+func (a *analyzer) integerOverflow() []Finding {
+	var out []Finding
+	for _, fn := range a.functions() {
+		hasRequire := false
+		arith := false
+		stmtWalk(fn.Body, func(s minisol.Stmt) {
+			if _, ok := s.(*minisol.RequireStmt); ok {
+				hasRequire = true
+			}
+			if as, ok := s.(*minisol.AssignStmt); ok {
+				if as.Op == "+=" || as.Op == "-=" || as.Op == "*=" {
+					arith = true
+				}
+				if exprContains(as.Value, func(e minisol.Expr) bool {
+					b, ok := e.(*minisol.BinaryExpr)
+					return ok && (b.Op == "+" || b.Op == "-" || b.Op == "*")
+				}) {
+					arith = true
+				}
+			}
+		})
+		if arith && !hasRequire {
+			out = append(out, Finding{Class: oracle.IO, Func: fn.Name,
+				Description: "unguarded arithmetic on persistent state"})
+		}
+	}
+	return out
+}
+
+// reentrancy flags the call-then-write pattern: a call.value whose function
+// writes state after the external call.
+func (a *analyzer) reentrancy() []Finding {
+	var out []Finding
+	for _, fn := range a.functions() {
+		callSeen := false
+		writeAfter := false
+		stmtWalk(fn.Body, func(s minisol.Stmt) {
+			for _, e := range stmtExprs(s) {
+				if exprContains(e, func(x minisol.Expr) bool {
+					_, ok := x.(*minisol.CallValueExpr)
+					return ok
+				}) {
+					callSeen = true
+				}
+			}
+			if as, ok := s.(*minisol.AssignStmt); ok && callSeen {
+				_ = as
+				writeAfter = true
+			}
+		})
+		if callSeen && writeAfter {
+			out = append(out, Finding{Class: oracle.RE, Func: fn.Name,
+				Description: "state written after external value call"})
+		}
+	}
+	return out
+}
+
+// selfDestruct flags selfdestruct without a sender guard.
+func (a *analyzer) selfDestruct() []Finding {
+	var out []Finding
+	for _, fn := range a.functions() {
+		has := false
+		stmtWalk(fn.Body, func(s minisol.Stmt) {
+			if _, ok := s.(*minisol.SelfDestructStmt); ok {
+				has = true
+			}
+		})
+		if has && !hasSenderGuard(fn) {
+			out = append(out, Finding{Class: oracle.US, Func: fn.Name,
+				Description: "selfdestruct without sender guard"})
+		}
+	}
+	return out
+}
+
+// delegatecall flags delegatecall without a sender guard.
+func (a *analyzer) delegatecall() []Finding {
+	var out []Finding
+	for _, fn := range a.functions() {
+		has := false
+		stmtWalk(fn.Body, func(s minisol.Stmt) {
+			for _, e := range stmtExprs(s) {
+				if exprContains(e, func(x minisol.Expr) bool {
+					_, ok := x.(*minisol.DelegateCallExpr)
+					return ok
+				}) {
+					has = true
+				}
+			}
+		})
+		if has && !hasSenderGuard(fn) {
+			out = append(out, Finding{Class: oracle.UD, Func: fn.Name,
+				Description: "delegatecall without sender guard"})
+		}
+	}
+	return out
+}
+
+// strictEquality flags `.balance` inside an == / != comparison.
+func (a *analyzer) strictEquality() []Finding {
+	var out []Finding
+	for _, fn := range a.functions() {
+		has := false
+		stmtWalk(fn.Body, func(s minisol.Stmt) {
+			for _, e := range stmtExprs(s) {
+				if exprContains(e, func(x minisol.Expr) bool {
+					b, ok := x.(*minisol.BinaryExpr)
+					if !ok || (b.Op != "==" && b.Op != "!=") {
+						return false
+					}
+					isBal := func(y minisol.Expr) bool {
+						_, ok := y.(*minisol.BalanceExpr)
+						return ok
+					}
+					return exprContains(b.L, isBal) || exprContains(b.R, isBal)
+				}) {
+					has = true
+				}
+			}
+		})
+		if has {
+			out = append(out, Finding{Class: oracle.SE, Func: fn.Name,
+				Description: "balance compared with strict equality"})
+		}
+	}
+	return out
+}
+
+// txOrigin flags any tx.origin use.
+func (a *analyzer) txOrigin() []Finding {
+	var out []Finding
+	for _, fn := range a.functions() {
+		has := false
+		stmtWalk(fn.Body, func(s minisol.Stmt) {
+			for _, e := range stmtExprs(s) {
+				if exprContains(e, isEnv("tx.origin")) {
+					has = true
+				}
+			}
+		})
+		if has {
+			out = append(out, Finding{Class: oracle.TO, Func: fn.Name,
+				Description: "tx.origin used"})
+		}
+	}
+	return out
+}
+
+// unhandledException flags send/call.value used as a bare statement whose
+// result is discarded. FN: results stored but never branched on.
+func (a *analyzer) unhandledException() []Finding {
+	var out []Finding
+	for _, fn := range a.functions() {
+		has := false
+		stmtWalk(fn.Body, func(s minisol.Stmt) {
+			es, ok := s.(*minisol.ExprStmt)
+			if !ok {
+				return
+			}
+			switch es.X.(type) {
+			case *minisol.SendExpr, *minisol.CallValueExpr:
+				has = true
+			}
+		})
+		if has {
+			out = append(out, Finding{Class: oracle.UE, Func: fn.Name,
+				Description: "call result discarded"})
+		}
+	}
+	return out
+}
+
+// etherFreezing flags contracts with a payable function but no
+// value-transferring instruction anywhere in the code.
+func (a *analyzer) etherFreezing() []Finding {
+	payable := false
+	for _, fn := range a.comp.Contract.Functions {
+		if fn.Payable {
+			payable = true
+		}
+	}
+	if !payable {
+		return nil
+	}
+	for _, ins := range analysis.Disassemble(a.comp.Code) {
+		switch ins.Op {
+		case evm.CALL, evm.DELEGATECALL, evm.SELFDESTRUCT:
+			return nil
+		}
+	}
+	return []Finding{{Class: oracle.EF, Func: a.comp.Contract.Name,
+		Description: "payable contract cannot move value out"}}
+}

@@ -1,0 +1,228 @@
+package staticcheck
+
+import (
+	"testing"
+
+	"mufuzz/internal/corpus"
+	"mufuzz/internal/minisol"
+	"mufuzz/internal/oracle"
+)
+
+func analyze(t *testing.T, src string) map[oracle.BugClass]bool {
+	t.Helper()
+	comp, err := minisol.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return Classes(Analyze(comp))
+}
+
+func TestBlockDependencyRule(t *testing.T) {
+	got := analyze(t, `contract C {
+		uint256 x;
+		function f() public { if (block.timestamp > 5) { x = 1; } }
+	}`)
+	if !got[oracle.BD] {
+		t.Error("BD should be flagged")
+	}
+	// Over-approximation: benign timestamp storage is still flagged — the
+	// static failure mode the paper contrasts against.
+	got = analyze(t, `contract C {
+		uint256 when;
+		function stamp() public { when = block.timestamp; }
+	}`)
+	if !got[oracle.BD] {
+		t.Error("static BD rule is expected to over-approximate")
+	}
+}
+
+func TestIntegerOverflowRule(t *testing.T) {
+	got := analyze(t, `contract C {
+		uint256 total;
+		function add(uint256 n) public { total += n; }
+	}`)
+	if !got[oracle.IO] {
+		t.Error("IO should be flagged")
+	}
+	// a require suppresses the warning even when it guards nothing relevant
+	// (static under-approximation)
+	got = analyze(t, `contract C {
+		uint256 total;
+		function add(uint256 n) public { require(n > 0); total += n; }
+	}`)
+	if got[oracle.IO] {
+		t.Error("IO rule goes quiet when any require is present (known FN)")
+	}
+}
+
+func TestReentrancyRule(t *testing.T) {
+	got := analyze(t, `contract C {
+		mapping(address => uint256) bal;
+		function withdraw() public {
+			uint256 amount = bal[msg.sender];
+			if (amount > 0) {
+				require(msg.sender.call.value(amount)());
+				bal[msg.sender] = 0;
+			}
+		}
+	}`)
+	if !got[oracle.RE] {
+		t.Error("call-then-write should be flagged RE")
+	}
+	got = analyze(t, `contract C {
+		mapping(address => uint256) bal;
+		function withdraw() public {
+			uint256 amount = bal[msg.sender];
+			bal[msg.sender] = 0;
+			msg.sender.transfer(amount);
+		}
+	}`)
+	if got[oracle.RE] {
+		t.Error("checks-effects-interactions should not be flagged")
+	}
+}
+
+func TestSelfDestructAndDelegatecallRules(t *testing.T) {
+	got := analyze(t, `contract C {
+		function kill() public { selfdestruct(msg.sender); }
+	}`)
+	if !got[oracle.US] {
+		t.Error("unguarded selfdestruct should be flagged")
+	}
+	got = analyze(t, `contract C {
+		address owner;
+		constructor() public { owner = msg.sender; }
+		function kill() public { require(msg.sender == owner); selfdestruct(msg.sender); }
+	}`)
+	if got[oracle.US] {
+		t.Error("sender-guarded selfdestruct should pass")
+	}
+	got = analyze(t, `contract C {
+		function run(address lib, uint256 x) public { lib.delegatecall(x); }
+	}`)
+	if !got[oracle.UD] {
+		t.Error("unguarded delegatecall should be flagged")
+	}
+}
+
+func TestStrictEqualityAndOriginRules(t *testing.T) {
+	got := analyze(t, `contract C {
+		uint256 won;
+		function f() public payable { if (this.balance == 5) { won = 1; } }
+	}`)
+	if !got[oracle.SE] {
+		t.Error("balance == const should be flagged SE")
+	}
+	got = analyze(t, `contract C {
+		uint256 won;
+		function f() public payable { if (this.balance > 5) { won = 1; } }
+	}`)
+	if got[oracle.SE] {
+		t.Error("balance inequality is not SE")
+	}
+	got = analyze(t, `contract C {
+		address owner;
+		uint256 x;
+		constructor() public { owner = msg.sender; }
+		function f() public { require(tx.origin == owner); x = 1; }
+	}`)
+	if !got[oracle.TO] {
+		t.Error("tx.origin use should be flagged TO")
+	}
+}
+
+func TestUnhandledExceptionRule(t *testing.T) {
+	got := analyze(t, `contract C {
+		function pay(address to) public { to.send(5); }
+	}`)
+	if !got[oracle.UE] {
+		t.Error("bare send should be flagged UE")
+	}
+	// Static FN: result stored but never branched on is missed.
+	got = analyze(t, `contract C {
+		bool ok;
+		function pay(address to) public { ok = to.send(5); }
+	}`)
+	if got[oracle.UE] {
+		t.Error("stored-but-unchecked send is a known static FN")
+	}
+}
+
+func TestEtherFreezingRule(t *testing.T) {
+	got := analyze(t, `contract C {
+		uint256 total;
+		function donate() public payable { total += msg.value; }
+	}`)
+	if !got[oracle.EF] {
+		t.Error("payable sink should be flagged EF")
+	}
+	got = analyze(t, `contract C {
+		uint256 total;
+		function donate() public payable { total += msg.value; }
+		function out(uint256 n) public { msg.sender.transfer(n); }
+	}`)
+	if got[oracle.EF] {
+		t.Error("contract with transfer is not EF")
+	}
+}
+
+// The static analyzer must be much noisier than the fuzzer on the safe
+// suite — that is its role in the Table III comparison.
+func TestStaticAnalyzerProducesFalsePositives(t *testing.T) {
+	fps := 0
+	for _, l := range corpus.VulnSuite() {
+		comp, err := minisol.Compile(l.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := range Classes(Analyze(comp)) {
+			if !l.HasLabel(c) {
+				fps++
+			}
+		}
+	}
+	if fps == 0 {
+		t.Error("a pattern-based static analyzer with zero FPs on this suite is implausible; the rules lost their over-approximation")
+	}
+}
+
+func TestStaticAnalyzerRecallOnSuite(t *testing.T) {
+	tp, fn := 0, 0
+	for _, l := range corpus.VulnSuite() {
+		comp, err := minisol.Compile(l.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := Classes(Analyze(comp))
+		for _, c := range l.Labels {
+			if got[c] {
+				tp++
+			} else {
+				fn++
+			}
+		}
+	}
+	if tp == 0 {
+		t.Fatal("static analyzer found nothing at all")
+	}
+	if fn == 0 {
+		t.Error("static analyzer with zero FNs is implausible; expected under-approximation")
+	}
+}
+
+func BenchmarkAnalyzeSuite(b *testing.B) {
+	var comps []*minisol.Compiled
+	for _, l := range corpus.VulnSuite() {
+		comp, err := minisol.Compile(l.Source)
+		if err != nil {
+			b.Fatal(err)
+		}
+		comps = append(comps, comp)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, comp := range comps {
+			Analyze(comp)
+		}
+	}
+}

@@ -1,0 +1,440 @@
+// Package u256 implements fixed-width 256-bit unsigned integers with the
+// exact wrapping and two's-complement semantics of EVM words.
+//
+// The representation is four little-endian uint64 limbs. All arithmetic is
+// allocation-free in the common paths; Div/Mod fall back to math/big for the
+// general multi-limb case, which is rare in fuzzing workloads and keeps the
+// implementation small and verifiably correct (the property tests cross-check
+// every operation against math/big).
+package u256
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/big"
+	"math/bits"
+)
+
+// Int is a 256-bit unsigned integer. The zero value is zero and ready to use.
+// limbs[0] holds the least-significant 64 bits.
+type Int struct {
+	limbs [4]uint64
+}
+
+// Common constants. Treat as immutable.
+var (
+	Zero = Int{}
+	One  = Int{limbs: [4]uint64{1, 0, 0, 0}}
+	Max  = Int{limbs: [4]uint64{^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)}}
+)
+
+// New returns an Int holding the given uint64 value.
+func New(v uint64) Int {
+	return Int{limbs: [4]uint64{v, 0, 0, 0}}
+}
+
+// NewFromLimbs constructs an Int from little-endian limbs.
+func NewFromLimbs(l0, l1, l2, l3 uint64) Int {
+	return Int{limbs: [4]uint64{l0, l1, l2, l3}}
+}
+
+// FromBig converts a big.Int, truncating modulo 2^256. Negative inputs are
+// converted to their two's-complement representation, mirroring EVM casts.
+func FromBig(b *big.Int) Int {
+	var x Int
+	abs := new(big.Int).Abs(b)
+	words := abs.Bits()
+	for i := 0; i < len(words) && i < 4; i++ {
+		x.limbs[i] = uint64(words[i])
+	}
+	if b.Sign() < 0 {
+		x = x.Neg()
+	}
+	return x
+}
+
+// ToBig converts to a non-negative big.Int.
+func (x Int) ToBig() *big.Int {
+	b := new(big.Int)
+	for i := 3; i >= 0; i-- {
+		b.Lsh(b, 64)
+		b.Or(b, new(big.Int).SetUint64(x.limbs[i]))
+	}
+	return b
+}
+
+// FromBytes interprets b as a big-endian unsigned integer, using at most the
+// last 32 bytes (EVM word semantics: shorter inputs are left-padded).
+func FromBytes(b []byte) Int {
+	if len(b) > 32 {
+		b = b[len(b)-32:]
+	}
+	var buf [32]byte
+	copy(buf[32-len(b):], b)
+	return Int{limbs: [4]uint64{
+		binary.BigEndian.Uint64(buf[24:32]),
+		binary.BigEndian.Uint64(buf[16:24]),
+		binary.BigEndian.Uint64(buf[8:16]),
+		binary.BigEndian.Uint64(buf[0:8]),
+	}}
+}
+
+// Bytes32 returns the 32-byte big-endian representation.
+func (x Int) Bytes32() [32]byte {
+	var out [32]byte
+	binary.BigEndian.PutUint64(out[0:8], x.limbs[3])
+	binary.BigEndian.PutUint64(out[8:16], x.limbs[2])
+	binary.BigEndian.PutUint64(out[16:24], x.limbs[1])
+	binary.BigEndian.PutUint64(out[24:32], x.limbs[0])
+	return out
+}
+
+// Uint64 returns the low 64 bits.
+func (x Int) Uint64() uint64 { return x.limbs[0] }
+
+// FitsUint64 reports whether x is representable in a uint64.
+func (x Int) FitsUint64() bool {
+	return x.limbs[1] == 0 && x.limbs[2] == 0 && x.limbs[3] == 0
+}
+
+// IsZero reports whether x == 0.
+func (x Int) IsZero() bool {
+	return x.limbs[0]|x.limbs[1]|x.limbs[2]|x.limbs[3] == 0
+}
+
+// Sign reports the sign of x interpreted as a two's-complement signed value:
+// -1 if negative, 0 if zero, 1 if positive.
+func (x Int) Sign() int {
+	if x.IsZero() {
+		return 0
+	}
+	if x.limbs[3]>>63 == 1 {
+		return -1
+	}
+	return 1
+}
+
+// Cmp compares x and y as unsigned values: -1, 0, or +1.
+func (x Int) Cmp(y Int) int {
+	for i := 3; i >= 0; i-- {
+		if x.limbs[i] < y.limbs[i] {
+			return -1
+		}
+		if x.limbs[i] > y.limbs[i] {
+			return 1
+		}
+	}
+	return 0
+}
+
+// Scmp compares x and y as two's-complement signed values.
+func (x Int) Scmp(y Int) int {
+	xs, ys := x.Sign() < 0, y.Sign() < 0
+	switch {
+	case xs && !ys:
+		return -1
+	case !xs && ys:
+		return 1
+	default:
+		return x.Cmp(y)
+	}
+}
+
+// Eq reports whether x == y.
+func (x Int) Eq(y Int) bool { return x.limbs == y.limbs }
+
+// Lt reports x < y (unsigned).
+func (x Int) Lt(y Int) bool { return x.Cmp(y) < 0 }
+
+// Gt reports x > y (unsigned).
+func (x Int) Gt(y Int) bool { return x.Cmp(y) > 0 }
+
+// Add returns x + y mod 2^256 and whether the addition overflowed.
+func (x Int) AddOverflow(y Int) (Int, bool) {
+	var z Int
+	var c uint64
+	z.limbs[0], c = bits.Add64(x.limbs[0], y.limbs[0], 0)
+	z.limbs[1], c = bits.Add64(x.limbs[1], y.limbs[1], c)
+	z.limbs[2], c = bits.Add64(x.limbs[2], y.limbs[2], c)
+	z.limbs[3], c = bits.Add64(x.limbs[3], y.limbs[3], c)
+	return z, c != 0
+}
+
+// Add returns x + y mod 2^256.
+func (x Int) Add(y Int) Int {
+	z, _ := x.AddOverflow(y)
+	return z
+}
+
+// SubUnderflow returns x - y mod 2^256 and whether the subtraction borrowed.
+func (x Int) SubUnderflow(y Int) (Int, bool) {
+	var z Int
+	var b uint64
+	z.limbs[0], b = bits.Sub64(x.limbs[0], y.limbs[0], 0)
+	z.limbs[1], b = bits.Sub64(x.limbs[1], y.limbs[1], b)
+	z.limbs[2], b = bits.Sub64(x.limbs[2], y.limbs[2], b)
+	z.limbs[3], b = bits.Sub64(x.limbs[3], y.limbs[3], b)
+	return z, b != 0
+}
+
+// Sub returns x - y mod 2^256.
+func (x Int) Sub(y Int) Int {
+	z, _ := x.SubUnderflow(y)
+	return z
+}
+
+// MulOverflow returns x * y mod 2^256 and whether the full product exceeded
+// 256 bits.
+func (x Int) MulOverflow(y Int) (Int, bool) {
+	// Schoolbook multiplication keeping the low 4 limbs and tracking whether
+	// anything spills above them.
+	var z [8]uint64
+	for i := 0; i < 4; i++ {
+		var carry uint64
+		for j := 0; j < 4; j++ {
+			hi, lo := bits.Mul64(x.limbs[i], y.limbs[j])
+			var c1, c2 uint64
+			z[i+j], c1 = bits.Add64(z[i+j], lo, 0)
+			z[i+j], c2 = bits.Add64(z[i+j], carry, 0)
+			carry = hi + c1 + c2 // cannot overflow: hi <= 2^64-2
+		}
+		z[i+4] += carry
+	}
+	overflow := z[4]|z[5]|z[6]|z[7] != 0
+	return Int{limbs: [4]uint64{z[0], z[1], z[2], z[3]}}, overflow
+}
+
+// Mul returns x * y mod 2^256.
+func (x Int) Mul(y Int) Int {
+	z, _ := x.MulOverflow(y)
+	return z
+}
+
+// Div returns x / y (unsigned). Division by zero yields zero, per EVM DIV.
+func (x Int) Div(y Int) Int {
+	if y.IsZero() {
+		return Zero
+	}
+	if x.Cmp(y) < 0 {
+		return Zero
+	}
+	if x.FitsUint64() { // implies y fits too since y <= x
+		return New(x.limbs[0] / y.limbs[0])
+	}
+	q := new(big.Int).Div(x.ToBig(), y.ToBig())
+	return FromBig(q)
+}
+
+// Mod returns x % y (unsigned). Mod by zero yields zero, per EVM MOD.
+func (x Int) Mod(y Int) Int {
+	if y.IsZero() {
+		return Zero
+	}
+	if x.Cmp(y) < 0 {
+		return x
+	}
+	if x.FitsUint64() {
+		return New(x.limbs[0] % y.limbs[0])
+	}
+	m := new(big.Int).Mod(x.ToBig(), y.ToBig())
+	return FromBig(m)
+}
+
+// SDiv returns x / y with both interpreted as two's-complement signed values,
+// truncating toward zero. Division by zero yields zero, per EVM SDIV.
+func (x Int) SDiv(y Int) Int {
+	if y.IsZero() {
+		return Zero
+	}
+	xa, xneg := x.abs()
+	ya, yneg := y.abs()
+	q := xa.Div(ya)
+	if xneg != yneg {
+		return q.Neg()
+	}
+	return q
+}
+
+// SMod returns x % y signed; the result takes the sign of the dividend, per
+// EVM SMOD. Mod by zero yields zero.
+func (x Int) SMod(y Int) Int {
+	if y.IsZero() {
+		return Zero
+	}
+	xa, xneg := x.abs()
+	ya, _ := y.abs()
+	m := xa.Mod(ya)
+	if xneg {
+		return m.Neg()
+	}
+	return m
+}
+
+// abs returns |x| and whether x was negative under signed interpretation.
+func (x Int) abs() (Int, bool) {
+	if x.Sign() < 0 {
+		return x.Neg(), true
+	}
+	return x, false
+}
+
+// Neg returns -x mod 2^256 (two's complement).
+func (x Int) Neg() Int {
+	return Zero.Sub(x)
+}
+
+// Not returns the bitwise complement of x.
+func (x Int) Not() Int {
+	return Int{limbs: [4]uint64{^x.limbs[0], ^x.limbs[1], ^x.limbs[2], ^x.limbs[3]}}
+}
+
+// And returns x & y.
+func (x Int) And(y Int) Int {
+	return Int{limbs: [4]uint64{x.limbs[0] & y.limbs[0], x.limbs[1] & y.limbs[1], x.limbs[2] & y.limbs[2], x.limbs[3] & y.limbs[3]}}
+}
+
+// Or returns x | y.
+func (x Int) Or(y Int) Int {
+	return Int{limbs: [4]uint64{x.limbs[0] | y.limbs[0], x.limbs[1] | y.limbs[1], x.limbs[2] | y.limbs[2], x.limbs[3] | y.limbs[3]}}
+}
+
+// Xor returns x ^ y.
+func (x Int) Xor(y Int) Int {
+	return Int{limbs: [4]uint64{x.limbs[0] ^ y.limbs[0], x.limbs[1] ^ y.limbs[1], x.limbs[2] ^ y.limbs[2], x.limbs[3] ^ y.limbs[3]}}
+}
+
+// Lsh returns x << n. Shifts of 256 or more yield zero.
+func (x Int) Lsh(n uint) Int {
+	if n >= 256 {
+		return Zero
+	}
+	word := n / 64
+	off := n % 64
+	var z Int
+	for i := 3; i >= int(word); i-- {
+		z.limbs[i] = x.limbs[i-int(word)] << off
+		if off > 0 && i-int(word)-1 >= 0 {
+			z.limbs[i] |= x.limbs[i-int(word)-1] >> (64 - off)
+		}
+	}
+	return z
+}
+
+// Rsh returns x >> n (logical). Shifts of 256 or more yield zero.
+func (x Int) Rsh(n uint) Int {
+	if n >= 256 {
+		return Zero
+	}
+	word := n / 64
+	off := n % 64
+	var z Int
+	for i := 0; i < 4-int(word); i++ {
+		z.limbs[i] = x.limbs[i+int(word)] >> off
+		if off > 0 && i+int(word)+1 < 4 {
+			z.limbs[i] |= x.limbs[i+int(word)+1] << (64 - off)
+		}
+	}
+	return z
+}
+
+// Sar returns x >> n arithmetic (sign-extending), per EVM SAR.
+func (x Int) Sar(n uint) Int {
+	if x.Sign() >= 0 {
+		return x.Rsh(n)
+	}
+	if n >= 256 {
+		return Max
+	}
+	// shift then set the vacated high bits
+	z := x.Rsh(n)
+	mask := Max.Lsh(256 - n)
+	return z.Or(mask)
+}
+
+// Exp returns x ** y mod 2^256 by square-and-multiply, per EVM EXP.
+func (x Int) Exp(y Int) Int {
+	result := One
+	base := x
+	n := y.BitLen()
+	for i := 0; i < n; i++ {
+		if y.limbs[i/64]>>(uint(i)%64)&1 == 1 {
+			result = result.Mul(base)
+		}
+		base = base.Mul(base)
+	}
+	return result
+}
+
+// SignExtend extends the sign bit of the byte at index b (0 = lowest byte)
+// through the full word, per EVM SIGNEXTEND. If b >= 31 x is unchanged.
+func (x Int) SignExtend(b Int) Int {
+	if !b.FitsUint64() || b.limbs[0] >= 31 {
+		return x
+	}
+	bitIndex := uint(b.limbs[0]*8 + 7)
+	signBit := x.Rsh(bitIndex).limbs[0] & 1
+	mask := Max.Lsh(bitIndex + 1)
+	if signBit == 1 {
+		return x.Or(mask)
+	}
+	return x.And(mask.Not())
+}
+
+// Byte returns byte i of x where i==0 is the most-significant byte, per the
+// EVM BYTE opcode. Out-of-range indices yield zero.
+func (x Int) Byte(i Int) Int {
+	if !i.FitsUint64() || i.limbs[0] >= 32 {
+		return Zero
+	}
+	b := x.Bytes32()
+	return New(uint64(b[i.limbs[0]]))
+}
+
+// AddMod returns (x + y) % m with full intermediate precision, per EVM ADDMOD.
+func (x Int) AddMod(y, m Int) Int {
+	if m.IsZero() {
+		return Zero
+	}
+	s := new(big.Int).Add(x.ToBig(), y.ToBig())
+	s.Mod(s, m.ToBig())
+	return FromBig(s)
+}
+
+// MulMod returns (x * y) % m with full intermediate precision, per EVM MULMOD.
+func (x Int) MulMod(y, m Int) Int {
+	if m.IsZero() {
+		return Zero
+	}
+	p := new(big.Int).Mul(x.ToBig(), y.ToBig())
+	p.Mod(p, m.ToBig())
+	return FromBig(p)
+}
+
+// AbsDiff returns |x - y| as an unsigned value. Used for branch-distance
+// feedback.
+func (x Int) AbsDiff(y Int) Int {
+	if x.Cmp(y) >= 0 {
+		return x.Sub(y)
+	}
+	return y.Sub(x)
+}
+
+// BitLen returns the number of bits required to represent x.
+func (x Int) BitLen() int {
+	for i := 3; i >= 0; i-- {
+		if x.limbs[i] != 0 {
+			return i*64 + bits.Len64(x.limbs[i])
+		}
+	}
+	return 0
+}
+
+// String formats x in decimal.
+func (x Int) String() string {
+	return x.ToBig().String()
+}
+
+// Hex formats x as 0x-prefixed minimal hexadecimal.
+func (x Int) Hex() string {
+	return fmt.Sprintf("%#x", x.ToBig())
+}

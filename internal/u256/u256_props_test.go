@@ -1,0 +1,155 @@
+package u256
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Algebraic identities that must hold exactly under mod-2^256 arithmetic.
+
+func TestAddCommutativeAssociative(t *testing.T) {
+	comm := func(x, y Int) bool { return x.Add(y).Eq(y.Add(x)) }
+	if err := quick.Check(comm, nil); err != nil {
+		t.Error("commutativity:", err)
+	}
+	assoc := func(x, y, z Int) bool {
+		return x.Add(y).Add(z).Eq(x.Add(y.Add(z)))
+	}
+	if err := quick.Check(assoc, nil); err != nil {
+		t.Error("associativity:", err)
+	}
+}
+
+func TestAddSubInverse(t *testing.T) {
+	f := func(x, y Int) bool {
+		return x.Add(y).Sub(y).Eq(x) && x.Sub(y).Add(y).Eq(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNegIsAdditiveInverse(t *testing.T) {
+	f := func(x Int) bool {
+		return x.Add(x.Neg()).IsZero() && x.Neg().Neg().Eq(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulDistributesOverAdd(t *testing.T) {
+	f := func(x, y, z Int) bool {
+		left := x.Mul(y.Add(z))
+		right := x.Mul(y).Add(x.Mul(z))
+		return left.Eq(right)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivModReconstruction(t *testing.T) {
+	f := func(x, y Int) bool {
+		if y.IsZero() {
+			return true
+		}
+		// x == (x/y)*y + x%y, and x%y < y
+		q, r := x.Div(y), x.Mod(y)
+		return q.Mul(y).Add(r).Eq(x) && r.Lt(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShiftComposition(t *testing.T) {
+	f := func(x Int, a, b uint8) bool {
+		s1, s2 := uint(a)%128, uint(b)%128
+		// (x << a) << b == x << (a+b) for a+b < 256
+		return x.Lsh(s1).Lsh(s2).Eq(x.Lsh(s1+s2)) &&
+			x.Rsh(s1).Rsh(s2).Eq(x.Rsh(s1+s2))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShiftMulEquivalence(t *testing.T) {
+	f := func(x Int, s uint8) bool {
+		n := uint(s) % 256
+		return x.Lsh(n).Eq(x.Mul(One.Lsh(n)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpLaws(t *testing.T) {
+	// x^(a+b) == x^a * x^b for small exponents
+	f := func(x Int, a, b uint8) bool {
+		ea, eb := New(uint64(a)), New(uint64(b))
+		sum := New(uint64(a) + uint64(b))
+		return x.Exp(sum).Eq(x.Exp(ea).Mul(x.Exp(eb)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// x^1 == x, x^0 == 1
+	g := func(x Int) bool {
+		return x.Exp(One).Eq(x) && x.Exp(Zero).Eq(One)
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeMorgan(t *testing.T) {
+	f := func(x, y Int) bool {
+		// ~(x & y) == ~x | ~y
+		return x.And(y).Not().Eq(x.Not().Or(y.Not()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXorSelfInverse(t *testing.T) {
+	f := func(x, y Int) bool {
+		return x.Xor(y).Xor(y).Eq(x) && x.Xor(x).IsZero()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCmpTotalOrder(t *testing.T) {
+	f := func(x, y, z Int) bool {
+		// antisymmetry
+		if x.Cmp(y) != -y.Cmp(x) {
+			return false
+		}
+		// transitivity of <=
+		if x.Cmp(y) <= 0 && y.Cmp(z) <= 0 && x.Cmp(z) > 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSignedAbsDiffConsistency(t *testing.T) {
+	f := func(x, y Int) bool {
+		d := x.AbsDiff(y)
+		// d + min == max
+		if x.Cmp(y) >= 0 {
+			return y.Add(d).Eq(x)
+		}
+		return x.Add(d).Eq(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

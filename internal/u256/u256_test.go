@@ -1,0 +1,345 @@
+package u256
+
+import (
+	"math/big"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+var two256 = new(big.Int).Lsh(big.NewInt(1), 256)
+
+// mod256 reduces a big.Int into [0, 2^256).
+func mod256(b *big.Int) *big.Int {
+	return new(big.Int).Mod(b, two256)
+}
+
+// toSigned interprets a non-negative 256-bit big.Int as two's complement.
+func toSigned(b *big.Int) *big.Int {
+	if b.Bit(255) == 1 {
+		return new(big.Int).Sub(b, two256)
+	}
+	return new(big.Int).Set(b)
+}
+
+// Generate implements quick.Generator so random Ints cover interesting
+// shapes: small values, values near 2^256, and fully random limbs.
+func (Int) Generate(r *rand.Rand, _ int) reflect.Value {
+	var x Int
+	switch r.Intn(5) {
+	case 0:
+		x = New(r.Uint64() % 1000)
+	case 1:
+		x = Max.Sub(New(r.Uint64() % 1000))
+	case 2:
+		x = New(r.Uint64())
+	default:
+		x = NewFromLimbs(r.Uint64(), r.Uint64(), r.Uint64(), r.Uint64())
+	}
+	return reflect.ValueOf(x)
+}
+
+func TestRoundTripBig(t *testing.T) {
+	f := func(x Int) bool {
+		return FromBig(x.ToBig()).Eq(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundTripBytes(t *testing.T) {
+	f := func(x Int) bool {
+		b := x.Bytes32()
+		return FromBytes(b[:]).Eq(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromBytesShortPadsLeft(t *testing.T) {
+	got := FromBytes([]byte{0x01, 0x02})
+	if !got.Eq(New(0x0102)) {
+		t.Errorf("FromBytes short = %s, want 258", got)
+	}
+	long := make([]byte, 40)
+	long[39] = 7
+	if !FromBytes(long).Eq(New(7)) {
+		t.Errorf("FromBytes long input should keep last 32 bytes")
+	}
+}
+
+func TestAddMatchesBig(t *testing.T) {
+	f := func(x, y Int) bool {
+		want := mod256(new(big.Int).Add(x.ToBig(), y.ToBig()))
+		return x.Add(y).ToBig().Cmp(want) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddOverflowFlag(t *testing.T) {
+	f := func(x, y Int) bool {
+		_, ovf := x.AddOverflow(y)
+		exact := new(big.Int).Add(x.ToBig(), y.ToBig())
+		return ovf == (exact.Cmp(two256) >= 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubMatchesBig(t *testing.T) {
+	f := func(x, y Int) bool {
+		want := mod256(new(big.Int).Sub(x.ToBig(), y.ToBig()))
+		z, under := x.SubUnderflow(y)
+		if under != (x.Cmp(y) < 0) {
+			return false
+		}
+		return z.ToBig().Cmp(want) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulMatchesBig(t *testing.T) {
+	f := func(x, y Int) bool {
+		want := mod256(new(big.Int).Mul(x.ToBig(), y.ToBig()))
+		z, ovf := x.MulOverflow(y)
+		exact := new(big.Int).Mul(x.ToBig(), y.ToBig())
+		if ovf != (exact.Cmp(two256) >= 0) {
+			return false
+		}
+		return z.ToBig().Cmp(want) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivModMatchesBig(t *testing.T) {
+	f := func(x, y Int) bool {
+		if y.IsZero() {
+			return x.Div(y).IsZero() && x.Mod(y).IsZero()
+		}
+		wantQ := new(big.Int).Div(x.ToBig(), y.ToBig())
+		wantR := new(big.Int).Mod(x.ToBig(), y.ToBig())
+		return x.Div(y).ToBig().Cmp(wantQ) == 0 && x.Mod(y).ToBig().Cmp(wantR) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSDivSModMatchesBig(t *testing.T) {
+	f := func(x, y Int) bool {
+		if y.IsZero() {
+			return x.SDiv(y).IsZero() && x.SMod(y).IsZero()
+		}
+		xs, ys := toSigned(x.ToBig()), toSigned(y.ToBig())
+		wantQ := new(big.Int).Quo(xs, ys) // truncated division
+		wantR := new(big.Int).Rem(xs, ys) // sign of dividend
+		return x.SDiv(y).ToBig().Cmp(mod256(wantQ)) == 0 &&
+			x.SMod(y).ToBig().Cmp(mod256(wantR)) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpMatchesBig(t *testing.T) {
+	f := func(x Int, e uint16) bool {
+		y := New(uint64(e))
+		want := new(big.Int).Exp(x.ToBig(), y.ToBig(), two256)
+		return x.Exp(y).ToBig().Cmp(want) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpEdgeCases(t *testing.T) {
+	if !New(0).Exp(New(0)).Eq(One) {
+		t.Error("0**0 should be 1 (EVM convention)")
+	}
+	if !New(2).Exp(New(256)).IsZero() {
+		t.Error("2**256 should wrap to 0")
+	}
+	if !New(2).Exp(New(255)).Eq(One.Lsh(255)) {
+		t.Error("2**255 mismatch")
+	}
+}
+
+func TestShiftsMatchBig(t *testing.T) {
+	f := func(x Int, n uint16) bool {
+		s := uint(n) % 300
+		wantL := mod256(new(big.Int).Lsh(x.ToBig(), s))
+		wantR := new(big.Int).Rsh(x.ToBig(), s)
+		return x.Lsh(s).ToBig().Cmp(wantL) == 0 && x.Rsh(s).ToBig().Cmp(wantR) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSar(t *testing.T) {
+	minusOne := Max
+	if !minusOne.Sar(1).Eq(Max) {
+		t.Error("(-1) sar 1 should stay -1")
+	}
+	if !minusOne.Sar(300).Eq(Max) {
+		t.Error("(-1) sar >=256 should be -1")
+	}
+	if !New(8).Sar(2).Eq(New(2)) {
+		t.Error("8 sar 2 should be 2")
+	}
+	minusEight := New(8).Neg()
+	if !minusEight.Sar(2).Eq(New(2).Neg()) {
+		t.Errorf("(-8) sar 2 = %s, want -2 two's complement", minusEight.Sar(2))
+	}
+	if !New(5).Sar(300).IsZero() {
+		t.Error("positive sar >=256 should be 0")
+	}
+}
+
+func TestSignExtend(t *testing.T) {
+	// 0xff at byte 0, extend from byte 0 → all ones (i.e. -1).
+	if got := New(0xff).SignExtend(New(0)); !got.Eq(Max) {
+		t.Errorf("signextend(0, 0xff) = %s, want -1", got.Hex())
+	}
+	// 0x7f has sign bit clear → unchanged.
+	if got := New(0x7f).SignExtend(New(0)); !got.Eq(New(0x7f)) {
+		t.Errorf("signextend(0, 0x7f) = %s, want 0x7f", got.Hex())
+	}
+	// Upper garbage cleared when sign bit is 0.
+	x := New(0x17f) // bit 8 set but byte-0 sign bit clear
+	if got := x.SignExtend(New(0)); !got.Eq(New(0x7f)) {
+		t.Errorf("signextend should clear high bits, got %s", got.Hex())
+	}
+	// b >= 31 leaves x unchanged.
+	if got := Max.SignExtend(New(31)); !got.Eq(Max) {
+		t.Error("signextend with b>=31 should be identity")
+	}
+}
+
+func TestByte(t *testing.T) {
+	x := FromBytes([]byte{0xaa, 0xbb})
+	// Bytes32 is left padded, so index 30 is 0xaa, 31 is 0xbb.
+	if !x.Byte(New(31)).Eq(New(0xbb)) || !x.Byte(New(30)).Eq(New(0xaa)) {
+		t.Error("Byte extraction mismatch")
+	}
+	if !x.Byte(New(0)).IsZero() {
+		t.Error("leading byte should be zero")
+	}
+	if !x.Byte(New(32)).IsZero() {
+		t.Error("out-of-range byte should be zero")
+	}
+}
+
+func TestAddModMulMod(t *testing.T) {
+	f := func(x, y, m Int) bool {
+		if m.IsZero() {
+			return x.AddMod(y, m).IsZero() && x.MulMod(y, m).IsZero()
+		}
+		wantA := new(big.Int).Add(x.ToBig(), y.ToBig())
+		wantA.Mod(wantA, m.ToBig())
+		wantM := new(big.Int).Mul(x.ToBig(), y.ToBig())
+		wantM.Mod(wantM, m.ToBig())
+		return x.AddMod(y, m).ToBig().Cmp(wantA) == 0 &&
+			x.MulMod(y, m).ToBig().Cmp(wantM) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCmpAndSigned(t *testing.T) {
+	minusOne := Max
+	if minusOne.Scmp(One) != -1 {
+		t.Error("-1 should be signed-less-than 1")
+	}
+	if One.Scmp(minusOne) != 1 {
+		t.Error("1 should be signed-greater-than -1")
+	}
+	if minusOne.Cmp(One) != 1 {
+		t.Error("unsigned max should be greater than 1")
+	}
+	if Zero.Sign() != 0 || One.Sign() != 1 || minusOne.Sign() != -1 {
+		t.Error("Sign() misbehaves")
+	}
+}
+
+func TestBitwiseOps(t *testing.T) {
+	f := func(x, y Int) bool {
+		okAnd := x.And(y).ToBig().Cmp(new(big.Int).And(x.ToBig(), y.ToBig())) == 0
+		okOr := x.Or(y).ToBig().Cmp(new(big.Int).Or(x.ToBig(), y.ToBig())) == 0
+		okXor := x.Xor(y).ToBig().Cmp(new(big.Int).Xor(x.ToBig(), y.ToBig())) == 0
+		okNot := x.Not().ToBig().Cmp(new(big.Int).Sub(new(big.Int).Sub(two256, big.NewInt(1)), x.ToBig())) == 0
+		return okAnd && okOr && okXor && okNot
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAbsDiff(t *testing.T) {
+	f := func(x, y Int) bool {
+		d := x.AbsDiff(y)
+		want := new(big.Int).Sub(x.ToBig(), y.ToBig())
+		want.Abs(want)
+		return d.ToBig().Cmp(want) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitLen(t *testing.T) {
+	cases := []struct {
+		x    Int
+		want int
+	}{
+		{Zero, 0},
+		{One, 1},
+		{New(255), 8},
+		{New(256), 9},
+		{One.Lsh(200), 201},
+		{Max, 256},
+	}
+	for _, tc := range cases {
+		if got := tc.x.BitLen(); got != tc.want {
+			t.Errorf("BitLen(%s) = %d, want %d", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestNegFromBigNegative(t *testing.T) {
+	got := FromBig(big.NewInt(-5))
+	want := New(5).Neg()
+	if !got.Eq(want) {
+		t.Errorf("FromBig(-5) = %s, want two's complement -5", got.Hex())
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	x := NewFromLimbs(1, 2, 3, 4)
+	y := NewFromLimbs(5, 6, 7, 8)
+	for i := 0; i < b.N; i++ {
+		x = x.Add(y)
+	}
+	_ = x
+}
+
+func BenchmarkMul(b *testing.B) {
+	x := NewFromLimbs(1, 2, 3, 4)
+	y := NewFromLimbs(5, 6, 7, 8)
+	var z Int
+	for i := 0; i < b.N; i++ {
+		z = x.Mul(y)
+	}
+	_ = z
+}

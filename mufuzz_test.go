@@ -1,0 +1,117 @@
+package mufuzz_test
+
+import (
+	"fmt"
+	"testing"
+
+	"mufuzz"
+)
+
+const facadeSrc = `
+contract Piggy {
+    mapping(address => uint256) bal;
+    function put() public payable { bal[msg.sender] += msg.value; }
+    function take(uint256 n) public {
+        bal[msg.sender] -= n;
+        msg.sender.transfer(n);
+    }
+}`
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	comp, err := mufuzz.Compile(facadeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Contract.Name != "Piggy" {
+		t.Errorf("contract name = %q", comp.Contract.Name)
+	}
+	res := mufuzz.Fuzz(comp, mufuzz.Options{
+		Strategy:   mufuzz.MuFuzz(),
+		Seed:       1,
+		Iterations: 800,
+	})
+	if res.Coverage <= 0 {
+		t.Fatal("no coverage")
+	}
+	// take(n) underflows for n > balance
+	if !res.BugClasses[mufuzz.IO] {
+		t.Errorf("IO not detected; classes = %v", res.BugClasses)
+	}
+	// a proof-of-concept sequence is recorded for each class found
+	if _, ok := res.Repro[mufuzz.IO]; !ok {
+		t.Error("IO PoC sequence missing")
+	}
+}
+
+func TestPublicAPIMinimization(t *testing.T) {
+	comp, err := mufuzz.Compile(facadeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := mufuzz.NewCampaign(comp, mufuzz.Options{Strategy: mufuzz.MuFuzz(), Seed: 2, Iterations: 800})
+	res := c.Run()
+	seq, ok := res.Repro[mufuzz.IO]
+	if !ok {
+		t.Skip("IO not found in this short campaign")
+	}
+	min := c.MinimizeForBug(seq, mufuzz.IO)
+	if len(min) > len(seq) {
+		t.Error("minimization grew the sequence")
+	}
+	if !c.Replay(min).BugClasses[mufuzz.IO] {
+		t.Error("minimized PoC no longer triggers the bug")
+	}
+}
+
+func TestPublicAPIStaticAnalyzer(t *testing.T) {
+	comp, err := mufuzz.Compile(facadeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := mufuzz.AnalyzeStatic(comp)
+	classes := map[mufuzz.BugClass]bool{}
+	for _, f := range findings {
+		classes[f.Class] = true
+	}
+	if !classes[mufuzz.IO] {
+		t.Errorf("static analyzer missed the unguarded arithmetic: %v", findings)
+	}
+}
+
+func TestStrategyCatalog(t *testing.T) {
+	names := map[string]bool{}
+	for _, s := range []mufuzz.Strategy{
+		mufuzz.MuFuzz(), mufuzz.SFuzz(), mufuzz.ConFuzzius(),
+		mufuzz.Smartian(), mufuzz.IRFuzz(),
+	} {
+		if s.Name == "" || names[s.Name] {
+			t.Errorf("bad or duplicate strategy name %q", s.Name)
+		}
+		names[s.Name] = true
+	}
+	if len(mufuzz.Ablations()) != 3 {
+		t.Error("three ablation variants expected")
+	}
+	if len(mufuzz.AllBugClasses) != 9 {
+		t.Error("nine bug classes expected")
+	}
+}
+
+// Example demonstrates the three-call happy path of the public API.
+func Example() {
+	comp, err := mufuzz.Compile(`
+contract Demo {
+    uint256 total;
+    function add(uint256 n) public { total -= n; }
+}`)
+	if err != nil {
+		panic(err)
+	}
+	res := mufuzz.Fuzz(comp, mufuzz.Options{
+		Strategy:   mufuzz.MuFuzz(),
+		Seed:       1,
+		Iterations: 300,
+	})
+	fmt.Println("found IO:", res.BugClasses[mufuzz.IO])
+	// Output: found IO: true
+}
