@@ -10,6 +10,8 @@ package mufuzz_test
 
 import (
 	"bytes"
+	"fmt"
+	"runtime"
 	"testing"
 
 	"mufuzz/internal/corpus"
@@ -172,19 +174,34 @@ func BenchmarkTable4RealWorld(b *testing.B) {
 // --- micro benchmarks of the fuzzing hot path ---
 
 // BenchmarkCampaignThroughput measures raw sequence executions per second on
-// the Crowdsale contract (the fuzzer's end-to-end hot path).
+// the Crowdsale contract (the fuzzer's end-to-end hot path), once on the
+// sequential engine and once with the batch executor fanned across all
+// cores. `go run ./cmd/benchtab -exp campaign` emits the same measurement as
+// machine-readable JSON for the perf trajectory.
 func BenchmarkCampaignThroughput(b *testing.B) {
 	comp, err := minisol.Compile(corpus.Crowdsale())
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.ResetTimer()
-	total := 0
-	for i := 0; i < b.N; i++ {
-		res := fuzz.Run(comp, fuzz.Options{Strategy: fuzz.MuFuzz(), Seed: int64(i), Iterations: 500})
-		total += res.Executions
+	workerCounts := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		workerCounts = append(workerCounts, n)
 	}
-	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "execs/s")
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			total := 0
+			for i := 0; i < b.N; i++ {
+				res := fuzz.Run(comp, fuzz.Options{
+					Strategy:   fuzz.MuFuzz(),
+					Seed:       int64(i),
+					Iterations: 500,
+					Workers:    workers,
+				})
+				total += res.Executions
+			}
+			b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "execs/s")
+		})
+	}
 }
 
 // BenchmarkCompile measures compiler throughput on a large generated

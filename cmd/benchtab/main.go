@@ -5,7 +5,13 @@
 //
 //	benchtab -exp all
 //	benchtab -exp fig5a|fig5b|fig6|table2|table3|fig7|table4|motivating
+//	benchtab -exp campaign [-campaign-json BENCH_campaign.json]
 //	         [-n 24] [-iters 2500] [-seed 1]
+//
+// The campaign experiment measures end-to-end engine throughput (the
+// BenchmarkCampaignThroughput hot path) at Workers ∈ {1, NumCPU} and writes
+// the series as machine-readable JSON, so successive PRs have a perf
+// trajectory to regress against.
 //
 // Absolute numbers differ from the paper (different corpora, different
 // hardware); the comparisons — who wins, by roughly what factor — are the
@@ -13,21 +19,26 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"mufuzz/internal/corpus"
 	"mufuzz/internal/experiments"
+	"mufuzz/internal/fuzz"
+	"mufuzz/internal/minisol"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: all | fig5a | fig5b | fig6 | table2 | table3 | fig7 | table4 | motivating")
-		n     = flag.Int("n", 24, "contracts per generated dataset")
-		iters = flag.Int("iters", 2500, "fuzzing budget (sequence executions) per contract")
-		seed  = flag.Int64("seed", 1, "corpus + campaign seed")
+		exp     = flag.String("exp", "all", "experiment: all | fig5a | fig5b | fig6 | table2 | table3 | fig7 | table4 | motivating | campaign")
+		n       = flag.Int("n", 24, "contracts per generated dataset")
+		iters   = flag.Int("iters", 2500, "fuzzing budget (sequence executions) per contract")
+		seed    = flag.Int64("seed", 1, "corpus + campaign seed")
+		benchJS = flag.String("campaign-json", "BENCH_campaign.json", "output path for the campaign throughput JSON")
 	)
 	flag.Parse()
 
@@ -135,4 +146,99 @@ func main() {
 		experiments.PrintCaseStudy(os.Stdout, res)
 		return nil
 	})
+
+	run("campaign", func() error {
+		return campaignThroughput(*benchJS, *iters, *seed)
+	})
+}
+
+// campaignRun is one measured configuration of the campaign throughput
+// benchmark.
+type campaignRun struct {
+	Workers      int     `json:"workers"`
+	Campaigns    int     `json:"campaigns"`
+	Executions   int     `json:"executions"`
+	ElapsedSec   float64 `json:"elapsed_sec"`
+	ExecsPerSec  float64 `json:"execs_per_sec"`
+	CoverageMean float64 `json:"coverage_mean"`
+}
+
+// campaignBench is the BENCH_campaign.json schema.
+type campaignBench struct {
+	Benchmark  string        `json:"benchmark"`
+	Contract   string        `json:"contract"`
+	Iterations int           `json:"iterations"`
+	NumCPU     int           `json:"num_cpu"`
+	Seed       int64         `json:"seed"`
+	Runs       []campaignRun `json:"runs"`
+	// Speedup is execs/s at Workers=NumCPU over Workers=1 (1.0 on a
+	// single-core machine, where both configurations coincide).
+	Speedup float64 `json:"speedup"`
+}
+
+// campaignThroughput measures end-to-end campaign executions/sec on the
+// Crowdsale contract at Workers ∈ {1, NumCPU} and writes the result as JSON.
+// iterations is the per-campaign budget (the -iters flag); the JSON records
+// it so trajectory comparisons only pair like with like.
+func campaignThroughput(path string, iterations int, seed int64) error {
+	comp, err := minisol.Compile(corpus.Crowdsale())
+	if err != nil {
+		return err
+	}
+	const campaigns = 8
+	bench := campaignBench{
+		Benchmark:  "CampaignThroughput",
+		Contract:   "Crowdsale",
+		Iterations: iterations,
+		NumCPU:     runtime.NumCPU(),
+		Seed:       seed,
+	}
+	workerCounts := []int{1}
+	if runtime.NumCPU() > 1 {
+		workerCounts = append(workerCounts, runtime.NumCPU())
+	}
+	for _, workers := range workerCounts {
+		var execs int
+		var cov float64
+		start := time.Now()
+		for i := 0; i < campaigns; i++ {
+			res := fuzz.Run(comp, fuzz.Options{
+				Strategy:   fuzz.MuFuzz(),
+				Seed:       seed + int64(i),
+				Iterations: iterations,
+				Workers:    workers,
+			})
+			execs += res.Executions
+			cov += res.Coverage
+		}
+		elapsed := time.Since(start).Seconds()
+		bench.Runs = append(bench.Runs, campaignRun{
+			Workers:      workers,
+			Campaigns:    campaigns,
+			Executions:   execs,
+			ElapsedSec:   elapsed,
+			ExecsPerSec:  float64(execs) / elapsed,
+			CoverageMean: cov / campaigns,
+		})
+	}
+	bench.Speedup = 1
+	if len(bench.Runs) == 2 && bench.Runs[0].ExecsPerSec > 0 {
+		bench.Speedup = bench.Runs[1].ExecsPerSec / bench.Runs[0].ExecsPerSec
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(bench); err != nil {
+		return err
+	}
+	for _, r := range bench.Runs {
+		fmt.Printf("  campaign throughput: workers=%d  %8.0f execs/s  (%.1f%% mean coverage)\n",
+			r.Workers, r.ExecsPerSec, r.CoverageMean*100)
+	}
+	fmt.Printf("  speedup %0.2fx; JSON written to %s\n", bench.Speedup, path)
+	return nil
 }

@@ -4,8 +4,13 @@
 // Usage:
 //
 //	mufuzz -file contract.sol [-strategy mufuzz|sfuzz|confuzzius|irfuzz]
-//	       [-iters 4000] [-seed 1] [-time 10s] [-v]
+//	       [-iters 4000] [-seed 1] [-time 10s] [-workers 1] [-v]
 //	mufuzz -example crowdsale|game    # fuzz a built-in paper example
+//
+// -workers N fans each energy round's batch of mutated children across N
+// executor goroutines (0 = all CPU cores). N=1 is the sequential engine,
+// fully reproducible across machines for a fixed seed; N>1 is reproducible
+// for a fixed (seed, N) pair.
 package main
 
 import (
@@ -29,6 +34,7 @@ func main() {
 		iters    = flag.Int("iters", 4000, "transaction-sequence execution budget")
 		seed     = flag.Int64("seed", 1, "campaign random seed")
 		budget   = flag.Duration("time", 0, "optional wall-clock budget (e.g. 10s)")
+		workers  = flag.Int("workers", 1, "executor goroutines per energy round (0 = NumCPU)")
 		verbose  = flag.Bool("v", false, "print per-finding details")
 		minimize = flag.Bool("minimize", false, "shrink and print a proof-of-concept sequence per bug class")
 		jsonOut  = flag.String("json", "", "also write a machine-readable report to this file")
@@ -56,11 +62,19 @@ func main() {
 		comp.Contract.Name, len(comp.Code), len(comp.Contract.Functions), len(comp.Branches))
 
 	start := time.Now()
+	// The library resolves worker counts (Options.Workers: 0→1, negative→all
+	// cores); map the CLI's "0 = all cores" convenience onto that contract
+	// instead of duplicating the NumCPU resolution here.
+	nWorkers := *workers
+	if nWorkers == 0 {
+		nWorkers = -1
+	}
 	campaign := fuzz.NewCampaign(comp, fuzz.Options{
 		Strategy:   strat,
 		Seed:       *seed,
 		Iterations: *iters,
 		TimeBudget: *budget,
+		Workers:    nWorkers,
 	})
 	res := campaign.Run()
 

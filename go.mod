@@ -1,0 +1,3 @@
+module mufuzz
+
+go 1.24

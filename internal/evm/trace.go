@@ -199,6 +199,29 @@ func NewTrace() *Trace {
 	return &Trace{ExecutedOps: make(map[OpCode]bool)}
 }
 
+// Reset clears the trace for reuse, keeping the capacity of its event
+// buffers. Executors recycle one Trace across transactions so the hot path
+// does not reallocate eight slices per execution.
+func (t *Trace) Reset() {
+	t.Branches = t.Branches[:0]
+	t.Calls = t.Calls[:0]
+	t.Overflows = t.Overflows[:0]
+	t.Sinks = t.Sinks[:0]
+	t.SStores = t.SStores[:0]
+	t.SelfDestructs = t.SelfDestructs[:0]
+	t.Delegates = t.Delegates[:0]
+	t.Reentries = t.Reentries[:0]
+	if t.ExecutedOps == nil {
+		t.ExecutedOps = make(map[OpCode]bool)
+	} else {
+		clear(t.ExecutedOps)
+	}
+	t.ValueOutAttempted = false
+	t.Reverted = false
+	t.Steps = 0
+	t.PCs = t.PCs[:0]
+}
+
 // markOp records op execution.
 func (t *Trace) markOp(op OpCode) {
 	if t == nil {

@@ -2,7 +2,10 @@ package fuzz
 
 import (
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"mufuzz/internal/abi"
@@ -32,6 +35,17 @@ type Options struct {
 	EnergyBase int
 	// InitialSeeds is the size of the initial corpus. Default 4.
 	InitialSeeds int
+	// Workers is the number of executor goroutines an energy round fans its
+	// batch of mutated children across. 0 or 1 selects the sequential
+	// engine, whose behavior is identical to the classic single-threaded
+	// campaign for a fixed Seed. Values > 1 enable batched execution:
+	// children are generated up front, executed in parallel (each worker
+	// owning its own EVM, state copy, trace buffer, and per-child seeded
+	// rand.Rand), and their feedback is merged on the coordinator in
+	// deterministic batch order — results are reproducible for a fixed
+	// (Seed, Workers) pair but differ from the sequential engine's. A
+	// negative value selects runtime.NumCPU().
+	Workers int
 	// NoPrefixCache disables the intermediate-state checkpoint optimization
 	// (paper §VI); used for ablation and equivalence testing.
 	NoPrefixCache bool
@@ -53,6 +67,12 @@ func (o *Options) withDefaults() Options {
 	}
 	if out.InitialSeeds == 0 {
 		out.InitialSeeds = 4
+	}
+	if out.Workers < 0 {
+		out.Workers = runtime.NumCPU()
+	}
+	if out.Workers == 0 {
+		out.Workers = 1
 	}
 	return out
 }
@@ -83,7 +103,10 @@ type Result struct {
 	SequencesMutated int
 }
 
-// Campaign is the fuzzing engine for one contract.
+// Campaign is the fuzzing coordinator for one contract. It owns all feedback
+// state — coverage, branch distances, the seed queue, finding aggregation —
+// and drives one or more executors. Executors never touch campaign state;
+// the coordinator folds their outcomes in deterministic order.
 type Campaign struct {
 	comp     *minisol.Compiled
 	opts     Options
@@ -91,6 +114,7 @@ type Campaign struct {
 	dataflow *analysis.Dataflow
 	cfg      *analysis.CFG
 	detector *oracle.Detector
+	exec     *executor
 
 	// identities
 	genesis      *state.State
@@ -121,8 +145,11 @@ type Campaign struct {
 
 	queue      []*Seed
 	executions int
-	started    time.Time
-	timeline   []TimelinePoint
+	// pendingExecs counts dispatched-but-unmerged parallel executions so the
+	// budget check accounts for work already in flight.
+	pendingExecs int
+	started      time.Time
+	timeline     []TimelinePoint
 
 	masksComputed    int
 	maskProbes       int
@@ -191,13 +218,32 @@ func NewCampaign(comp *minisol.Compiled, opts Options) *Campaign {
 			}
 		}
 	}
+
+	c.exec = &executor{
+		comp:         comp,
+		genesis:      c.genesis,
+		contractAddr: c.contractAddr,
+		deployer:     c.deployer,
+		attackerAddr: c.attackerAddr,
+		senders:      c.senders,
+		gasPerTx:     o.GasPerTx,
+		inspector:    c.detector.Inspector(),
+		prefixes:     c.prefixes,
+	}
 	return c
 }
 
 // --- Sequence construction ---
 
-// newTx builds a transaction for fn with random inputs.
+// newTx builds a transaction for fn with random inputs drawn from the
+// campaign's rng.
 func (c *Campaign) newTx(fn string) TxInput {
+	return c.newTxRand(fn, c.rng)
+}
+
+// newTxRand builds a transaction for fn with random inputs drawn from rng.
+// Workers pass per-child rngs; the campaign's own maps are only read.
+func (c *Campaign) newTxRand(fn string, rng *rand.Rand) TxInput {
 	var m abi.Method
 	if fn == minisol.CtorName {
 		m = c.comp.Ctor
@@ -206,11 +252,11 @@ func (c *Campaign) newTx(fn string) TxInput {
 	}
 	tx := TxInput{
 		Func:   fn,
-		Args:   randomArgsFor(m, c.rng, c.pool, c.addrPool),
-		Sender: c.rng.Intn(len(c.senders)),
+		Args:   randomArgsFor(m, rng, c.pool, c.addrPool),
+		Sender: rng.Intn(len(c.senders)),
 	}
-	if m.Payable && c.rng.Intn(2) == 0 {
-		tx.Value = c.pool[c.rng.Intn(len(c.pool))]
+	if m.Payable && rng.Intn(2) == 0 {
+		tx.Value = c.pool[rng.Intn(len(c.pool))]
 	}
 	return tx
 }
@@ -243,7 +289,8 @@ func (c *Campaign) initialSequence() Sequence {
 
 // --- Execution ---
 
-// execResult is the feedback from running one sequence.
+// execResult is the feedback from running one sequence, after the outcome
+// has been folded into campaign state.
 type execResult struct {
 	newEdges       int
 	hitNestedDepth int
@@ -255,7 +302,7 @@ type execResult struct {
 // fold integrates a batch of contract branch events into the campaign's
 // coverage, nesting, and branch-distance bookkeeping. It is shared between
 // live execution and prefix-checkpoint replay so both paths produce
-// identical feedback.
+// identical feedback. Coordinator-only.
 func (c *Campaign) fold(res *execResult, branches []evm.BranchEvent, seq Sequence) {
 	for _, br := range branches {
 		key := br.Key()
@@ -288,85 +335,29 @@ func (c *Campaign) fold(res *execResult, branches []evm.BranchEvent, seq Sequenc
 	}
 }
 
-// execute runs a sequence against a fresh state and folds its feedback into
-// the campaign. Every execution — including Algorithm 2 mask probes — counts
-// toward coverage and the oracles, the way any AFL-family fuzzer counts all
-// of its executions. When a prefix of the sequence has a cached checkpoint
-// (paper §VI's intermediate-state optimization), execution resumes from it.
-func (c *Campaign) execute(seq Sequence) *execResult {
-	c.executions++
+// foldOutcome merges one executor outcome into campaign state, transaction
+// by transaction, exactly the way a live single-threaded execution would
+// have: coverage/distance fold, then oracle absorption and proof-of-concept
+// capture, per transaction in order.
+func (c *Campaign) foldOutcome(seq Sequence, out *execOutcome) *execResult {
 	res := &execResult{}
-	valueCap := u256.One.Lsh(96).Sub(u256.One)
-
-	var st *state.State
-	var e *evm.EVM
-	start := 0
-	var runBranchesByTx [][]evm.BranchEvent // per-tx contract branch events since tx 0
-	prefixNested := 0
-
-	if entry := c.prefixes.lookup(seq); entry != nil {
-		st = entry.st.Copy()
-		e = evm.New(st, evm.BlockCtx{Timestamp: 1_700_000_000, Number: 1_000_000, GasLimit: 30_000_000})
-		e.RestoreTaint(entry.taint)
-		start = entry.txs
-		// Replay the prefix's feedback per transaction so bookkeeping
-		// (including per-tx weight traces) matches a full run exactly.
-		for _, txBranches := range entry.branchesByTx {
-			c.fold(res, txBranches, seq)
-			res.branchesByTx = append(res.branchesByTx, txBranches)
-			res.allBranches = append(res.allBranches, txBranches...)
-			runBranchesByTx = append(runBranchesByTx, txBranches)
-		}
-		if entry.nestedDepth > res.hitNestedDepth {
-			res.hitNestedDepth = entry.nestedDepth
-		}
-		prefixNested = entry.nestedDepth
-	} else {
-		st = c.genesis.Copy()
-		e = evm.New(st, evm.BlockCtx{Timestamp: 1_700_000_000, Number: 1_000_000, GasLimit: 30_000_000})
-		st.CreateContract(c.contractAddr, c.comp.Code, c.deployer)
-		st.Commit()
-	}
-	attacker := &evm.ReentrantAttacker{Addr: c.attackerAddr, MaxReentries: 1}
-	e.RegisterNative(c.attackerAddr, attacker)
-
-	for i := start; i < len(seq); i++ {
-		tx := seq[i]
-		data := c.encodeTx(tx)
-		sender := c.senders[tx.Sender%len(c.senders)]
-		value := tx.Value.And(valueCap)
-		e.Trace = evm.NewTrace()
-		_, err := e.Transact(sender, c.contractAddr, value, data, c.opts.GasPerTx)
-
-		var txBranches []evm.BranchEvent
-		for _, br := range e.Trace.Branches {
-			if br.Addr == c.contractAddr {
-				txBranches = append(txBranches, br)
-			}
-		}
+	ri := 0
+	for i, txBranches := range out.branchesByTx {
 		c.fold(res, txBranches, seq)
 		res.branchesByTx = append(res.branchesByTx, txBranches)
 		res.allBranches = append(res.allBranches, txBranches...)
-		runBranchesByTx = append(runBranchesByTx, txBranches)
-		if d := res.hitNestedDepth; d > prefixNested {
-			prefixNested = d
-		}
-
-		for _, class := range c.detector.Inspect(e.Trace, value, err == nil) {
-			if _, have := c.repro[class]; !have {
-				// keep only the prefix up to and including the tx that fired
-				c.repro[class] = seq[:i+1].Clone()
+		for ri < len(out.reports) && out.reports[ri].txIdx == i {
+			for _, class := range c.detector.Absorb(out.reports[ri].report) {
+				if _, have := c.repro[class]; !have {
+					// keep only the prefix up to and including the tx that fired
+					c.repro[class] = seq[:i+1].Clone()
+				}
 			}
+			ri++
 		}
-
-		// Checkpoint the state after this transaction (except the last: the
-		// cache only serves proper prefixes).
-		if i < len(seq)-1 {
-			key := hashPrefix(seq, i+1)
-			if !c.prefixes.contains(key) {
-				c.prefixes.storeKeyed(key, i+1, st.Copy(), e.TaintSnapshot(), runBranchesByTx, prefixNested)
-			}
-		}
+	}
+	if out.nestedDepth > res.hitNestedDepth {
+		res.hitNestedDepth = out.nestedDepth
 	}
 	if res.newEdges > 0 {
 		c.timeline = append(c.timeline, TimelinePoint{
@@ -378,16 +369,13 @@ func (c *Campaign) execute(seq Sequence) *execResult {
 	return res
 }
 
-// encodeTx builds the full calldata of a transaction.
-func (c *Campaign) encodeTx(tx TxInput) []byte {
-	var m abi.Method
-	if tx.Func == minisol.CtorName {
-		m = c.comp.Ctor
-	} else {
-		m, _ = c.comp.ABI.MethodByName(tx.Func)
-	}
-	sel := m.Selector()
-	return append(sel[:], tx.Args...)
+// execute runs a sequence on the coordinator's executor and folds its
+// feedback into the campaign. Every execution — including Algorithm 2 mask
+// probes — counts toward coverage and the oracles, the way any AFL-family
+// fuzzer counts all of its executions.
+func (c *Campaign) execute(seq Sequence) *execResult {
+	c.executions++
+	return c.foldOutcome(seq, c.exec.run(seq))
 }
 
 // Covered returns the set of covered branch edges (read-only view).
@@ -434,40 +422,53 @@ func (c *Campaign) energyFor(seed *Seed) int {
 
 // --- Mutation of one seed ---
 
-// mutateSeed produces a child: sequence-level mutation (sometimes) plus
-// input-level byte mutations filtered by the seed's masks.
+// mutateSeed produces a child from the campaign rng (sequential engine).
 func (c *Campaign) mutateSeed(seed *Seed) *Seed {
+	child, seqMutated := c.mutateSeedRand(seed, c.rng)
+	c.sequencesMutated += seqMutated
+	return child
+}
+
+// mutateSeedRand produces a child: sequence-level mutation (sometimes) plus
+// input-level byte mutations filtered by the seed's masks. All randomness
+// comes from rng and all campaign state is only read, so workers can mutate
+// concurrently with per-child seeded rngs. The second return value counts
+// sequence-level mutations applied (merged into campaign stats by the
+// caller).
+func (c *Campaign) mutateSeedRand(seed *Seed, rng *rand.Rand) (*Seed, int) {
 	child := seed.Clone()
+	seqMutated := 0
 	sm := &seqMutator{
 		strategy:   c.opts.Strategy,
 		repeatable: c.dataflow.RepeatCandidates(),
 		callable:   c.callableFuncs(),
 	}
+	newTx := func(fn string) TxInput { return c.newTxRand(fn, rng) }
 
 	// Sequence-level mutation with probability 1/3 (the paper mutates the
 	// sequence once and then focuses on inputs).
-	if c.rng.Intn(3) == 0 {
-		child.Seq = sm.mutateSequence(child.Seq, c.rng, c.newTx, c.opts.MaxSeqLen)
-		c.sequencesMutated++
+	if rng.Intn(3) == 0 {
+		child.Seq = sm.mutateSequence(child.Seq, rng, newTx, c.opts.MaxSeqLen)
+		seqMutated++
 	}
 
 	// Sender alignment: same-account deposit/withdraw patterns (reentrancy,
 	// refunds) need every transaction issued by one identity; occasionally
 	// unify all senders.
-	if c.rng.Intn(8) == 0 {
-		s := c.rng.Intn(len(c.senders))
+	if rng.Intn(8) == 0 {
+		s := rng.Intn(len(c.senders))
 		for i := 1; i < len(child.Seq); i++ {
 			child.Seq[i].Sender = s
 		}
 	}
 
 	// Input-level mutation on 1-2 transactions.
-	nMut := 1 + c.rng.Intn(2)
+	nMut := 1 + rng.Intn(2)
 	for k := 0; k < nMut; k++ {
 		if len(child.Seq) <= 1 {
 			break
 		}
-		ti := c.rng.Intn(len(child.Seq)-1) + 1
+		ti := rng.Intn(len(child.Seq)-1) + 1
 		tx := &child.Seq[ti]
 		stream := tx.Stream()
 		if len(stream) == 0 {
@@ -482,11 +483,11 @@ func (c *Campaign) mutateSeed(seed *Seed) *Seed {
 		// the property that made the seed valuable (the FairFuzz effect).
 		rounds := 1
 		if mask != nil && mask.AllowedCount() > 0 {
-			rounds = 2 + c.rng.Intn(4)
+			rounds = 2 + rng.Intn(4)
 		}
 		for r := 0; r < rounds; r++ {
 			var nudge *nudgeInfo
-			stream, nudge = c.mutateStream(stream, mask)
+			stream, nudge = c.mutateStream(stream, mask, rng)
 			if nudge != nil {
 				nudge.txIdx = ti
 				child.lastNudge = nudge
@@ -494,33 +495,33 @@ func (c *Campaign) mutateSeed(seed *Seed) *Seed {
 		}
 		tx.SetStream(stream)
 		// occasionally flip the sender
-		if c.rng.Intn(8) == 0 {
-			tx.Sender = c.rng.Intn(len(c.senders))
+		if rng.Intn(8) == 0 {
+			tx.Sender = rng.Intn(len(c.senders))
 		}
 	}
-	return child
+	return child, seqMutated
 }
 
 // mutateStream applies one input mutation respecting the mask. When the
 // mutation is an arithmetic word nudge, its descriptor is returned so the
 // campaign can replay it as a greedy line search on branch distance.
-func (c *Campaign) mutateStream(stream []byte, mask *Mask) ([]byte, *nudgeInfo) {
+func (c *Campaign) mutateStream(stream []byte, mask *Mask, rng *rand.Rand) ([]byte, *nudgeInfo) {
 	// Distance-directed mutation: copy a comparison operand of an uncovered
 	// branch into a word, or nudge a word arithmetically (sFuzz-style
 	// descent). Available to strategies with branch-distance feedback.
-	if c.opts.Strategy.BranchDistance && len(c.distCmp) > 0 && c.rng.Intn(2) == 0 {
-		cmp, ok := c.randomUncoveredCmp()
+	if c.opts.Strategy.BranchDistance && len(c.distCmp) > 0 && rng.Intn(2) == 0 {
+		cmp, ok := c.randomUncoveredCmp(rng)
 		if ok {
-			i := c.rng.Intn(len(stream))
+			i := rng.Intn(len(stream))
 			if mask.OK(MutOverwrite, (i/32)*32) {
-				switch c.rng.Intn(3) {
+				switch rng.Intn(3) {
 				case 0:
 					return WriteWordAt(stream, i, cmp.A), nil
 				case 1:
 					return WriteWordAt(stream, i, cmp.B), nil
 				default:
 					deltas := []int64{1, -1, 2, -2, 16, -16, 256, -256, 4096, -4096, 65536, -65536}
-					d := deltas[c.rng.Intn(len(deltas))]
+					d := deltas[rng.Intn(len(deltas))]
 					return NudgeWordAt(stream, i, d), &nudgeInfo{pos: i, delta: d}
 				}
 			}
@@ -529,19 +530,19 @@ func (c *Campaign) mutateStream(stream []byte, mask *Mask) ([]byte, *nudgeInfo) 
 
 	// Plain O/I/R/D mutation; retry a few times to find a permitted spot.
 	for attempt := 0; attempt < 8; attempt++ {
-		x := MutType(c.rng.Intn(int(numMutTypes)))
-		n := 1 + c.rng.Intn(4)
+		x := MutType(rng.Intn(int(numMutTypes)))
+		n := 1 + rng.Intn(4)
 		if x == MutReplace {
-			n = 1 + c.rng.Intn(32)
+			n = 1 + rng.Intn(32)
 		}
-		i := c.rng.Intn(len(stream) + 1)
+		i := rng.Intn(len(stream) + 1)
 		if i == len(stream) && x != MutInsert {
 			i = len(stream) - 1
 		}
 		if !mask.OK(x, i) {
 			continue
 		}
-		return ApplyMutation(stream, x, n, i, c.rng, c.pool), nil
+		return ApplyMutation(stream, x, n, i, rng, c.pool), nil
 	}
 	return stream, nil
 }
@@ -563,12 +564,12 @@ func sortedBranchKeys[V any](m map[evm.BranchKey]V) []evm.BranchKey {
 }
 
 // randomUncoveredCmp picks the comparison info of a random uncovered edge.
-func (c *Campaign) randomUncoveredCmp() (evm.CmpInfo, bool) {
+func (c *Campaign) randomUncoveredCmp(rng *rand.Rand) (evm.CmpInfo, bool) {
 	keys := sortedBranchKeys(c.distCmp)
 	if len(keys) == 0 {
 		return evm.CmpInfo{}, false
 	}
-	return c.distCmp[keys[c.rng.Intn(len(keys))]], true
+	return c.distCmp[keys[rng.Intn(len(keys))]], true
 }
 
 func (c *Campaign) callableFuncs() []string {
@@ -584,7 +585,9 @@ func (c *Campaign) callableFuncs() []string {
 // ensureMasks computes per-transaction masks for a qualifying seed: one that
 // hits a nested branch or improves a branch distance (Algorithm 1 line 17).
 // Mask probes are capped at a fraction of the campaign budget so Algorithm 2
-// cannot starve the main mutation loop.
+// cannot starve the main mutation loop. Probes are inherently sequential
+// (each mask position's verdict feeds the next candidate), so they always
+// run on the coordinator's executor.
 func (c *Campaign) ensureMasks(seed *Seed) {
 	if seed.masks != nil || !c.opts.Strategy.MutationMasking {
 		return
@@ -633,7 +636,7 @@ func (c *Campaign) ensureMasks(seed *Seed) {
 }
 
 func (c *Campaign) budgetExhausted() bool {
-	if c.executions >= c.opts.Iterations {
+	if c.executions+c.pendingExecs >= c.opts.Iterations {
 		return true
 	}
 	if c.opts.TimeBudget > 0 && time.Since(c.started) > c.opts.TimeBudget {
@@ -648,7 +651,7 @@ func (c *Campaign) budgetExhausted() bool {
 func (c *Campaign) Run() *Result {
 	c.started = time.Now()
 
-	// Initial corpus.
+	// Initial corpus (sequential: it defines the campaign's starting point).
 	for i := 0; i < c.opts.InitialSeeds && !c.budgetExhausted(); i++ {
 		seed := &Seed{Seq: c.initialSequence()}
 		r := c.execute(seed.Seq)
@@ -665,28 +668,10 @@ func (c *Campaign) Run() *Result {
 		seed := c.pickSeed(&qi)
 		c.ensureMasks(seed)
 		energy := c.energyFor(seed)
-		for e := 0; e < energy && !c.budgetExhausted(); e++ {
-			child := c.mutateSeed(seed)
-			r := c.execute(child.Seq)
-			// Greedy line search: an arithmetic nudge that improved some
-			// branch distance is repeated while it keeps improving — the
-			// hill-climbing descent that cracks derived-value guards
-			// (b*7 == 9163 style) in O(distance/step) executions.
-			if c.opts.Strategy.BranchDistance && r.distImproved && r.newEdges == 0 && child.lastNudge != nil {
-				child, r = c.lineSearch(child, r)
-			}
-			if r.newEdges > 0 || (c.opts.Strategy.BranchDistance && r.distImproved) {
-				child.NewEdges = r.newEdges
-				child.HitNestedDepth = r.hitNestedDepth
-				child.DistanceImproved = r.distImproved
-				child.PathWeight = analysis.PathWeight(r.allBranches, c.weights)
-				c.queue = append(c.queue, child)
-				// cap queue growth: keep the newest/most valuable seeds
-				if len(c.queue) > 256 {
-					c.queue = c.queue[len(c.queue)-192:]
-					qi = 0
-				}
-			}
+		if c.opts.Workers > 1 {
+			c.fuzzRoundParallel(seed, energy, &qi)
+		} else {
+			c.fuzzRound(seed, energy, &qi)
 		}
 		qi++
 	}
@@ -713,9 +698,116 @@ func (c *Campaign) Run() *Result {
 	}
 }
 
+// fuzzRound spends one seed's energy on the sequential engine: mutate one
+// child, execute, fold, admit — the classic Algorithm 1 inner loop.
+func (c *Campaign) fuzzRound(seed *Seed, energy int, qi *int) {
+	for e := 0; e < energy && !c.budgetExhausted(); e++ {
+		child := c.mutateSeed(seed)
+		r := c.execute(child.Seq)
+		child, r = c.maybeLineSearch(child, r)
+		c.admit(child, r, qi)
+	}
+}
+
+// fuzzRoundParallel spends one seed's energy as a batch: the round's
+// children are generated and executed across Options.Workers goroutines,
+// each worker owning its own executor (EVM, state copies, trace buffer) and
+// a per-child rand.Rand seeded from the coordinator rng. The coordinator
+// then merges outcomes in batch order, so results are deterministic for a
+// fixed (Seed, Workers) pair regardless of goroutine scheduling.
+func (c *Campaign) fuzzRoundParallel(seed *Seed, energy int, qi *int) {
+	n := energy
+	if remaining := c.opts.Iterations - c.executions; n > remaining {
+		n = remaining
+	}
+	if n <= 0 {
+		return
+	}
+	// Per-child rng seeds drawn sequentially from the coordinator rng keep
+	// the whole batch a pure function of Options.Seed.
+	childSeeds := make([]int64, n)
+	for i := range childSeeds {
+		childSeeds[i] = c.rng.Int63()
+	}
+
+	type slot struct {
+		child      *Seed
+		out        *execOutcome
+		seqMutated int
+	}
+	slots := make([]slot, n)
+	workers := c.opts.Workers
+	if workers > n {
+		workers = n
+	}
+	c.pendingExecs = n
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		x := c.exec.clone()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				rng := rand.New(rand.NewSource(childSeeds[i]))
+				child, seqMutated := c.mutateSeedRand(seed, rng)
+				out := x.run(child.Seq)
+				slots[i] = slot{child: child, out: out, seqMutated: seqMutated}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Deterministic batch-order merge on the coordinator. Every dispatched
+	// execution counts, so all slots fold even if the time budget expired
+	// mid-batch.
+	for i := range slots {
+		c.pendingExecs--
+		c.executions++
+		c.sequencesMutated += slots[i].seqMutated
+		r := c.foldOutcome(slots[i].child.Seq, slots[i].out)
+		child, r := c.maybeLineSearch(slots[i].child, r)
+		c.admit(child, r, qi)
+	}
+}
+
+// maybeLineSearch runs the greedy line search when a child's arithmetic
+// nudge improved some branch distance without new coverage — the
+// hill-climbing descent that cracks derived-value guards (b*7 == 9163
+// style) in O(distance/step) executions.
+func (c *Campaign) maybeLineSearch(child *Seed, r *execResult) (*Seed, *execResult) {
+	if c.opts.Strategy.BranchDistance && r.distImproved && r.newEdges == 0 && child.lastNudge != nil {
+		return c.lineSearch(child, r)
+	}
+	return child, r
+}
+
+// admit applies queue admission to one executed child: children that found
+// new edges or improved a branch distance join the seed queue.
+func (c *Campaign) admit(child *Seed, r *execResult, qi *int) {
+	if r.newEdges > 0 || (c.opts.Strategy.BranchDistance && r.distImproved) {
+		child.NewEdges = r.newEdges
+		child.HitNestedDepth = r.hitNestedDepth
+		child.DistanceImproved = r.distImproved
+		child.PathWeight = analysis.PathWeight(r.allBranches, c.weights)
+		c.queue = append(c.queue, child)
+		// cap queue growth: keep the newest/most valuable seeds
+		if len(c.queue) > 256 {
+			c.queue = c.queue[len(c.queue)-192:]
+			*qi = 0
+		}
+	}
+}
+
 // lineSearch repeats a seed's last nudge while branch distance keeps
 // improving, returning the furthest point reached (or the first point that
-// discovers new edges).
+// discovers new edges). Sequential by nature: each step depends on the
+// previous one's feedback.
 func (c *Campaign) lineSearch(child *Seed, r *execResult) (*Seed, *execResult) {
 	const maxSteps = 64
 	best, bestRes := child, r

@@ -1,0 +1,189 @@
+package fuzz
+
+import (
+	"mufuzz/internal/abi"
+	"mufuzz/internal/evm"
+	"mufuzz/internal/minisol"
+	"mufuzz/internal/oracle"
+	"mufuzz/internal/state"
+	"mufuzz/internal/u256"
+)
+
+// txValueCap bounds msg.value so mutated 256-bit words cannot drain a
+// sender's (2^120 wei) balance in one transfer. Hoisted to a package
+// variable so the hot path does not recompute it per execution.
+var txValueCap = u256.One.Lsh(96).Sub(u256.One)
+
+// campaignBlockCtx is the fixed block context every campaign execution and
+// replay runs under.
+var campaignBlockCtx = evm.BlockCtx{Timestamp: 1_700_000_000, Number: 1_000_000, GasLimit: 30_000_000}
+
+// txReport pairs one live transaction's oracle report with its index in the
+// sequence, so the coordinator can slice the proof-of-concept prefix.
+type txReport struct {
+	txIdx  int
+	report oracle.Report
+}
+
+// execOutcome is the pure result of executing one sequence: branch events,
+// nesting depth, and per-transaction oracle reports. It carries no campaign
+// state and is produced without mutating any — the executor/coordinator
+// contract that makes batched parallel execution safe.
+type execOutcome struct {
+	// branchesByTx holds the contract's branch events, one batch per
+	// transaction, covering the whole sequence: checkpoint-replayed prefix
+	// transactions first (shared, immutable slices from the cache entry),
+	// then live transactions.
+	branchesByTx [][]evm.BranchEvent
+	// firstLive is the number of leading transactions served from a prefix
+	// checkpoint (0 when the sequence ran from genesis).
+	firstLive int
+	// nestedDepth is the deepest compile-time branch nesting reached across
+	// the whole sequence, prefix included.
+	nestedDepth int
+	// reports are the non-empty oracle reports of the whole sequence in
+	// transaction order: checkpoint-replayed prefix reports first, then live
+	// ones. Carrying the prefix reports makes the outcome self-contained, so
+	// proof-of-concept capture on the coordinator does not depend on which
+	// execution happened to populate the cache.
+	reports []txReport
+}
+
+// executor runs transaction sequences against private EVM instances. Each
+// executor owns its own reusable trace buffer; everything else it references
+// (compiled contract, genesis state, inspector, prefix cache) is immutable
+// or internally synchronized, so a coordinator can clone one executor per
+// worker goroutine and run them concurrently.
+//
+// The contract with the coordinator: run is a pure request→outcome function
+// of the sequence (given the cache's contents). All campaign-state folding —
+// coverage, branch distance, queue admission, finding aggregation, repro
+// capture, timeline — happens on the coordinator in deterministic batch
+// order.
+type executor struct {
+	comp         *minisol.Compiled
+	genesis      *state.State
+	contractAddr state.Address
+	deployer     state.Address
+	attackerAddr state.Address
+	senders      []state.Address
+	gasPerTx     uint64
+	inspector    *oracle.Inspector
+	// prefixes is the shared sharded checkpoint cache; nil disables the
+	// intermediate-state optimization (ablation / replay).
+	prefixes *prefixCache
+	// trace is the reusable per-transaction event buffer. Branch events are
+	// copied out of it before reuse, so recycling it across transactions and
+	// executions is safe and saves eight slice allocations per transaction.
+	trace *evm.Trace
+}
+
+// clone returns an executor sharing the immutable substrate but owning a
+// fresh trace buffer — one per worker goroutine.
+func (x *executor) clone() *executor {
+	nx := *x
+	nx.trace = nil
+	return &nx
+}
+
+// detached returns a clone that bypasses the prefix cache; replays and
+// minimization use it so they neither consume nor pollute checkpoints.
+func (x *executor) detached() *executor {
+	nx := *x
+	nx.trace = nil
+	nx.prefixes = nil
+	return &nx
+}
+
+// resetTrace returns the executor's trace buffer, cleared for one
+// transaction.
+func (x *executor) resetTrace() *evm.Trace {
+	if x.trace == nil {
+		x.trace = evm.NewTrace()
+	} else {
+		x.trace.Reset()
+	}
+	return x.trace
+}
+
+// encodeTx builds the full calldata of a transaction.
+func (x *executor) encodeTx(tx TxInput) []byte {
+	var m abi.Method
+	if tx.Func == minisol.CtorName {
+		m = x.comp.Ctor
+	} else {
+		m, _ = x.comp.ABI.MethodByName(tx.Func)
+	}
+	sel := m.Selector()
+	return append(sel[:], tx.Args...)
+}
+
+// run executes a sequence and returns its outcome. When a prefix of the
+// sequence has a cached checkpoint (paper §VI's intermediate-state
+// optimization), execution resumes from it and the prefix's recorded branch
+// events stand in for re-execution. Intermediate states reached by live
+// transactions are proposed back to the cache.
+func (x *executor) run(seq Sequence) *execOutcome {
+	out := &execOutcome{}
+
+	var st *state.State
+	var e *evm.EVM
+	start := 0
+
+	if entry := x.prefixes.lookup(seq); entry != nil {
+		st = entry.st.Copy()
+		e = evm.New(st, campaignBlockCtx)
+		e.RestoreTaint(entry.taint)
+		start = entry.txs
+		out.branchesByTx = append(out.branchesByTx, entry.branchesByTx...)
+		out.reports = append(out.reports, entry.reports...)
+		out.nestedDepth = entry.nestedDepth
+	} else {
+		st = x.genesis.Copy()
+		e = evm.New(st, campaignBlockCtx)
+		st.CreateContract(x.contractAddr, x.comp.Code, x.deployer)
+		st.Commit()
+	}
+	out.firstLive = start
+	attacker := &evm.ReentrantAttacker{Addr: x.attackerAddr, MaxReentries: 1}
+	e.RegisterNative(x.attackerAddr, attacker)
+
+	for i := start; i < len(seq); i++ {
+		tx := seq[i]
+		data := x.encodeTx(tx)
+		sender := x.senders[tx.Sender%len(x.senders)]
+		value := tx.Value.And(txValueCap)
+		e.Trace = x.resetTrace()
+		_, err := e.Transact(sender, x.contractAddr, value, data, x.gasPerTx)
+
+		var txBranches []evm.BranchEvent
+		for _, br := range e.Trace.Branches {
+			if br.Addr == x.contractAddr {
+				txBranches = append(txBranches, br)
+			}
+		}
+		out.branchesByTx = append(out.branchesByTx, txBranches)
+		for _, br := range txBranches {
+			if site, ok := x.comp.BranchSiteAt(br.PC); ok && site.Depth > out.nestedDepth {
+				out.nestedDepth = site.Depth
+			}
+		}
+
+		if rep := x.inspector.Inspect(e.Trace, value, err == nil); !rep.Empty() {
+			out.reports = append(out.reports, txReport{txIdx: i, report: rep})
+		}
+
+		// Checkpoint the state after this transaction (except the last: the
+		// cache only serves proper prefixes). The outcome accumulated so far
+		// is exactly the checkpoint's payload; the nil guard keeps detached
+		// executors and NoPrefixCache campaigns from paying the state-copy
+		// cost for checkpoints that would be discarded.
+		if x.prefixes != nil && i < len(seq)-1 {
+			key := hashPrefix(seq, i+1)
+			if !x.prefixes.contains(key) {
+				x.prefixes.storeKeyed(key, i+1, st.Copy(), e.TaintSnapshot(), out.branchesByTx, out.reports, out.nestedDepth)
+			}
+		}
+	}
+	return out
+}

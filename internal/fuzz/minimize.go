@@ -5,7 +5,6 @@ import (
 	"mufuzz/internal/minisol"
 	"mufuzz/internal/oracle"
 	"mufuzz/internal/state"
-	"mufuzz/internal/u256"
 )
 
 // ReplayResult is what one replay of a sequence observed.
@@ -17,36 +16,25 @@ type ReplayResult struct {
 // Replay executes a sequence against a fresh world (same identities the
 // campaign uses) and reports the bug classes triggered and edges covered.
 // It lets a finding be re-confirmed independently of the campaign, and is
-// the predicate engine for Minimize.
+// the predicate engine for Minimize. Replays run on a detached executor so
+// they neither consume nor pollute the campaign's prefix checkpoints, and a
+// fresh detector so campaign findings don't leak into the replay verdict.
 func (c *Campaign) Replay(seq Sequence) *ReplayResult {
-	st := c.genesis.Copy()
-	e := evm.New(st, evm.BlockCtx{Timestamp: 1_700_000_000, Number: 1_000_000, GasLimit: 30_000_000})
-	attacker := &evm.ReentrantAttacker{Addr: c.attackerAddr, MaxReentries: 1}
-	e.RegisterNative(c.attackerAddr, attacker)
-	st.CreateContract(c.contractAddr, c.comp.Code, c.deployer)
-	st.Commit()
+	x := c.exec.detached()
+	res := x.run(seq)
 
 	det := oracle.NewDetector(c.contractAddr, c.comp.Code)
+	for _, rep := range res.reports {
+		det.Absorb(rep.report)
+	}
 	out := &ReplayResult{
-		BugClasses: make(map[oracle.BugClass]bool),
+		BugClasses: det.Classes(),
 		Edges:      make(map[evm.BranchKey]bool),
 	}
-	valueCap := u256.One.Lsh(96).Sub(u256.One)
-	for _, tx := range seq {
-		data := c.encodeTx(tx)
-		sender := c.senders[tx.Sender%len(c.senders)]
-		value := tx.Value.And(valueCap)
-		e.Trace = evm.NewTrace()
-		_, err := e.Transact(sender, c.contractAddr, value, data, c.opts.GasPerTx)
-		det.Inspect(e.Trace, value, err == nil)
-		for _, br := range e.Trace.Branches {
-			if br.Addr == c.contractAddr {
-				out.Edges[br.Key()] = true
-			}
+	for _, txBranches := range res.branchesByTx {
+		for _, br := range txBranches {
+			out.Edges[br.Key()] = true
 		}
-	}
-	for cl := range det.Classes() {
-		out.BugClasses[cl] = true
 	}
 	return out
 }

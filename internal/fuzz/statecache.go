@@ -3,6 +3,8 @@ package fuzz
 import (
 	"encoding/binary"
 	"hash/fnv"
+	"sync"
+	"sync/atomic"
 
 	"mufuzz/internal/evm"
 	"mufuzz/internal/state"
@@ -18,18 +20,35 @@ import (
 // the post-prefix state, the cross-transaction storage taint, and the branch
 // events of the prefix (replayed into the campaign's feedback fold so
 // coverage/distance bookkeeping is identical to a full execution).
+//
+// The cache is striped across prefixShards independently locked shards so
+// the executor goroutines of a parallel campaign can look up checkpoints and
+// propose inserts concurrently. Entries are immutable once stored: readers
+// copy entry.st outside the shard lock, writers only ever insert or evict
+// whole entries. Eviction is FIFO per shard.
 type prefixCache struct {
+	shards [prefixShards]prefixShard
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// prefixShards is the stripe count. Sixteen shards keep lock contention
+// negligible for any realistic Options.Workers while costing only a few
+// hundred bytes of overhead.
+const prefixShards = 16
+
+type prefixShard struct {
+	mu      sync.RWMutex
 	entries map[uint64]*prefixEntry
 	order   []uint64 // FIFO eviction order
-	max     int
-	hits    int
-	misses  int
+	max     int      // per-shard capacity
 }
 
 type prefixEntry struct {
 	// txs is the prefix length the entry checkpoints.
 	txs int
-	// st is the world state after the prefix (committed).
+	// st is the world state after the prefix (committed). Never mutated
+	// after store; resuming executions copy it.
 	st *state.State
 	// taint is the EVM's cross-transaction storage taint after the prefix.
 	taint map[evm.StorageKey]evm.Taint
@@ -37,12 +56,34 @@ type prefixEntry struct {
 	// per transaction, so the feedback fold (per-transaction weight traces)
 	// sees exactly what a re-execution would produce.
 	branchesByTx [][]evm.BranchEvent
+	// reports are the prefix transactions' oracle reports, replayed into the
+	// outcome on a hit. Absorption is idempotent on the coordinator, so the
+	// replay is a semantic no-op for a sequential campaign — but it makes
+	// every outcome self-contained, which keeps proof-of-concept capture
+	// deterministic in batched mode regardless of which worker happened to
+	// populate the cache first.
+	reports []txReport
 	// nestedDepth is the deepest branch-site nesting reached in the prefix.
 	nestedDepth int
 }
 
+// newPrefixCache builds a cache holding about max entries in total, striped
+// evenly across the shards.
 func newPrefixCache(max int) *prefixCache {
-	return &prefixCache{entries: make(map[uint64]*prefixEntry), max: max}
+	perShard := (max + prefixShards - 1) / prefixShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	pc := &prefixCache{}
+	for i := range pc.shards {
+		pc.shards[i].entries = make(map[uint64]*prefixEntry)
+		pc.shards[i].max = perShard
+	}
+	return pc
+}
+
+func (pc *prefixCache) shard(key uint64) *prefixShard {
+	return &pc.shards[key%prefixShards]
 }
 
 // hashPrefix fingerprints the first n transactions of a sequence.
@@ -65,17 +106,24 @@ func hashPrefix(seq Sequence, n int) uint64 {
 
 // lookup returns the entry for the longest cached proper prefix of seq
 // (at least 1 transaction, at most len(seq)-1 so the suffix still runs).
+// The txs check guards against fnv collisions across prefix lengths: a hit
+// only counts when the stored entry checkpoints exactly n transactions.
 func (pc *prefixCache) lookup(seq Sequence) *prefixEntry {
 	if pc == nil {
 		return nil
 	}
 	for n := len(seq) - 1; n >= 1; n-- {
-		if e, ok := pc.entries[hashPrefix(seq, n)]; ok && e.txs == n {
-			pc.hits++
+		key := hashPrefix(seq, n)
+		sh := pc.shard(key)
+		sh.mu.RLock()
+		e, ok := sh.entries[key]
+		sh.mu.RUnlock()
+		if ok && e.txs == n {
+			pc.hits.Add(1)
 			return e
 		}
 	}
-	pc.misses++
+	pc.misses.Add(1)
 	return nil
 }
 
@@ -84,14 +132,19 @@ func (pc *prefixCache) contains(key uint64) bool {
 	if pc == nil {
 		return false
 	}
-	_, ok := pc.entries[key]
+	sh := pc.shard(key)
+	sh.mu.RLock()
+	_, ok := sh.entries[key]
+	sh.mu.RUnlock()
 	return ok
 }
 
-// storeKeyed records a checkpoint for a pre-computed prefix hash.
-// Oversized branch logs are not cached (loop-heavy prefixes would make
-// replaying the fold as costly as re-execution).
-func (pc *prefixCache) storeKeyed(key uint64, n int, st *state.State, taint map[evm.StorageKey]evm.Taint, branchesByTx [][]evm.BranchEvent, nestedDepth int) {
+// storeKeyed records a checkpoint for a pre-computed prefix hash. The first
+// writer of a key wins; concurrent proposals for the same prefix are
+// deduplicated under the shard lock. Oversized branch logs are not cached
+// (loop-heavy prefixes would make replaying the fold as costly as
+// re-execution).
+func (pc *prefixCache) storeKeyed(key uint64, n int, st *state.State, taint map[evm.StorageKey]evm.Taint, branchesByTx [][]evm.BranchEvent, reports []txReport, nestedDepth int) {
 	if pc == nil || n < 1 {
 		return
 	}
@@ -102,32 +155,53 @@ func (pc *prefixCache) storeKeyed(key uint64, n int, st *state.State, taint map[
 	if total > 4096 {
 		return
 	}
-	if _, dup := pc.entries[key]; dup {
-		return
-	}
-	if len(pc.order) >= pc.max {
-		oldest := pc.order[0]
-		pc.order = pc.order[1:]
-		delete(pc.entries, oldest)
-	}
 	cp := make([][]evm.BranchEvent, len(branchesByTx))
 	for i, b := range branchesByTx {
 		cp[i] = append([]evm.BranchEvent(nil), b...)
 	}
-	pc.entries[key] = &prefixEntry{
+	entry := &prefixEntry{
 		txs:          n,
 		st:           st,
 		taint:        taint,
 		branchesByTx: cp,
+		reports:      append([]txReport(nil), reports...),
 		nestedDepth:  nestedDepth,
 	}
-	pc.order = append(pc.order, key)
+
+	sh := pc.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, dup := sh.entries[key]; dup {
+		return
+	}
+	if len(sh.order) >= sh.max {
+		oldest := sh.order[0]
+		sh.order = sh.order[1:]
+		delete(sh.entries, oldest)
+	}
+	sh.entries[key] = entry
+	sh.order = append(sh.order, key)
 }
 
-// Stats reports cache hits and misses.
+// len returns the total number of cached entries (diagnostics and tests).
+func (pc *prefixCache) len() int {
+	if pc == nil {
+		return 0
+	}
+	n := 0
+	for i := range pc.shards {
+		sh := &pc.shards[i]
+		sh.mu.RLock()
+		n += len(sh.entries)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// stats reports cache hits and misses.
 func (pc *prefixCache) stats() (hits, misses int) {
 	if pc == nil {
 		return 0, 0
 	}
-	return pc.hits, pc.misses
+	return int(pc.hits.Load()), int(pc.misses.Load())
 }

@@ -1,6 +1,17 @@
 // Package oracle implements the nine bug oracles of paper §IV-D. Oracles
 // consume EVM execution traces (taint sinks, call events, overflow events,
 // reentry events) plus a little campaign-level state, and emit findings.
+//
+// The oracles are split into two halves so a parallel fuzzing engine can run
+// them off the coordinator thread:
+//
+//   - Inspector is the stateless per-execution half: it matches one trace
+//     against the per-transaction rules and returns a Report. Inspectors are
+//     immutable after construction and safe for concurrent use by many
+//     executor goroutines.
+//   - Detector is the campaign-level aggregate: it absorbs Reports in a
+//     deterministic order on the coordinator, dedups findings, and applies
+//     whole-campaign oracles (EF) at Finalize.
 package oracle
 
 import (
@@ -45,83 +56,91 @@ func (f Finding) Key() string {
 	return fmt.Sprintf("%s@%s:%d", f.Class, f.Addr, f.PC)
 }
 
-// Detector accumulates findings for one contract across a fuzzing campaign.
-type Detector struct {
-	addr state.Address
-
-	// static facts about the code, for the ether-freezing oracle
-	hasValueOutOp bool
-
-	receivedValue bool
-	findings      map[string]Finding
+// Report is what one transaction's inspection observed: the findings the
+// trace exhibits (deduped within the trace, in detection order) plus whether
+// the transaction paid value into the contract (input to the EF oracle).
+type Report struct {
+	Findings      []Finding
+	ReceivedValue bool
 }
 
-// NewDetector builds a detector for the contract at addr with the given
+// Empty reports whether the inspection observed nothing of interest.
+func (r Report) Empty() bool {
+	return len(r.Findings) == 0 && !r.ReceivedValue
+}
+
+// Inspector is the stateless per-execution oracle half. All fields are fixed
+// at construction, so one Inspector may serve any number of concurrent
+// executions.
+type Inspector struct {
+	addr state.Address
+
+	// static fact about the code, for the ether-freezing oracle
+	hasValueOutOp bool
+}
+
+// NewInspector builds an inspector for the contract at addr with the given
 // runtime code. The code is scanned once for value-out instructions (CALL,
 // DELEGATECALL, SELFDESTRUCT) — a contract with none of them can never move
 // ether out, the static half of the EF oracle.
-func NewDetector(addr state.Address, code []byte) *Detector {
-	d := &Detector{addr: addr, findings: make(map[string]Finding)}
-	for _, ins := range analysis.Disassemble(code) {
-		switch ins.Op {
+func NewInspector(addr state.Address, code []byte) *Inspector {
+	ins := &Inspector{addr: addr}
+	for _, i := range analysis.Disassemble(code) {
+		switch i.Op {
 		case evm.CALL, evm.DELEGATECALL, evm.SELFDESTRUCT:
-			d.hasValueOutOp = true
+			ins.hasValueOutOp = true
 		}
 	}
-	return d
+	return ins
 }
 
-func (d *Detector) add(f Finding) {
-	if _, dup := d.findings[f.Key()]; !dup {
-		d.findings[f.Key()] = f
+// report collects findings for one trace, deduping by Key within the trace.
+type report struct {
+	Report
+	seen map[string]bool
+}
+
+func (r *report) add(f Finding) {
+	if r.seen[f.Key()] {
+		return
 	}
+	r.seen[f.Key()] = true
+	r.Findings = append(r.Findings, f)
 }
 
-// Inspect applies all per-transaction oracles to one execution trace.
-// txValue is the value sent with the transaction, txOK whether it succeeded.
-// It returns the bug classes newly discovered by this trace (empty for
-// repeats of known findings).
-func (d *Detector) Inspect(tr *evm.Trace, txValue u256.Int, txOK bool) []BugClass {
+// Inspect applies all per-transaction oracles to one execution trace and
+// returns everything observed. txValue is the value sent with the
+// transaction, txOK whether it succeeded. Inspect does not mutate the
+// inspector; callers fold the Report into a Detector to dedup across the
+// campaign.
+func (ins *Inspector) Inspect(tr *evm.Trace, txValue u256.Int, txOK bool) Report {
 	if tr == nil {
-		return nil
+		return Report{}
 	}
+	r := &report{seen: make(map[string]bool)}
 	if txOK && !txValue.IsZero() {
-		d.receivedValue = true
+		r.ReceivedValue = true
 	}
-	before := make(map[BugClass]bool)
-	for _, f := range d.findings {
-		before[f.Class] = true
-	}
-
-	d.inspectSinks(tr)
-	d.inspectOverflows(tr)
-	d.inspectCalls(tr)
-	d.inspectReentry(tr)
-	d.inspectSelfDestructs(tr)
-	d.inspectDelegates(tr)
-
-	var fresh []BugClass
-	seen := make(map[BugClass]bool)
-	for _, f := range d.findings {
-		if !before[f.Class] && !seen[f.Class] {
-			fresh = append(fresh, f.Class)
-			seen[f.Class] = true
-		}
-	}
-	return fresh
+	ins.inspectSinks(tr, r)
+	ins.inspectOverflows(tr, r)
+	ins.inspectCalls(tr, r)
+	ins.inspectReentry(tr, r)
+	ins.inspectSelfDestructs(tr, r)
+	ins.inspectDelegates(tr, r)
+	return r.Report
 }
 
 // inspectSinks covers BD, SE, and TO, which are all source→sink taint rules.
-func (d *Detector) inspectSinks(tr *evm.Trace) {
+func (ins *Inspector) inspectSinks(tr *evm.Trace, r *report) {
 	for _, s := range tr.Sinks {
-		if s.Addr != d.addr {
+		if s.Addr != ins.addr {
 			continue
 		}
 		// BD: block state contaminates a CALL, JUMPI, or comparison.
 		if s.Taint&(evm.TaintTimestamp|evm.TaintNumber) != 0 {
 			switch s.Kind {
 			case evm.SinkJumpCond, evm.SinkCompare, evm.SinkCallValue, evm.SinkCallTarget:
-				d.add(Finding{
+				r.add(Finding{
 					Class: BD, Addr: s.Addr, PC: s.PC,
 					Description: "block state (timestamp/number) influences a branch or call",
 				})
@@ -129,7 +148,7 @@ func (d *Detector) inspectSinks(tr *evm.Trace) {
 		}
 		// SE: BALANCE flows into a strict equality comparison.
 		if s.Kind == evm.SinkEq && s.Taint.Has(evm.TaintBalance) {
-			d.add(Finding{
+			r.add(Finding{
 				Class: SE, Addr: s.Addr, PC: s.PC,
 				Description: "contract balance compared with strict equality",
 			})
@@ -137,7 +156,7 @@ func (d *Detector) inspectSinks(tr *evm.Trace) {
 		// TO: tx.origin used in a comparison (authentication misuse).
 		if (s.Kind == evm.SinkCompare || s.Kind == evm.SinkEq || s.Kind == evm.SinkJumpCond) &&
 			s.Taint.Has(evm.TaintOrigin) {
-			d.add(Finding{
+			r.add(Finding{
 				Class: TO, Addr: s.Addr, PC: s.PC,
 				Description: "tx.origin used in a comparison/guard",
 			})
@@ -147,13 +166,13 @@ func (d *Detector) inspectSinks(tr *evm.Trace) {
 
 // inspectOverflows covers IO: a wrapping ADD/SUB/MUL whose result reached
 // persistent storage or a call value in the same transaction.
-func (d *Detector) inspectOverflows(tr *evm.Trace) {
+func (ins *Inspector) inspectOverflows(tr *evm.Trace, r *report) {
 	if len(tr.Overflows) == 0 {
 		return
 	}
 	sinkSeen := false
 	for _, s := range tr.Sinks {
-		if s.Addr == d.addr && s.Taint.Has(evm.TaintOverflow) &&
+		if s.Addr == ins.addr && s.Taint.Has(evm.TaintOverflow) &&
 			(s.Kind == evm.SinkStore || s.Kind == evm.SinkCallValue) {
 			sinkSeen = true
 			break
@@ -163,10 +182,10 @@ func (d *Detector) inspectOverflows(tr *evm.Trace) {
 		return
 	}
 	for _, ov := range tr.Overflows {
-		if ov.Addr != d.addr {
+		if ov.Addr != ins.addr {
 			continue
 		}
-		d.add(Finding{
+		r.add(Finding{
 			Class: IO, Addr: ov.Addr, PC: ov.PC,
 			Description: fmt.Sprintf("%s wraps mod 2^256 and the result persists", ov.Op),
 		})
@@ -175,13 +194,13 @@ func (d *Detector) inspectOverflows(tr *evm.Trace) {
 
 // inspectCalls covers UE: an external call failed and its status word was
 // never consumed by a conditional jump.
-func (d *Detector) inspectCalls(tr *evm.Trace) {
+func (ins *Inspector) inspectCalls(tr *evm.Trace, r *report) {
 	for _, c := range tr.Calls {
-		if c.From != d.addr || c.Op != evm.CALL {
+		if c.From != ins.addr || c.Op != evm.CALL {
 			continue
 		}
 		if !c.Success && !c.Checked {
-			d.add(Finding{
+			r.add(Finding{
 				Class: UE, Addr: c.From, PC: uint64(c.ID),
 				Description: "external call failed and the status was not checked",
 			})
@@ -191,13 +210,13 @@ func (d *Detector) inspectCalls(tr *evm.Trace) {
 
 // inspectReentry covers RE: the contract was re-entered while an outer
 // value-bearing call with more than the gas stipend was in flight.
-func (d *Detector) inspectReentry(tr *evm.Trace) {
-	for _, r := range tr.Reentries {
-		if r.Addr != d.addr || !r.EnabledByValueCall {
+func (ins *Inspector) inspectReentry(tr *evm.Trace, r *report) {
+	for _, re := range tr.Reentries {
+		if re.Addr != ins.addr || !re.EnabledByValueCall {
 			continue
 		}
-		d.add(Finding{
-			Class: RE, Addr: r.Addr, PC: 0,
+		r.add(Finding{
+			Class: RE, Addr: re.Addr, PC: 0,
 			Description: "contract re-entered during a value call with forwarded gas",
 		})
 	}
@@ -205,13 +224,13 @@ func (d *Detector) inspectReentry(tr *evm.Trace) {
 
 // inspectSelfDestructs covers US: SELFDESTRUCT executed by a caller that is
 // neither the creator nor sent by the creator.
-func (d *Detector) inspectSelfDestructs(tr *evm.Trace) {
+func (ins *Inspector) inspectSelfDestructs(tr *evm.Trace, r *report) {
 	for _, sd := range tr.SelfDestructs {
-		if sd.Addr != d.addr {
+		if sd.Addr != ins.addr {
 			continue
 		}
 		if !sd.CallerIsCreator && !sd.OriginIsCreator {
-			d.add(Finding{
+			r.add(Finding{
 				Class: US, Addr: sd.Addr, PC: 0,
 				Description: "selfdestruct reachable by a non-owner caller",
 			})
@@ -221,14 +240,14 @@ func (d *Detector) inspectSelfDestructs(tr *evm.Trace) {
 
 // inspectDelegates covers UD: DELEGATECALL whose target or input derives
 // from transaction input, executed without an owner guard.
-func (d *Detector) inspectDelegates(tr *evm.Trace) {
+func (ins *Inspector) inspectDelegates(tr *evm.Trace, r *report) {
 	for _, dg := range tr.Delegates {
-		if dg.Addr != d.addr {
+		if dg.Addr != ins.addr {
 			continue
 		}
 		userControlled := dg.TargetTaint.Has(evm.TaintInput) || dg.InputTaint.Has(evm.TaintInput)
 		if userControlled && !dg.CallerIsCreator {
-			d.add(Finding{
+			r.add(Finding{
 				Class: UD, Addr: dg.Addr, PC: 0,
 				Description: "delegatecall with user-controlled target reachable by non-owner",
 			})
@@ -236,14 +255,73 @@ func (d *Detector) inspectDelegates(tr *evm.Trace) {
 	}
 }
 
+// Detector accumulates findings for one contract across a fuzzing campaign.
+// It is the coordinator-side aggregate: Absorb reports in execution order on
+// one goroutine, then Finalize.
+type Detector struct {
+	insp *Inspector
+
+	receivedValue bool
+	findings      map[string]Finding
+}
+
+// NewDetector builds a detector (and its embedded inspector) for the
+// contract at addr with the given runtime code.
+func NewDetector(addr state.Address, code []byte) *Detector {
+	return &Detector{
+		insp:     NewInspector(addr, code),
+		findings: make(map[string]Finding),
+	}
+}
+
+// Inspector exposes the stateless half for concurrent executors.
+func (d *Detector) Inspector() *Inspector {
+	return d.insp
+}
+
+func (d *Detector) add(f Finding) {
+	if _, dup := d.findings[f.Key()]; !dup {
+		d.findings[f.Key()] = f
+	}
+}
+
+// Absorb folds one transaction's Report into the aggregate. It returns the
+// bug classes newly discovered by the report (empty for repeats of known
+// findings), in the report's detection order.
+func (d *Detector) Absorb(r Report) []BugClass {
+	if r.ReceivedValue {
+		d.receivedValue = true
+	}
+	before := make(map[BugClass]bool)
+	for _, f := range d.findings {
+		before[f.Class] = true
+	}
+	var fresh []BugClass
+	seen := make(map[BugClass]bool)
+	for _, f := range r.Findings {
+		d.add(f)
+		if !before[f.Class] && !seen[f.Class] {
+			fresh = append(fresh, f.Class)
+			seen[f.Class] = true
+		}
+	}
+	return fresh
+}
+
+// Inspect applies all per-transaction oracles to one execution trace and
+// absorbs the result — the single-threaded convenience path.
+func (d *Detector) Inspect(tr *evm.Trace, txValue u256.Int, txOK bool) []BugClass {
+	return d.Absorb(d.insp.Inspect(tr, txValue, txOK))
+}
+
 // Finalize applies campaign-level oracles (EF) and returns all findings in
 // deterministic order.
 func (d *Detector) Finalize() []Finding {
 	// EF: the contract accepted ether during the campaign but its code
 	// contains no instruction that could ever move value out.
-	if d.receivedValue && !d.hasValueOutOp {
+	if d.receivedValue && !d.insp.hasValueOutOp {
 		d.add(Finding{
-			Class: EF, Addr: d.addr, PC: 0,
+			Class: EF, Addr: d.insp.addr, PC: 0,
 			Description: "contract accepts ether but has no value-transferring instruction",
 		})
 	}
@@ -266,7 +344,7 @@ func (d *Detector) Classes() map[BugClass]bool {
 	for _, f := range d.findings {
 		out[f.Class] = true
 	}
-	if d.receivedValue && !d.hasValueOutOp {
+	if d.receivedValue && !d.insp.hasValueOutOp {
 		out[EF] = true
 	}
 	return out

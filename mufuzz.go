@@ -16,6 +16,14 @@
 // replay/minimization, and the corpus/experiment drivers used to regenerate
 // the paper's tables live in internal/corpus and internal/experiments
 // (reachable through the cmd/benchtab and cmd/corpusgen binaries).
+//
+// The engine is a coordinator/executor architecture. Set Options.Workers to
+// fan each energy round's batch of mutated children across N executor
+// goroutines, each owning its own EVM, state copy, and trace buffer, with
+// outcomes merged deterministically on the coordinator: Workers 1 (the
+// default) is the sequential engine, reproducible across machines for a
+// fixed Seed; Workers N > 1 is reproducible for a fixed (Seed, N) pair; a
+// negative value uses all CPU cores.
 package mufuzz
 
 import (
