@@ -161,6 +161,12 @@ type campaignRun struct {
 	ElapsedSec   float64 `json:"elapsed_sec"`
 	ExecsPerSec  float64 `json:"execs_per_sec"`
 	CoverageMean float64 `json:"coverage_mean"`
+	// Allocation stats (runtime.MemStats deltas over the measured runs,
+	// normalized per executed sequence) make memory-model changes — like the
+	// copy-on-write state layer — visible in the perf trajectory alongside
+	// throughput.
+	AllocBytesPerExec float64 `json:"alloc_bytes_per_exec"`
+	AllocsPerExec     float64 `json:"allocs_per_exec"`
 }
 
 // campaignBench is the BENCH_campaign.json schema.
@@ -200,6 +206,9 @@ func campaignThroughput(path string, iterations int, seed int64) error {
 	for _, workers := range workerCounts {
 		var execs int
 		var cov float64
+		var msBefore, msAfter runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&msBefore)
 		start := time.Now()
 		for i := 0; i < campaigns; i++ {
 			res := fuzz.Run(comp, fuzz.Options{
@@ -212,13 +221,16 @@ func campaignThroughput(path string, iterations int, seed int64) error {
 			cov += res.Coverage
 		}
 		elapsed := time.Since(start).Seconds()
+		runtime.ReadMemStats(&msAfter)
 		bench.Runs = append(bench.Runs, campaignRun{
-			Workers:      workers,
-			Campaigns:    campaigns,
-			Executions:   execs,
-			ElapsedSec:   elapsed,
-			ExecsPerSec:  float64(execs) / elapsed,
-			CoverageMean: cov / campaigns,
+			Workers:           workers,
+			Campaigns:         campaigns,
+			Executions:        execs,
+			ElapsedSec:        elapsed,
+			ExecsPerSec:       float64(execs) / elapsed,
+			CoverageMean:      cov / campaigns,
+			AllocBytesPerExec: float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / float64(execs),
+			AllocsPerExec:     float64(msAfter.Mallocs-msBefore.Mallocs) / float64(execs),
 		})
 	}
 	bench.Speedup = 1
@@ -236,8 +248,8 @@ func campaignThroughput(path string, iterations int, seed int64) error {
 		return err
 	}
 	for _, r := range bench.Runs {
-		fmt.Printf("  campaign throughput: workers=%d  %8.0f execs/s  (%.1f%% mean coverage)\n",
-			r.Workers, r.ExecsPerSec, r.CoverageMean*100)
+		fmt.Printf("  campaign throughput: workers=%d  %8.0f execs/s  %7.0f B/exec  %5.0f allocs/exec  (%.1f%% mean coverage)\n",
+			r.Workers, r.ExecsPerSec, r.AllocBytesPerExec, r.AllocsPerExec, r.CoverageMean*100)
 	}
 	fmt.Printf("  speedup %0.2fx; JSON written to %s\n", bench.Speedup, path)
 	return nil

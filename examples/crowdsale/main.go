@@ -49,12 +49,7 @@ func main() {
 	for _, strat := range []fuzz.Strategy{fuzz.MuFuzz(), fuzz.SFuzz()} {
 		c := fuzz.NewCampaign(comp, fuzz.Options{Strategy: strat, Seed: 7, Iterations: 2000})
 		res := c.Run()
-		reached := false
-		for key := range c.Covered() {
-			if key.PC == withdrawIf && !key.Taken {
-				reached = true
-			}
-		}
+		reached := c.EdgeCovered(withdrawIf, false)
 		verdict := "MISSED  — cannot generate invest→invest"
 		if reached {
 			verdict = "REACHED — sequence mutation ran invest twice"

@@ -234,3 +234,60 @@ func TestOpcodeStringCoverage(t *testing.T) {
 		}
 	}
 }
+
+// stubIndexer is a test BranchIndexer mapping every pc to 10*pc (+1 when
+// taken).
+type stubIndexer struct{}
+
+func (stubIndexer) EdgeID(pc uint64, taken bool) (int32, bool) {
+	id := int32(pc) * 10
+	if taken {
+		id++
+	}
+	return id, true
+}
+
+// TestBranchEventEdgeInterning pins the interning contract: with an indexer
+// installed for the executing address, JUMPI events carry the compact edge
+// ID; without one (or for a foreign address), IndexedEdge reports false.
+func TestBranchEventEdgeInterning(t *testing.T) {
+	// if (calldata word != 0) jump over a STOP to a JUMPDEST.
+	a := NewAssembler()
+	a.PushUint(0).Op(CALLDATALOAD)
+	a.JumpITo("over")
+	a.Op(STOP)
+	a.Label("over")
+	a.Op(STOP)
+	code := a.MustBuild()
+
+	e, sender, contract := testEnv(t, code)
+	e.BranchIndex = stubIndexer{}
+	e.BranchIndexAddr = contract
+	arg := make([]byte, 32)
+	arg[31] = 1
+	if _, err := run(t, e, sender, contract, u256.Zero, arg); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Trace.Branches) != 1 {
+		t.Fatalf("branches = %d, want 1", len(e.Trace.Branches))
+	}
+	br := e.Trace.Branches[0]
+	id, ok := br.IndexedEdge()
+	if !ok {
+		t.Fatal("event not interned despite installed indexer")
+	}
+	if want := int32(br.PC)*10 + 1; id != want {
+		t.Errorf("edge id = %d, want %d (taken edge of pc %d)", id, want, br.PC)
+	}
+
+	// Foreign BranchIndexAddr: events must stay unindexed.
+	e2, sender2, contract2 := testEnv(t, code)
+	e2.BranchIndex = stubIndexer{}
+	e2.BranchIndexAddr = state.AddressFromUint(0xdead)
+	if _, err := run(t, e2, sender2, contract2, u256.Zero, arg); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e2.Trace.Branches[0].IndexedEdge(); ok {
+		t.Error("event interned for a foreign address")
+	}
+}

@@ -79,6 +79,12 @@ type EVM struct {
 	// CollectPCs enables recording the top-level program-counter path in the
 	// trace (used by the pre-fuzz path-prefix analysis, paper §IV-C).
 	CollectPCs bool
+	// BranchIndex, together with BranchIndexAddr, interns branch-edge
+	// identities: JUMPI events emitted while executing BranchIndexAddr carry
+	// the indexer's compact edge ID in their EdgeRef (coverage interning for
+	// the contract under test). Nil disables interning.
+	BranchIndex     BranchIndexer
+	BranchIndexAddr state.Address
 
 	// TopLevelTo / TopLevelInput describe the outermost transaction; natives
 	// (the reentrant attacker) use them to call back into the victim.
@@ -93,6 +99,11 @@ type EVM struct {
 	// valueCallActive counts in-flight external calls that carried value and
 	// more than the gas stipend — the enabler condition for reentrancy.
 	valueCallActive int
+	// destCode/destCache memoize the valid-JUMPDEST set of the last executed
+	// code blob (see jumpDests); executors reuse one EVM across a whole
+	// campaign, so the per-frame code scan happens once per contract.
+	destCode  []byte
+	destCache []bool
 }
 
 // New constructs an EVM over the given state.
@@ -115,7 +126,21 @@ func (e *EVM) RegisterNative(addr state.Address, n Native) {
 
 // ResetTaint clears cross-transaction storage taint (new sequence).
 func (e *EVM) ResetTaint() {
-	e.StorageTaint = make(map[StorageKey]Taint)
+	if e.StorageTaint == nil {
+		e.StorageTaint = make(map[StorageKey]Taint)
+		return
+	}
+	clear(e.StorageTaint)
+}
+
+// Reset rebinds the EVM to a new world state for a fresh transaction
+// sequence, clearing cross-sequence bookkeeping (storage taint) while
+// keeping the allocation-heavy internals — registered natives, the jumpdest
+// cache, the call-index map — warm. Executors reuse one EVM across every
+// execution of a campaign instead of constructing one per sequence.
+func (e *EVM) Reset(st *state.State) {
+	e.State = st
+	e.ResetTaint()
 }
 
 // TaintSnapshot returns a copy of the cross-transaction storage taint, so a
@@ -128,9 +153,14 @@ func (e *EVM) TaintSnapshot() map[StorageKey]Taint {
 	return out
 }
 
-// RestoreTaint replaces the storage taint with a copy of m.
+// RestoreTaint replaces the storage taint with a copy of m, reusing the
+// existing map's storage when possible.
 func (e *EVM) RestoreTaint(m map[StorageKey]Taint) {
-	e.StorageTaint = make(map[StorageKey]Taint, len(m))
+	if e.StorageTaint == nil {
+		e.StorageTaint = make(map[StorageKey]Taint, len(m))
+	} else {
+		clear(e.StorageTaint)
+	}
 	for k, v := range m {
 		e.StorageTaint[k] = v
 	}
@@ -145,7 +175,11 @@ func (e *EVM) Transact(sender, to state.Address, value u256.Int, input []byte, g
 	e.callCounter = 0
 	e.activeFrames = e.activeFrames[:0]
 	e.valueCallActive = 0
-	e.callIndex = make(map[int]int)
+	if e.callIndex == nil {
+		e.callIndex = make(map[int]int)
+	} else {
+		clear(e.callIndex)
+	}
 	e.Origin = sender
 	e.TopLevelTo = to
 	e.TopLevelInput = input
@@ -252,52 +286,96 @@ func (m meta) merge(o meta) meta {
 
 // frame is one call frame.
 type frame struct {
-	evm      *EVM
-	addr     state.Address // storage context (self)
-	caller   state.Address
-	value    u256.Int
-	input    []byte
-	code     []byte
-	gas      uint64
-	pc       uint64
-	stack    []u256.Int
-	metas    []meta
-	mem      []byte
+	evm    *EVM
+	addr   state.Address // storage context (self)
+	caller state.Address
+	value  u256.Int
+	input  []byte
+	code   []byte
+	gas    uint64
+	pc     uint64
+	stack  []u256.Int
+	metas  []meta
+	mem    []byte
+	// memTaint is allocated lazily on the first tainted memory write; most
+	// frames only move untainted words and never pay for the map.
 	memTaint map[uint64]Taint
 	retData  []byte
 	depth    int
-	dests    map[uint64]bool
+	dests    []bool
 }
 
 func newFrame(e *EVM, addr, caller state.Address, value u256.Int, input, code []byte, gas uint64, depth int) *frame {
 	return &frame{
-		evm:      e,
-		addr:     addr,
-		caller:   caller,
-		value:    value,
-		input:    input,
-		code:     code,
-		gas:      gas,
-		stack:    make([]u256.Int, 0, 32),
-		metas:    make([]meta, 0, 32),
-		mem:      nil,
-		memTaint: make(map[uint64]Taint),
-		depth:    depth,
-		dests:    validJumpDests(code),
+		evm:    e,
+		addr:   addr,
+		caller: caller,
+		value:  value,
+		input:  input,
+		code:   code,
+		gas:    gas,
+		stack:  make([]u256.Int, 0, 32),
+		metas:  make([]meta, 0, 32),
+		mem:    nil,
+		depth:  depth,
+		dests:  e.jumpDests(code),
 	}
 }
 
-// validJumpDests scans code for JUMPDEST positions, skipping PUSH immediates.
-func validJumpDests(code []byte) map[uint64]bool {
-	dests := make(map[uint64]bool)
+// validDest reports whether dst is a JUMPDEST on the decoding grid.
+func (f *frame) validDest(dst u256.Int) bool {
+	return dst.FitsUint64() && dst.Uint64() < uint64(len(f.dests)) && f.dests[dst.Uint64()]
+}
+
+// setMemTaintWord overwrites the taint of one 32-byte-aligned memory word,
+// allocating the taint map only when there is taint to record.
+func (f *frame) setMemTaintWord(o uint64, t Taint) {
+	if f.memTaint == nil {
+		if t == 0 {
+			return
+		}
+		f.memTaint = make(map[uint64]Taint)
+	}
+	f.memTaint[o] = t
+}
+
+// orMemTaintWord unions taint into one 32-byte-aligned memory word.
+func (f *frame) orMemTaintWord(o uint64, t Taint) {
+	if t == 0 {
+		return
+	}
+	if f.memTaint == nil {
+		f.memTaint = make(map[uint64]Taint)
+	}
+	f.memTaint[o] |= t
+}
+
+// validJumpDests scans code for JUMPDEST positions, skipping PUSH
+// immediates. The result is indexed by pc: lookup is one bounds-checked
+// load instead of a map probe.
+func validJumpDests(code []byte) []bool {
+	dests := make([]bool, len(code))
 	for i := 0; i < len(code); i++ {
 		op := OpCode(code[i])
 		if op == JUMPDEST {
-			dests[uint64(i)] = true
+			dests[i] = true
 		}
 		i += op.PushBytes()
 	}
 	return dests
+}
+
+// jumpDests returns the valid-JUMPDEST set for code, cached by slice
+// identity. A fuzzing campaign executes one contract's code millions of
+// times across thousands of frames; the cache makes the per-frame scan a
+// pointer comparison. Distinct code blobs simply miss and recompute.
+func (e *EVM) jumpDests(code []byte) []bool {
+	if len(code) == len(e.destCode) && (len(code) == 0 || &code[0] == &e.destCode[0]) {
+		return e.destCache
+	}
+	d := validJumpDests(code)
+	e.destCode, e.destCache = code, d
+	return d
 }
 
 func (f *frame) push(v u256.Int, m meta) error {
@@ -675,7 +753,7 @@ func (f *frame) execute(op OpCode) (done bool, out []byte, err error) {
 			}
 		}
 		for o := dst &^ 31; o < dst+sz; o += 32 {
-			f.memTaint[o] |= TaintInput
+			f.orMemTaintWord(o, TaintInput)
 		}
 		return false, nil, nil
 
@@ -763,9 +841,9 @@ func (f *frame) execute(op OpCode) (done bool, out []byte, err error) {
 		}
 		w := val.Bytes32()
 		copy(mem, w[:])
-		f.memTaint[off&^31] = mv.taint
+		f.setMemTaintWord(off&^31, mv.taint)
 		if off%32 != 0 {
-			f.memTaint[(off&^31)+32] |= mv.taint
+			f.orMemTaintWord((off&^31)+32, mv.taint)
 		}
 		return false, nil, nil
 
@@ -778,7 +856,7 @@ func (f *frame) execute(op OpCode) (done bool, out []byte, err error) {
 			return false, nil, err
 		}
 		mem[0] = byte(val.Uint64())
-		f.memTaint[off&^31] |= mv.taint
+		f.orMemTaintWord(off&^31, mv.taint)
 		return false, nil, nil
 
 	case SLOAD:
@@ -802,7 +880,7 @@ func (f *frame) execute(op OpCode) (done bool, out []byte, err error) {
 
 	case JUMP:
 		dst, _, _ := f.pop()
-		if !dst.FitsUint64() || !f.dests[dst.Uint64()] {
+		if !f.validDest(dst) {
 			return false, nil, fmt.Errorf("%w: to %s at pc %d", ErrInvalidJump, dst, f.pc)
 		}
 		f.pc = dst.Uint64() - 1 // main loop will +1
@@ -820,6 +898,11 @@ func (f *frame) execute(op OpCode) (done bool, out []byte, err error) {
 				CondTaint: mc.taint,
 				Depth:     f.depth,
 			}
+			if e.BranchIndex != nil && f.addr == e.BranchIndexAddr {
+				if id, ok := e.BranchIndex.EdgeID(f.pc, taken); ok {
+					ev.EdgeRef = id + 1
+				}
+			}
 			if mc.cmp != nil {
 				ev.HasCmp = true
 				ev.Cmp = *mc.cmp
@@ -833,7 +916,7 @@ func (f *frame) execute(op OpCode) (done bool, out []byte, err error) {
 		}
 		f.recordSink(SinkJumpCond, mc.taint)
 		if taken {
-			if !dst.FitsUint64() || !f.dests[dst.Uint64()] {
+			if !f.validDest(dst) {
 				return false, nil, fmt.Errorf("%w: to %s at pc %d", ErrInvalidJump, dst, f.pc)
 			}
 			f.pc = dst.Uint64() - 1

@@ -84,6 +84,26 @@ type BranchEvent struct {
 	HasCmp    bool
 	Cmp       CmpInfo
 	Depth     int // call depth at execution
+	// EdgeRef is the interned coverage identity of the edge, carried through
+	// the trace so feedback folds index arrays instead of hashing BranchKeys.
+	// It is 1 + the compact edge ID assigned by the EVM's BranchIndexer; 0
+	// means unindexed (no indexer installed, or a foreign address). Read it
+	// through IndexedEdge.
+	EdgeRef int32
+}
+
+// IndexedEdge returns the event's compact edge ID and whether one was
+// assigned at trace time.
+func (b BranchEvent) IndexedEdge() (int32, bool) {
+	return b.EdgeRef - 1, b.EdgeRef > 0
+}
+
+// BranchIndexer assigns campaign-stable compact IDs to branch edges; the
+// analysis package's BranchIndex implements it over the contract CFG. An
+// EVM with an indexer installed interns edge identities into BranchEvents
+// as they are emitted.
+type BranchIndexer interface {
+	EdgeID(pc uint64, taken bool) (int32, bool)
 }
 
 // CallEvent records one external CALL / DELEGATECALL / STATICCALL.

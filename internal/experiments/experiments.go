@@ -569,12 +569,7 @@ func Motivating(iterations int, seed int64) ([]MotivatingResult, error) {
 			Iterations: iterations,
 		})
 		res := c.Run()
-		reached := false
-		for key := range c.Covered() {
-			if key.PC == withdrawIf && !key.Taken {
-				reached = true
-			}
-		}
+		reached := c.EdgeCovered(withdrawIf, false)
 		out = append(out, MotivatingResult{
 			Fuzzer:     spec.Name,
 			DeepBranch: reached,

@@ -3,7 +3,6 @@ package fuzz
 import (
 	"math/rand"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -123,20 +122,37 @@ type Campaign struct {
 	senders      []state.Address
 	attackerAddr state.Address
 
-	// feedback state
-	covered map[evm.BranchKey]bool
-	minDist map[evm.BranchKey]u256.Int // uncovered edge -> best distance
-	distCmp map[evm.BranchKey]evm.CmpInfo
-	// distSeed is the branch-distance frontier of Algorithm 1 (lines 7-13):
-	// for every uncovered edge, the seed that came closest to flipping it.
-	// Seed selection alternates between the queue and this frontier so
-	// descent always continues from the best-known point. Storing the Seed
-	// (not just the sequence) preserves its computed mask cache.
-	distSeed   map[evm.BranchKey]*Seed
-	weights    analysis.BranchWeights
+	// branchIx interns every branch edge of the contract once per campaign;
+	// edge-ID order is the deterministic branch order every selection uses
+	// (previously re-derived by sorting map keys on each pick). All feedback
+	// state below is indexed by edge ID.
+	branchIx *analysis.BranchIndex
+	// depthByEdge is the compile-time branch-site nesting depth per edge
+	// (minisol BranchSite metadata), replacing the per-event linear
+	// BranchSiteAt scan on the fold path.
+	depthByEdge []int
+
+	// feedback state, all dense over the edge-ID space
+	covered      []bool
+	coveredCount int
+	// distKnown marks the branch-distance frontier of Algorithm 1 (lines
+	// 7-13): the uncovered edges some execution came close to flipping.
+	// minDist/distCmp hold the best distance and its comparison; distSeed
+	// holds the seed that achieved it (the Seed, not just the sequence,
+	// preserving its computed mask cache). distCount counts frontier edges.
+	distKnown []bool
+	minDist   []u256.Int
+	distCmp   []evm.CmpInfo
+	distSeed  []*Seed
+	distCount int
+
+	weights    *analysis.EdgeWeights
 	totalEdges int
 	pool       []u256.Int
 	addrPool   []u256.Int
+	// methods interns ABI method lookups by function name (constructor
+	// included), shared read-only with the executors.
+	methods map[string]abi.Method
 
 	prefixes *prefixCache
 	// repro holds, per bug class, the first sequence observed triggering it
@@ -174,11 +190,21 @@ func NewCampaign(comp *minisol.Compiled, opts Options) *Campaign {
 		rng:      rand.New(rand.NewSource(o.Seed)),
 		dataflow: analysis.AnalyzeDataflow(comp.Contract),
 		cfg:      analysis.BuildCFG(comp.Code),
-		covered:  make(map[evm.BranchKey]bool),
-		minDist:  make(map[evm.BranchKey]u256.Int),
-		distCmp:  make(map[evm.BranchKey]evm.CmpInfo),
-		distSeed: make(map[evm.BranchKey]*Seed),
-		weights:  make(analysis.BranchWeights),
+	}
+	c.branchIx = analysis.NewBranchIndex(c.cfg)
+	numEdges := c.branchIx.NumEdges()
+	c.covered = make([]bool, numEdges)
+	c.distKnown = make([]bool, numEdges)
+	c.minDist = make([]u256.Int, numEdges)
+	c.distCmp = make([]evm.CmpInfo, numEdges)
+	c.distSeed = make([]*Seed, numEdges)
+	c.weights = analysis.NewEdgeWeights(c.branchIx)
+	c.depthByEdge = make([]int, numEdges)
+	for _, site := range comp.Branches {
+		if id, ok := c.branchIx.EdgeID(site.PC, false); ok {
+			c.depthByEdge[id] = site.Depth
+			c.depthByEdge[id^1] = site.Depth
+		}
 	}
 	if !o.NoPrefixCache {
 		c.prefixes = newPrefixCache(96)
@@ -200,7 +226,7 @@ func NewCampaign(comp *minisol.Compiled, opts Options) *Campaign {
 	c.genesis.Commit()
 
 	c.detector = oracle.NewDetector(c.contractAddr, comp.Code)
-	c.totalEdges = 2 * len(c.cfg.BranchPCs())
+	c.totalEdges = c.branchIx.NumEdges()
 
 	// Address argument pool: every account that exists in the fuzzed world.
 	for _, s := range c.senders {
@@ -219,6 +245,8 @@ func NewCampaign(comp *minisol.Compiled, opts Options) *Campaign {
 		}
 	}
 
+	methods, selectors := internMethods(comp)
+	c.methods = methods
 	c.exec = &executor{
 		comp:         comp,
 		genesis:      c.genesis,
@@ -229,6 +257,10 @@ func NewCampaign(comp *minisol.Compiled, opts Options) *Campaign {
 		gasPerTx:     o.GasPerTx,
 		inspector:    c.detector.Inspector(),
 		prefixes:     c.prefixes,
+		branchIx:     c.branchIx,
+		depthByEdge:  c.depthByEdge,
+		methods:      methods,
+		selectors:    selectors,
 	}
 	return c
 }
@@ -244,12 +276,7 @@ func (c *Campaign) newTx(fn string) TxInput {
 // newTxRand builds a transaction for fn with random inputs drawn from rng.
 // Workers pass per-child rngs; the campaign's own maps are only read.
 func (c *Campaign) newTxRand(fn string, rng *rand.Rand) TxInput {
-	var m abi.Method
-	if fn == minisol.CtorName {
-		m = c.comp.Ctor
-	} else {
-		m, _ = c.comp.ABI.MethodByName(fn)
-	}
+	m := c.methods[fn]
 	tx := TxInput{
 		Func:   fn,
 		Args:   randomArgsFor(m, rng, c.pool, c.addrPool),
@@ -295,35 +322,50 @@ type execResult struct {
 	newEdges       int
 	hitNestedDepth int
 	distImproved   bool
-	branchesByTx   [][]evm.BranchEvent
-	allBranches    []evm.BranchEvent
+	// branchesByTx references the outcome's per-transaction branch events
+	// (shared, immutable — no flattened copy is materialized).
+	branchesByTx [][]evm.BranchEvent
 }
 
 // fold integrates a batch of contract branch events into the campaign's
 // coverage, nesting, and branch-distance bookkeeping. It is shared between
 // live execution and prefix-checkpoint replay so both paths produce
 // identical feedback. Coordinator-only.
+//
+// The whole fold is indexed: events carry interned edge IDs, so coverage,
+// distance, and nesting bookkeeping are array walks with no hashing. id^1 is
+// the opposite direction of an edge (see analysis.BranchIndex).
 func (c *Campaign) fold(res *execResult, branches []evm.BranchEvent, seq Sequence) {
 	for _, br := range branches {
-		key := br.Key()
-		if !c.covered[key] {
-			c.covered[key] = true
+		id := c.branchIx.EdgeOf(br)
+		if id < 0 {
+			continue // not a contract JUMPI site; cannot occur for CFG-decoded code
+		}
+		if !c.covered[id] {
+			c.covered[id] = true
+			c.coveredCount++
 			res.newEdges++
 			c.lastNewEdgeExec = c.executions
-			delete(c.minDist, key)
-			delete(c.distCmp, key)
-			delete(c.distSeed, key)
+			if c.distKnown[id] {
+				// the edge left the distance frontier by being covered
+				c.distKnown[id] = false
+				c.distSeed[id] = nil
+				c.distCount--
+			}
 		}
-		if site, ok := c.comp.BranchSiteAt(br.PC); ok && site.Depth > res.hitNestedDepth {
-			res.hitNestedDepth = site.Depth
+		if d := c.depthByEdge[id]; d > res.hitNestedDepth {
+			res.hitNestedDepth = d
 		}
 		// branch distance toward the uncovered opposite direction
-		opp := br.Opposite()
+		opp := id ^ 1
 		if !c.covered[opp] && br.HasCmp {
 			d := br.Cmp.FlipDistance()
-			cur, seen := c.minDist[opp]
-			if !seen || d.Lt(cur) {
+			if !c.distKnown[opp] || d.Lt(c.minDist[opp]) {
 				res.distImproved = true
+				if !c.distKnown[opp] {
+					c.distKnown[opp] = true
+					c.distCount++
+				}
 				c.minDist[opp] = d
 				c.distCmp[opp] = br.Cmp
 				c.distSeed[opp] = &Seed{Seq: seq.Clone(), DistanceImproved: true}
@@ -331,7 +373,7 @@ func (c *Campaign) fold(res *execResult, branches []evm.BranchEvent, seq Sequenc
 		}
 	}
 	if c.opts.Strategy.DynamicEnergy {
-		c.weights.Merge(analysis.WeightTrace(branches, c.cfg))
+		c.weights.MergeTrace(branches)
 	}
 }
 
@@ -340,12 +382,10 @@ func (c *Campaign) fold(res *execResult, branches []evm.BranchEvent, seq Sequenc
 // have: coverage/distance fold, then oracle absorption and proof-of-concept
 // capture, per transaction in order.
 func (c *Campaign) foldOutcome(seq Sequence, out *execOutcome) *execResult {
-	res := &execResult{}
+	res := &execResult{branchesByTx: out.branchesByTx}
 	ri := 0
 	for i, txBranches := range out.branchesByTx {
 		c.fold(res, txBranches, seq)
-		res.branchesByTx = append(res.branchesByTx, txBranches)
-		res.allBranches = append(res.allBranches, txBranches...)
 		for ri < len(out.reports) && out.reports[ri].txIdx == i {
 			for _, class := range c.detector.Absorb(out.reports[ri].report) {
 				if _, have := c.repro[class]; !have {
@@ -378,9 +418,29 @@ func (c *Campaign) execute(seq Sequence) *execResult {
 	return c.foldOutcome(seq, c.exec.run(seq))
 }
 
-// Covered returns the set of covered branch edges (read-only view).
+// Covered returns the covered branch edges as a BranchKey set — a snapshot
+// materialized from the campaign's coverage bitset (diagnostics; the engine
+// itself never builds this map).
 func (c *Campaign) Covered() map[evm.BranchKey]bool {
-	return c.covered
+	out := make(map[evm.BranchKey]bool, c.coveredCount)
+	for id, cov := range c.covered {
+		if cov {
+			pc, taken := c.branchIx.Edge(int32(id))
+			out[evm.BranchKey{Addr: c.contractAddr, PC: pc, Taken: taken}] = true
+		}
+	}
+	return out
+}
+
+// EdgeCovered reports whether the (pc, taken) branch edge of the contract
+// under test is covered — an O(1) probe through the branch index, for
+// callers that would otherwise materialize the whole Covered set to test
+// one edge.
+func (c *Campaign) EdgeCovered(pc uint64, taken bool) bool {
+	if id, ok := c.branchIx.EdgeID(pc, taken); ok {
+		return c.covered[id]
+	}
+	return false
 }
 
 // CoverageRatio returns covered/total branch edges.
@@ -388,7 +448,7 @@ func (c *Campaign) CoverageRatio() float64 {
 	if c.totalEdges == 0 {
 		return 1
 	}
-	return float64(len(c.covered)) / float64(c.totalEdges)
+	return float64(c.coveredCount) / float64(c.totalEdges)
 }
 
 // --- Energy (paper §IV-C) ---
@@ -398,14 +458,12 @@ func (c *Campaign) CoverageRatio() float64 {
 // is uniform (sFuzz's default scheme).
 func (c *Campaign) energyFor(seed *Seed) int {
 	base := c.opts.EnergyBase
-	if !c.opts.Strategy.DynamicEnergy || len(c.weights) == 0 {
+	if !c.opts.Strategy.DynamicEnergy || c.weights.Count() == 0 {
 		return base
 	}
-	var total float64
-	for _, w := range c.weights {
-		total += w
-	}
-	avg := total / float64(len(c.weights))
+	// total and count are maintained incrementally by the weight fold, so
+	// energy assignment is O(1) instead of a map sweep per seed.
+	avg := c.weights.Total() / float64(c.weights.Count())
 	if avg <= 0 {
 		return base
 	}
@@ -509,7 +567,7 @@ func (c *Campaign) mutateStream(stream []byte, mask *Mask, rng *rand.Rand) ([]by
 	// Distance-directed mutation: copy a comparison operand of an uncovered
 	// branch into a word, or nudge a word arithmetically (sFuzz-style
 	// descent). Available to strategies with branch-distance feedback.
-	if c.opts.Strategy.BranchDistance && len(c.distCmp) > 0 && rng.Intn(2) == 0 {
+	if c.opts.Strategy.BranchDistance && c.distCount > 0 && rng.Intn(2) == 0 {
 		cmp, ok := c.randomUncoveredCmp(rng)
 		if ok {
 			i := rng.Intn(len(stream))
@@ -547,29 +605,30 @@ func (c *Campaign) mutateStream(stream []byte, mask *Mask, rng *rand.Rand) ([]by
 	return stream, nil
 }
 
-// sortedBranchKeys returns map keys in a deterministic order so random
-// selection is reproducible across runs (Go map iteration is randomized).
-func sortedBranchKeys[V any](m map[evm.BranchKey]V) []evm.BranchKey {
-	keys := make([]evm.BranchKey, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].PC != keys[j].PC {
-			return keys[i].PC < keys[j].PC
+// nthFrontierEdge returns the edge ID of the k-th frontier entry in edge-ID
+// order. Edge-ID order is the deterministic branch order the pre-interning
+// engine obtained by sorting map keys (pc ascending, not-taken first) —
+// interning computes it once per campaign, so random selection needs no
+// per-pick sort or allocation. minimize.go and report.go are unaffected:
+// replays use BranchKey sets and reports sort findings independently.
+func (c *Campaign) nthFrontierEdge(k int) int32 {
+	for id, known := range c.distKnown {
+		if known {
+			if k == 0 {
+				return int32(id)
+			}
+			k--
 		}
-		return !keys[i].Taken && keys[j].Taken
-	})
-	return keys
+	}
+	panic("fuzz: frontier count out of sync")
 }
 
 // randomUncoveredCmp picks the comparison info of a random uncovered edge.
 func (c *Campaign) randomUncoveredCmp(rng *rand.Rand) (evm.CmpInfo, bool) {
-	keys := sortedBranchKeys(c.distCmp)
-	if len(keys) == 0 {
+	if c.distCount == 0 {
 		return evm.CmpInfo{}, false
 	}
-	return c.distCmp[keys[rng.Intn(len(keys))]], true
+	return c.distCmp[c.nthFrontierEdge(rng.Intn(c.distCount))], true
 }
 
 func (c *Campaign) callableFuncs() []string {
@@ -658,7 +717,7 @@ func (c *Campaign) Run() *Result {
 		seed.NewEdges = r.newEdges
 		seed.HitNestedDepth = r.hitNestedDepth
 		seed.DistanceImproved = r.distImproved
-		seed.PathWeight = analysis.PathWeight(r.allBranches, c.weights)
+		seed.PathWeight = c.weights.PathWeightTx(r.branchesByTx)
 		c.queue = append(c.queue, seed)
 	}
 
@@ -684,7 +743,7 @@ func (c *Campaign) Run() *Result {
 	return &Result{
 		Repro:            repro,
 		Strategy:         c.opts.Strategy.Name,
-		CoveredEdges:     len(c.covered),
+		CoveredEdges:     c.coveredCount,
 		TotalEdges:       c.totalEdges,
 		Coverage:         c.CoverageRatio(),
 		Findings:         findings,
@@ -794,7 +853,7 @@ func (c *Campaign) admit(child *Seed, r *execResult, qi *int) {
 		child.NewEdges = r.newEdges
 		child.HitNestedDepth = r.hitNestedDepth
 		child.DistanceImproved = r.distImproved
-		child.PathWeight = analysis.PathWeight(r.allBranches, c.weights)
+		child.PathWeight = c.weights.PathWeightTx(r.branchesByTx)
 		c.queue = append(c.queue, child)
 		// cap queue growth: keep the newest/most valuable seeds
 		if len(c.queue) > 256 {
@@ -841,9 +900,8 @@ func (c *Campaign) lineSearch(child *Seed, r *execResult) (*Seed, *execResult) {
 func (c *Campaign) pickSeed(qi *int) *Seed {
 	// Branch-distance frontier: half the time, continue from the sequence
 	// that is closest to flipping some uncovered edge.
-	if c.opts.Strategy.BranchDistance && len(c.distSeed) > 0 && c.rng.Intn(2) == 0 {
-		keys := sortedBranchKeys(c.distSeed)
-		return c.distSeed[keys[c.rng.Intn(len(keys))]]
+	if c.opts.Strategy.BranchDistance && c.distCount > 0 && c.rng.Intn(2) == 0 {
+		return c.distSeed[c.nthFrontierEdge(c.rng.Intn(c.distCount))]
 	}
 	if !c.opts.Strategy.DynamicEnergy || len(c.queue) == 1 {
 		return c.queue[*qi%len(c.queue)]
@@ -877,7 +935,15 @@ func Run(comp *minisol.Compiled, opts Options) *Result {
 	return NewCampaign(comp, opts).Run()
 }
 
-// DistCmp exposes the uncovered-edge comparison map for diagnostics.
+// DistCmp exposes the uncovered-edge comparisons for diagnostics, as a
+// BranchKey map materialized from the indexed frontier.
 func (c *Campaign) DistCmp() map[evm.BranchKey]evm.CmpInfo {
-	return c.distCmp
+	out := make(map[evm.BranchKey]evm.CmpInfo, c.distCount)
+	for id, known := range c.distKnown {
+		if known {
+			pc, taken := c.branchIx.Edge(int32(id))
+			out[evm.BranchKey{Addr: c.contractAddr, PC: pc, Taken: taken}] = c.distCmp[id]
+		}
+	}
+	return out
 }

@@ -2,6 +2,7 @@ package fuzz
 
 import (
 	"mufuzz/internal/abi"
+	"mufuzz/internal/analysis"
 	"mufuzz/internal/evm"
 	"mufuzz/internal/minisol"
 	"mufuzz/internal/oracle"
@@ -72,17 +73,33 @@ type executor struct {
 	// prefixes is the shared sharded checkpoint cache; nil disables the
 	// intermediate-state optimization (ablation / replay).
 	prefixes *prefixCache
+	// branchIx interns the contract's branch edges; installed on every EVM so
+	// trace events carry compact edge IDs. depthByEdge is the per-edge
+	// branch-site nesting depth (shared, read-only).
+	branchIx    *analysis.BranchIndex
+	depthByEdge []int
+	// methods/selectors intern the ABI lookup and the keccak-derived 4-byte
+	// selector per function name once per campaign (shared, read-only) — the
+	// pre-interning engine re-hashed the signature on every transaction.
+	methods   map[string]abi.Method
+	selectors map[string][4]byte
 	// trace is the reusable per-transaction event buffer. Branch events are
 	// copied out of it before reuse, so recycling it across transactions and
 	// executions is safe and saves eight slice allocations per transaction.
 	trace *evm.Trace
+	// vm is the executor's persistent EVM, rebound to a fresh world state per
+	// execution (natives, jumpdest cache, and call-index map stay warm).
+	vm       *evm.EVM
+	attacker *evm.ReentrantAttacker
 }
 
 // clone returns an executor sharing the immutable substrate but owning a
-// fresh trace buffer — one per worker goroutine.
+// fresh trace buffer and EVM — one per worker goroutine.
 func (x *executor) clone() *executor {
 	nx := *x
 	nx.trace = nil
+	nx.vm = nil
+	nx.attacker = nil
 	return &nx
 }
 
@@ -91,8 +108,26 @@ func (x *executor) clone() *executor {
 func (x *executor) detached() *executor {
 	nx := *x
 	nx.trace = nil
+	nx.vm = nil
+	nx.attacker = nil
 	nx.prefixes = nil
 	return &nx
+}
+
+// engine returns the executor's persistent EVM rebound to st. The EVM, its
+// registered attacker native, the jumpdest cache, and the call-index map are
+// built once per executor and reused for every execution.
+func (x *executor) engine(st *state.State) *evm.EVM {
+	if x.vm == nil {
+		x.vm = evm.New(st, campaignBlockCtx)
+		x.vm.BranchIndex = x.branchIx
+		x.vm.BranchIndexAddr = x.contractAddr
+		x.attacker = &evm.ReentrantAttacker{Addr: x.attackerAddr, MaxReentries: 1}
+		x.vm.RegisterNative(x.attackerAddr, x.attacker)
+		return x.vm
+	}
+	x.vm.Reset(st)
+	return x.vm
 }
 
 // resetTrace returns the executor's trace buffer, cleared for one
@@ -106,16 +141,28 @@ func (x *executor) resetTrace() *evm.Trace {
 	return x.trace
 }
 
-// encodeTx builds the full calldata of a transaction.
+// encodeTx builds the full calldata of a transaction from the interned
+// selector table (no signature re-hash per transaction).
 func (x *executor) encodeTx(tx TxInput) []byte {
-	var m abi.Method
-	if tx.Func == minisol.CtorName {
-		m = x.comp.Ctor
-	} else {
-		m, _ = x.comp.ABI.MethodByName(tx.Func)
+	sel := x.selectors[tx.Func]
+	out := make([]byte, 4+len(tx.Args))
+	copy(out, sel[:])
+	copy(out[4:], tx.Args)
+	return out
+}
+
+// internMethods builds the method and selector tables for a compiled
+// contract, including the constructor pseudo-method.
+func internMethods(comp *minisol.Compiled) (map[string]abi.Method, map[string][4]byte) {
+	methods := make(map[string]abi.Method, len(comp.ABI.Methods)+1)
+	selectors := make(map[string][4]byte, len(comp.ABI.Methods)+1)
+	methods[minisol.CtorName] = comp.Ctor
+	selectors[minisol.CtorName] = comp.Ctor.Selector()
+	for _, m := range comp.ABI.Methods {
+		methods[m.Name] = m
+		selectors[m.Name] = m.Selector()
 	}
-	sel := m.Selector()
-	return append(sel[:], tx.Args...)
+	return methods, selectors
 }
 
 // run executes a sequence and returns its outcome. When a prefix of the
@@ -123,6 +170,12 @@ func (x *executor) encodeTx(tx TxInput) []byte {
 // optimization), execution resumes from it and the prefix's recorded branch
 // events stand in for re-execution. Intermediate states reached by live
 // transactions are proposed back to the cache.
+//
+// All state handoffs are copy-on-write Forks: resuming from genesis or a
+// checkpoint entry, and storing a new checkpoint, are O(accounts) pointer
+// copies — the deep copy the pre-CoW engine paid per checkpoint and per
+// resume is gone, and only accounts a live transaction actually writes get
+// cloned (see the state package's memory model).
 func (x *executor) run(seq Sequence) *execOutcome {
 	out := &execOutcome{}
 
@@ -131,22 +184,20 @@ func (x *executor) run(seq Sequence) *execOutcome {
 	start := 0
 
 	if entry := x.prefixes.lookup(seq); entry != nil {
-		st = entry.st.Copy()
-		e = evm.New(st, campaignBlockCtx)
+		st = entry.st.Fork()
+		e = x.engine(st)
 		e.RestoreTaint(entry.taint)
 		start = entry.txs
 		out.branchesByTx = append(out.branchesByTx, entry.branchesByTx...)
 		out.reports = append(out.reports, entry.reports...)
 		out.nestedDepth = entry.nestedDepth
 	} else {
-		st = x.genesis.Copy()
-		e = evm.New(st, campaignBlockCtx)
+		st = x.genesis.Fork()
+		e = x.engine(st)
 		st.CreateContract(x.contractAddr, x.comp.Code, x.deployer)
 		st.Commit()
 	}
 	out.firstLive = start
-	attacker := &evm.ReentrantAttacker{Addr: x.attackerAddr, MaxReentries: 1}
-	e.RegisterNative(x.attackerAddr, attacker)
 
 	for i := start; i < len(seq); i++ {
 		tx := seq[i]
@@ -164,8 +215,10 @@ func (x *executor) run(seq Sequence) *execOutcome {
 		}
 		out.branchesByTx = append(out.branchesByTx, txBranches)
 		for _, br := range txBranches {
-			if site, ok := x.comp.BranchSiteAt(br.PC); ok && site.Depth > out.nestedDepth {
-				out.nestedDepth = site.Depth
+			if id, ok := br.IndexedEdge(); ok {
+				if d := x.depthByEdge[id]; d > out.nestedDepth {
+					out.nestedDepth = d
+				}
 			}
 		}
 
@@ -175,13 +228,14 @@ func (x *executor) run(seq Sequence) *execOutcome {
 
 		// Checkpoint the state after this transaction (except the last: the
 		// cache only serves proper prefixes). The outcome accumulated so far
-		// is exactly the checkpoint's payload; the nil guard keeps detached
-		// executors and NoPrefixCache campaigns from paying the state-copy
-		// cost for checkpoints that would be discarded.
-		if x.prefixes != nil && i < len(seq)-1 {
+		// is exactly the checkpoint's payload. The guards keep detached
+		// executors, NoPrefixCache campaigns, already-cached prefixes, and
+		// inadmissible (oversized) prefixes from paying the fork and
+		// taint-snapshot cost for a store that would be discarded.
+		if x.prefixes != nil && i < len(seq)-1 && x.prefixes.admissible(out.branchesByTx) {
 			key := hashPrefix(seq, i+1)
 			if !x.prefixes.contains(key) {
-				x.prefixes.storeKeyed(key, i+1, st.Copy(), e.TaintSnapshot(), out.branchesByTx, out.reports, out.nestedDepth)
+				x.prefixes.storeKeyed(key, i+1, st.Fork(), e.TaintSnapshot(), out.branchesByTx, out.reports, out.nestedDepth)
 			}
 		}
 	}

@@ -302,7 +302,7 @@ func withdrawBugReached(t *testing.T, comp *minisol.Compiled, res *Result, c *Ca
 	}
 	// codegen emits ISZERO-JUMPI: the bug branch is the NOT-taken direction
 	// (condition true → ISZERO false → no jump).
-	for key := range c.covered {
+	for key := range c.Covered() {
 		if key.PC == pc && !key.Taken {
 			return true
 		}
@@ -387,7 +387,7 @@ contract Game {
 		}
 	}
 	passed := false
-	for key := range c.covered {
+	for key := range c.Covered() {
 		if key.PC == requirePC && !key.Taken {
 			passed = true
 		}

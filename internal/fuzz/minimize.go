@@ -19,6 +19,9 @@ type ReplayResult struct {
 // the predicate engine for Minimize. Replays run on a detached executor so
 // they neither consume nor pollute the campaign's prefix checkpoints, and a
 // fresh detector so campaign findings don't leak into the replay verdict.
+// The returned edge set is keyed by BranchKey and consumed only as a set,
+// so minimization is independent of the campaign's interned edge-ID order
+// (which itself matches the old sorted-BranchKey order; see BranchIndex).
 func (c *Campaign) Replay(seq Sequence) *ReplayResult {
 	x := c.exec.detached()
 	res := x.run(seq)

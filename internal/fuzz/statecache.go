@@ -139,26 +139,32 @@ func (pc *prefixCache) contains(key uint64) bool {
 	return ok
 }
 
-// storeKeyed records a checkpoint for a pre-computed prefix hash. The first
-// writer of a key wins; concurrent proposals for the same prefix are
-// deduplicated under the shard lock. Oversized branch logs are not cached
-// (loop-heavy prefixes would make replaying the fold as costly as
-// re-execution).
-func (pc *prefixCache) storeKeyed(key uint64, n int, st *state.State, taint map[evm.StorageKey]evm.Taint, branchesByTx [][]evm.BranchEvent, reports []txReport, nestedDepth int) {
-	if pc == nil || n < 1 {
-		return
-	}
+// admissible reports whether a prefix's branch log is small enough to
+// cache. Oversized logs are not cached (loop-heavy prefixes would make
+// replaying the fold as costly as re-execution); callers should check this
+// BEFORE materializing the state fork and taint snapshot a store needs, or
+// an inadmissible prefix pays that cost on every execution forever (its key
+// never enters the cache, so the contains() pre-check never short-circuits).
+func (pc *prefixCache) admissible(branchesByTx [][]evm.BranchEvent) bool {
 	total := 0
 	for _, b := range branchesByTx {
 		total += len(b)
 	}
-	if total > 4096 {
+	return total <= 4096
+}
+
+// storeKeyed records a checkpoint for a pre-computed prefix hash. The first
+// writer of a key wins; concurrent proposals for the same prefix are
+// deduplicated under the shard lock.
+func (pc *prefixCache) storeKeyed(key uint64, n int, st *state.State, taint map[evm.StorageKey]evm.Taint, branchesByTx [][]evm.BranchEvent, reports []txReport, nestedDepth int) {
+	if pc == nil || n < 1 || !pc.admissible(branchesByTx) {
 		return
 	}
-	cp := make([][]evm.BranchEvent, len(branchesByTx))
-	for i, b := range branchesByTx {
-		cp[i] = append([]evm.BranchEvent(nil), b...)
-	}
+	// Shallow copy: the outer slice is re-appended by the caller and must be
+	// pinned, but the per-transaction event batches are immutable once
+	// built (executors construct them fresh per transaction and nothing
+	// mutates them afterward), so entries share them.
+	cp := append([][]evm.BranchEvent(nil), branchesByTx...)
 	entry := &prefixEntry{
 		txs:          n,
 		st:           st,

@@ -120,12 +120,15 @@ func TestPrefixCacheConcurrentStress(t *testing.T) {
 					if e.txs < 1 || e.txs >= len(seq) {
 						t.Errorf("bogus entry txs=%d", e.txs)
 					}
-					_ = e.st.Copy() // readers copy entry state outside locks
+					// readers fork entry state outside locks (CoW resume)
+					// and may immediately mutate their fork
+					ch := e.st.Fork()
+					ch.SetBalance(state.AddressFromUint(uint64(w)), u256.One)
 				}
 				n := 1 + (round+w)%2
 				key := hashPrefix(seq, n)
 				if !pc.contains(key) {
-					pc.storeKeyed(key, n, st.Copy(), map[evm.StorageKey]evm.Taint{},
+					pc.storeKeyed(key, n, st.Fork(), map[evm.StorageKey]evm.Taint{},
 						[][]evm.BranchEvent{{}}, nil, 0)
 				}
 				pc.stats()

@@ -6,11 +6,24 @@
 // Smart contracts are stateful programs (paper §I): the whole point of
 // sequence-aware fuzzing is that persistent Storage survives between
 // transactions. This package is that persistence layer.
+//
+// # Copy-on-write forks
+//
+// The fuzzing engine checkpoints world states constantly: every transaction
+// boundary of every executed sequence may become a prefix-cache entry, and
+// every execution starts from a checkpoint or from genesis. Fork supports
+// that access pattern in O(accounts) pointer copies instead of a deep copy:
+// parent and child share account and storage data, and a generation tag on
+// every account makes either side clone an account privately the first time
+// it writes it after the fork. Copy remains the semantic specification — a
+// Fork must be observationally identical to a Copy — and the tests assert
+// the two stay in lockstep.
 package state
 
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"mufuzz/internal/u256"
 )
@@ -57,7 +70,34 @@ type Account struct {
 	Creator Address
 	// Destroyed marks the account as self-destructed.
 	Destroyed bool
+
+	// gen tags the State generation that owns this struct: only the state
+	// whose generation matches may mutate it in place. After a Fork no live
+	// state matches, so the first writer clones the account privately.
+	gen uint64
+	// storageOwned marks Storage as exclusively owned by this struct. A
+	// cloned account initially shares its parent's storage map; the first
+	// storage write copies it (storage-level copy-on-write, so balance-only
+	// writes — value transfers — never pay for a storage copy).
+	storageOwned bool
 }
+
+// cloneFor returns a private shallow clone owned by generation g. The clone
+// shares the (immutable) code slice and the storage map; storageOwned=false
+// defers the storage copy until the first storage write.
+func (acc *Account) cloneFor(g uint64) *Account {
+	na := *acc
+	na.gen = g
+	na.storageOwned = false
+	return &na
+}
+
+// genCounter issues unique generations across a whole fork family. It is
+// atomic so concurrent Forks of one frozen state (e.g. parallel executors
+// resuming from the same checkpoint entry) stay race-free.
+type genCounter struct{ n atomic.Uint64 }
+
+func (g *genCounter) next() uint64 { return g.n.Add(1) }
 
 // journalEntry records one reversible state change.
 type journalEntry struct {
@@ -79,26 +119,95 @@ const (
 	jDestroy
 )
 
-// State is the mutable world state with snapshot/revert support.
+// State is the mutable world state with snapshot/revert support and O(1)
+// copy-on-write forking.
 type State struct {
 	accounts map[Address]*Account
 	journal  []journalEntry
+	// gen is the write generation: accounts whose tag matches may be mutated
+	// in place, anything else is shared with a fork and cloned first. It is
+	// atomic only so Fork can retire a frozen state's generation from
+	// several goroutines at once; ordinary reads and writes of the state
+	// itself are single-goroutine, like before.
+	gen    atomic.Uint64
+	family *genCounter
 }
 
 // New returns an empty world state.
 func New() *State {
-	return &State{accounts: make(map[Address]*Account)}
+	s := &State{accounts: make(map[Address]*Account), family: &genCounter{}}
+	s.gen.Store(s.family.next())
+	return s
 }
 
-// getOrCreate returns the account, creating (and journaling) it if needed.
-func (s *State) getOrCreate(addr Address) *Account {
-	if acc, ok := s.accounts[addr]; ok {
+// Fork returns a child state observationally identical to the receiver, in
+// O(accounts) pointer copies: account structs and storage maps are shared,
+// and the generation tags force whichever side writes first to clone the
+// touched account privately. The child starts with an empty journal.
+//
+// Fork retires the receiver's write generation, so the receiver keeps full
+// read/write semantics too — its next write to any shared account clones it.
+// Fork may be called concurrently from multiple goroutines on a state that
+// is not being mutated (a frozen checkpoint); it must not race with writes
+// to the receiver.
+func (s *State) Fork() *State {
+	child := &State{
+		accounts: make(map[Address]*Account, len(s.accounts)),
+		family:   s.family,
+	}
+	for addr, acc := range s.accounts {
+		child.accounts[addr] = acc
+	}
+	child.gen.Store(s.family.next())
+	s.gen.Store(s.family.next())
+	return child
+}
+
+// mutableAt returns the account at addr cloned for in-place mutation if it
+// is still shared with a fork. It must only be called for existing accounts
+// (the revert path).
+func (s *State) mutableAt(addr Address) *Account {
+	acc := s.accounts[addr]
+	if g := s.gen.Load(); acc.gen != g {
+		acc = acc.cloneFor(g)
+		s.accounts[addr] = acc
+	}
+	return acc
+}
+
+// mutableOrCreate returns a writable account, creating (and journaling) it
+// if needed and cloning it first when it is shared with a fork.
+func (s *State) mutableOrCreate(addr Address) *Account {
+	acc, ok := s.accounts[addr]
+	if !ok {
+		acc = &Account{
+			Storage:      make(map[u256.Int]u256.Int),
+			gen:          s.gen.Load(),
+			storageOwned: true,
+		}
+		s.accounts[addr] = acc
+		s.journal = append(s.journal, journalEntry{kind: jCreate, addr: addr, created: true})
 		return acc
 	}
-	acc := &Account{Storage: make(map[u256.Int]u256.Int)}
-	s.accounts[addr] = acc
-	s.journal = append(s.journal, journalEntry{kind: jCreate, addr: addr, created: true})
+	if g := s.gen.Load(); acc.gen != g {
+		acc = acc.cloneFor(g)
+		s.accounts[addr] = acc
+	}
 	return acc
+}
+
+// ownedStorage returns acc.Storage guaranteed private to acc, copying a
+// shared map on first storage write after a fork.
+func (s *State) ownedStorage(acc *Account) map[u256.Int]u256.Int {
+	if !acc.storageOwned {
+		ns := make(map[u256.Int]u256.Int, len(acc.Storage))
+		for k, v := range acc.Storage {
+			ns[k] = v
+		}
+		acc.Storage = ns
+		acc.storageOwned = true
+	}
+	return acc.Storage
 }
 
 // Exists reports whether an account is present.
@@ -109,7 +218,7 @@ func (s *State) Exists(addr Address) bool {
 
 // CreateContract installs code at addr, recording its creator.
 func (s *State) CreateContract(addr Address, code []byte, creator Address) {
-	acc := s.getOrCreate(addr)
+	acc := s.mutableOrCreate(addr)
 	acc.Code = code
 	acc.Creator = creator
 }
@@ -140,13 +249,14 @@ func (s *State) GetStorage(addr Address, slot u256.Int) u256.Int {
 
 // SetStorage writes a storage slot, journaling the previous value.
 func (s *State) SetStorage(addr Address, slot, val u256.Int) {
-	acc := s.getOrCreate(addr)
+	acc := s.mutableOrCreate(addr)
 	prev := acc.Storage[slot]
 	s.journal = append(s.journal, journalEntry{kind: jStorage, addr: addr, slot: slot, prevVal: prev})
+	st := s.ownedStorage(acc)
 	if val.IsZero() {
-		delete(acc.Storage, slot)
+		delete(st, slot)
 	} else {
-		acc.Storage[slot] = val
+		st[slot] = val
 	}
 }
 
@@ -160,7 +270,7 @@ func (s *State) Balance(addr Address) u256.Int {
 
 // SetBalance overwrites the balance of addr, journaling the previous value.
 func (s *State) SetBalance(addr Address, bal u256.Int) {
-	acc := s.getOrCreate(addr)
+	acc := s.mutableOrCreate(addr)
 	s.journal = append(s.journal, journalEntry{kind: jBalance, addr: addr, prevBal: acc.Balance})
 	acc.Balance = bal
 }
@@ -187,11 +297,13 @@ func (s *State) Transfer(from, to Address, value u256.Int) bool {
 
 // Destroy marks addr self-destructed and moves its balance to beneficiary.
 func (s *State) Destroy(addr, beneficiary Address) {
-	acc := s.getOrCreate(addr)
+	acc := s.mutableOrCreate(addr)
 	s.journal = append(s.journal, journalEntry{kind: jDestroy, addr: addr, prevDes: acc.Destroyed, prevBal: acc.Balance})
 	if !acc.Destroyed {
 		s.AddBalance(beneficiary, acc.Balance)
-		// Direct mutation: the balance restore is handled by the jDestroy entry.
+		// Direct mutation: the balance restore is handled by the jDestroy
+		// entry. acc is writable (mutableOrCreate above), and when the
+		// beneficiary aliases addr, AddBalance returns the same clone.
 		acc.Balance = u256.Zero
 		acc.Destroyed = true
 	}
@@ -217,19 +329,21 @@ func (s *State) RevertTo(snap int) {
 	}
 	for i := len(s.journal) - 1; i >= snap; i-- {
 		e := s.journal[i]
-		acc := s.accounts[e.addr]
 		switch e.kind {
 		case jStorage:
+			acc := s.mutableAt(e.addr)
+			st := s.ownedStorage(acc)
 			if e.prevVal.IsZero() {
-				delete(acc.Storage, e.slot)
+				delete(st, e.slot)
 			} else {
-				acc.Storage[e.slot] = e.prevVal
+				st[e.slot] = e.prevVal
 			}
 		case jBalance:
-			acc.Balance = e.prevBal
+			s.mutableAt(e.addr).Balance = e.prevBal
 		case jCreate:
 			delete(s.accounts, e.addr)
 		case jDestroy:
+			acc := s.mutableAt(e.addr)
 			acc.Destroyed = e.prevDes
 			acc.Balance = e.prevBal
 		}
@@ -244,16 +358,20 @@ func (s *State) Commit() {
 }
 
 // Copy returns a deep copy sharing nothing with the receiver. The copy has
-// an empty journal.
+// an empty journal. Copy is the semantic specification Fork is tested
+// against; the engine's hot paths use Fork.
 func (s *State) Copy() *State {
 	ns := New()
+	g := ns.gen.Load()
 	for addr, acc := range s.accounts {
 		na := &Account{
-			Balance:   acc.Balance,
-			Code:      append([]byte(nil), acc.Code...),
-			Storage:   make(map[u256.Int]u256.Int, len(acc.Storage)),
-			Creator:   acc.Creator,
-			Destroyed: acc.Destroyed,
+			Balance:      acc.Balance,
+			Code:         append([]byte(nil), acc.Code...),
+			Storage:      make(map[u256.Int]u256.Int, len(acc.Storage)),
+			Creator:      acc.Creator,
+			Destroyed:    acc.Destroyed,
+			gen:          g,
+			storageOwned: true,
 		}
 		for k, v := range acc.Storage {
 			na.Storage[k] = v
@@ -286,4 +404,18 @@ func (s *State) StorageSize(addr Address) int {
 		return len(acc.Storage)
 	}
 	return 0
+}
+
+// StorageDump returns a copy of every non-zero storage slot at addr, for
+// diagnostics and state-equality checks in tests.
+func (s *State) StorageDump(addr Address) map[u256.Int]u256.Int {
+	acc, ok := s.accounts[addr]
+	if !ok {
+		return nil
+	}
+	out := make(map[u256.Int]u256.Int, len(acc.Storage))
+	for k, v := range acc.Storage {
+		out[k] = v
+	}
+	return out
 }
