@@ -1,0 +1,219 @@
+// Command conform drives the conformance subsystem from the command line:
+// recording and replaying deterministic campaign transcripts, running the
+// differential engine matrix, the strategy matrix, and the corpus-wide
+// detection gate. CI's conformance job runs `-mode diff`, a record/replay
+// round trip, and the env-gated detection-gate test tier; humans use
+// `-mode record`/`-mode replay` to pin down a divergence and `-mode gate`
+// to reproduce the gate locally.
+//
+// Usage:
+//
+//	conform -mode diff [-contracts a,b,c] [-iters 400] [-seed 1] [-workers N]
+//	conform -mode gate [-iters 3000] [-seed 1]
+//	conform -mode strategies [-contracts a] [-iters 1000] [-seed 1]
+//	conform -mode record -contracts a -out a.transcript [-iters 400]
+//	conform -mode replay -in a.transcript
+//
+// Contract names come from the corpus: "crowdsale", "crowdsale-buggy",
+// "game", or any labelled suite name (run `-mode list` to enumerate).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+
+	"mufuzz/internal/conformance"
+	"mufuzz/internal/corpus"
+	"mufuzz/internal/experiments"
+	"mufuzz/internal/fuzz"
+	"mufuzz/internal/minisol"
+)
+
+// registry maps every named contract source available to the CLI.
+func registry() map[string]string {
+	out := map[string]string{
+		"crowdsale":       corpus.Crowdsale(),
+		"crowdsale-buggy": corpus.CrowdsaleBuggy(),
+		"game":            corpus.Game(),
+	}
+	for _, l := range corpus.VulnSuite() {
+		out[l.Name] = l.Source
+	}
+	for _, l := range corpus.SafeSuite() {
+		out[l.Name] = l.Source
+	}
+	return out
+}
+
+// defaultDiffSet is the ≥3-contract set the CI conformance job exercises.
+var defaultDiffSet = []string{"crowdsale", "crowdsale-buggy", "re_swc107_crossfn"}
+
+func main() {
+	var (
+		mode      = flag.String("mode", "diff", "diff | gate | strategies | record | replay | list")
+		contracts = flag.String("contracts", "", "comma-separated contract names (default: the 3-contract diff set)")
+		iters     = flag.Int("iters", 400, "iteration budget per campaign (gate defaults to the fixed gate budget)")
+		seed      = flag.Int64("seed", 1, "campaign seed")
+		workers   = flag.Int("workers", 0, "batched-class worker count (0 = NumCPU, capped at 8)")
+		out       = flag.String("out", "", "transcript output path (mode record)")
+		in        = flag.String("in", "", "transcript input path (mode replay)")
+	)
+	flag.Parse()
+
+	names := defaultDiffSet
+	if *contracts != "" {
+		names = splitComma(*contracts)
+	}
+	w := *workers
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	if w > 8 {
+		w = 8
+	}
+
+	switch *mode {
+	case "list":
+		reg := registry()
+		sorted := make([]string, 0, len(reg))
+		for name := range reg {
+			sorted = append(sorted, name)
+		}
+		sort.Strings(sorted)
+		for _, name := range sorted {
+			fmt.Println(name)
+		}
+
+	case "diff":
+		failed := false
+		for _, name := range names {
+			comp := compile(name)
+			results := conformance.DifferentialMatrix(name, comp, baseOptions(*seed, *iters), w)
+			conformance.PrintMatrix(os.Stdout, results)
+			for _, r := range results {
+				if !r.Equal {
+					failed = true
+				}
+			}
+		}
+		if failed {
+			fmt.Fprintln(os.Stderr, "conform: differential matrix diverged")
+			os.Exit(1)
+		}
+
+	case "strategies":
+		for _, name := range names {
+			comp := compile(name)
+			rows := conformance.StrategyMatrix(name, comp, baseOptions(*seed, *iters))
+			conformance.PrintStrategies(os.Stdout, name, rows)
+		}
+
+	case "gate":
+		// Defaults mirror the gate test exactly (GateBudget/GateSeed); the
+		// flags only override when explicitly set.
+		budget := experiments.GateBudget
+		if flagSet("iters") {
+			budget = *iters
+		}
+		gateSeed := int64(experiments.GateSeed)
+		if flagSet("seed") {
+			gateSeed = *seed
+		}
+		report, err := experiments.DetectionGate(experiments.GatedSuites(), corpus.SafeSuite(), budget, gateSeed)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintGate(os.Stdout, report)
+		if !report.Pass() {
+			os.Exit(1)
+		}
+
+	case "record":
+		if len(names) != 1 || *out == "" {
+			fatal(fmt.Errorf("mode record needs exactly one -contracts name and -out"))
+		}
+		comp := compile(names[0])
+		run := conformance.RecordCampaign(names[0], comp, baseOptions(*seed, *iters))
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := run.Transcript.Encode(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("recorded %s: %d executions, %d/%d edges, classes %v → %s\n",
+			names[0], run.Result.Executions, run.Result.CoveredEdges, run.Result.TotalEdges,
+			run.Transcript.Final.Classes, *out)
+
+	case "replay":
+		if *in == "" {
+			fatal(fmt.Errorf("mode replay needs -in"))
+		}
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		want, err := conformance.Decode(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		comp := compile(want.Contract)
+		run, d := conformance.ReplayCheck(comp, want)
+		if d != nil {
+			fmt.Fprintf(os.Stderr, "conform: replay DIVERGED: %s\n", d)
+			os.Exit(1)
+		}
+		if err := conformance.VerifySequences(run.Campaign, run.Transcript); err != nil {
+			fmt.Fprintf(os.Stderr, "conform: sequence verification failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("replay of %s byte-identical (%d executions) and sequence-verified\n",
+			want.Contract, len(want.Records))
+
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+func baseOptions(seed int64, iters int) fuzz.Options {
+	return fuzz.Options{Strategy: fuzz.MuFuzz(), Seed: seed, Iterations: iters}
+}
+
+func compile(name string) *minisol.Compiled {
+	src, ok := registry()[name]
+	if !ok {
+		fatal(fmt.Errorf("unknown contract %q (try -mode list)", name))
+	}
+	comp, err := minisol.Compile(src)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", name, err))
+	}
+	return comp
+}
+
+func splitComma(s string) []string {
+	return strings.FieldsFunc(s, func(r rune) bool { return r == ',' })
+}
+
+func flagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "conform: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,62 @@
+package abi
+
+import (
+	"bytes"
+	"testing"
+)
+
+// kindsFrom derives a parameter-kind list from fuzz bytes (at most 8
+// parameters, all seven kinds reachable).
+func kindsFrom(spec []byte) []Kind {
+	if len(spec) > 8 {
+		spec = spec[:8]
+	}
+	kinds := make([]Kind, len(spec))
+	for i, b := range spec {
+		kinds[i] = Kind(int(b) % (int(String) + 1))
+	}
+	return kinds
+}
+
+// FuzzABIRoundTrip fuzzes the encoder/decoder pair: decoding arbitrary data
+// must never panic, and encode∘decode must be a fixpoint — decoding a
+// canonical encoding recovers exactly the values that produced it.
+func FuzzABIRoundTrip(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6}, make([]byte, 7*32))
+	f.Add([]byte{5, 6, 5}, []byte("some dynamic payload that is not word aligned"))
+	f.Add([]byte{}, []byte{})
+	f.Fuzz(func(t *testing.T, spec, data []byte) {
+		kinds := kindsFrom(spec)
+
+		// 1. Robustness: arbitrary (possibly truncated, offset-corrupted)
+		// calldata decodes without panicking — the EVM reads malformed
+		// calldata through CALLDATALOAD the same way.
+		values := DecodeArgs(kinds, data)
+		if len(values) != len(kinds) {
+			t.Fatalf("decoded %d values for %d kinds", len(values), len(kinds))
+		}
+
+		// 2. The decoded values are canonical: re-encoding and re-decoding
+		// them is an identity.
+		enc := EncodeArgs(values)
+		again := DecodeArgs(kinds, enc)
+		for i := range values {
+			a, b := values[i], again[i]
+			if a.Kind != b.Kind {
+				t.Fatalf("arg %d: kind %s became %s", i, a.Kind, b.Kind)
+			}
+			if a.Kind.IsDynamic() {
+				if !bytes.Equal(a.Bytes, b.Bytes) {
+					t.Fatalf("arg %d (%s): bytes %x became %x", i, a.Kind, a.Bytes, b.Bytes)
+				}
+			} else if !a.Word.Eq(b.Word) {
+				t.Fatalf("arg %d (%s): word %s became %s", i, a.Kind, a.Word.Hex(), b.Word.Hex())
+			}
+		}
+
+		// 3. Encoding is deterministic and stable across the round trip.
+		if enc2 := EncodeArgs(again); !bytes.Equal(enc, enc2) {
+			t.Fatalf("re-encode changed bytes:\n%x\n%x", enc, enc2)
+		}
+	})
+}

@@ -1,0 +1,196 @@
+package conformance
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"mufuzz/internal/corpus"
+	"mufuzz/internal/fuzz"
+	"mufuzz/internal/minisol"
+)
+
+// diffContracts are the corpus contracts the differential matrix runs over
+// in tests: the two motivating contracts plus a labelled reentrancy case, so
+// the matrix exercises deep sequences, oracle reports, and checkpoint hits.
+func diffContracts(t *testing.T) map[string]*minisol.Compiled {
+	t.Helper()
+	sources := map[string]string{
+		"crowdsale":       corpus.Crowdsale(),
+		"crowdsale-buggy": corpus.CrowdsaleBuggy(),
+	}
+	for _, l := range corpus.SWCSuite() {
+		if l.Name == "re_swc107_crossfn" {
+			sources[l.Name] = l.Source
+		}
+	}
+	if len(sources) != 3 {
+		t.Fatal("re_swc107_crossfn missing from SWC suite")
+	}
+	out := make(map[string]*minisol.Compiled, len(sources))
+	for name, src := range sources {
+		comp, err := minisol.Compile(src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out[name] = comp
+	}
+	return out
+}
+
+func baseOptions(seed int64, iters int) fuzz.Options {
+	return fuzz.Options{
+		Strategy:   fuzz.MuFuzz(),
+		Seed:       seed,
+		Iterations: iters,
+	}
+}
+
+func TestTranscriptEncodeDecodeRoundTrip(t *testing.T) {
+	comp, err := minisol.Compile(corpus.Crowdsale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := RecordCampaign("crowdsale", comp, baseOptions(3, 120))
+	enc := run.Transcript.EncodeBytes()
+	dec, err := Decode(bytes.NewReader(enc))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !bytes.Equal(enc, dec.EncodeBytes()) {
+		t.Error("encode(decode(encode(t))) != encode(t)")
+	}
+	if len(dec.Records) != run.Result.Executions {
+		t.Errorf("decoded %d records, campaign ran %d executions", len(dec.Records), run.Result.Executions)
+	}
+	// the decoded sequences must rebuild into the originals
+	for i := range dec.Records {
+		if got, want := callOrder(dec.Records[i].Sequence()), callOrder(run.Transcript.Records[i].Sequence()); got != want {
+			t.Fatalf("record %d: sequence %q != %q", i, got, want)
+		}
+	}
+}
+
+// TestRecordedReplayByteIdentical is the record/replay pin: replaying a full
+// campaign's transcript through the engine must reproduce it byte for byte.
+func TestRecordedReplayByteIdentical(t *testing.T) {
+	for name, comp := range diffContracts(t) {
+		run := RecordCampaign(name, comp, baseOptions(1, 250))
+		replayed, d := ReplayCheck(comp, run.Transcript)
+		if d != nil {
+			t.Errorf("%s: replay diverged: %s", name, d)
+		}
+		if !bytes.Equal(run.Transcript.EncodeBytes(), replayed.Transcript.EncodeBytes()) {
+			t.Errorf("%s: replay transcript bytes differ", name)
+		}
+	}
+}
+
+// TestVerifySequences re-executes every recorded claim through a detached
+// engine.
+func TestVerifySequences(t *testing.T) {
+	for name, comp := range diffContracts(t) {
+		run := RecordCampaign(name, comp, baseOptions(5, 250))
+		if err := VerifySequences(run.Campaign, run.Transcript); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestDifferentialMatrix proves the engine-variant equivalences on three
+// corpus contracts: sequential {Fork/Copy, cache on/off} and batched
+// {workers 1/N, Fork/Copy, cache on/off} must be execution-for-execution
+// identical.
+func TestDifferentialMatrix(t *testing.T) {
+	workers := runtime.NumCPU()
+	if workers > 8 {
+		workers = 8
+	}
+	for name, comp := range diffContracts(t) {
+		for _, r := range DifferentialMatrix(name, comp, baseOptions(1, 250), workers) {
+			if !r.Equal {
+				t.Errorf("%s: %s vs %s: %s", r.Contract, r.Variant, r.Reference, r.Divergence)
+			}
+		}
+	}
+}
+
+// TestBatchedIndependentOfGOMAXPROCS pins the coordinator's deterministic
+// batch-order fold: with a fixed worker count, the parallel engine's results
+// must not depend on how the runtime schedules the executor goroutines. Two
+// runs under deliberately different GOMAXPROCS must produce byte-identical
+// transcripts.
+func TestBatchedIndependentOfGOMAXPROCS(t *testing.T) {
+	comp, err := minisol.Compile(corpus.Crowdsale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := baseOptions(11, 300)
+	opts.Workers = 4
+
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+
+	runtime.GOMAXPROCS(1) // executors serialize onto one P: completion order = dispatch order
+	a := RecordCampaign("crowdsale", comp, opts)
+	procs := runtime.NumCPU()
+	if procs < 2 {
+		procs = 2
+	}
+	runtime.GOMAXPROCS(procs) // full parallelism: completion order scrambles
+	b := RecordCampaign("crowdsale", comp, opts)
+
+	if d := Diff(a.Transcript, b.Transcript); d != nil {
+		t.Fatalf("workers=4 campaign depends on GOMAXPROCS: %s", d)
+	}
+	if !bytes.Equal(a.Transcript.EncodeBytes(), b.Transcript.EncodeBytes()) {
+		t.Fatal("transcript bytes differ across GOMAXPROCS")
+	}
+}
+
+// TestStrategyMatrixShape sanity-checks the informational preset diff.
+func TestStrategyMatrixShape(t *testing.T) {
+	comp, err := minisol.Compile(corpus.Crowdsale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := StrategyMatrix("crowdsale", comp, baseOptions(1, 200))
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5 presets", len(rows))
+	}
+	if rows[0].Strategy != "MuFuzz" || rows[0].EdgesOnlyHere != 0 || rows[0].EdgesOnlyRef != 0 {
+		t.Errorf("reference row should self-diff clean: %+v", rows[0])
+	}
+	var buf bytes.Buffer
+	PrintStrategies(&buf, "crowdsale", rows)
+	if buf.Len() == 0 {
+		t.Error("printer produced nothing")
+	}
+}
+
+// TestDiffReportsFirstDivergence checks divergence minimization: two
+// campaigns with different seeds must diverge, and the reported index must
+// be the first record where the transcripts disagree.
+func TestDiffReportsFirstDivergence(t *testing.T) {
+	comp, err := minisol.Compile(corpus.Crowdsale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := RecordCampaign("crowdsale", comp, baseOptions(1, 150))
+	b := RecordCampaign("crowdsale", comp, baseOptions(2, 150))
+	d := Diff(a.Transcript, b.Transcript)
+	if d == nil {
+		t.Fatal("different seeds produced identical transcripts")
+	}
+	if d.Kind != "record" {
+		t.Fatalf("kind = %s, want record", d.Kind)
+	}
+	for i := 0; i < d.Index-1; i++ {
+		if renderRecord(&a.Transcript.Records[i]) != renderRecord(&b.Transcript.Records[i]) {
+			t.Fatalf("record %d already diverges, reported index %d is not minimal", i+1, d.Index)
+		}
+	}
+	if renderRecord(&a.Transcript.Records[d.Index-1]) == renderRecord(&b.Transcript.Records[d.Index-1]) {
+		t.Fatal("reported divergent record is identical")
+	}
+}

@@ -1,0 +1,427 @@
+// Package conformance is the repo's machine-checked correctness story for
+// the fuzzing engine. After two aggressive engine refactors (the parallel
+// coordinator/executor split and the copy-on-write state layer), a single
+// workers=1 golden fingerprint is not enough of a semantic pin. This package
+// provides three instruments:
+//
+//   - Deterministic campaign transcripts: a versioned, byte-stable recording
+//     of every execution a campaign performed — the sequence run, the
+//     coverage delta, the oracle classes discovered — replayable to a
+//     byte-identical re-recording (Record / ReplayCheck) and re-executable
+//     through a detached engine for independent verification
+//     (VerifySequences).
+//
+//   - A differential runner (DifferentialMatrix) that executes the same
+//     (contract, seed, budget) under engine variants — workers ∈ {1, N},
+//     State.Fork vs State.Copy, prefix cache on/off — and proves their
+//     coverage sets, crash sets, and detector output identical, with
+//     minimized divergence reports when they are not. StrategyMatrix runs
+//     the five strategy presets and diffs their (intentionally different)
+//     results for inspection.
+//
+//   - Wiring for the corpus-wide detection gates in internal/experiments:
+//     see experiments.DetectionGate.
+//
+// Every future perf PR gets an equivalence proof instead of hand-inspection.
+package conformance
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"math/big"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mufuzz/internal/fuzz"
+	"mufuzz/internal/oracle"
+	"mufuzz/internal/u256"
+)
+
+// Version is the transcript format version this package reads and writes.
+const Version = 1
+
+// magic is the first line of every encoded transcript.
+const magic = "mufuzz-transcript"
+
+// OptionsSummary pins the campaign configuration a transcript was recorded
+// under: the defaults-applied form of every Options field that influences
+// the deterministic schedule. Strategy is recorded by preset name only
+// (replay resolves it through StrategyByName), and TimeBudget is absent by
+// construction — RecordCampaign rejects wall-clock-bounded campaigns.
+type OptionsSummary struct {
+	Strategy      string
+	Seed          int64
+	Iterations    int
+	MaxSeqLen     int
+	GasPerTx      uint64
+	EnergyBase    int
+	InitialSeeds  int
+	Workers       int
+	ForceBatched  bool
+	UseCopyState  bool
+	NoPrefixCache bool
+}
+
+// Tx is the serialized form of one transaction of a recorded sequence.
+type Tx struct {
+	Func   string
+	Args   []byte
+	Value  u256.Int
+	Sender int
+}
+
+// Record is the serialized form of one fuzz.ExecRecord.
+type Record struct {
+	Index        int
+	Seq          []Tx
+	NewEdges     []fuzz.BranchEdge
+	CoveredAfter int
+	NestedDepth  int
+	DistImproved bool
+	NewClasses   []string
+}
+
+// Summary captures the deterministic portion of a campaign's final Result,
+// plus the full covered-edge set (the coverage outcome the differential
+// runner diffs).
+type Summary struct {
+	CoveredEdges     int
+	TotalEdges       int
+	Executions       int
+	SeedQueueLen     int
+	MasksComputed    int
+	SequencesMutated int
+	Classes          []string // sorted bug classes
+	Findings         []string // sorted "CLASS|PC|description" lines
+	Repro            []string // sorted "CLASS fn>fn>fn" proof-of-concept call orders
+	Edges            []fuzz.BranchEdge
+}
+
+// Transcript is a complete deterministic recording of one campaign.
+type Transcript struct {
+	Version  int
+	Contract string
+	Options  OptionsSummary
+	Records  []Record
+	Final    Summary
+}
+
+// summarizeOptions projects the schedule-relevant fields of fuzz.Options.
+// The Options must already have defaults applied the way the campaign sees
+// them; RecordCampaign normalizes before recording.
+func summarizeOptions(o fuzz.Options) OptionsSummary {
+	return OptionsSummary{
+		Strategy:      o.Strategy.Name,
+		Seed:          o.Seed,
+		Iterations:    o.Iterations,
+		MaxSeqLen:     o.MaxSeqLen,
+		GasPerTx:      o.GasPerTx,
+		EnergyBase:    o.EnergyBase,
+		InitialSeeds:  o.InitialSeeds,
+		Workers:       o.Workers,
+		ForceBatched:  o.ForceBatched,
+		UseCopyState:  o.UseCopyState,
+		NoPrefixCache: o.NoPrefixCache,
+	}
+}
+
+// sequenceToTxs converts an engine sequence into its serialized form.
+func sequenceToTxs(seq fuzz.Sequence) []Tx {
+	out := make([]Tx, len(seq))
+	for i, t := range seq {
+		out[i] = Tx{
+			Func:   t.Func,
+			Args:   append([]byte(nil), t.Args...),
+			Value:  t.Value,
+			Sender: t.Sender,
+		}
+	}
+	return out
+}
+
+// Sequence rebuilds the engine sequence of a record (for standalone replay).
+func (r *Record) Sequence() fuzz.Sequence {
+	seq := make(fuzz.Sequence, len(r.Seq))
+	for i, t := range r.Seq {
+		seq[i] = fuzz.TxInput{
+			Func:   t.Func,
+			Args:   append([]byte(nil), t.Args...),
+			Value:  t.Value,
+			Sender: t.Sender,
+		}
+	}
+	return seq
+}
+
+// sortEdges orders a covered-edge set canonically (PC ascending, not-taken
+// before taken) — the same deterministic branch order the engine uses.
+func sortEdges(edges []fuzz.BranchEdge) {
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].PC != edges[j].PC {
+			return edges[i].PC < edges[j].PC
+		}
+		return !edges[i].Taken && edges[j].Taken
+	})
+}
+
+func boolBit(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func hexOrDash(b []byte) string {
+	if len(b) == 0 {
+		return "-"
+	}
+	return hex.EncodeToString(b)
+}
+
+// Encode writes the transcript in the stable v1 text encoding. Encoding the
+// same transcript always produces the same bytes, so byte equality of two
+// encodings is the package's definition of "identical campaigns".
+func (t *Transcript) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%s v%d\n", magic, t.Version)
+	fmt.Fprintf(bw, "contract %s\n", t.Contract)
+	o := t.Options
+	fmt.Fprintf(bw, "options strategy=%q seed=%d iters=%d maxseq=%d gas=%d energy=%d initseeds=%d workers=%d batched=%d copystate=%d nocache=%d\n",
+		o.Strategy, o.Seed, o.Iterations, o.MaxSeqLen, o.GasPerTx, o.EnergyBase,
+		o.InitialSeeds, o.Workers, boolBit(o.ForceBatched), boolBit(o.UseCopyState), boolBit(o.NoPrefixCache))
+	for i := range t.Records {
+		encodeRecord(bw, &t.Records[i])
+	}
+	f := t.Final
+	fmt.Fprintf(bw, "final covered=%d total=%d execs=%d queue=%d masks=%d seqmut=%d\n",
+		f.CoveredEdges, f.TotalEdges, f.Executions, f.SeedQueueLen, f.MasksComputed, f.SequencesMutated)
+	fmt.Fprintf(bw, "classes %s\n", strings.Join(f.Classes, ","))
+	for _, fd := range f.Findings {
+		fmt.Fprintf(bw, "finding %s\n", fd)
+	}
+	for _, rp := range f.Repro {
+		fmt.Fprintf(bw, "repro %s\n", rp)
+	}
+	for _, e := range f.Edges {
+		fmt.Fprintf(bw, "fedge %d %d\n", e.PC, boolBit(e.Taken))
+	}
+	fmt.Fprintf(bw, "eof\n")
+	return bw.Flush()
+}
+
+// encodeRecord writes one record's canonical lines — the unit both the full
+// Encode and per-record divergence rendering share, so record comparison can
+// never drift from the on-disk format.
+func encodeRecord(w io.Writer, r *Record) {
+	fmt.Fprintf(w, "rec %d nested=%d dist=%d covered=%d\n",
+		r.Index, r.NestedDepth, boolBit(r.DistImproved), r.CoveredAfter)
+	for _, tx := range r.Seq {
+		fmt.Fprintf(w, "tx %s %d %s %s\n", tx.Func, tx.Sender, tx.Value.Hex(), hexOrDash(tx.Args))
+	}
+	for _, e := range r.NewEdges {
+		fmt.Fprintf(w, "edge %d %d\n", e.PC, boolBit(e.Taken))
+	}
+	for _, c := range r.NewClasses {
+		fmt.Fprintf(w, "class %s\n", c)
+	}
+	fmt.Fprintf(w, "end\n")
+}
+
+// EncodeBytes renders the transcript to its canonical byte form.
+func (t *Transcript) EncodeBytes() []byte {
+	var buf bytes.Buffer
+	_ = t.Encode(&buf)
+	return buf.Bytes()
+}
+
+// decodeErr wraps a decoding failure with the offending line.
+func decodeErr(line string, format string, args ...any) error {
+	return fmt.Errorf("conformance: decode %q: %s", line, fmt.Sprintf(format, args...))
+}
+
+func parseU256(s string) (u256.Int, error) {
+	n, ok := new(big.Int).SetString(s, 0)
+	if !ok {
+		return u256.Int{}, fmt.Errorf("bad u256 %q", s)
+	}
+	return u256.FromBig(n), nil
+}
+
+func parseHexOrDash(s string) ([]byte, error) {
+	if s == "-" {
+		return nil, nil
+	}
+	return hex.DecodeString(s)
+}
+
+// Decode parses a transcript from its v1 text encoding.
+func Decode(r io.Reader) (*Transcript, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	t := &Transcript{}
+	readLine := func() (string, bool) {
+		if !sc.Scan() {
+			return "", false
+		}
+		return sc.Text(), true
+	}
+
+	line, ok := readLine()
+	if !ok || !strings.HasPrefix(line, magic+" v") {
+		return nil, decodeErr(line, "missing %s header", magic)
+	}
+	v, err := strconv.Atoi(strings.TrimPrefix(line, magic+" v"))
+	if err != nil || v != Version {
+		return nil, decodeErr(line, "unsupported version")
+	}
+	t.Version = v
+
+	line, ok = readLine()
+	if !ok || !strings.HasPrefix(line, "contract ") {
+		return nil, decodeErr(line, "missing contract line")
+	}
+	t.Contract = strings.TrimPrefix(line, "contract ")
+
+	line, ok = readLine()
+	if !ok || !strings.HasPrefix(line, "options ") {
+		return nil, decodeErr(line, "missing options line")
+	}
+	if _, err := fmt.Sscanf(line, "options strategy=%q seed=%d iters=%d maxseq=%d gas=%d energy=%d initseeds=%d workers=%d batched=%d copystate=%d nocache=%d",
+		&t.Options.Strategy, &t.Options.Seed, &t.Options.Iterations, &t.Options.MaxSeqLen,
+		&t.Options.GasPerTx, &t.Options.EnergyBase, &t.Options.InitialSeeds, &t.Options.Workers,
+		new(int), new(int), new(int)); err != nil {
+		return nil, decodeErr(line, "bad options: %v", err)
+	}
+	// Sscanf cannot target bools through %d; re-extract the three flags.
+	for _, kv := range strings.Fields(line) {
+		switch {
+		case kv == "batched=1":
+			t.Options.ForceBatched = true
+		case kv == "copystate=1":
+			t.Options.UseCopyState = true
+		case kv == "nocache=1":
+			t.Options.NoPrefixCache = true
+		}
+	}
+	if _, ok := lookupStrategy(t.Options.Strategy); !ok {
+		return nil, decodeErr(line, "unknown strategy %q", t.Options.Strategy)
+	}
+
+	var cur *Record
+	for {
+		line, ok = readLine()
+		if !ok {
+			return nil, decodeErr("", "truncated transcript (no eof)")
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			return nil, decodeErr(line, "blank line")
+		}
+		switch fields[0] {
+		case "rec":
+			if cur != nil {
+				return nil, decodeErr(line, "rec inside rec")
+			}
+			r := Record{}
+			if _, err := fmt.Sscanf(line, "rec %d nested=%d dist=%d covered=%d",
+				&r.Index, &r.NestedDepth, new(int), &r.CoveredAfter); err != nil {
+				return nil, decodeErr(line, "bad rec: %v", err)
+			}
+			r.DistImproved = strings.Contains(line, "dist=1")
+			t.Records = append(t.Records, r)
+			cur = &t.Records[len(t.Records)-1]
+		case "tx":
+			if cur == nil || len(fields) != 5 {
+				return nil, decodeErr(line, "tx outside rec or malformed")
+			}
+			sender, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, decodeErr(line, "bad sender: %v", err)
+			}
+			val, err := parseU256(fields[3])
+			if err != nil {
+				return nil, decodeErr(line, "bad value: %v", err)
+			}
+			args, err := parseHexOrDash(fields[4])
+			if err != nil {
+				return nil, decodeErr(line, "bad args: %v", err)
+			}
+			cur.Seq = append(cur.Seq, Tx{Func: fields[1], Sender: sender, Value: val, Args: args})
+		case "edge":
+			if cur == nil || len(fields) != 3 {
+				return nil, decodeErr(line, "edge outside rec or malformed")
+			}
+			pc, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				return nil, decodeErr(line, "bad pc: %v", err)
+			}
+			cur.NewEdges = append(cur.NewEdges, fuzz.BranchEdge{PC: pc, Taken: fields[2] == "1"})
+		case "class":
+			if cur == nil || len(fields) != 2 {
+				return nil, decodeErr(line, "class outside rec or malformed")
+			}
+			cur.NewClasses = append(cur.NewClasses, fields[1])
+		case "end":
+			if cur == nil {
+				return nil, decodeErr(line, "end outside rec")
+			}
+			cur = nil
+		case "final":
+			if cur != nil {
+				return nil, decodeErr(line, "final inside rec")
+			}
+			if _, err := fmt.Sscanf(line, "final covered=%d total=%d execs=%d queue=%d masks=%d seqmut=%d",
+				&t.Final.CoveredEdges, &t.Final.TotalEdges, &t.Final.Executions,
+				&t.Final.SeedQueueLen, &t.Final.MasksComputed, &t.Final.SequencesMutated); err != nil {
+				return nil, decodeErr(line, "bad final: %v", err)
+			}
+			// trailer: classes, findings, repro, fedges, eof
+			for {
+				line, ok = readLine()
+				if !ok {
+					return nil, decodeErr("", "truncated trailer")
+				}
+				switch {
+				case line == "eof":
+					return t, nil
+				case strings.HasPrefix(line, "classes "):
+					s := strings.TrimPrefix(line, "classes ")
+					if s != "" {
+						t.Final.Classes = strings.Split(s, ",")
+					}
+				case line == "classes":
+					// no classes found
+				case strings.HasPrefix(line, "finding "):
+					t.Final.Findings = append(t.Final.Findings, strings.TrimPrefix(line, "finding "))
+				case strings.HasPrefix(line, "repro "):
+					t.Final.Repro = append(t.Final.Repro, strings.TrimPrefix(line, "repro "))
+				case strings.HasPrefix(line, "fedge "):
+					var pc uint64
+					var taken int
+					if _, err := fmt.Sscanf(line, "fedge %d %d", &pc, &taken); err != nil {
+						return nil, decodeErr(line, "bad fedge: %v", err)
+					}
+					t.Final.Edges = append(t.Final.Edges, fuzz.BranchEdge{PC: pc, Taken: taken == 1})
+				default:
+					return nil, decodeErr(line, "unexpected trailer line")
+				}
+			}
+		default:
+			return nil, decodeErr(line, "unexpected line")
+		}
+	}
+}
+
+// classStrings renders a bug-class slice, preserving detection order (record
+// streams are compared byte-for-byte, so recorded order is load-bearing).
+func classStrings(classes []oracle.BugClass) []string {
+	out := make([]string, len(classes))
+	for i, c := range classes {
+		out[i] = string(c)
+	}
+	return out
+}

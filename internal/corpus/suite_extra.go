@@ -2,6 +2,11 @@ package corpus
 
 import "mufuzz/internal/oracle"
 
+// ExtraSuite returns the incident-patterned batch of labelled contracts —
+// one of the two suites the conformance detection gate runs over (see
+// experiments.DetectionGate).
+func ExtraSuite() []Labeled { return extraSuite() }
+
 // extraSuite extends the labelled vulnerability suite with contracts
 // modelled on well-known Ethereum incidents and SWC-registry patterns. They
 // are appended to VulnSuite().

@@ -2,6 +2,11 @@ package corpus
 
 import "mufuzz/internal/oracle"
 
+// SWCSuite returns the SWC-registry-patterned batch of labelled contracts —
+// one of the two suites the conformance detection gate runs over (see
+// experiments.DetectionGate).
+func SWCSuite() []Labeled { return swcSuite() }
+
 // swcSuite is a third batch of labelled contracts following SWC-registry
 // patterns (SWC-101 arithmetic, SWC-104 unchecked call, SWC-105/106 access
 // control, SWC-107 reentrancy, SWC-115 tx.origin, SWC-116 block values,

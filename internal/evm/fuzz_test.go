@@ -1,0 +1,38 @@
+package evm
+
+import (
+	"testing"
+
+	"mufuzz/internal/state"
+	"mufuzz/internal/u256"
+)
+
+// FuzzInterpreterNoCrash runs arbitrary bytecode through the interpreter:
+// whatever the code does — invalid opcodes, stack underflow, jumps into
+// immediates, unbounded loops, self-calls — execution must return (an error
+// or a result), never panic. Gas and the step ceiling bound the run time.
+func FuzzInterpreterNoCrash(f *testing.F) {
+	// a plausible code seed: PUSH1 0 CALLDATALOAD PUSH1 8 JUMPI JUMPDEST STOP
+	f.Add([]byte{0x60, 0x00, 0x35, 0x60, 0x08, 0x57, 0x5b, 0x00}, []byte{1}, uint64(0))
+	// storage write + call + selfdestruct
+	f.Add([]byte{0x60, 0x01, 0x60, 0x00, 0x55, 0x33, 0xff}, []byte{}, uint64(5))
+	f.Add([]byte{}, []byte{}, uint64(0))
+	f.Fuzz(func(t *testing.T, code, input []byte, valueSeed uint64) {
+		if len(code) > 4096 || len(input) > 4096 {
+			return // keep individual executions fast; size adds no new behavior
+		}
+		deployer := state.AddressFromUint(0xd431)
+		sender := state.AddressFromUint(0x0a11)
+		contract := state.AddressFromUint(0xc0de)
+
+		st := state.New()
+		st.SetBalance(sender, u256.One.Lsh(120))
+		st.CreateContract(contract, code, deployer)
+		st.Commit()
+
+		e := New(st, BlockCtx{Timestamp: 1_700_000_000, Number: 1_000_000, GasLimit: 30_000_000})
+		e.Trace = NewTrace()
+		_, err := e.Transact(sender, contract, u256.New(valueSeed%1_000_000), input, 200_000)
+		_ = err // errors are expected; only panics fail the target
+	})
+}

@@ -415,8 +415,14 @@ func (f *frame) ensureMem(off, size uint64) error {
 	return nil
 }
 
-// memSlice returns memory [off, off+size) after expansion.
+// memSlice returns memory [off, off+size) after expansion. A zero-size read
+// touches no memory at any offset (EVM semantics: memory expansion is only
+// charged and performed for size > 0), so it is served without bounds-checking
+// off against the current allocation.
 func (f *frame) memSlice(off, size uint64) ([]byte, error) {
+	if size == 0 {
+		return nil, nil
+	}
 	if err := f.ensureMem(off, size); err != nil {
 		return nil, err
 	}

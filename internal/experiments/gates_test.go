@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"mufuzz/internal/corpus"
+)
+
+// ConformanceTierEnv opts in to the full-budget conformance-tier tests
+// (the detection gate and the whole-suite minimize property test). They are
+// skipped by default so the main `go test -race ./...` job keeps its
+// wall-clock; CI's conformance job and `cmd/conform` run them on every push.
+const ConformanceTierEnv = "MUFUZZ_CONFORMANCE"
+
+// TestDetectionGateSWCAndExtra is the corpus-wide detection gate: the full
+// MuFuzz preset must find every labelled bug of the SWC and incident suites
+// (20 contracts) within the fixed budget, and must raise zero alarms on the
+// safe corpus. This is the conformance tier's end-to-end pin on detection
+// power — if a refactor weakens an oracle or the mutation engine, this test
+// names the exact contract and bug class that regressed.
+func TestDetectionGateSWCAndExtra(t *testing.T) {
+	if os.Getenv(ConformanceTierEnv) == "" {
+		t.Skipf("full-budget gate: set %s=1 (runs in the CI conformance job; also via `conform -mode gate`)", ConformanceTierEnv)
+	}
+	report, err := DetectionGate(GatedSuites(), corpus.SafeSuite(), GateBudget, GateSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(corpus.SWCSuite()) + len(corpus.ExtraSuite()); report.Vulnerable != want {
+		t.Fatalf("gate covers %d vulnerable contracts, want %d", report.Vulnerable, want)
+	}
+	if report.Pass() {
+		return
+	}
+	var buf bytes.Buffer
+	PrintGate(&buf, report)
+	t.Fatalf("detection gate failed:\n%s", buf.String())
+}
+
+// TestGateReportShape checks the report bookkeeping on a miss: an
+// undetectable label must surface as a named miss, not silently pass.
+func TestGateReportShape(t *testing.T) {
+	// A contract that is genuinely safe but labelled with another contract's
+	// bug classes can never be caught: the gate must report the miss.
+	report, err := DetectionGate([]corpus.Labeled{{
+		Name:   "mislabelled_safe",
+		Source: corpus.SafeSuite()[0].Source,
+		Labels: corpus.SWCSuite()[0].Labels,
+	}}, nil, 200, GateSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Pass() {
+		t.Fatal("gate passed a mislabelled contract")
+	}
+	if len(report.Misses) != 1 || report.Misses[0].Contract != "mislabelled_safe" {
+		t.Fatalf("misses = %+v", report.Misses)
+	}
+	var buf bytes.Buffer
+	PrintGate(&buf, report)
+	if !strings.Contains(buf.String(), "FAIL") || !strings.Contains(buf.String(), "mislabelled_safe") {
+		t.Errorf("report rendering lost the miss:\n%s", buf.String())
+	}
+}

@@ -48,7 +48,30 @@ type Options struct {
 	// NoPrefixCache disables the intermediate-state checkpoint optimization
 	// (paper §VI); used for ablation and equivalence testing.
 	NoPrefixCache bool
+	// ForceBatched runs the batched (coordinator/executor) engine even when
+	// Workers is 1. The batched schedule — per-child rng seeds drawn from the
+	// coordinator rng, outcomes folded in batch order — is a pure function of
+	// Seed and independent of the worker count, so ForceBatched at Workers=1
+	// produces byte-identical results to any Workers=N run of the same Seed.
+	// The conformance differential runner uses it to prove that equivalence.
+	ForceBatched bool
+	// UseCopyState makes the executors hand off world state with the deep
+	// State.Copy instead of the copy-on-write State.Fork at every handoff
+	// (genesis, checkpoint resume, checkpoint store). Copy is the semantic
+	// specification Fork is tested against; running a whole campaign under
+	// Copy must be byte-identical to the Fork engine (conformance check).
+	UseCopyState bool
+	// Observer, when non-nil, receives one ExecRecord per execution on the
+	// coordinator goroutine in deterministic fold order. Observing never
+	// changes campaign behavior; it is the conformance transcript hook.
+	Observer ExecObserver
 }
+
+// Normalized returns the options with every default applied — exactly the
+// configuration the engine runs under. Conformance transcripts record the
+// normalized form so a replay does not depend on the engine's default values
+// staying unchanged across versions.
+func (o *Options) Normalized() Options { return o.withDefaults() }
 
 func (o *Options) withDefaults() Options {
 	out := *o
@@ -114,6 +137,10 @@ type Campaign struct {
 	cfg      *analysis.CFG
 	detector *oracle.Detector
 	exec     *executor
+	// workerExecs are the per-worker executors of the batched engine, built
+	// once and reused across rounds so each worker's EVM, attacker native,
+	// jumpdest cache, and trace buffer stay warm for the whole campaign.
+	workerExecs []*executor
 
 	// identities
 	genesis      *state.State
@@ -261,6 +288,7 @@ func NewCampaign(comp *minisol.Compiled, opts Options) *Campaign {
 		depthByEdge:  c.depthByEdge,
 		methods:      methods,
 		selectors:    selectors,
+		copyState:    o.UseCopyState,
 	}
 	return c
 }
@@ -325,6 +353,9 @@ type execResult struct {
 	// branchesByTx references the outcome's per-transaction branch events
 	// (shared, immutable — no flattened copy is materialized).
 	branchesByTx [][]evm.BranchEvent
+	// newEdgeIDs lists the newly covered edge IDs in event order; collected
+	// only when an Observer is installed (nil on the default hot path).
+	newEdgeIDs []int32
 }
 
 // fold integrates a batch of contract branch events into the campaign's
@@ -346,6 +377,9 @@ func (c *Campaign) fold(res *execResult, branches []evm.BranchEvent, seq Sequenc
 			c.coveredCount++
 			res.newEdges++
 			c.lastNewEdgeExec = c.executions
+			if c.opts.Observer != nil {
+				res.newEdgeIDs = append(res.newEdgeIDs, id)
+			}
 			if c.distKnown[id] {
 				// the edge left the distance frontier by being covered
 				c.distKnown[id] = false
@@ -383,6 +417,7 @@ func (c *Campaign) fold(res *execResult, branches []evm.BranchEvent, seq Sequenc
 // capture, per transaction in order.
 func (c *Campaign) foldOutcome(seq Sequence, out *execOutcome) *execResult {
 	res := &execResult{branchesByTx: out.branchesByTx}
+	var newClasses []oracle.BugClass
 	ri := 0
 	for i, txBranches := range out.branchesByTx {
 		c.fold(res, txBranches, seq)
@@ -391,6 +426,9 @@ func (c *Campaign) foldOutcome(seq Sequence, out *execOutcome) *execResult {
 				if _, have := c.repro[class]; !have {
 					// keep only the prefix up to and including the tx that fired
 					c.repro[class] = seq[:i+1].Clone()
+				}
+				if c.opts.Observer != nil {
+					newClasses = append(newClasses, class)
 				}
 			}
 			ri++
@@ -404,6 +442,22 @@ func (c *Campaign) foldOutcome(seq Sequence, out *execOutcome) *execResult {
 			Executions: c.executions,
 			Elapsed:    time.Since(c.started),
 			Coverage:   c.CoverageRatio(),
+		})
+	}
+	if obs := c.opts.Observer; obs != nil {
+		edges := make([]BranchEdge, len(res.newEdgeIDs))
+		for i, id := range res.newEdgeIDs {
+			pc, taken := c.branchIx.Edge(id)
+			edges[i] = BranchEdge{PC: pc, Taken: taken}
+		}
+		obs.OnExec(ExecRecord{
+			Index:        c.executions,
+			Seq:          seq.Clone(),
+			NewEdges:     edges,
+			CoveredAfter: c.coveredCount,
+			NestedDepth:  res.hitNestedDepth,
+			DistImproved: res.distImproved,
+			NewClasses:   newClasses,
 		})
 	}
 	return res
@@ -727,7 +781,7 @@ func (c *Campaign) Run() *Result {
 		seed := c.pickSeed(&qi)
 		c.ensureMasks(seed)
 		energy := c.energyFor(seed)
-		if c.opts.Workers > 1 {
+		if c.opts.Workers > 1 || c.opts.ForceBatched {
 			c.fuzzRoundParallel(seed, energy, &qi)
 		} else {
 			c.fuzzRound(seed, energy, &qi)
@@ -801,10 +855,14 @@ func (c *Campaign) fuzzRoundParallel(seed *Seed, energy int, qi *int) {
 	}
 	c.pendingExecs = n
 
+	for len(c.workerExecs) < workers {
+		c.workerExecs = append(c.workerExecs, c.exec.clone())
+	}
+
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		x := c.exec.clone()
+		x := c.workerExecs[w]
 		wg.Add(1)
 		go func() {
 			defer wg.Done()

@@ -83,6 +83,10 @@ type executor struct {
 	// pre-interning engine re-hashed the signature on every transaction.
 	methods   map[string]abi.Method
 	selectors map[string][4]byte
+	// copyState selects the deep State.Copy for every state handoff instead
+	// of the copy-on-write State.Fork — the Options.UseCopyState conformance
+	// mode that pins Fork's semantics end-to-end.
+	copyState bool
 	// trace is the reusable per-transaction event buffer. Branch events are
 	// copied out of it before reuse, so recycling it across transactions and
 	// executions is safe and saves eight slice allocations per transaction.
@@ -112,6 +116,17 @@ func (x *executor) detached() *executor {
 	nx.attacker = nil
 	nx.prefixes = nil
 	return &nx
+}
+
+// forkOf hands off a frozen state: a copy-on-write Fork on the hot path, or
+// the deep semantic-specification Copy under Options.UseCopyState. Both are
+// safe to call concurrently on states that are not being mutated (genesis and
+// checkpoint entries are frozen after Commit/store).
+func (x *executor) forkOf(s *state.State) *state.State {
+	if x.copyState {
+		return s.Copy()
+	}
+	return s.Fork()
 }
 
 // engine returns the executor's persistent EVM rebound to st. The EVM, its
@@ -184,7 +199,7 @@ func (x *executor) run(seq Sequence) *execOutcome {
 	start := 0
 
 	if entry := x.prefixes.lookup(seq); entry != nil {
-		st = entry.st.Fork()
+		st = x.forkOf(entry.st)
 		e = x.engine(st)
 		e.RestoreTaint(entry.taint)
 		start = entry.txs
@@ -192,7 +207,7 @@ func (x *executor) run(seq Sequence) *execOutcome {
 		out.reports = append(out.reports, entry.reports...)
 		out.nestedDepth = entry.nestedDepth
 	} else {
-		st = x.genesis.Fork()
+		st = x.forkOf(x.genesis)
 		e = x.engine(st)
 		st.CreateContract(x.contractAddr, x.comp.Code, x.deployer)
 		st.Commit()
@@ -235,7 +250,7 @@ func (x *executor) run(seq Sequence) *execOutcome {
 		if x.prefixes != nil && i < len(seq)-1 && x.prefixes.admissible(out.branchesByTx) {
 			key := hashPrefix(seq, i+1)
 			if !x.prefixes.contains(key) {
-				x.prefixes.storeKeyed(key, i+1, st.Fork(), e.TaintSnapshot(), out.branchesByTx, out.reports, out.nestedDepth)
+				x.prefixes.storeKeyed(key, i+1, x.forkOf(st), e.TaintSnapshot(), out.branchesByTx, out.reports, out.nestedDepth)
 			}
 		}
 	}

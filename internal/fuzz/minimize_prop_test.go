@@ -1,0 +1,49 @@
+package fuzz
+
+import (
+	"os"
+	"testing"
+
+	"mufuzz/internal/corpus"
+	"mufuzz/internal/minisol"
+)
+
+// TestMinimizedPoCStillTriggersBug is the property pin on minimize.go: for
+// every labelled corpus contract the campaign cracks within a small budget,
+// the minimized proof of concept must (a) still trigger the same bug class
+// on an independent replay, (b) be no longer than the recorded PoC, and (c)
+// keep the constructor as its first transaction. This exercises ddmin's
+// chunk and single-transaction passes against every bug class the oracles
+// implement, not just the handful of curated cases in minimize_test.go.
+func TestMinimizedPoCStillTriggersBug(t *testing.T) {
+	if os.Getenv("MUFUZZ_CONFORMANCE") == "" {
+		t.Skip("whole-suite campaigns: set MUFUZZ_CONFORMANCE=1 (runs in the CI conformance job)")
+	}
+	cracked := 0
+	for _, l := range corpus.VulnSuite() {
+		comp, err := minisol.Compile(l.Source)
+		if err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+		c := NewCampaign(comp, Options{Strategy: MuFuzz(), Seed: 7, Iterations: 600})
+		res := c.Run()
+		for class, poc := range res.Repro {
+			cracked++
+			min := c.MinimizeForBug(poc, class)
+			if len(min) > len(poc) {
+				t.Errorf("%s/%s: minimized PoC grew: %d > %d", l.Name, class, len(min), len(poc))
+			}
+			if len(min) == 0 || min[0].Func != minisol.CtorName {
+				t.Errorf("%s/%s: minimized PoC lost the constructor: %s", l.Name, class, min)
+				continue
+			}
+			if !c.Replay(min).BugClasses[class] {
+				t.Errorf("%s/%s: minimized PoC no longer triggers the bug\nfull: %s\nmin:  %s",
+					l.Name, class, poc, min)
+			}
+		}
+	}
+	if cracked < 20 {
+		t.Fatalf("property exercised on only %d cracked PoCs; expected at least 20 across the suite", cracked)
+	}
+}

@@ -1,0 +1,161 @@
+package minisol
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders a parsed contract back to MiniSol source. The output is
+// canonical: composite expressions are fully parenthesized, member-access
+// targets are parenthesized, modifiers appear in a fixed order, and number
+// literals print in decimal with unit suffixes expanded. Printing is a
+// fixpoint under reparsing — for any contract c obtained from Parse,
+// Print(Parse(Print(c))) == Print(c) — which is the property the
+// FuzzMinisolParser target checks. Sema information (bindings, slots) is
+// ignored: Print works on freshly parsed, un-analyzed ASTs.
+func Print(c *Contract) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "contract %s {\n", c.Name)
+	for i := range c.StateVars {
+		sv := &c.StateVars[i]
+		fmt.Fprintf(&b, "\t%s %s", sv.Type.String(), sv.Name)
+		if sv.Init != nil {
+			fmt.Fprintf(&b, " = %s", printExpr(sv.Init))
+		}
+		b.WriteString(";\n")
+	}
+	if c.Ctor != nil {
+		printFunction(&b, c.Ctor)
+	}
+	for i := range c.Functions {
+		printFunction(&b, &c.Functions[i])
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func printFunction(b *strings.Builder, fn *Function) {
+	if fn.IsCtor {
+		b.WriteString("\tconstructor(")
+	} else {
+		fmt.Fprintf(b, "\tfunction %s(", fn.Name)
+	}
+	for i, p := range fn.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(b, "%s %s", p.Type.String(), p.Name)
+	}
+	// The AST does not record visibility; print the most common form. The
+	// modifier order is canonical so printing is reparse-stable.
+	b.WriteString(") public")
+	if fn.Payable {
+		b.WriteString(" payable")
+	}
+	if fn.View {
+		b.WriteString(" view")
+	}
+	if fn.Returns != nil {
+		fmt.Fprintf(b, " returns (%s)", fn.Returns.String())
+	}
+	b.WriteString(" {\n")
+	printStmts(b, fn.Body, 2)
+	b.WriteString("\t}\n")
+}
+
+func printStmts(b *strings.Builder, stmts []Stmt, depth int) {
+	ind := strings.Repeat("\t", depth)
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *VarDeclStmt:
+			fmt.Fprintf(b, "%s%s %s", ind, st.Type.String(), st.Name)
+			if st.Init != nil {
+				fmt.Fprintf(b, " = %s", printExpr(st.Init))
+			}
+			b.WriteString(";\n")
+		case *AssignStmt:
+			fmt.Fprintf(b, "%s%s %s %s;\n", ind, printExpr(st.Target), st.Op, printExpr(st.Value))
+		case *IfStmt:
+			fmt.Fprintf(b, "%sif (%s) {\n", ind, printExpr(st.Cond))
+			printStmts(b, st.Then, depth+1)
+			if st.Else != nil {
+				fmt.Fprintf(b, "%s} else {\n", ind)
+				printStmts(b, st.Else, depth+1)
+			}
+			fmt.Fprintf(b, "%s}\n", ind)
+		case *WhileStmt:
+			fmt.Fprintf(b, "%swhile (%s) {\n", ind, printExpr(st.Cond))
+			printStmts(b, st.Body, depth+1)
+			fmt.Fprintf(b, "%s}\n", ind)
+		case *RequireStmt:
+			fmt.Fprintf(b, "%srequire(%s);\n", ind, printExpr(st.Cond))
+		case *ReturnStmt:
+			if st.Value == nil {
+				fmt.Fprintf(b, "%sreturn;\n", ind)
+			} else {
+				fmt.Fprintf(b, "%sreturn %s;\n", ind, printExpr(st.Value))
+			}
+		case *TransferStmt:
+			fmt.Fprintf(b, "%s(%s).transfer(%s);\n", ind, printExpr(st.Target), printExpr(st.Amount))
+		case *SelfDestructStmt:
+			fmt.Fprintf(b, "%sselfdestruct(%s);\n", ind, printExpr(st.Beneficiary))
+		case *ExprStmt:
+			fmt.Fprintf(b, "%s%s;\n", ind, printExpr(st.X))
+		default:
+			panic(fmt.Sprintf("minisol: Print: unknown statement %T", s))
+		}
+	}
+}
+
+// printExpr renders one expression. Composite expressions are wrapped in
+// parentheses so the rendering never depends on operator precedence, and
+// member-access targets are parenthesized so any expression can host a
+// .balance/.send/.transfer/.call.value/.delegatecall suffix.
+func printExpr(e Expr) string {
+	switch x := e.(type) {
+	case *NumberLit:
+		return x.Value.String()
+	case *BoolLit:
+		if x.Value {
+			return "true"
+		}
+		return "false"
+	case *Ident:
+		return x.Name
+	case *EnvExpr:
+		return x.Name
+	case *IndexExpr:
+		return fmt.Sprintf("%s[%s]", x.Map.Name, printExpr(x.Key))
+	case *BinaryExpr:
+		return fmt.Sprintf("(%s %s %s)", printExpr(x.L), x.Op, printExpr(x.R))
+	case *UnaryExpr:
+		return fmt.Sprintf("(%s%s)", x.Op, printExpr(x.X))
+	case *BalanceExpr:
+		return fmt.Sprintf("(%s).balance", printExpr(x.Addr))
+	case *KeccakExpr:
+		return fmt.Sprintf("keccak256(%s)", printExprList(x.Args))
+	case *CallValueExpr:
+		return fmt.Sprintf("(%s).call.value(%s)()", printExpr(x.Target), printExpr(x.Amount))
+	case *SendExpr:
+		return fmt.Sprintf("(%s).send(%s)", printExpr(x.Target), printExpr(x.Amount))
+	case *DelegateCallExpr:
+		return fmt.Sprintf("(%s).delegatecall(%s)", printExpr(x.Target), printExprList(x.Args))
+	case *transferExpr:
+		// transfer in expression position: only reachable on un-analyzed
+		// ASTs (sema rejects it), but Print must round-trip whatever Parse
+		// accepts.
+		return fmt.Sprintf("(%s).transfer(%s)", printExpr(x.Target), printExpr(x.Amount))
+	case *CastExpr:
+		return fmt.Sprintf("%s(%s)", x.To.String(), printExpr(x.X))
+	default:
+		panic(fmt.Sprintf("minisol: Print: unknown expression %T", e))
+	}
+}
+
+func printExprList(exprs []Expr) string {
+	parts := make([]string, len(exprs))
+	for i, e := range exprs {
+		parts[i] = printExpr(e)
+	}
+	return strings.Join(parts, ", ")
+}

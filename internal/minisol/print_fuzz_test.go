@@ -1,0 +1,83 @@
+package minisol_test
+
+import (
+	"testing"
+
+	"mufuzz/internal/corpus"
+	"mufuzz/internal/minisol"
+)
+
+// corpusSources gathers every contract source shipped with the repo — the
+// seed corpus for the parser fuzz target and the round-trip test.
+func corpusSources() []string {
+	out := []string{corpus.Crowdsale(), corpus.CrowdsaleBuggy(), corpus.Game()}
+	for _, l := range corpus.VulnSuite() {
+		out = append(out, l.Source)
+	}
+	for _, l := range corpus.SafeSuite() {
+		out = append(out, l.Source)
+	}
+	return out
+}
+
+// TestPrintRoundTripCorpus checks the parse→print→parse fixpoint on every
+// shipped contract: the printed form must reparse, and reprint identically.
+func TestPrintRoundTripCorpus(t *testing.T) {
+	for i, src := range corpusSources() {
+		c1, err := minisol.Parse(src)
+		if err != nil {
+			t.Fatalf("source %d: %v", i, err)
+		}
+		p1 := minisol.Print(c1)
+		c2, err := minisol.Parse(p1)
+		if err != nil {
+			t.Fatalf("source %d (%s): printed form does not reparse: %v\n%s", i, c1.Name, err, p1)
+		}
+		if p2 := minisol.Print(c2); p2 != p1 {
+			t.Fatalf("source %d (%s): print not a fixpoint\n--- first\n%s\n--- second\n%s", i, c1.Name, p1, p2)
+		}
+	}
+}
+
+// TestPrintedSourceCompiles checks the printed form survives the whole
+// pipeline for compilable contracts, not just the parser.
+func TestPrintedSourceCompiles(t *testing.T) {
+	for i, src := range corpusSources() {
+		c, err := minisol.Parse(src)
+		if err != nil {
+			t.Fatalf("source %d: %v", i, err)
+		}
+		if _, err := minisol.Compile(src); err != nil {
+			continue // not all corpus sources need to stay compilable here
+		}
+		if _, err := minisol.Compile(minisol.Print(c)); err != nil {
+			t.Errorf("source %d (%s): printed form does not compile: %v", i, c.Name, err)
+		}
+	}
+}
+
+// FuzzMinisolParser fuzzes the front end: the parser must never panic on
+// arbitrary input, and for every input it accepts, the printer's output must
+// reparse to an identically printing contract (parse→print→parse fixpoint).
+func FuzzMinisolParser(f *testing.F) {
+	for _, src := range corpusSources() {
+		f.Add(src)
+	}
+	f.Add("contract C { uint256 x = 1 ether; function f(uint a) public payable returns (bool) { if (a > 1) { x += a; } else { x = 0; } return true; } }")
+	f.Add("contract D { mapping(address => uint256) m; function g(address a) public { m[a] = m[a] + 1; (a).transfer(m[a]); } }")
+	f.Add("contract E { function h() public { msg.sender.call.value(1)(); selfdestruct(msg.sender); } }")
+	f.Fuzz(func(t *testing.T, src string) {
+		c1, err := minisol.Parse(src)
+		if err != nil {
+			return // rejected input: only panics count as failures
+		}
+		p1 := minisol.Print(c1)
+		c2, err := minisol.Parse(p1)
+		if err != nil {
+			t.Fatalf("printed form does not reparse: %v\ninput: %q\nprinted:\n%s", err, src, p1)
+		}
+		if p2 := minisol.Print(c2); p2 != p1 {
+			t.Fatalf("print not a fixpoint\ninput: %q\n--- first\n%s\n--- second\n%s", src, p1, p2)
+		}
+	})
+}

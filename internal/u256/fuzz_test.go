@@ -1,0 +1,130 @@
+package u256
+
+import (
+	"math/big"
+	"testing"
+)
+
+// wrap reduces a big integer into [0, 2^256) two's-complement style.
+func wrap(b *big.Int) *big.Int {
+	b.Mod(b, two256)
+	if b.Sign() < 0 {
+		b.Add(b, two256)
+	}
+	return b
+}
+
+// signedBig interprets x as a two's-complement 256-bit integer.
+func signedBig(x Int) *big.Int {
+	b := x.ToBig()
+	if x.limbs[3]>>63 == 1 {
+		b.Sub(b, two256)
+	}
+	return b
+}
+
+// FuzzU256Ops drives every arithmetic, bitwise, shift, and comparison
+// operation of the 4-limb implementation against the math/big reference
+// (mod 2^256, EVM semantics for division by zero and signed edge cases).
+func FuzzU256Ops(f *testing.F) {
+	f.Add(make([]byte, 64), byte(0))
+	f.Add(append(make([]byte, 63), 1), byte(2))
+	max := make([]byte, 64)
+	for i := range max {
+		max[i] = 0xff
+	}
+	f.Add(max, byte(4))
+	f.Fuzz(func(t *testing.T, raw []byte, opByte byte) {
+		var xa, xb [32]byte
+		copy(xa[:], raw)
+		if len(raw) > 32 {
+			copy(xb[:], raw[32:])
+		}
+		x, y := FromBytes(xa[:]), FromBytes(xb[:])
+		bx, by := x.ToBig(), y.ToBig()
+
+		check := func(op string, got Int, want *big.Int) {
+			t.Helper()
+			if got.ToBig().Cmp(wrap(want)) != 0 {
+				t.Fatalf("%s(%s, %s) = %s, reference %s", op, x.Hex(), y.Hex(), got.Hex(), wrap(want).Text(16))
+			}
+		}
+
+		switch opByte % 16 {
+		case 0:
+			check("add", x.Add(y), new(big.Int).Add(bx, by))
+		case 1:
+			check("sub", x.Sub(y), new(big.Int).Sub(bx, by))
+		case 2:
+			check("mul", x.Mul(y), new(big.Int).Mul(bx, by))
+		case 3:
+			want := new(big.Int)
+			if by.Sign() != 0 {
+				want.Div(bx, by)
+			}
+			check("div", x.Div(y), want)
+		case 4:
+			want := new(big.Int)
+			if by.Sign() != 0 {
+				want.Mod(bx, by)
+			}
+			check("mod", x.Mod(y), want)
+		case 5:
+			// sdiv: truncated toward zero, sign from operands, /0 = 0
+			sx, sy := signedBig(x), signedBig(y)
+			want := new(big.Int)
+			if sy.Sign() != 0 {
+				want.Quo(sx, sy)
+			}
+			check("sdiv", x.SDiv(y), want)
+		case 6:
+			// smod: sign follows the dividend, %0 = 0
+			sx, sy := signedBig(x), signedBig(y)
+			want := new(big.Int)
+			if sy.Sign() != 0 {
+				want.Rem(sx, sy)
+			}
+			check("smod", x.SMod(y), want)
+		case 7:
+			check("and", x.And(y), new(big.Int).And(bx, by))
+		case 8:
+			check("or", x.Or(y), new(big.Int).Or(bx, by))
+		case 9:
+			check("xor", x.Xor(y), new(big.Int).Xor(bx, by))
+		case 10:
+			check("not", x.Not(), new(big.Int).Sub(new(big.Int).Sub(two256, big.NewInt(1)), bx))
+		case 11:
+			n := uint(y.limbs[0] % 300)
+			check("lsh", x.Lsh(n), new(big.Int).Lsh(bx, n))
+		case 12:
+			n := uint(y.limbs[0] % 300)
+			check("rsh", x.Rsh(n), new(big.Int).Rsh(bx, n))
+		case 13:
+			n := uint(y.limbs[0] % 300)
+			// big.Int.Rsh on a negative value floors, which is SAR.
+			check("sar", x.Sar(n), new(big.Int).Rsh(signedBig(x), n))
+		case 14:
+			if got, want := x.Cmp(y), bx.Cmp(by); got != want {
+				t.Fatalf("cmp(%s, %s) = %d, reference %d", x.Hex(), y.Hex(), got, want)
+			}
+			if got, want := x.Scmp(y), signedBig(x).Cmp(signedBig(y)); got != want {
+				t.Fatalf("scmp(%s, %s) = %d, reference %d", x.Hex(), y.Hex(), got, want)
+			}
+			if x.IsZero() != (bx.Sign() == 0) {
+				t.Fatalf("iszero(%s) inconsistent", x.Hex())
+			}
+		case 15:
+			// exp via big's modexp
+			check("exp", x.Exp(y), new(big.Int).Exp(bx, by, two256))
+		}
+
+		// round-trip invariants hold for every input
+		if FromBig(x.ToBig()).Cmp(x) != 0 {
+			t.Fatalf("FromBig(ToBig(%s)) round trip failed", x.Hex())
+		}
+		b32 := x.Bytes32()
+		if FromBytes(b32[:]).Cmp(x) != 0 {
+			t.Fatalf("FromBytes(Bytes32(%s)) round trip failed", x.Hex())
+		}
+	})
+}
