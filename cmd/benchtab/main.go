@@ -7,11 +7,15 @@
 //	benchtab -exp fig5a|fig5b|fig6|table2|table3|fig7|table4|motivating
 //	benchtab -exp campaign [-campaign-json BENCH_campaign.json]
 //	         [-n 24] [-iters 2500] [-seed 1]
+//	benchtab -exp service
 //
 // The campaign experiment measures end-to-end engine throughput (the
 // BenchmarkCampaignThroughput hot path) at Workers ∈ {1, NumCPU} and writes
 // the series as machine-readable JSON, so successive PRs have a perf
-// trajectory to regress against.
+// trajectory to regress against. The service experiment measures the
+// campaign-service scheduler's multiplexing overhead (N campaigns
+// time-sliced over one slot vs N sequential engine runs) and merges the
+// result into the same JSON.
 //
 // Absolute numbers differ from the paper (different corpora, different
 // hardware); the comparisons — who wins, by roughly what factor — are the
@@ -30,11 +34,12 @@ import (
 	"mufuzz/internal/experiments"
 	"mufuzz/internal/fuzz"
 	"mufuzz/internal/minisol"
+	"mufuzz/internal/service"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all | fig5a | fig5b | fig6 | table2 | table3 | fig7 | table4 | motivating | campaign")
+		exp     = flag.String("exp", "all", "experiment: all | fig5a | fig5b | fig6 | table2 | table3 | fig7 | table4 | motivating | campaign | service")
 		n       = flag.Int("n", 24, "contracts per generated dataset")
 		iters   = flag.Int("iters", 2500, "fuzzing budget (sequence executions) per contract")
 		seed    = flag.Int64("seed", 1, "corpus + campaign seed")
@@ -150,6 +155,10 @@ func main() {
 	run("campaign", func() error {
 		return campaignThroughput(*benchJS, *iters, *seed)
 	})
+
+	run("service", func() error {
+		return serviceOverhead(*benchJS, *iters, *seed)
+	})
 }
 
 // campaignRun is one measured configuration of the campaign throughput
@@ -180,6 +189,27 @@ type campaignBench struct {
 	// Speedup is execs/s at Workers=NumCPU over Workers=1 (1.0 on a
 	// single-core machine, where both configurations coincide).
 	Speedup float64 `json:"speedup"`
+	// Service is the scheduler-overhead measurement (-exp service): N
+	// campaigns multiplexed through the campaign service's bounded slot
+	// pool versus the same N run back to back on bare engines.
+	Service *serviceBench `json:"service,omitempty"`
+}
+
+// serviceBench quantifies what the campaign-service scheduler costs: the
+// same four campaigns run multiplexed (time-sliced over one slot, with
+// snapshot-capable slice boundaries and status publication) and
+// sequentially (bare fuzz.Run), in executions per second.
+type serviceBench struct {
+	Campaigns              int     `json:"campaigns"`
+	Iterations             int     `json:"iterations"`
+	Slots                  int     `json:"slots"`
+	SliceRounds            int     `json:"slice_rounds"`
+	SequentialExecsPerSec  float64 `json:"sequential_execs_per_sec"`
+	MultiplexedExecsPerSec float64 `json:"multiplexed_execs_per_sec"`
+	// OverheadPct is how much throughput multiplexing gives up relative to
+	// sequential runs (negative = the scheduler was faster, e.g. warm
+	// caches).
+	OverheadPct float64 `json:"overhead_pct"`
 }
 
 // campaignThroughput measures end-to-end campaign executions/sec on the
@@ -252,5 +282,95 @@ func campaignThroughput(path string, iterations int, seed int64) error {
 			r.Workers, r.ExecsPerSec, r.AllocBytesPerExec, r.AllocsPerExec, r.CoverageMean*100)
 	}
 	fmt.Printf("  speedup %0.2fx; JSON written to %s\n", bench.Speedup, path)
+	return nil
+}
+
+// serviceOverhead measures the campaign-service scheduler tax: four
+// campaigns multiplexed over one service slot versus the same four run
+// sequentially on bare engines. The result is merged into the existing
+// BENCH_campaign.json (the service block rides along with the engine
+// trajectory).
+func serviceOverhead(path string, iterations int, seed int64) error {
+	comp, err := minisol.Compile(corpus.Crowdsale())
+	if err != nil {
+		return err
+	}
+	const campaigns = 4
+	const sliceRounds = 8
+
+	// Sequential baseline: bare engines back to back.
+	seqStart := time.Now()
+	seqExecs := 0
+	for i := 0; i < campaigns; i++ {
+		res := fuzz.Run(comp, fuzz.Options{
+			Strategy: fuzz.MuFuzz(), Seed: seed + int64(i), Iterations: iterations, Workers: 1,
+		})
+		seqExecs += res.Executions
+	}
+	seqRate := float64(seqExecs) / time.Since(seqStart).Seconds()
+
+	// Multiplexed: the same campaigns through the service scheduler on one
+	// slot (no store: measuring pure scheduling overhead, not disk I/O).
+	svc := service.New(service.Config{Slots: 1, SliceRounds: sliceRounds, Workers: 1})
+	if err := svc.Start(); err != nil {
+		return err
+	}
+	defer svc.Close()
+	muxStart := time.Now()
+	for i := 0; i < campaigns; i++ {
+		if _, err := svc.Submit(service.CampaignSpec{
+			Source: corpus.Crowdsale(), Seed: seed + int64(i), Iterations: iterations,
+		}); err != nil {
+			return err
+		}
+	}
+	muxExecs := 0
+	for {
+		done := 0
+		muxExecs = 0
+		for _, st := range svc.Statuses() {
+			muxExecs += st.Executions
+			if st.State == service.StateDone {
+				done++
+			}
+		}
+		if done == campaigns {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	muxRate := float64(muxExecs) / time.Since(muxStart).Seconds()
+
+	// Merge into the existing trajectory file.
+	bench := campaignBench{}
+	if data, err := os.ReadFile(path); err == nil {
+		_ = json.Unmarshal(data, &bench)
+	}
+	if bench.Benchmark == "" {
+		bench = campaignBench{Benchmark: "CampaignThroughput", Contract: "Crowdsale",
+			Iterations: iterations, NumCPU: runtime.NumCPU(), Seed: seed, Speedup: 1}
+	}
+	bench.Service = &serviceBench{
+		Campaigns:              campaigns,
+		Iterations:             iterations,
+		Slots:                  1,
+		SliceRounds:            sliceRounds,
+		SequentialExecsPerSec:  seqRate,
+		MultiplexedExecsPerSec: muxRate,
+		OverheadPct:            100 * (1 - muxRate/seqRate),
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(bench); err != nil {
+		return err
+	}
+	fmt.Printf("  service scheduler: %d campaigns  sequential %8.0f execs/s  multiplexed %8.0f execs/s  overhead %.1f%%\n",
+		campaigns, seqRate, muxRate, bench.Service.OverheadPct)
+	fmt.Printf("  JSON merged into %s\n", path)
 	return nil
 }

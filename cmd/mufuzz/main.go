@@ -5,18 +5,34 @@
 //
 //	mufuzz -file contract.sol [-strategy mufuzz|sfuzz|confuzzius|irfuzz]
 //	       [-iters 4000] [-seed 1] [-time 10s] [-workers 1] [-v]
+//	       [-corpus-dir DIR] [-resume snapshot] [-snapshot-out snapshot]
 //	mufuzz -example crowdsale|game    # fuzz a built-in paper example
 //
 // -workers N fans each energy round's batch of mutated children across N
 // executor goroutines (0 = all CPU cores). N=1 is the sequential engine,
 // fully reproducible across machines for a fixed seed; N>1 is reproducible
 // for a fixed (seed, N) pair.
+//
+// -corpus-dir connects the campaign to a persistent seed store: seeds other
+// campaigns on the same contract exported are injected at startup, and the
+// final queue is exported back, deduplicated by coverage fingerprint.
+//
+// SIGINT stops the campaign cleanly mid-round. With -snapshot-out the
+// coordinator state is serialized at exit — whether interrupted or run to
+// budget — so a later run with -resume continues where this one stopped.
+//
+// Exit status: 0 = clean run without findings, 1 = usage or internal error,
+// 2 = the oracles reported findings (CI-friendly: a red pipeline means a
+// detected vulnerability).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"sort"
 	"strings"
 	"time"
 
@@ -24,100 +40,201 @@ import (
 	"mufuzz/internal/fuzz"
 	"mufuzz/internal/minisol"
 	"mufuzz/internal/report"
+	"mufuzz/internal/store"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		file     = flag.String("file", "", "MiniSol source file to fuzz")
-		example  = flag.String("example", "", "built-in example: crowdsale | crowdsale-buggy | game")
-		strategy = flag.String("strategy", "mufuzz", "fuzzer strategy: mufuzz | sfuzz | confuzzius | irfuzz | smartian")
-		iters    = flag.Int("iters", 4000, "transaction-sequence execution budget")
-		seed     = flag.Int64("seed", 1, "campaign random seed")
-		budget   = flag.Duration("time", 0, "optional wall-clock budget (e.g. 10s)")
-		workers  = flag.Int("workers", 1, "executor goroutines per energy round (0 = NumCPU)")
-		verbose  = flag.Bool("v", false, "print per-finding details")
-		minimize = flag.Bool("minimize", false, "shrink and print a proof-of-concept sequence per bug class")
-		jsonOut  = flag.String("json", "", "also write a machine-readable report to this file")
+		file      = flag.String("file", "", "MiniSol source file to fuzz")
+		example   = flag.String("example", "", "built-in example: crowdsale | crowdsale-buggy | game")
+		strategy  = flag.String("strategy", "mufuzz", "fuzzer strategy: mufuzz | sfuzz | confuzzius | irfuzz | smartian")
+		iters     = flag.Int("iters", 4000, "transaction-sequence execution budget")
+		seed      = flag.Int64("seed", 1, "campaign random seed")
+		budget    = flag.Duration("time", 0, "optional wall-clock budget (e.g. 10s)")
+		workers   = flag.Int("workers", 1, "executor goroutines per energy round (0 = NumCPU)")
+		verbose   = flag.Bool("v", false, "print per-finding details")
+		minimize  = flag.Bool("minimize", false, "shrink and print a proof-of-concept sequence per bug class")
+		jsonOut   = flag.String("json", "", "also write a machine-readable report to this file")
+		corpusDir = flag.String("corpus-dir", "", "persistent seed store: import shared seeds, export the final queue")
+		resume    = flag.String("resume", "", "resume from a campaign snapshot file")
+		snapOut   = flag.String("snapshot-out", "", "write a resumable snapshot here on SIGINT (or at exit)")
 	)
 	flag.Parse()
 
 	src, name, err := loadSource(*file, *example)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mufuzz:", err)
-		os.Exit(1)
+		return 1
 	}
 
-	strat, err := pickStrategy(*strategy)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mufuzz:", err)
-		os.Exit(1)
+	strat, ok := fuzz.PresetByName(*strategy)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "mufuzz: unknown strategy %q\n", *strategy)
+		return 1
 	}
 
 	comp, err := minisol.Compile(src)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mufuzz: compile:", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("contract %s: %d bytes of code, %d functions, %d branch sites\n",
 		comp.Contract.Name, len(comp.Code), len(comp.Contract.Functions), len(comp.Branches))
 
-	start := time.Now()
-	// The library resolves worker counts (Options.Workers: 0→1, negative→all
-	// cores); map the CLI's "0 = all cores" convenience onto that contract
-	// instead of duplicating the NumCPU resolution here.
-	nWorkers := *workers
-	if nWorkers == 0 {
-		nWorkers = -1
+	var st *store.Store
+	if *corpusDir != "" {
+		if st, err = store.Open(*corpusDir); err != nil {
+			fmt.Fprintln(os.Stderr, "mufuzz:", err)
+			return 1
+		}
 	}
-	campaign := fuzz.NewCampaign(comp, fuzz.Options{
-		Strategy:   strat,
-		Seed:       *seed,
-		Iterations: *iters,
-		TimeBudget: *budget,
-		Workers:    nWorkers,
-	})
-	res := campaign.Run()
 
-	fmt.Printf("\n[%s] fuzzed %s in %v\n", strat.Name, name, time.Since(start).Round(time.Millisecond))
+	var campaign *fuzz.Campaign
+	if *resume != "" {
+		data, err := os.ReadFile(*resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mufuzz:", err)
+			return 1
+		}
+		snap, err := fuzz.DecodeSnapshot(strings.NewReader(string(data)))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mufuzz:", err)
+			return 1
+		}
+		if campaign, err = fuzz.ResumeCampaign(comp, snap); err != nil {
+			fmt.Fprintln(os.Stderr, "mufuzz:", err)
+			return 1
+		}
+		fmt.Printf("resumed snapshot %s (%d executions done)\n", *resume, snap.Executions)
+	} else {
+		// The library resolves worker counts (Options.Workers: 0→1,
+		// negative→all cores); map the CLI's "0 = all cores" convenience onto
+		// that contract instead of duplicating the NumCPU resolution here.
+		nWorkers := *workers
+		if nWorkers == 0 {
+			nWorkers = -1
+		}
+		campaign = fuzz.NewCampaign(comp, fuzz.Options{
+			Strategy:   strat,
+			Seed:       *seed,
+			Iterations: *iters,
+			TimeBudget: *budget,
+			Workers:    nWorkers,
+		})
+	}
+
+	if st != nil {
+		if n := importSeeds(campaign, st, comp.Contract.Name); n > 0 {
+			fmt.Printf("imported %d shared corpus seed(s) from %s\n", n, *corpusDir)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	start := time.Now()
+	res := campaign.RunCtx(ctx)
+	interrupted := ctx.Err() != nil
+	stop()
+
+	if st != nil {
+		if n := exportSeeds(campaign, st, comp.Contract.Name); n > 0 {
+			fmt.Printf("exported %d new corpus seed(s) to %s\n", n, *corpusDir)
+		}
+	}
+	if interrupted {
+		fmt.Println("\ninterrupted — campaign stopped cleanly mid-round")
+	}
+	if *snapOut != "" {
+		if err := os.WriteFile(*snapOut, campaign.Snapshot().EncodeBytes(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "mufuzz: snapshot:", err)
+			return 1
+		}
+		fmt.Printf("snapshot written to %s — continue with -resume %s\n", *snapOut, *snapOut)
+	}
+
+	fmt.Printf("\n[%s] fuzzed %s in %v\n", res.Strategy, name, time.Since(start).Round(time.Millisecond))
 	fmt.Printf("  executions:      %d\n", res.Executions)
 	fmt.Printf("  branch coverage: %.1f%% (%d/%d edges)\n", res.Coverage*100, res.CoveredEdges, res.TotalEdges)
 	fmt.Printf("  seed queue:      %d entries, %d masks computed, %d sequence mutations\n",
 		res.SeedQueueLen, res.MasksComputed, res.SequencesMutated)
 
-	if len(res.Findings) == 0 {
+	if len(res.Findings) > 0 {
+		classes := make([]string, 0)
+		for c := range res.BugClasses {
+			classes = append(classes, string(c))
+		}
+		sort.Strings(classes)
+		fmt.Printf("  findings:        %d (%s)\n", len(res.Findings), strings.Join(classes, ", "))
+		if *verbose {
+			for _, f := range res.Findings {
+				fmt.Printf("    [%s] pc=%d %s\n", f.Class, f.PC, f.Description)
+			}
+		}
+		if *minimize {
+			fmt.Println("\nproof-of-concept sequences (minimized):")
+			for class, seq := range res.Repro {
+				min := campaign.MinimizeForBug(seq, class)
+				fmt.Printf("  [%s] %s\n", class, min)
+			}
+		}
+	} else {
 		fmt.Println("  findings:        none")
-		return
 	}
-	classes := make([]string, 0)
-	for c := range res.BugClasses {
-		classes = append(classes, string(c))
-	}
-	fmt.Printf("  findings:        %d (%s)\n", len(res.Findings), strings.Join(classes, ", "))
-	if *verbose {
-		for _, f := range res.Findings {
-			fmt.Printf("    [%s] pc=%d %s\n", f.Class, f.PC, f.Description)
-		}
-	}
-	if *minimize {
-		fmt.Println("\nproof-of-concept sequences (minimized):")
-		for class, seq := range res.Repro {
-			min := campaign.MinimizeForBug(seq, class)
-			fmt.Printf("  [%s] %s\n", class, min)
-		}
-	}
+
 	if *jsonOut != "" {
 		f, err := os.Create(*jsonOut)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mufuzz:", err)
-			os.Exit(1)
+			return 1
 		}
-		defer f.Close()
-		if err := report.New(comp.Contract.Name, res).WriteJSON(f); err != nil {
-			fmt.Fprintln(os.Stderr, "mufuzz:", err)
-			os.Exit(1)
+		werr := report.New(comp.Contract.Name, res).WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "mufuzz:", werr)
+			return 1
 		}
 		fmt.Printf("\nJSON report written to %s\n", *jsonOut)
 	}
+
+	if len(res.Findings) > 0 {
+		return 2 // CI-friendly: a finding is a red build
+	}
+	return 0
+}
+
+// importSeeds injects the store's shared corpus for this contract.
+func importSeeds(c *fuzz.Campaign, st *store.Store, contract string) int {
+	entries, err := st.Seeds(contract)
+	if err != nil {
+		return 0
+	}
+	var seqs []fuzz.Sequence
+	for _, e := range entries {
+		if seq, err := fuzz.DecodeSequence(e.Payload); err == nil {
+			seqs = append(seqs, seq)
+		}
+	}
+	return c.InjectSequences(seqs)
+}
+
+// exportSeeds writes the campaign's queue to the store, deduplicated by the
+// coverage fingerprint of a detached replay.
+func exportSeeds(c *fuzz.Campaign, st *store.Store, contract string) int {
+	n := 0
+	for _, seq := range c.QueueSequences() {
+		fp := store.Fingerprint(c.ReplayCoverageEdges(seq))
+		if wrote, err := st.PutSeed(contract, fp, fuzz.EncodeSequence(seq)); err == nil && wrote {
+			n++
+		}
+	}
+	return n
 }
 
 func loadSource(file, example string) (src, name string, err error) {
@@ -143,22 +260,5 @@ func loadSource(file, example string) (src, name string, err error) {
 		}
 	default:
 		return "", "", fmt.Errorf("pass -file <contract.sol> or -example <name>")
-	}
-}
-
-func pickStrategy(name string) (fuzz.Strategy, error) {
-	switch strings.ToLower(name) {
-	case "mufuzz":
-		return fuzz.MuFuzz(), nil
-	case "sfuzz":
-		return fuzz.SFuzz(), nil
-	case "confuzzius":
-		return fuzz.ConFuzzius(), nil
-	case "irfuzz", "ir-fuzz":
-		return fuzz.IRFuzz(), nil
-	case "smartian":
-		return fuzz.Smartian(), nil
-	default:
-		return fuzz.Strategy{}, fmt.Errorf("unknown strategy %q", name)
 	}
 }

@@ -1,0 +1,98 @@
+// Command mufuzzd runs the MuFuzz campaign service: a multi-tenant fuzzing
+// daemon that time-slices any number of concurrent campaigns over a bounded
+// executor pool, shares corpus seeds between campaigns through a persistent
+// store, and drains gracefully — every in-flight campaign is snapshotted so
+// a restarted daemon resumes exactly where it stopped.
+//
+// Usage:
+//
+//	mufuzzd [-addr :8700] [-store mufuzz-store] [-slots 2]
+//	        [-slice-rounds 8] [-workers 1]
+//
+// Submit and watch campaigns over the HTTP JSON API:
+//
+//	curl -X POST localhost:8700/v1/campaigns \
+//	     -d '{"example":"crowdsale-buggy","iterations":20000}'
+//	curl localhost:8700/v1/campaigns/c0001
+//	curl localhost:8700/v1/campaigns/c0001/findings?minimize=1
+//	curl -X POST localhost:8700/v1/drain
+//
+// SIGINT/SIGTERM drain before exit; restarting with the same -store resumes
+// every unfinished campaign.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mufuzz/internal/service"
+	"mufuzz/internal/store"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8700", "HTTP listen address")
+		storeDir    = flag.String("store", "mufuzz-store", "persistent store directory")
+		slots       = flag.Int("slots", 2, "concurrent campaign slices (bounded executor pool)")
+		sliceRounds = flag.Int("slice-rounds", 8, "energy rounds per scheduling slice")
+		workers     = flag.Int("workers", 1, "default executor goroutines per campaign")
+		iters       = flag.Int("iters", 20000, "default campaign budget when a spec omits one")
+	)
+	flag.Parse()
+
+	st, err := store.Open(*storeDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mufuzzd:", err)
+		os.Exit(1)
+	}
+	svc := service.New(service.Config{
+		Store:             st,
+		Slots:             *slots,
+		SliceRounds:       *sliceRounds,
+		Workers:           *workers,
+		DefaultIterations: *iters,
+	})
+	if err := svc.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "mufuzzd:", err)
+		os.Exit(1)
+	}
+	resumed := 0
+	for _, s := range svc.Statuses() {
+		if s.State == service.StateQueued || s.State == service.StateRunning {
+			resumed++
+		}
+	}
+	fmt.Printf("mufuzzd: listening on %s, store %s, %d slot(s), %d campaign(s) resumed\n",
+		*addr, *storeDir, *slots, resumed)
+
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case sig := <-sigc:
+		fmt.Printf("mufuzzd: %v — draining\n", sig)
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "mufuzzd:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	n := svc.Drain()
+	fmt.Printf("mufuzzd: drained %d campaign(s) to %s\n", n, *storeDir)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(ctx)
+}

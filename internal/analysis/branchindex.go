@@ -154,6 +154,30 @@ func (ew *EdgeWeights) MergeTrace(branches []evm.BranchEvent) {
 
 func (ew *EdgeWeights) vulnPastID(id int32) bool { return ew.ix.vulnPast[id] }
 
+// Weight returns the assigned weight of one edge (0 = unassigned) — the
+// serializable per-edge state a campaign snapshot captures.
+func (ew *EdgeWeights) Weight(id int32) float64 { return ew.w[id] }
+
+// SetWeight overwrites one edge's weight, maintaining the incremental total
+// and nonzero count — the snapshot-restore path. Weights are integer-valued
+// sums well below 2^53, so the restored total is bit-identical to the one
+// the original campaign accumulated increment by increment, regardless of
+// restore order.
+func (ew *EdgeWeights) SetWeight(id int32, w float64) {
+	old := ew.w[id]
+	if old == w {
+		return
+	}
+	if old == 0 && w != 0 {
+		ew.nonzero++
+	}
+	if old != 0 && w == 0 {
+		ew.nonzero--
+	}
+	ew.total += w - old
+	ew.w[id] = w
+}
+
 // Count returns the number of edges with an assigned weight (the map
 // engine's len(weights)).
 func (ew *EdgeWeights) Count() int { return ew.nonzero }

@@ -1,6 +1,8 @@
 package conformance
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -63,6 +65,47 @@ func RecordCampaign(name string, comp *minisol.Compiled, opts fuzz.Options) *Run
 		Final:    summarize(c, res),
 	}
 	return &Run{Name: name, Campaign: c, Result: res, Transcript: t}
+}
+
+// RecordInterrupted is RecordCampaign under maximal interruption: the
+// campaign is paused after every pauseRounds energy rounds, snapshotted
+// through the full encode→decode round trip, torn down, and resumed from the
+// decoded snapshot — the lifecycle a draining campaign service puts
+// long-running campaigns through. The transcript spans all resumptions; by
+// the snapshot/resume conformance guarantee it must be byte-identical to the
+// uninterrupted RecordCampaign transcript of the same options.
+func RecordInterrupted(name string, comp *minisol.Compiled, opts fuzz.Options, pauseRounds int) (*Run, error) {
+	if opts.TimeBudget != 0 {
+		panic("conformance: campaigns with a TimeBudget are not deterministically replayable; use Iterations")
+	}
+	opts = opts.Normalized()
+	rec := &recorder{}
+	opts.Observer = rec
+	c := fuzz.NewCampaign(comp, opts)
+	var res *fuzz.Result
+	for {
+		var done bool
+		res, done = c.RunSlice(context.Background(), pauseRounds)
+		if done {
+			break
+		}
+		snap, err := fuzz.DecodeSnapshot(bytes.NewReader(c.Snapshot().EncodeBytes()))
+		if err != nil {
+			return nil, fmt.Errorf("conformance: snapshot round trip: %w", err)
+		}
+		if c, err = fuzz.ResumeCampaign(comp, snap); err != nil {
+			return nil, fmt.Errorf("conformance: resume: %w", err)
+		}
+		c.SetObserver(rec)
+	}
+	t := &Transcript{
+		Version:  Version,
+		Contract: name,
+		Options:  summarizeOptions(opts),
+		Records:  rec.records,
+		Final:    summarize(c, res),
+	}
+	return &Run{Name: name, Campaign: c, Result: res, Transcript: t}, nil
 }
 
 // summarize projects the deterministic portion of a campaign result,

@@ -1,6 +1,7 @@
 package fuzz
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -130,9 +131,12 @@ type Result struct {
 // and drives one or more executors. Executors never touch campaign state;
 // the coordinator folds their outcomes in deterministic order.
 type Campaign struct {
-	comp     *minisol.Compiled
-	opts     Options
+	comp *minisol.Compiled
+	opts Options
+	// rng is the coordinator's deterministic schedule source; rngSrc counts
+	// its draws so snapshots can capture and restore the rng state exactly.
 	rng      *rand.Rand
+	rngSrc   *countedSource
 	dataflow *analysis.Dataflow
 	cfg      *analysis.CFG
 	detector *oracle.Detector
@@ -191,7 +195,22 @@ type Campaign struct {
 	// pendingExecs counts dispatched-but-unmerged parallel executions so the
 	// budget check accounts for work already in flight.
 	pendingExecs int
-	started      time.Time
+	// qi is the round-robin queue cursor of the main loop; a struct field so
+	// pausing between rounds (RunSlice) and snapshotting preserve it.
+	qi int
+	// corpusSeeded counts initial-corpus seeds built so far; the corpus phase
+	// is resumable mid-way after a cancellation or snapshot.
+	corpusSeeded int
+	// ctx, when non-nil, is the cancellation signal of the slice currently
+	// running: a cancelled context reads as an exhausted budget, stopping the
+	// campaign cleanly at the next execution boundary.
+	ctx context.Context
+	// elapsedPrior accumulates the run time of completed slices; sliceStart
+	// stamps the slice in flight. elapsed() is the campaign's total active
+	// run time, excluding the gaps a time-slicing scheduler parks it for.
+	elapsedPrior time.Duration
+	sliceStart   time.Time
+	inSlice      bool
 	timeline     []TimelinePoint
 
 	masksComputed    int
@@ -211,10 +230,12 @@ func (c *Campaign) PrefixCacheStats() (hits, misses int) { return c.prefixes.sta
 // NewCampaign prepares a campaign for a compiled contract.
 func NewCampaign(comp *minisol.Compiled, opts Options) *Campaign {
 	o := opts.withDefaults()
+	src := newCountedSource(o.Seed, 0)
 	c := &Campaign{
 		comp:     comp,
 		opts:     o,
-		rng:      rand.New(rand.NewSource(o.Seed)),
+		rng:      rand.New(src),
+		rngSrc:   src,
 		dataflow: analysis.AnalyzeDataflow(comp.Contract),
 		cfg:      analysis.BuildCFG(comp.Code),
 	}
@@ -440,7 +461,7 @@ func (c *Campaign) foldOutcome(seq Sequence, out *execOutcome) *execResult {
 	if res.newEdges > 0 {
 		c.timeline = append(c.timeline, TimelinePoint{
 			Executions: c.executions,
-			Elapsed:    time.Since(c.started),
+			Elapsed:    c.elapsed(),
 			Coverage:   c.CoverageRatio(),
 		})
 	}
@@ -748,24 +769,79 @@ func (c *Campaign) ensureMasks(seed *Seed) {
 	}
 }
 
+// budgetExhausted reports whether the campaign must stop fuzzing: budget
+// spent, time budget spent, or the running slice's context cancelled. Every
+// execution site checks it, so cancellation stops a campaign cleanly at the
+// next execution boundary — mid-round, mid-mask-probe, or mid-line-search —
+// leaving the coordinator state consistent for a snapshot.
 func (c *Campaign) budgetExhausted() bool {
+	if c.ctx != nil && c.ctx.Err() != nil {
+		return true
+	}
+	return c.exhausted()
+}
+
+// exhausted is the budget check alone, ignoring cancellation — the
+// campaign-completion predicate RunSlice reports through its done return.
+func (c *Campaign) exhausted() bool {
 	if c.executions+c.pendingExecs >= c.opts.Iterations {
 		return true
 	}
-	if c.opts.TimeBudget > 0 && time.Since(c.started) > c.opts.TimeBudget {
+	if c.opts.TimeBudget > 0 && c.elapsed() > c.opts.TimeBudget {
 		return true
 	}
 	return false
+}
+
+// elapsed returns the campaign's cumulative active run time across slices.
+func (c *Campaign) elapsed() time.Duration {
+	if c.inSlice {
+		return c.elapsedPrior + time.Since(c.sliceStart)
+	}
+	return c.elapsedPrior
 }
 
 // --- Main loop (Algorithm 1) ---
 
 // Run executes the campaign to its budget and returns the result.
 func (c *Campaign) Run() *Result {
-	c.started = time.Now()
+	return c.RunCtx(context.Background())
+}
+
+// RunCtx is Run with cooperative cancellation: when ctx is cancelled the
+// campaign stops cleanly at the next execution boundary (mid-round included)
+// and returns the partial result. A cancelled campaign's state stays
+// consistent — it can be snapshotted and resumed, or RunCtx called again
+// with a live context to continue.
+func (c *Campaign) RunCtx(ctx context.Context) *Result {
+	res, _ := c.RunSlice(ctx, 0)
+	return res
+}
+
+// RunSlice runs up to maxRounds energy rounds (0 = no round cap) and returns
+// the result so far plus whether the campaign is complete (budget exhausted
+// or no seeds to fuzz). It is the time-slicing primitive the campaign
+// scheduler multiplexes concurrent campaigns with: a slice boundary is a
+// deterministic point in the schedule, so a campaign paused between slices
+// and snapshotted resumes byte-identically to an uninterrupted run.
+//
+// The first slice builds the initial corpus before counting rounds; a slice
+// entered with a cancelled context does nothing and reports the campaign's
+// completion state unchanged.
+func (c *Campaign) RunSlice(ctx context.Context, maxRounds int) (*Result, bool) {
+	c.ctx = ctx
+	c.inSlice = true
+	c.sliceStart = time.Now()
+	defer func() {
+		c.elapsedPrior += time.Since(c.sliceStart)
+		c.inSlice = false
+		c.ctx = nil
+	}()
 
 	// Initial corpus (sequential: it defines the campaign's starting point).
-	for i := 0; i < c.opts.InitialSeeds && !c.budgetExhausted(); i++ {
+	// Resumable: a cancellation mid-corpus leaves corpusSeeded short and the
+	// next slice continues building.
+	for c.corpusSeeded < c.opts.InitialSeeds && !c.budgetExhausted() {
 		seed := &Seed{Seq: c.initialSequence()}
 		r := c.execute(seed.Seq)
 		seed.NewEdges = r.newEdges
@@ -773,22 +849,38 @@ func (c *Campaign) Run() *Result {
 		seed.DistanceImproved = r.distImproved
 		seed.PathWeight = c.weights.PathWeightTx(r.branchesByTx)
 		c.queue = append(c.queue, seed)
+		c.corpusSeeded++
 	}
 
 	// Fuzzing rounds.
-	qi := 0
-	for !c.budgetExhausted() && len(c.queue) > 0 {
-		seed := c.pickSeed(&qi)
+	for rounds := 0; !c.budgetExhausted() && len(c.queue) > 0; rounds++ {
+		if maxRounds > 0 && rounds >= maxRounds {
+			break
+		}
+		seed := c.pickSeed(&c.qi)
 		c.ensureMasks(seed)
 		energy := c.energyFor(seed)
 		if c.opts.Workers > 1 || c.opts.ForceBatched {
-			c.fuzzRoundParallel(seed, energy, &qi)
+			c.fuzzRoundParallel(seed, energy, &c.qi)
 		} else {
-			c.fuzzRound(seed, energy, &qi)
+			c.fuzzRound(seed, energy, &c.qi)
 		}
-		qi++
+		c.qi++
 	}
 
+	// A campaign is complete when its budget is spent, or when a fully
+	// built initial corpus left nothing to fuzz. An empty queue before the
+	// corpus phase ran — a slice entered with an already-cancelled context —
+	// is not completion: the campaign has not started yet.
+	done := c.exhausted() || (c.corpusSeeded >= c.opts.InitialSeeds && len(c.queue) == 0)
+	return c.result(), done
+}
+
+// result assembles the campaign outcome from current coordinator state. It
+// is safe to call between slices: Detector.Finalize is monotone (the EF
+// verdict can only appear, and reappears identically at the true end), so a
+// mid-campaign result does not perturb the remaining schedule.
+func (c *Campaign) result() *Result {
 	findings := c.detector.Finalize()
 	repro := make(map[oracle.BugClass]Sequence, len(c.repro))
 	for class, seq := range c.repro {
@@ -802,13 +894,85 @@ func (c *Campaign) Run() *Result {
 		Coverage:         c.CoverageRatio(),
 		Findings:         findings,
 		Executions:       c.executions,
-		Elapsed:          time.Since(c.started),
+		Elapsed:          c.elapsed(),
 		Timeline:         c.timeline,
 		BugClasses:       c.detector.Classes(),
 		SeedQueueLen:     len(c.queue),
 		MasksComputed:    c.masksComputed,
 		SequencesMutated: c.sequencesMutated,
 	}
+}
+
+// ResultSoFar assembles the campaign outcome from current coordinator state
+// without running anything — the status a scheduler reports for a campaign
+// parked between slices (or restored from a snapshot and not yet resumed).
+func (c *Campaign) ResultSoFar() *Result {
+	return c.result()
+}
+
+// InjectSequences executes externally supplied transaction sequences —
+// corpus seeds imported from a store, cross-pollinated from a sibling
+// campaign — against the campaign budget and admits the interesting ones
+// (new coverage or improved branch distance) into the seed queue. Sequences
+// are sanitized first: transactions calling functions this contract does not
+// have are dropped, over-long sequences are truncated, and sequences without
+// a leading constructor are rejected. Returns how many sequences executed.
+func (c *Campaign) InjectSequences(seqs []Sequence) int {
+	n := 0
+	for _, seq := range seqs {
+		if c.budgetExhausted() {
+			break
+		}
+		seq = c.sanitizeSequence(seq)
+		if seq == nil {
+			continue
+		}
+		seed := &Seed{Seq: seq}
+		r := c.execute(seed.Seq)
+		c.admit(seed, r, &c.qi)
+		n++
+	}
+	return n
+}
+
+// sanitizeSequence adapts a foreign sequence to this campaign's contract, or
+// returns nil when nothing usable remains.
+func (c *Campaign) sanitizeSequence(seq Sequence) Sequence {
+	if len(seq) == 0 || seq[0].Func != minisol.CtorName {
+		return nil
+	}
+	out := make(Sequence, 0, len(seq))
+	for _, tx := range seq {
+		if _, ok := c.methods[tx.Func]; !ok {
+			continue
+		}
+		t := tx.Clone()
+		t.Sender = ((t.Sender % len(c.senders)) + len(c.senders)) % len(c.senders)
+		out = append(out, t)
+		if len(out) >= c.opts.MaxSeqLen {
+			break
+		}
+	}
+	if len(out) == 0 || out[0].Func != minisol.CtorName {
+		return nil
+	}
+	return out
+}
+
+// QueueSequences returns clones of the sequences currently in the seed queue
+// — the exportable corpus a store shares across campaigns.
+func (c *Campaign) QueueSequences() []Sequence {
+	out := make([]Sequence, len(c.queue))
+	for i, s := range c.queue {
+		out[i] = s.Seq.Clone()
+	}
+	return out
+}
+
+// SetObserver installs (or clears) the conformance transcript hook. Must not
+// be called while a slice is running.
+func (c *Campaign) SetObserver(obs ExecObserver) {
+	c.opts.Observer = obs
 }
 
 // fuzzRound spends one seed's energy on the sequential engine: mutate one

@@ -42,6 +42,23 @@ func (c *Campaign) Replay(seq Sequence) *ReplayResult {
 	return out
 }
 
+// ReplayCoverageEdges replays a sequence on a detached engine and returns
+// the covered branch edges as (pc, taken 0/1) pairs — the canonical input of
+// a corpus store's coverage fingerprint, shared by every seed exporter so
+// the CLI and the campaign service content-address seeds identically.
+func (c *Campaign) ReplayCoverageEdges(seq Sequence) [][2]uint64 {
+	rr := c.Replay(seq)
+	edges := make([][2]uint64, 0, len(rr.Edges))
+	for k := range rr.Edges {
+		taken := uint64(0)
+		if k.Taken {
+			taken = 1
+		}
+		edges = append(edges, [2]uint64{k.PC, taken})
+	}
+	return edges
+}
+
 // Minimize shrinks a sequence while the predicate keeps holding, using
 // ddmin-style chunk removal followed by single-transaction removal. The
 // constructor (element 0) is never removed. The returned sequence satisfies

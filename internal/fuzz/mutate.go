@@ -83,6 +83,20 @@ func (m *Mask) AllowedCount() int {
 // Len returns the mask length.
 func (m *Mask) Len() int { return len(m.allowed) }
 
+// fillBytes fills p with pseudo-random bytes drawn through rng.Int63, seven
+// bytes per draw. Unlike rand.Rand.Read it leaves no buffered state inside
+// the Rand, so a Rand used only through fillBytes and the arithmetic methods
+// is fully described by its source — the property campaign snapshots rely on
+// (see countedSource).
+func fillBytes(rng *rand.Rand, p []byte) {
+	for i := 0; i < len(p); i += 7 {
+		v := rng.Int63()
+		for j := 0; j < 7 && i+j < len(p); j++ {
+			p[i+j] = byte(v >> uint(8*j))
+		}
+	}
+}
+
 // ApplyMutation applies mutation m=(x,n) to the stream at position i and
 // returns the mutated copy (MUTATE(t, m, i) in the paper). pool supplies
 // interesting values for the R operator.
@@ -104,7 +118,7 @@ func ApplyMutation(stream []byte, x MutType, n, i int, rng *rand.Rand, pool []u2
 			i = len(out)
 		}
 		ins := make([]byte, n)
-		rng.Read(ins)
+		fillBytes(rng, ins)
 		out = append(out[:i], append(ins, out[i:]...)...)
 	case MutReplace:
 		w := pool[rng.Intn(len(pool))].Bytes32()

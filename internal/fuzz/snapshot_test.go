@@ -1,0 +1,226 @@
+package fuzz
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"mufuzz/internal/corpus"
+	"mufuzz/internal/minisol"
+)
+
+// recordingObserver collects per-execution records for equality checks.
+type recordingObserver struct {
+	records []ExecRecord
+}
+
+func (r *recordingObserver) OnExec(rec ExecRecord) { r.records = append(r.records, rec) }
+
+func compileT(t *testing.T, src string) *minisol.Compiled {
+	t.Helper()
+	comp, err := minisol.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return comp
+}
+
+// TestSnapshotResumeFingerprint proves the core resume property at the fuzz
+// level: a campaign paused at a round boundary, snapshotted through the full
+// encode→decode round trip, and resumed, finishes with exactly the result an
+// uninterrupted campaign produces — coverage, findings, PoCs, counters,
+// timeline, and the per-execution record stream.
+func TestSnapshotResumeFingerprint(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		opts := Options{
+			Strategy:   MuFuzz(),
+			Seed:       3,
+			Iterations: 600,
+			Workers:    workers,
+		}
+
+		comp := compileT(t, corpus.CrowdsaleBuggy())
+		fullObs := &recordingObserver{}
+		fullOpts := opts
+		fullOpts.Observer = fullObs
+		full := NewCampaign(comp, fullOpts)
+		fullRes := full.Run()
+		want := resultFingerprint(fullRes)
+
+		pausedObs := &recordingObserver{}
+		pausedOpts := opts
+		pausedOpts.Observer = pausedObs
+		paused := NewCampaign(comp, pausedOpts)
+		if _, done := paused.RunSlice(context.Background(), 3); done {
+			t.Fatalf("workers=%d: campaign finished before the pause point; grow the budget", workers)
+		}
+
+		var buf bytes.Buffer
+		if err := paused.Snapshot().Encode(&buf); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		snap, err := DecodeSnapshot(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		// The encoding must be stable: re-encoding the decoded snapshot
+		// reproduces the bytes.
+		if !bytes.Equal(snap.EncodeBytes(), buf.Bytes()) {
+			t.Fatalf("workers=%d: snapshot encode/decode/encode is not byte-stable", workers)
+		}
+
+		resumed, err := ResumeCampaign(comp, snap)
+		if err != nil {
+			t.Fatalf("resume: %v", err)
+		}
+		resumed.SetObserver(pausedObs)
+		resumedRes := resumed.Run()
+
+		if got := resultFingerprint(resumedRes); got != want {
+			t.Errorf("workers=%d: resumed result diverged from uninterrupted run\n--- want\n%s\n--- got\n%s", workers, want, got)
+		}
+		if len(pausedObs.records) != len(fullObs.records) {
+			t.Fatalf("workers=%d: record count %d != uninterrupted %d", workers, len(pausedObs.records), len(fullObs.records))
+		}
+		for i := range fullObs.records {
+			w, g := fullObs.records[i], pausedObs.records[i]
+			if w.Index != g.Index || w.CoveredAfter != g.CoveredAfter || w.NestedDepth != g.NestedDepth ||
+				w.DistImproved != g.DistImproved || len(w.NewEdges) != len(g.NewEdges) ||
+				len(w.NewClasses) != len(g.NewClasses) || w.Seq.String() != g.Seq.String() {
+				t.Fatalf("workers=%d: record %d diverged:\nwant %+v\ngot  %+v", workers, i, w, g)
+			}
+		}
+	}
+}
+
+// TestSnapshotResumeAcrossManySlices drives a campaign as a scheduler would
+// — many short slices with a snapshot/restore round trip between every pair
+// — and checks the final result still matches the uninterrupted run.
+func TestSnapshotResumeAcrossManySlices(t *testing.T) {
+	opts := Options{Strategy: MuFuzz(), Seed: 11, Iterations: 400, Workers: 1}
+	comp := compileT(t, corpus.Crowdsale())
+
+	want := resultFingerprint(NewCampaign(comp, opts).Run())
+
+	c := NewCampaign(comp, opts)
+	for hops := 0; ; hops++ {
+		if hops > 500 {
+			t.Fatal("campaign did not finish in 500 slices")
+		}
+		_, done := c.RunSlice(context.Background(), 1)
+		if done {
+			break
+		}
+		snap, err := DecodeSnapshot(bytes.NewReader(c.Snapshot().EncodeBytes()))
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if c, err = ResumeCampaign(comp, snap); err != nil {
+			t.Fatalf("resume: %v", err)
+		}
+	}
+	res, _ := c.RunSlice(context.Background(), 0)
+	if got := resultFingerprint(res); got != want {
+		t.Errorf("slice-hopped result diverged\n--- want\n%s\n--- got\n%s", want, got)
+	}
+}
+
+// TestSnapshotRejectsWrongContract pins the code-hash guard.
+func TestSnapshotRejectsWrongContract(t *testing.T) {
+	compA := compileT(t, corpus.Crowdsale())
+	compB := compileT(t, corpus.Game())
+	c := NewCampaign(compA, Options{Strategy: MuFuzz(), Seed: 1, Iterations: 50})
+	c.RunSlice(context.Background(), 1)
+	if _, err := ResumeCampaign(compB, c.Snapshot()); err == nil {
+		t.Fatal("resume with mismatched contract code must fail")
+	}
+}
+
+// TestRunCtxCancellation pins the satellite behavior: a cancelled context
+// stops the campaign cleanly before budget exhaustion, state stays
+// snapshot-consistent, and a resume completes deterministically (resuming
+// twice from the same snapshot gives identical results).
+func TestRunCtxCancellation(t *testing.T) {
+	comp := compileT(t, corpus.Crowdsale())
+	opts := Options{Strategy: MuFuzz(), Seed: 5, Iterations: 5000, Workers: 1}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancelAfter := &cancellingObserver{cancel: cancel, after: 120}
+	withObs := opts
+	withObs.Observer = cancelAfter
+	c := NewCampaign(comp, withObs)
+	res := c.RunCtx(ctx)
+	if res.Executions >= opts.Iterations {
+		t.Fatalf("cancellation did not stop the campaign early (execs=%d)", res.Executions)
+	}
+
+	snapBytes := c.Snapshot().EncodeBytes()
+	run := func() string {
+		snap, err := DecodeSnapshot(bytes.NewReader(snapBytes))
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		rc, err := ResumeCampaign(comp, snap)
+		if err != nil {
+			t.Fatalf("resume: %v", err)
+		}
+		return resultFingerprint(rc.Run())
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("resuming twice from one snapshot diverged\n--- first\n%s\n--- second\n%s", a, b)
+	}
+}
+
+// cancellingObserver cancels a context after a fixed number of executions —
+// a deterministic stand-in for an external SIGINT.
+type cancellingObserver struct {
+	cancel context.CancelFunc
+	after  int
+	seen   int
+}
+
+func (c *cancellingObserver) OnExec(ExecRecord) {
+	c.seen++
+	if c.seen == c.after {
+		c.cancel()
+	}
+}
+
+// TestInjectSequences pins corpus cross-pollination: injected sequences are
+// sanitized, executed against the budget, and interesting ones join the
+// queue.
+func TestInjectSequences(t *testing.T) {
+	comp := compileT(t, corpus.Crowdsale())
+	c := NewCampaign(comp, Options{Strategy: MuFuzz(), Seed: 1, Iterations: 500})
+	res, _ := c.RunSlice(context.Background(), 1)
+	before := res.Executions
+
+	donor := NewCampaign(comp, Options{Strategy: MuFuzz(), Seed: 99, Iterations: 300})
+	donor.Run()
+	seqs := donor.QueueSequences()
+	if len(seqs) == 0 {
+		t.Fatal("donor campaign produced no queue seeds")
+	}
+	// Also check a hostile sequence is rejected rather than executed.
+	bad := Sequence{{Func: "no_such_function"}}
+	n := c.InjectSequences(append([]Sequence{bad}, seqs...))
+	if n == 0 {
+		t.Fatal("no donor sequences executed")
+	}
+	if n > len(seqs) {
+		t.Fatalf("hostile sequence executed: %d > %d", n, len(seqs))
+	}
+	res2, _ := c.RunSlice(context.Background(), 0)
+	if res2.Executions <= before {
+		t.Fatal("injection did not count executions")
+	}
+	// Round-trip of the exchange payload format.
+	enc := EncodeSequence(seqs[0])
+	dec, err := DecodeSequence(enc)
+	if err != nil {
+		t.Fatalf("decode sequence: %v", err)
+	}
+	if !bytes.Equal(EncodeSequence(dec), enc) {
+		t.Fatal("sequence encode/decode round trip not stable")
+	}
+}

@@ -8,6 +8,8 @@
 // isolates each component.
 package fuzz
 
+import "strings"
+
 // Strategy selects which feedback mechanisms a campaign uses. MuFuzz enables
 // everything; each baseline disables the dimensions that tool lacks.
 type Strategy struct {
@@ -106,4 +108,25 @@ func Ablations() []Strategy {
 	noEnergy.DynamicEnergy = false
 
 	return []Strategy{noSeq, noMask, noEnergy}
+}
+
+// PresetByName resolves the five strategy presets by their user-facing
+// names, case-insensitively, accepting the common spellings ("irfuzz" and
+// "ir-fuzz"). It is the single resolver the CLI and the campaign service
+// share; the conformance package keeps its own exact-Name lookup because it
+// must also resolve ablation variants.
+func PresetByName(name string) (Strategy, bool) {
+	switch strings.ToLower(name) {
+	case "", "mufuzz":
+		return MuFuzz(), true
+	case "sfuzz":
+		return SFuzz(), true
+	case "confuzzius":
+		return ConFuzzius(), true
+	case "irfuzz", "ir-fuzz":
+		return IRFuzz(), true
+	case "smartian":
+		return Smartian(), true
+	}
+	return Strategy{}, false
 }

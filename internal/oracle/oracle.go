@@ -314,6 +314,36 @@ func (d *Detector) Inspect(tr *evm.Trace, txValue u256.Int, txOK bool) []BugClas
 	return d.Absorb(d.insp.Inspect(tr, txValue, txOK))
 }
 
+// State captures the detector's serializable campaign-level state: the
+// received-value flag and every finding absorbed so far, in deterministic
+// (class, PC) order. Together with the embedded inspector's construction
+// inputs (contract address and code, both campaign constants) it fully
+// describes the detector, so a snapshotted campaign restores oracle
+// aggregation exactly.
+func (d *Detector) State() (receivedValue bool, findings []Finding) {
+	out := make([]Finding, 0, len(d.findings))
+	for _, f := range d.findings {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Class != out[j].Class {
+			return out[i].Class < out[j].Class
+		}
+		return out[i].PC < out[j].PC
+	})
+	return d.receivedValue, out
+}
+
+// Restore overwrites the detector's aggregate state with a snapshot taken by
+// State. The inspector half is untouched (it is stateless).
+func (d *Detector) Restore(receivedValue bool, findings []Finding) {
+	d.receivedValue = receivedValue
+	d.findings = make(map[string]Finding, len(findings))
+	for _, f := range findings {
+		d.findings[f.Key()] = f
+	}
+}
+
 // Finalize applies campaign-level oracles (EF) and returns all findings in
 // deterministic order.
 func (d *Detector) Finalize() []Finding {

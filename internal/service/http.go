@@ -1,0 +1,125 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// Handler returns the service's HTTP JSON API:
+//
+//	POST /v1/campaigns               submit a campaign (CampaignSpec JSON)
+//	GET  /v1/campaigns               list campaign statuses
+//	GET  /v1/campaigns/{id}          one campaign's status
+//	GET  /v1/campaigns/{id}/findings findings with PoCs (?minimize=1 shrinks)
+//	GET  /v1/campaigns/{id}/events   server-sent events status stream
+//	POST /v1/campaigns/{id}/cancel   stop a campaign
+//	POST /v1/drain                   snapshot everything, stop scheduling
+//	GET  /healthz                    liveness
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "campaigns": len(s.Statuses())})
+	})
+
+	mux.HandleFunc("POST /v1/campaigns", func(w http.ResponseWriter, r *http.Request) {
+		var spec CampaignSpec
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&spec); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad spec: %w", err))
+			return
+		}
+		st, err := s.Submit(spec)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, st)
+	})
+
+	mux.HandleFunc("GET /v1/campaigns", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Statuses())
+	})
+
+	mux.HandleFunc("GET /v1/campaigns/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := s.Status(r.PathValue("id"))
+		if !ok {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("no campaign %s", r.PathValue("id")))
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+
+	mux.HandleFunc("GET /v1/campaigns/{id}/findings", func(w http.ResponseWriter, r *http.Request) {
+		minimize := r.URL.Query().Get("minimize") == "1"
+		findings, err := s.Findings(r.PathValue("id"), minimize)
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, findings)
+	})
+
+	mux.HandleFunc("POST /v1/campaigns/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.Cancel(r.PathValue("id")); err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		st, _ := s.Status(r.PathValue("id"))
+		writeJSON(w, http.StatusOK, st)
+	})
+
+	mux.HandleFunc("GET /v1/campaigns/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := s.job(r.PathValue("id"))
+		if !ok {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("no campaign %s", r.PathValue("id")))
+			return
+		}
+		fl, ok := w.(http.Flusher)
+		if !ok {
+			writeErr(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		w.WriteHeader(http.StatusOK)
+		ch, unsub := j.subscribe()
+		defer unsub()
+		for {
+			select {
+			case <-r.Context().Done():
+				return
+			case <-s.ctx.Done():
+				return
+			case st := <-ch:
+				data, _ := json.Marshal(st)
+				fmt.Fprintf(w, "data: %s\n\n", data)
+				fl.Flush()
+				// Terminal states end the stream so pollers terminate.
+				switch st.State {
+				case StateDone, StateCancelled, StateFailed, StateDrained:
+					return
+				}
+			}
+		}
+	})
+
+	mux.HandleFunc("POST /v1/drain", func(w http.ResponseWriter, r *http.Request) {
+		n := s.Drain()
+		writeJSON(w, http.StatusOK, map[string]any{"drained": n})
+	})
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

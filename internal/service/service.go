@@ -1,0 +1,765 @@
+// Package service is the campaign service: a multi-tenant scheduler that
+// time-slices any number of concurrent fuzzing campaigns over a bounded pool
+// of executor slots, shares corpus seeds between campaigns through the
+// persistent store, and snapshots every in-flight campaign on drain so a
+// restarted service resumes exactly where it stopped — no findings, corpus,
+// or schedule position lost.
+//
+// The scheduling unit is one engine slice (Campaign.RunSlice): a bounded
+// number of energy rounds at a deterministic boundary of the campaign
+// schedule. Between slices the service exports new queue seeds to the store
+// (deduplicated by coverage fingerprint) and imports seeds sibling campaigns
+// discovered, so campaigns on the same contract cross-pollinate interesting
+// sequences the way OSS-Fuzz-style fleets share corpora.
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"mufuzz/internal/corpus"
+	"mufuzz/internal/fuzz"
+	"mufuzz/internal/minisol"
+	"mufuzz/internal/store"
+)
+
+// Config tunes one service instance.
+type Config struct {
+	// Store persists snapshots, metadata, PoCs, and the shared seed corpus.
+	// nil runs the service fully in memory: no persistence, no seed sharing
+	// (used by benchmarks and overhead measurements).
+	Store *store.Store
+	// SliceRounds is the number of energy rounds one scheduling slice runs
+	// before the campaign yields its slot. Default 8.
+	SliceRounds int
+	// Slots is the number of campaign slices allowed to run concurrently —
+	// the bounded executor pool. Default 1.
+	Slots int
+	// Workers is the default Options.Workers of submitted campaigns (each
+	// campaign may override it in its spec). Default 1.
+	Workers int
+	// DefaultIterations is the campaign budget when a spec omits one.
+	// Default 20000.
+	DefaultIterations int
+	// ImportPerSlice caps how many foreign seeds one slice imports, bounding
+	// the injection cost a popular contract imposes on its campaigns.
+	// Default 64.
+	ImportPerSlice int
+}
+
+// persistEverySlices is the snapshot cadence of a healthy mid-flight
+// campaign (snapshots also happen on new findings, terminal states, and
+// drain).
+const persistEverySlices = 8
+
+func (c Config) withDefaults() Config {
+	if c.SliceRounds == 0 {
+		c.SliceRounds = 8
+	}
+	if c.Slots == 0 {
+		c.Slots = 1
+	}
+	if c.Workers == 0 {
+		c.Workers = 1
+	}
+	if c.DefaultIterations == 0 {
+		c.DefaultIterations = 20000
+	}
+	if c.ImportPerSlice == 0 {
+		c.ImportPerSlice = 64
+	}
+	return c
+}
+
+// CampaignSpec is the submission payload: what to fuzz and how hard.
+type CampaignSpec struct {
+	// Name is a human label; defaults to the contract name.
+	Name string `json:"name,omitempty"`
+	// Source is MiniSol source text. Exactly one of Source/Example is set.
+	Source string `json:"source,omitempty"`
+	// Example names a built-in corpus example (crowdsale, crowdsale-buggy,
+	// game).
+	Example string `json:"example,omitempty"`
+	// Strategy is a preset name (mufuzz, sfuzz, confuzzius, irfuzz,
+	// smartian); default mufuzz.
+	Strategy string `json:"strategy,omitempty"`
+	// Seed is the campaign rng seed; default 1.
+	Seed int64 `json:"seed,omitempty"`
+	// Iterations is the execution budget; default Config.DefaultIterations.
+	Iterations int `json:"iterations,omitempty"`
+	// Workers overrides the service default executor fan-out per slice.
+	Workers int `json:"workers,omitempty"`
+}
+
+// Campaign states.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateCancelled = "cancelled"
+	StateDrained   = "drained"
+	StateFailed    = "failed"
+)
+
+// Status is the externally visible campaign state, served as JSON.
+type Status struct {
+	ID            string   `json:"id"`
+	Name          string   `json:"name"`
+	Contract      string   `json:"contract"`
+	State         string   `json:"state"`
+	Error         string   `json:"error,omitempty"`
+	Executions    int      `json:"executions"`
+	Iterations    int      `json:"iterations"`
+	Coverage      float64  `json:"coverage"`
+	CoveredEdges  int      `json:"covered_edges"`
+	TotalEdges    int      `json:"total_edges"`
+	SeedQueueLen  int      `json:"seed_queue_len"`
+	Findings      int      `json:"findings"`
+	Classes       []string `json:"classes,omitempty"`
+	SeedsImported int      `json:"seeds_imported"`
+	SeedsExported int      `json:"seeds_exported"`
+	Slices        int      `json:"slices"`
+}
+
+// Finding is one reported vulnerability with its proof-of-concept call
+// orders, served as JSON.
+type Finding struct {
+	Class       string   `json:"class"`
+	PC          uint64   `json:"pc"`
+	Description string   `json:"description"`
+	PoC         []string `json:"poc,omitempty"`
+	PoCMin      []string `json:"poc_minimized,omitempty"`
+}
+
+// job is one managed campaign.
+type job struct {
+	id       string
+	spec     CampaignSpec
+	comp     *minisol.Compiled
+	contract string // seed-sharing bucket (contract name)
+
+	// execMu serializes campaign engine access: the scheduler slice, the
+	// findings/minimize handlers, and drain snapshotting.
+	execMu   sync.Mutex
+	campaign *fuzz.Campaign
+	result   *fuzz.Result
+	// exported/imported track seed fingerprints this campaign already
+	// shared or absorbed; seqSeen short-circuits re-replaying queue
+	// sequences already fingerprinted in an earlier slice.
+	exported map[string]bool
+	imported map[string]bool
+	seqSeen  map[string]bool
+	// slicesSincePersist and persistedClasses drive the mid-campaign
+	// persistence cadence (owned by the single worker running the job's
+	// slices).
+	slicesSincePersist int
+	persistedClasses   int
+
+	cancelled atomic.Bool
+	// sliceCancel, when non-nil, aborts the slice currently running.
+	sliceCancelMu sync.Mutex
+	sliceCancel   context.CancelFunc
+
+	mu     sync.Mutex
+	status Status
+	subs   map[chan Status]struct{}
+}
+
+// jobMeta is the store's per-campaign metadata record.
+type jobMeta struct {
+	ID     string       `json:"id"`
+	Spec   CampaignSpec `json:"spec"`
+	Status Status       `json:"status"`
+}
+
+// Service is one campaign-service instance.
+type Service struct {
+	cfg    Config
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu      sync.Mutex
+	jobs    map[string]*job
+	order   []string
+	nextID  int
+	drained bool
+
+	runq chan *job
+}
+
+// New builds a service; call Start to launch the scheduler.
+func New(cfg Config) *Service {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Service{
+		cfg:    cfg.withDefaults(),
+		ctx:    ctx,
+		cancel: cancel,
+		jobs:   make(map[string]*job),
+		runq:   make(chan *job, 4096),
+	}
+}
+
+// Start restores persisted campaigns from the store (drained and running
+// ones re-enter the schedule; completed ones become queryable again) and
+// launches the scheduler slots.
+func (s *Service) Start() error {
+	if err := s.restore(); err != nil {
+		return err
+	}
+	for i := 0; i < s.cfg.Slots; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return nil
+}
+
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case j := <-s.runq:
+			s.runSlice(j)
+		}
+	}
+}
+
+// resolveSource maps a spec to MiniSol source text.
+func resolveSource(spec CampaignSpec) (string, error) {
+	switch {
+	case spec.Source != "" && spec.Example != "":
+		return "", fmt.Errorf("pass either source or example, not both")
+	case spec.Source != "":
+		return spec.Source, nil
+	case spec.Example != "":
+		switch spec.Example {
+		case "crowdsale":
+			return corpus.Crowdsale(), nil
+		case "crowdsale-buggy":
+			return corpus.CrowdsaleBuggy(), nil
+		case "game":
+			return corpus.Game(), nil
+		default:
+			return "", fmt.Errorf("unknown example %q", spec.Example)
+		}
+	default:
+		return "", fmt.Errorf("spec needs source or example")
+	}
+}
+
+// options maps a spec to engine options.
+func (s *Service) options(spec CampaignSpec) (fuzz.Options, error) {
+	strat, ok := fuzz.PresetByName(spec.Strategy)
+	if !ok {
+		return fuzz.Options{}, fmt.Errorf("unknown strategy %q", spec.Strategy)
+	}
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	iters := spec.Iterations
+	if iters == 0 {
+		iters = s.cfg.DefaultIterations
+	}
+	workers := spec.Workers
+	if workers == 0 {
+		workers = s.cfg.Workers
+	}
+	return fuzz.Options{Strategy: strat, Seed: seed, Iterations: iters, Workers: workers}, nil
+}
+
+// Submit compiles and enqueues a new campaign.
+func (s *Service) Submit(spec CampaignSpec) (Status, error) {
+	src, err := resolveSource(spec)
+	if err != nil {
+		return Status{}, err
+	}
+	opts, err := s.options(spec)
+	if err != nil {
+		return Status{}, err
+	}
+	comp, err := minisol.Compile(src)
+	if err != nil {
+		return Status{}, fmt.Errorf("compile: %w", err)
+	}
+
+	s.mu.Lock()
+	if s.drained {
+		s.mu.Unlock()
+		return Status{}, fmt.Errorf("service is drained")
+	}
+	s.nextID++
+	id := fmt.Sprintf("c%04d", s.nextID)
+	name := spec.Name
+	if name == "" {
+		name = comp.Contract.Name
+	}
+	j := &job{
+		id:       id,
+		spec:     spec,
+		comp:     comp,
+		contract: comp.Contract.Name,
+		campaign: fuzz.NewCampaign(comp, opts),
+		exported: make(map[string]bool),
+		imported: make(map[string]bool),
+		seqSeen:  make(map[string]bool),
+		subs:     make(map[chan Status]struct{}),
+	}
+	j.status = Status{
+		ID: id, Name: name, Contract: comp.Contract.Name,
+		State: StateQueued, Iterations: opts.Iterations,
+	}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+
+	s.persist(j)
+	s.enqueue(j)
+	return j.Status(), nil
+}
+
+func (s *Service) enqueue(j *job) {
+	select {
+	case s.runq <- j:
+	default:
+		// The queue is bounded far above any plausible job count; if it is
+		// somehow full, fail the job loudly rather than block a slot.
+		j.fail(fmt.Errorf("scheduler queue overflow"))
+	}
+}
+
+// runSlice runs one scheduling slice of one campaign: import shared seeds,
+// run SliceRounds energy rounds, export new seeds and PoCs, publish status,
+// and requeue (or finalize).
+func (s *Service) runSlice(j *job) {
+	if j.cancelled.Load() {
+		j.setState(StateCancelled, nil)
+		s.persist(j)
+		return
+	}
+	ctx, cancel := context.WithCancel(s.ctx)
+	j.setSliceCancel(cancel)
+	defer func() {
+		j.setSliceCancel(nil)
+		cancel() // release the child context; one leaks per slice otherwise
+	}()
+
+	j.execMu.Lock()
+	j.setState(StateRunning, nil)
+	imported := s.importSeeds(j)
+	res, done := j.campaign.RunSlice(ctx, s.cfg.SliceRounds)
+	j.result = res
+	exported := s.exportSeeds(j)
+	s.persistPoCs(j, res)
+	j.execMu.Unlock()
+
+	j.publish(func(st *Status) {
+		st.Executions = res.Executions
+		st.Coverage = res.Coverage
+		st.CoveredEdges = res.CoveredEdges
+		st.TotalEdges = res.TotalEdges
+		st.SeedQueueLen = res.SeedQueueLen
+		st.Findings = len(res.Findings)
+		st.Classes = classList(res)
+		st.SeedsImported += imported
+		st.SeedsExported += exported
+		st.Slices++
+	})
+
+	switch {
+	case j.cancelled.Load():
+		j.setState(StateCancelled, nil)
+		s.persist(j)
+	case done:
+		j.setState(StateDone, nil)
+		s.persist(j)
+	case s.ctx.Err() != nil:
+		// Service is draining; Drain persists the snapshot once all slots
+		// have stopped.
+	default:
+		// Mid-campaign persistence is a durability/throughput trade: a full
+		// snapshot costs a deep state copy plus fsynced writes, so it runs
+		// when a new bug class appeared (findings must survive a crash) or
+		// every persistEverySlices slices, not after every slice. A crash
+		// loses at most that many slices of schedule progress — the seed
+		// corpus and PoCs are persisted on their own cadence above.
+		j.slicesSincePersist++
+		if len(res.BugClasses) > j.persistedClasses || j.slicesSincePersist >= persistEverySlices {
+			s.persist(j)
+			j.slicesSincePersist = 0
+			j.persistedClasses = len(res.BugClasses)
+		}
+		s.enqueue(j)
+	}
+}
+
+func classList(res *fuzz.Result) []string {
+	out := make([]string, 0, len(res.BugClasses))
+	for c := range res.BugClasses {
+		out = append(out, string(c))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// importSeeds injects store seeds this campaign has not seen. Own exports
+// are skipped, so a lone campaign never re-executes its own corpus.
+func (s *Service) importSeeds(j *job) int {
+	if s.cfg.Store == nil {
+		return 0
+	}
+	entries, err := s.cfg.Store.Seeds(j.contract)
+	if err != nil {
+		return 0
+	}
+	var batch []fuzz.Sequence
+	for _, e := range entries {
+		if len(batch) >= s.cfg.ImportPerSlice {
+			break
+		}
+		if j.imported[e.Name] || j.exported[e.Name] {
+			continue
+		}
+		j.imported[e.Name] = true
+		seq, err := fuzz.DecodeSequence(e.Payload)
+		if err != nil {
+			continue
+		}
+		batch = append(batch, seq)
+	}
+	if len(batch) == 0 {
+		return 0
+	}
+	return j.campaign.InjectSequences(batch)
+}
+
+// exportSeeds fingerprints the campaign's new queue sequences by the
+// coverage a detached replay observes and stores the novel ones.
+func (s *Service) exportSeeds(j *job) int {
+	if s.cfg.Store == nil {
+		return 0
+	}
+	n := 0
+	for _, seq := range j.campaign.QueueSequences() {
+		enc := fuzz.EncodeSequence(seq)
+		key := string(enc)
+		if j.seqSeen[key] {
+			continue
+		}
+		j.seqSeen[key] = true
+		fp := store.Fingerprint(j.campaign.ReplayCoverageEdges(seq))
+		if j.exported[fp] || j.imported[fp] {
+			continue
+		}
+		j.exported[fp] = true
+		if wrote, err := s.cfg.Store.PutSeed(j.contract, fp, enc); err == nil && wrote {
+			n++
+		}
+	}
+	return n
+}
+
+// persistPoCs writes each bug class's first triggering sequence — the
+// crash-safe record a findings consumer can replay even if the service dies
+// before drain.
+func (s *Service) persistPoCs(j *job, res *fuzz.Result) {
+	if s.cfg.Store == nil {
+		return
+	}
+	for class, seq := range res.Repro {
+		name := j.id + "-" + string(class)
+		_, _ = s.cfg.Store.PutIfAbsent(store.KindPoC, j.contract, name, fuzz.EncodeSequence(seq))
+	}
+}
+
+// persist writes the job's snapshot and metadata. Callers must not hold
+// j.execMu.
+func (s *Service) persist(j *job) {
+	if s.cfg.Store == nil {
+		return
+	}
+	j.execMu.Lock()
+	var snap []byte
+	if j.campaign != nil {
+		snap = j.campaign.Snapshot().EncodeBytes()
+	}
+	j.execMu.Unlock()
+	if snap != nil {
+		_ = s.cfg.Store.Put(store.KindSnapshot, "", j.id+".snap", snap)
+	}
+	meta, _ := json.Marshal(jobMeta{ID: j.id, Spec: j.spec, Status: j.Status()})
+	_ = s.cfg.Store.Put(store.KindMeta, "", j.id+".json", meta)
+}
+
+// restore loads persisted campaigns on startup. Unfinished campaigns
+// (drained, running, queued) resume scheduling; finished ones are restored
+// for queries only.
+func (s *Service) restore() error {
+	if s.cfg.Store == nil {
+		return nil
+	}
+	metas, err := s.cfg.Store.List(store.KindMeta, "")
+	if err != nil {
+		return err
+	}
+	var requeue []*job
+	s.mu.Lock()
+	for _, e := range metas {
+		var m jobMeta
+		if err := json.Unmarshal(e.Payload, &m); err != nil || m.ID == "" {
+			continue
+		}
+		j := &job{
+			id:       m.ID,
+			spec:     m.Spec,
+			exported: make(map[string]bool),
+			imported: make(map[string]bool),
+			seqSeen:  make(map[string]bool),
+			subs:     make(map[chan Status]struct{}),
+			status:   m.Status,
+		}
+		var n int
+		if _, err := fmt.Sscanf(m.ID, "c%d", &n); err == nil && n > s.nextID {
+			s.nextID = n
+		}
+		if err := s.rebuild(j); err != nil {
+			j.status.State = StateFailed
+			j.status.Error = err.Error()
+		} else {
+			switch j.status.State {
+			case StateQueued, StateRunning, StateDrained:
+				j.status.State = StateQueued
+				requeue = append(requeue, j)
+			}
+		}
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		j.contract = j.status.Contract
+	}
+	sort.Strings(s.order)
+	s.mu.Unlock()
+	for _, j := range requeue {
+		s.enqueue(j)
+	}
+	return nil
+}
+
+// rebuild recompiles a restored job's contract and resumes its campaign
+// from the stored snapshot.
+func (s *Service) rebuild(j *job) error {
+	src, err := resolveSource(j.spec)
+	if err != nil {
+		return err
+	}
+	comp, err := minisol.Compile(src)
+	if err != nil {
+		return err
+	}
+	j.comp = comp
+	data, err := s.cfg.Store.Get(store.KindSnapshot, "", j.id+".snap")
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	snap, err := fuzz.DecodeSnapshot(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	c, err := fuzz.ResumeCampaign(comp, snap)
+	if err != nil {
+		return err
+	}
+	j.campaign = c
+	return nil
+}
+
+// Drain stops the scheduler, snapshots every live campaign to the store,
+// and marks them drained. Idempotent; the service accepts no new campaigns
+// afterwards. Returns how many campaigns were snapshotted.
+func (s *Service) Drain() int {
+	s.mu.Lock()
+	if s.drained {
+		s.mu.Unlock()
+		return 0
+	}
+	s.drained = true
+	s.mu.Unlock()
+
+	s.cancel()
+	s.wg.Wait()
+
+	n := 0
+	for _, j := range s.jobList() {
+		st := j.Status()
+		if st.State == StateQueued || st.State == StateRunning {
+			j.setState(StateDrained, nil)
+			n++
+		}
+		if j.campaign != nil {
+			s.persist(j)
+		}
+	}
+	return n
+}
+
+// Close is Drain for defer use.
+func (s *Service) Close() { s.Drain() }
+
+// Cancel stops a campaign: its current slice is aborted and it leaves the
+// schedule.
+func (s *Service) Cancel(id string) error {
+	j, ok := s.job(id)
+	if !ok {
+		return fmt.Errorf("no campaign %s", id)
+	}
+	j.cancelled.Store(true)
+	j.sliceCancelMu.Lock()
+	if j.sliceCancel != nil {
+		j.sliceCancel()
+	}
+	j.sliceCancelMu.Unlock()
+	// A queued (not running) job flips state immediately; a running one is
+	// finalized by its worker.
+	if st := j.Status(); st.State == StateQueued {
+		j.setState(StateCancelled, nil)
+		s.persist(j)
+	}
+	return nil
+}
+
+// Statuses lists every campaign in submission order.
+func (s *Service) Statuses() []Status {
+	jobs := s.jobList()
+	out := make([]Status, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	return out
+}
+
+// Status returns one campaign's status.
+func (s *Service) Status(id string) (Status, bool) {
+	j, ok := s.job(id)
+	if !ok {
+		return Status{}, false
+	}
+	return j.Status(), true
+}
+
+// Findings returns a campaign's findings with proof-of-concept call orders;
+// minimize additionally ddmin-shrinks each PoC (replays run on a detached
+// engine and do not perturb the campaign).
+func (s *Service) Findings(id string, minimize bool) ([]Finding, error) {
+	j, ok := s.job(id)
+	if !ok {
+		return nil, fmt.Errorf("no campaign %s", id)
+	}
+	j.execMu.Lock()
+	defer j.execMu.Unlock()
+	if j.campaign == nil {
+		return nil, fmt.Errorf("campaign %s has no engine state (%s)", id, j.Status().State)
+	}
+	res := j.result
+	if res == nil {
+		res = j.campaign.ResultSoFar()
+	}
+	out := make([]Finding, 0, len(res.Findings))
+	for _, f := range res.Findings {
+		fo := Finding{Class: string(f.Class), PC: f.PC, Description: f.Description}
+		if seq, ok := res.Repro[f.Class]; ok {
+			fo.PoC = callOrder(seq)
+			if minimize {
+				fo.PoCMin = callOrder(j.campaign.MinimizeForBug(seq, f.Class))
+			}
+		}
+		out = append(out, fo)
+	}
+	return out, nil
+}
+
+func callOrder(seq fuzz.Sequence) []string {
+	out := make([]string, len(seq))
+	for i, tx := range seq {
+		out[i] = tx.Func
+	}
+	return out
+}
+
+func (s *Service) job(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+func (s *Service) jobList() []*job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// --- job helpers ---
+
+// Status returns a copy of the job's current status.
+func (j *job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+func (j *job) setState(state string, err error) {
+	j.publish(func(st *Status) {
+		st.State = state
+		if err != nil {
+			st.Error = err.Error()
+		}
+	})
+}
+
+func (j *job) fail(err error) { j.setState(StateFailed, err) }
+
+// publish mutates the status under the job lock and broadcasts the new
+// value to subscribers (non-blocking: a slow subscriber misses updates, not
+// the stream's liveness).
+func (j *job) publish(mut func(*Status)) {
+	j.mu.Lock()
+	mut(&j.status)
+	st := j.status
+	for ch := range j.subs {
+		select {
+		case ch <- st:
+		default:
+		}
+	}
+	j.mu.Unlock()
+}
+
+// subscribe registers a status listener; the returned cancel unregisters.
+func (j *job) subscribe() (<-chan Status, func()) {
+	ch := make(chan Status, 8)
+	j.mu.Lock()
+	j.subs[ch] = struct{}{}
+	ch <- j.status
+	j.mu.Unlock()
+	return ch, func() {
+		j.mu.Lock()
+		delete(j.subs, ch)
+		j.mu.Unlock()
+	}
+}
+
+func (j *job) setSliceCancel(f context.CancelFunc) {
+	j.sliceCancelMu.Lock()
+	j.sliceCancel = f
+	j.sliceCancelMu.Unlock()
+}

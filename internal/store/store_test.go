@@ -1,0 +1,198 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mufuzz/internal/corpus"
+	"mufuzz/internal/fuzz"
+	"mufuzz/internal/minisol"
+)
+
+func openT(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestObjectRoundTrip(t *testing.T) {
+	s := openT(t)
+	payload := []byte("the quick brown fox\x00\x01\x02 jumps")
+	if err := s.Put(KindSnapshot, "", "c1.snap", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(KindSnapshot, "", "c1.snap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload mismatch: %q != %q", got, payload)
+	}
+	if !s.Has(KindSnapshot, "", "c1.snap") {
+		t.Fatal("Has = false for stored object")
+	}
+	// Overwrite replaces atomically.
+	if err := s.Put(KindSnapshot, "", "c1.snap", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Get(KindSnapshot, "", "c1.snap"); string(got) != "v2" {
+		t.Fatalf("overwrite lost: %q", got)
+	}
+	if err := s.Delete(KindSnapshot, "", "c1.snap"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has(KindSnapshot, "", "c1.snap") {
+		t.Fatal("object survives Delete")
+	}
+}
+
+func TestRejectsPathTraversal(t *testing.T) {
+	s := openT(t)
+	for _, name := range []string{"", ".", "..", "a/b", `a\b`, ".tmp-x"} {
+		if err := s.Put(KindMeta, "", name, []byte("x")); err == nil {
+			t.Errorf("name %q accepted", name)
+		}
+	}
+	if err := s.Put(KindSeed, "../evil", "n", []byte("x")); err == nil {
+		t.Error("bucket ../evil accepted")
+	}
+}
+
+// TestCrashSafetyPartialFiles injects the three crash artifacts a writer can
+// leave behind — a truncated object, a corrupted payload, and an orphaned
+// temp file — and checks readers never surface garbage and Open sweeps the
+// temp.
+func TestCrashSafetyPartialFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(KindSeed, "c", "good", []byte("seed-payload")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncated object: a valid frame cut mid-payload (simulated torn write
+	// on a filesystem without atomic rename semantics).
+	full := frame([]byte("partial-payload"))
+	if err := os.WriteFile(filepath.Join(dir, "seeds", "c", "torn"), full[:len(full)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupted object: full length, one payload byte flipped.
+	bad := frame([]byte("corrupt-payload"))
+	bad[len(frameMagic)+8+3] ^= 0xff
+	if err := os.WriteFile(filepath.Join(dir, "seeds", "c", "flipped"), bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Garbage that is not even a frame.
+	if err := os.WriteFile(filepath.Join(dir, "seeds", "c", "noise"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Orphaned temp file from a crashed writer.
+	tmp := filepath.Join(dir, "seeds", "c", tmpPrefix+"999-1")
+	if err := os.WriteFile(tmp, []byte("half"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, name := range []string{"torn", "flipped", "noise"} {
+		if _, err := s.Get(KindSeed, "c", name); err == nil {
+			t.Errorf("Get(%s) returned data from a damaged file", name)
+		}
+	}
+	entries, err := s.Seeds("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name != "good" || string(entries[0].Payload) != "seed-payload" {
+		t.Fatalf("List must skip damaged files, got %+v", entries)
+	}
+
+	// PutIfAbsent treats a damaged object as absent and repairs it.
+	wrote, err := s.PutIfAbsent(KindSeed, "c", "flipped", []byte("repaired"))
+	if err != nil || !wrote {
+		t.Fatalf("PutIfAbsent over corrupt object: wrote=%v err=%v", wrote, err)
+	}
+	if got, _ := s.Get(KindSeed, "c", "flipped"); string(got) != "repaired" {
+		t.Fatalf("repair failed: %q", got)
+	}
+
+	// Reopen sweeps the orphaned temp.
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Error("orphaned temp file survived Open")
+	}
+}
+
+// TestSeedDedupAcrossCampaigns runs two campaigns with different seeds on
+// the same contract and checks the store collapses coverage-equivalent
+// sequences: the stored corpus has no two seeds with the same fingerprint,
+// and the second campaign's duplicates are rejected by PutSeed.
+func TestSeedDedupAcrossCampaigns(t *testing.T) {
+	comp, err := minisol.Compile(corpus.Crowdsale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := openT(t)
+
+	export := func(seed int64) (newSeeds, dups int) {
+		c := fuzz.NewCampaign(comp, fuzz.Options{Strategy: fuzz.MuFuzz(), Seed: seed, Iterations: 400})
+		c.Run()
+		for _, seq := range c.QueueSequences() {
+			wrote, err := s.PutSeed("Crowdsale", Fingerprint(c.ReplayCoverageEdges(seq)), fuzz.EncodeSequence(seq))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wrote {
+				newSeeds++
+			} else {
+				dups++
+			}
+		}
+		return
+	}
+
+	new1, _ := export(1)
+	if new1 == 0 {
+		t.Fatal("first campaign exported nothing")
+	}
+	new2, dups2 := export(2)
+	entries, err := s.Seeds("Crowdsale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != new1+new2 {
+		t.Fatalf("stored %d seeds, wrote %d+%d new", len(entries), new1, new2)
+	}
+	if dups2 == 0 {
+		t.Log("note: second campaign produced no coverage-duplicate seeds (dedup untested by overlap)")
+	}
+	// Same campaign re-exported: everything must dedup away.
+	new1b, _ := export(1)
+	if new1b != 0 {
+		t.Fatalf("re-export of campaign 1 stored %d new seeds, want 0", new1b)
+	}
+	// Every stored payload decodes back into a usable sequence.
+	for _, e := range entries {
+		if _, err := fuzz.DecodeSequence(e.Payload); err != nil {
+			t.Fatalf("stored seed %s does not decode: %v", e.Name, err)
+		}
+	}
+}
+
+func TestFingerprintCanonical(t *testing.T) {
+	a := Fingerprint([][2]uint64{{10, 1}, {4, 0}, {9, 1}})
+	b := Fingerprint([][2]uint64{{9, 1}, {10, 1}, {4, 0}})
+	if a != b {
+		t.Fatal("fingerprint depends on edge order")
+	}
+	if a == Fingerprint([][2]uint64{{9, 1}, {10, 0}, {4, 0}}) {
+		t.Fatal("different edge sets share a fingerprint")
+	}
+}
