@@ -1,13 +1,17 @@
 // Command corpusgen materializes the benchmark corpora to disk as MiniSol
 // source files plus a labels manifest, so datasets can be inspected, diffed,
-// or fed to external tools.
+// or fed to external tools. With -fixtures it instead regenerates the
+// bundled source-free fixtures (deployed bytecode hex + ABI JSON) the ingest
+// pipeline fuzzes end to end.
 //
 // Usage:
 //
 //	corpusgen -out ./corpus-out [-seed 1] [-small 24] [-large 12] [-complex 12]
+//	corpusgen -fixtures ./fixtures
 package main
 
 import (
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"os"
@@ -15,6 +19,7 @@ import (
 	"strings"
 
 	"mufuzz/internal/corpus"
+	"mufuzz/internal/minisol"
 )
 
 func main() {
@@ -24,8 +29,18 @@ func main() {
 		nSmall   = flag.Int("small", 24, "number of D1-small contracts")
 		nLarge   = flag.Int("large", 12, "number of D1-large contracts")
 		nComplex = flag.Int("complex", 12, "number of D3 complex contracts")
+		fixtures = flag.String("fixtures", "", "write the bundled bytecode+ABI fixtures to this directory instead")
 	)
 	flag.Parse()
+
+	if *fixtures != "" {
+		if err := writeFixtures(*fixtures); err != nil {
+			fmt.Fprintln(os.Stderr, "corpusgen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("fixtures written to %s\n", *fixtures)
+		return
+	}
 
 	var manifest strings.Builder
 	write := func(dir, name, src string, labels []string) {
@@ -77,4 +92,35 @@ func classStrings[T ~string](labels []T) []string {
 		out[i] = string(l)
 	}
 	return out
+}
+
+// fixtureSources names the contracts bundled as source-free fixtures: the
+// ERC20-style token and the seeded-bug crowdsale the CI ingest-smoke job
+// fuzzes through `mufuzz -bytecode -abi`.
+var fixtureSources = map[string]string{
+	"erc20":           corpus.Token(),
+	"crowdsale-buggy": corpus.CrowdsaleBuggy(),
+}
+
+// writeFixtures compiles each fixture contract and writes <name>.bin
+// (0x-prefixed runtime bytecode hex) plus <name>.abi.json (standard ABI
+// JSON) — the on-chain artifact pair the ingest pipeline consumes.
+func writeFixtures(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for name, src := range fixtureSources {
+		comp, err := minisol.Compile(src)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		bin := "0x" + hex.EncodeToString(comp.Code) + "\n"
+		if err := os.WriteFile(filepath.Join(dir, name+".bin"), []byte(bin), 0o644); err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, name+".abi.json"), comp.ABI.EncodeJSON(), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
 }

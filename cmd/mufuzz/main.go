@@ -1,5 +1,6 @@
-// Command mufuzz fuzzes one MiniSol contract and reports branch coverage and
-// detected vulnerabilities.
+// Command mufuzz fuzzes one contract — compiled from MiniSol source or
+// ingested source-free from deployed bytecode + ABI JSON — and reports
+// branch coverage and detected vulnerabilities.
 //
 // Usage:
 //
@@ -7,6 +8,14 @@
 //	       [-iters 4000] [-seed 1] [-time 10s] [-workers 1] [-v]
 //	       [-corpus-dir DIR] [-resume snapshot] [-snapshot-out snapshot]
 //	mufuzz -example crowdsale|game    # fuzz a built-in paper example
+//	mufuzz -bytecode code.bin -abi contract.abi.json   # fuzz deployed bytecode
+//
+// -bytecode takes hex EVM bytecode (0x prefix optional; creation code is
+// detected and its runtime extracted) and -abi the standard Solidity ABI
+// JSON; the fuzzer recovers branch sites and per-function storage
+// dependencies from the code itself, so sequence-aware mutation and energy
+// scheduling run without source. Corpus-store seeds for such targets are
+// bucketed by codehash.
 //
 // -workers N fans each energy round's batch of mutated children across N
 // executor goroutines (0 = all CPU cores). N=1 is the sequential engine,
@@ -38,6 +47,7 @@ import (
 
 	"mufuzz/internal/corpus"
 	"mufuzz/internal/fuzz"
+	"mufuzz/internal/ingest"
 	"mufuzz/internal/minisol"
 	"mufuzz/internal/report"
 	"mufuzz/internal/store"
@@ -62,14 +72,10 @@ func run() int {
 		corpusDir = flag.String("corpus-dir", "", "persistent seed store: import shared seeds, export the final queue")
 		resume    = flag.String("resume", "", "resume from a campaign snapshot file")
 		snapOut   = flag.String("snapshot-out", "", "write a resumable snapshot here on SIGINT (or at exit)")
+		bytecode  = flag.String("bytecode", "", "hex EVM bytecode file: fuzz source-free (requires -abi)")
+		abiFile   = flag.String("abi", "", "Solidity ABI JSON file for -bytecode")
 	)
 	flag.Parse()
-
-	src, name, err := loadSource(*file, *example)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mufuzz:", err)
-		return 1
-	}
 
 	strat, ok := fuzz.PresetByName(*strategy)
 	if !ok {
@@ -77,13 +83,13 @@ func run() int {
 		return 1
 	}
 
-	comp, err := minisol.Compile(src)
+	target, name, err := loadTarget(*file, *example, *bytecode, *abiFile)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mufuzz: compile:", err)
+		fmt.Fprintln(os.Stderr, "mufuzz:", err)
 		return 1
 	}
-	fmt.Printf("contract %s: %d bytes of code, %d functions, %d branch sites\n",
-		comp.Contract.Name, len(comp.Code), len(comp.Contract.Functions), len(comp.Branches))
+	fmt.Printf("target %s: %d bytes of code, %d functions, %d branch sites\n",
+		target.Name(), len(target.Code()), len(target.Methods()), len(target.Branches()))
 
 	var st *store.Store
 	if *corpusDir != "" {
@@ -105,7 +111,7 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "mufuzz:", err)
 			return 1
 		}
-		if campaign, err = fuzz.ResumeCampaign(comp, snap); err != nil {
+		if campaign, err = fuzz.ResumeTargetCampaign(target, snap); err != nil {
 			fmt.Fprintln(os.Stderr, "mufuzz:", err)
 			return 1
 		}
@@ -118,7 +124,7 @@ func run() int {
 		if nWorkers == 0 {
 			nWorkers = -1
 		}
-		campaign = fuzz.NewCampaign(comp, fuzz.Options{
+		campaign = fuzz.NewTargetCampaign(target, fuzz.Options{
 			Strategy:   strat,
 			Seed:       *seed,
 			Iterations: *iters,
@@ -128,7 +134,7 @@ func run() int {
 	}
 
 	if st != nil {
-		if n := importSeeds(campaign, st, comp.Contract.Name); n > 0 {
+		if n := importSeeds(campaign, st, target.Name()); n > 0 {
 			fmt.Printf("imported %d shared corpus seed(s) from %s\n", n, *corpusDir)
 		}
 	}
@@ -142,7 +148,7 @@ func run() int {
 	stop()
 
 	if st != nil {
-		if n := exportSeeds(campaign, st, comp.Contract.Name); n > 0 {
+		if n := exportSeeds(campaign, st, target.Name()); n > 0 {
 			fmt.Printf("exported %d new corpus seed(s) to %s\n", n, *corpusDir)
 		}
 	}
@@ -192,7 +198,7 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "mufuzz:", err)
 			return 1
 		}
-		werr := report.New(comp.Contract.Name, res).WriteJSON(f)
+		werr := report.New(target.Name(), res).WriteJSON(f)
 		if cerr := f.Close(); werr == nil {
 			werr = cerr
 		}
@@ -237,28 +243,61 @@ func exportSeeds(c *fuzz.Campaign, st *store.Store, contract string) int {
 	return n
 }
 
-func loadSource(file, example string) (src, name string, err error) {
+// loadTarget resolves exactly one of the three target sources: MiniSol file,
+// built-in example, or raw bytecode + ABI JSON.
+func loadTarget(file, example, bytecode, abiFile string) (fuzz.Target, string, error) {
+	sources := 0
+	for _, set := range []bool{file != "", example != "", bytecode != ""} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return nil, "", fmt.Errorf("pass exactly one of -file, -example, or -bytecode")
+	}
+
+	if bytecode != "" {
+		if abiFile == "" {
+			return nil, "", fmt.Errorf("-bytecode requires -abi <contract.abi.json>")
+		}
+		codeHex, err := os.ReadFile(bytecode)
+		if err != nil {
+			return nil, "", err
+		}
+		abiJSON, err := os.ReadFile(abiFile)
+		if err != nil {
+			return nil, "", err
+		}
+		t, err := ingest.LoadHex(string(codeHex), abiJSON)
+		if err != nil {
+			return nil, "", err
+		}
+		return t, bytecode, nil
+	}
+
+	var src, name string
 	switch {
-	case file != "" && example != "":
-		return "", "", fmt.Errorf("pass either -file or -example, not both")
 	case file != "":
 		b, err := os.ReadFile(file)
 		if err != nil {
-			return "", "", err
+			return nil, "", err
 		}
-		return string(b), file, nil
-	case example != "":
+		src, name = string(b), file
+	default:
 		switch example {
 		case "crowdsale":
-			return corpus.Crowdsale(), "crowdsale", nil
+			src, name = corpus.Crowdsale(), "crowdsale"
 		case "crowdsale-buggy":
-			return corpus.CrowdsaleBuggy(), "crowdsale-buggy", nil
+			src, name = corpus.CrowdsaleBuggy(), "crowdsale-buggy"
 		case "game":
-			return corpus.Game(), "game", nil
+			src, name = corpus.Game(), "game"
 		default:
-			return "", "", fmt.Errorf("unknown example %q", example)
+			return nil, "", fmt.Errorf("unknown example %q", example)
 		}
-	default:
-		return "", "", fmt.Errorf("pass -file <contract.sol> or -example <name>")
 	}
+	comp, err := minisol.Compile(src)
+	if err != nil {
+		return nil, "", fmt.Errorf("compile: %w", err)
+	}
+	return fuzz.MinisolTarget(comp), name, nil
 }

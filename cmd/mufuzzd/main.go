@@ -13,6 +13,8 @@
 //
 //	curl -X POST localhost:8700/v1/campaigns \
 //	     -d '{"example":"crowdsale-buggy","iterations":20000}'
+//	curl -X POST localhost:8700/v1/campaigns \
+//	     -d '{"bytecode":"0x6000...","abi":[...],"iterations":20000}'   # source-free
 //	curl localhost:8700/v1/campaigns/c0001
 //	curl localhost:8700/v1/campaigns/c0001/findings?minimize=1
 //	curl -X POST localhost:8700/v1/drain

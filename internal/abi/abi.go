@@ -103,6 +103,22 @@ func (v Value) String() string {
 type Param struct {
 	Name string
 	Kind Kind
+	// RawType, when non-empty, is the canonical on-chain type name this
+	// parameter was coerced from (e.g. "uint8", "address[]", "(uint256,bool)"
+	// for a tuple). ABI-JSON ingestion sets it so signatures and re-encoded
+	// JSON keep the original types while the fuzzer works on the nearest
+	// word/bytes Kind. Empty for natively supported types.
+	RawType string
+}
+
+// TypeName returns the parameter's on-chain type name: RawType when the
+// parameter was coerced from an unsupported type, the Kind's canonical name
+// otherwise.
+func (p Param) TypeName() string {
+	if p.RawType != "" {
+		return p.RawType
+	}
+	return p.Kind.String()
 }
 
 // Method describes one externally callable function.
@@ -113,13 +129,20 @@ type Method struct {
 	// View marks functions that do not write state; the fuzzer deprioritizes
 	// them when building sequences.
 	View bool
+	// RawSig, when non-empty, overrides the computed canonical signature —
+	// set by ABI-JSON ingestion where parameter kinds are a lossy coercion
+	// but the 4-byte selector must match the on-chain signature exactly.
+	RawSig string
 }
 
 // Signature returns the canonical signature, e.g. "invest(uint256)".
 func (m Method) Signature() string {
+	if m.RawSig != "" {
+		return m.RawSig
+	}
 	parts := make([]string, len(m.Inputs))
 	for i, p := range m.Inputs {
-		parts[i] = p.Kind.String()
+		parts[i] = p.TypeName()
 	}
 	return m.Name + "(" + strings.Join(parts, ",") + ")"
 }
@@ -133,6 +156,12 @@ func (m Method) Selector() [4]byte {
 type ABI struct {
 	Constructor *Method // nil when the contract has no constructor args
 	Methods     []Method
+	// HasFallback/HasReceive record the catch-all entry points a standard
+	// ABI JSON declares; FallbackPayable is the fallback's mutability. They
+	// carry no selector and are preserved only for ABI round-tripping.
+	HasFallback     bool
+	FallbackPayable bool
+	HasReceive      bool
 }
 
 // MethodByName finds a method by name; ok is false if absent.

@@ -25,7 +25,7 @@ func TestKindRoundTrip(t *testing.T) {
 }
 
 func TestMethodSignatureAndSelector(t *testing.T) {
-	m := Method{Name: "transfer", Inputs: []Param{{"to", Address}, {"amount", Uint256}}}
+	m := Method{Name: "transfer", Inputs: []Param{{Name: "to", Kind: Address}, {Name: "amount", Kind: Uint256}}}
 	if got := m.Signature(); got != "transfer(address,uint256)" {
 		t.Errorf("Signature = %s", got)
 	}
@@ -126,7 +126,7 @@ func TestDecodeAddressMasksHighBytes(t *testing.T) {
 }
 
 func TestEncodeCallValidation(t *testing.T) {
-	m := Method{Name: "f", Inputs: []Param{{"x", Uint256}}}
+	m := Method{Name: "f", Inputs: []Param{{Name: "x", Kind: Uint256}}}
 	if _, err := EncodeCall(m, nil); err == nil {
 		t.Error("want arity error")
 	}
@@ -151,7 +151,7 @@ func TestEncodeCallValidation(t *testing.T) {
 
 func TestMethodLookup(t *testing.T) {
 	a := &ABI{Methods: []Method{
-		{Name: "invest", Inputs: []Param{{"donations", Uint256}}, Payable: true},
+		{Name: "invest", Inputs: []Param{{Name: "donations", Kind: Uint256}}, Payable: true},
 		{Name: "refund"},
 		{Name: "withdraw"},
 	}}
@@ -169,7 +169,7 @@ func TestMethodLookup(t *testing.T) {
 }
 
 func BenchmarkEncodeCall(b *testing.B) {
-	m := Method{Name: "invest", Inputs: []Param{{"donations", Uint256}, {"who", Address}}}
+	m := Method{Name: "invest", Inputs: []Param{{Name: "donations", Kind: Uint256}, {Name: "who", Kind: Address}}}
 	args := []Value{NewWord(Uint256, u256.New(100)), NewWord(Address, u256.New(0xabc))}
 	for i := 0; i < b.N; i++ {
 		if _, err := EncodeCall(m, args); err != nil {

@@ -1,0 +1,388 @@
+package abi
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file implements the standard Solidity contract-ABI JSON format (the
+// artifact every compiler and block explorer emits): ParseJSON ingests it
+// into the package's types, EncodeJSON renders them back.
+//
+// The fuzzer's type system is deliberately small — one 32-byte word per
+// static parameter plus the two dynamic byte kinds — so richer on-chain
+// types are coerced to the nearest fuzzable Kind and the original type name
+// is kept in Param.RawType / Method.RawSig. Selectors therefore always match
+// the on-chain signature, while mutation works on the coerced word stream.
+// Coercion rules:
+//
+//	uintN / uint        → Uint256     (one word; range handled by the EVM)
+//	intN / int          → Int256
+//	bytesN (N ≤ 32)     → Bytes32
+//	fixed-size arrays,
+//	static tuples       → Bytes32     (one word stands in for the head)
+//	T[], dynamic tuples → Bytes       (head/tail encoded, length-prefixed)
+//
+// Events and custom errors carry no calldata the fuzzer can send, so they
+// are dropped on parse; EncodeJSON(ParseJSON(x)) is a fixpoint of the parsed
+// form, not of the raw document.
+
+// jsonParam is one input parameter in ABI JSON form.
+type jsonParam struct {
+	Name       string      `json:"name"`
+	Type       string      `json:"type"`
+	Components []jsonParam `json:"components,omitempty"`
+}
+
+// jsonEntry is one top-level ABI JSON array element.
+type jsonEntry struct {
+	Type            string      `json:"type"`
+	Name            string      `json:"name,omitempty"`
+	Inputs          []jsonParam `json:"inputs,omitempty"`
+	StateMutability string      `json:"stateMutability,omitempty"`
+	// Legacy (pre-0.5) mutability flags.
+	Payable  *bool `json:"payable,omitempty"`
+	Constant *bool `json:"constant,omitempty"`
+}
+
+// canonicalType normalizes an ABI type name the way selector signatures
+// require: alias expansion (uint → uint256, int → int256) and tuples
+// flattened to parenthesized component lists.
+func canonicalType(p jsonParam) (string, error) {
+	base, suffix, err := splitArraySuffix(p.Type)
+	if err != nil {
+		return "", err
+	}
+	switch base {
+	case "uint":
+		base = "uint256"
+	case "int":
+		base = "int256"
+	case "tuple":
+		parts := make([]string, len(p.Components))
+		for i, c := range p.Components {
+			ct, err := canonicalType(c)
+			if err != nil {
+				return "", err
+			}
+			parts[i] = ct
+		}
+		base = "(" + strings.Join(parts, ",") + ")"
+	case "":
+		return "", fmt.Errorf("abi: empty type name")
+	}
+	return base + suffix, nil
+}
+
+// splitArraySuffix splits a type name into its element type and array
+// suffix: "uint8[2][]" → ("uint8", "[2][]"). The element may itself be a
+// parenthesized tuple signature.
+func splitArraySuffix(t string) (base, suffix string, err error) {
+	cut := len(t)
+	if strings.HasPrefix(t, "(") {
+		depth := 0
+		cut = -1
+		for i, r := range t {
+			if r == '(' {
+				depth++
+			} else if r == ')' {
+				depth--
+				if depth == 0 {
+					cut = i + 1
+					break
+				}
+			}
+		}
+		if cut < 0 {
+			return "", "", fmt.Errorf("abi: malformed tuple type %q", t)
+		}
+	} else if i := strings.IndexByte(t, '['); i >= 0 {
+		cut = i
+	}
+	base, suffix = t[:cut], t[cut:]
+	for rest := suffix; len(rest) > 0; {
+		if rest[0] != '[' {
+			return "", "", fmt.Errorf("abi: malformed type %q", t)
+		}
+		end := strings.IndexByte(rest, ']')
+		if end < 0 {
+			return "", "", fmt.Errorf("abi: malformed type %q", t)
+		}
+		for _, r := range rest[1:end] {
+			if r < '0' || r > '9' {
+				return "", "", fmt.Errorf("abi: malformed type %q", t)
+			}
+		}
+		rest = rest[end+1:]
+	}
+	return base, suffix, nil
+}
+
+// canonicalIsDynamic reports whether a canonical type uses head/tail
+// encoding: bytes, string, any T[], and tuples with a dynamic component
+// (fixed arrays inherit their element's dynamism).
+func canonicalIsDynamic(t string) bool {
+	base, suffix, err := splitArraySuffix(t)
+	if err != nil {
+		return false
+	}
+	if strings.Contains(suffix, "[]") {
+		return true
+	}
+	switch {
+	case base == "bytes" || base == "string":
+		return true
+	case strings.HasPrefix(base, "("):
+		for _, comp := range splitTupleComponents(base) {
+			if canonicalIsDynamic(comp) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// splitTupleComponents splits "(a,b,(c,d))" into ["a","b","(c,d)"].
+func splitTupleComponents(t string) []string {
+	inner := strings.TrimSuffix(strings.TrimPrefix(t, "("), ")")
+	if inner == "" {
+		return nil
+	}
+	var out []string
+	depth, start := 0, 0
+	for i, r := range inner {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, inner[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, inner[start:])
+}
+
+// kindFor coerces a canonical type name to the nearest fuzzable Kind. The
+// second return reports whether the mapping is exact (RawType can stay
+// empty).
+func kindFor(canonical string) (Kind, bool, error) {
+	if k, err := ParseKind(canonical); err == nil {
+		return k, true, nil
+	}
+	base, suffix, err := splitArraySuffix(canonical)
+	if err != nil {
+		return 0, false, err
+	}
+	if suffix != "" {
+		if canonicalIsDynamic(canonical) {
+			return Bytes, false, nil // dynamic array: head/tail shaped
+		}
+		return Bytes32, false, nil // static array: one word stands in
+	}
+	switch {
+	case strings.HasPrefix(base, "uint"):
+		if !validIntWidth(base[4:]) {
+			return 0, false, fmt.Errorf("abi: unsupported type %q", canonical)
+		}
+		return Uint256, false, nil
+	case strings.HasPrefix(base, "int"):
+		if !validIntWidth(base[3:]) {
+			return 0, false, fmt.Errorf("abi: unsupported type %q", canonical)
+		}
+		return Int256, false, nil
+	case strings.HasPrefix(base, "bytes"):
+		n, err := strconv.Atoi(base[5:])
+		if err != nil || n < 1 || n > 32 {
+			return 0, false, fmt.Errorf("abi: unsupported type %q", canonical)
+		}
+		return Bytes32, false, nil
+	case strings.HasPrefix(base, "("):
+		if canonicalIsDynamic(base) {
+			return Bytes, false, nil
+		}
+		return Bytes32, false, nil
+	case base == "function":
+		return Bytes32, false, nil // 24-byte callback handle
+	}
+	return 0, false, fmt.Errorf("abi: unsupported type %q", canonical)
+}
+
+func validIntWidth(s string) bool {
+	n, err := strconv.Atoi(s)
+	return err == nil && n >= 8 && n <= 256 && n%8 == 0
+}
+
+// parseParams maps JSON inputs to Params, keeping the canonical type in
+// RawType whenever the Kind coercion is lossy.
+func parseParams(inputs []jsonParam) ([]Param, error) {
+	out := make([]Param, 0, len(inputs))
+	for _, in := range inputs {
+		canonical, err := canonicalType(in)
+		if err != nil {
+			return nil, err
+		}
+		k, exact, err := kindFor(canonical)
+		if err != nil {
+			return nil, err
+		}
+		p := Param{Name: in.Name, Kind: k}
+		if !exact {
+			p.RawType = canonical
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func entryPayable(e jsonEntry) bool {
+	if e.StateMutability != "" {
+		return e.StateMutability == "payable"
+	}
+	return e.Payable != nil && *e.Payable
+}
+
+func entryView(e jsonEntry) bool {
+	if e.StateMutability != "" {
+		return e.StateMutability == "view" || e.StateMutability == "pure"
+	}
+	return e.Constant != nil && *e.Constant
+}
+
+// ParseJSON decodes a standard Solidity ABI JSON document (the top-level
+// array form) into an ABI. Function names are made unique — overloads get a
+// "_2", "_3", ... suffix — because the fuzzer addresses methods by name; the
+// on-chain identity stays exact through RawSig. Events and errors are
+// skipped.
+func ParseJSON(data []byte) (*ABI, error) {
+	var entries []jsonEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("abi: parse JSON: %w", err)
+	}
+	out := &ABI{}
+	seen := map[string]int{}
+	for _, e := range entries {
+		switch e.Type {
+		case "function", "":
+			if e.Name == "" {
+				return nil, fmt.Errorf("abi: function entry without a name")
+			}
+			inputs, err := parseParams(e.Inputs)
+			if err != nil {
+				return nil, fmt.Errorf("abi: function %s: %w", e.Name, err)
+			}
+			m := Method{
+				Name:    e.Name,
+				Inputs:  inputs,
+				Payable: entryPayable(e),
+				View:    entryView(e),
+				RawSig:  rawSignature(e.Name, inputs),
+			}
+			seen[e.Name]++
+			if n := seen[e.Name]; n > 1 {
+				m.Name = fmt.Sprintf("%s_%d", e.Name, n)
+			}
+			out.Methods = append(out.Methods, m)
+		case "constructor":
+			inputs, err := parseParams(e.Inputs)
+			if err != nil {
+				return nil, fmt.Errorf("abi: constructor: %w", err)
+			}
+			out.Constructor = &Method{
+				Name:    "constructor",
+				Inputs:  inputs,
+				Payable: entryPayable(e),
+			}
+		case "fallback":
+			out.HasFallback = true
+			out.FallbackPayable = entryPayable(e)
+		case "receive":
+			out.HasReceive = true
+		case "event", "error":
+			// no calldata entry point; dropped
+		default:
+			return nil, fmt.Errorf("abi: unknown entry type %q", e.Type)
+		}
+	}
+	return out, nil
+}
+
+// rawSignature renders name(type,...) over the parameters' on-chain types.
+func rawSignature(name string, inputs []Param) string {
+	parts := make([]string, len(inputs))
+	for i, p := range inputs {
+		parts[i] = p.TypeName()
+	}
+	return name + "(" + strings.Join(parts, ",") + ")"
+}
+
+// baseName strips the overload-disambiguation suffix by reading the original
+// name back out of the method's signature.
+func baseName(m Method) string {
+	sig := m.Signature()
+	if i := strings.IndexByte(sig, '('); i > 0 {
+		return sig[:i]
+	}
+	return m.Name
+}
+
+func encodeParams(inputs []Param) []jsonParam {
+	out := make([]jsonParam, len(inputs))
+	for i, p := range inputs {
+		out[i] = jsonParam{Name: p.Name, Type: p.TypeName()}
+	}
+	return out
+}
+
+// EncodeJSON renders the ABI as a standard Solidity ABI JSON array.
+// Coerced parameters are emitted with their original canonical type names
+// (tuples as parenthesized signatures), so ParseJSON(EncodeJSON(a)) yields
+// an ABI equal to a — the round-trip fixpoint the conformance tests pin.
+func (a *ABI) EncodeJSON() []byte {
+	var entries []jsonEntry
+	if c := a.Constructor; c != nil {
+		mut := "nonpayable"
+		if c.Payable {
+			mut = "payable"
+		}
+		entries = append(entries, jsonEntry{
+			Type: "constructor", Inputs: encodeParams(c.Inputs), StateMutability: mut,
+		})
+	}
+	for _, m := range a.Methods {
+		mut := "nonpayable"
+		switch {
+		case m.Payable:
+			mut = "payable"
+		case m.View:
+			mut = "view"
+		}
+		entries = append(entries, jsonEntry{
+			Type: "function", Name: baseName(m),
+			Inputs: encodeParams(m.Inputs), StateMutability: mut,
+		})
+	}
+	if a.HasFallback {
+		mut := "nonpayable"
+		if a.FallbackPayable {
+			mut = "payable"
+		}
+		entries = append(entries, jsonEntry{Type: "fallback", StateMutability: mut})
+	}
+	if a.HasReceive {
+		entries = append(entries, jsonEntry{Type: "receive", StateMutability: "payable"})
+	}
+	if entries == nil {
+		entries = []jsonEntry{}
+	}
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		panic("abi: encode JSON: " + err.Error()) // no marshalable-type failure is possible
+	}
+	return append(data, '\n')
+}

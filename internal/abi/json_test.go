@@ -1,0 +1,185 @@
+package abi
+
+import (
+	"encoding/hex"
+	"reflect"
+	"testing"
+)
+
+// erc20JSON is a realistic ERC20-style ABI: constructor, overloads are
+// absent but views, payable/nonpayable split, events (dropped), and a
+// fallback are present.
+const erc20JSON = `[
+  {"type":"constructor","inputs":[{"name":"supply","type":"uint256"}],"stateMutability":"nonpayable"},
+  {"type":"function","name":"transfer","inputs":[{"name":"to","type":"address"},{"name":"amount","type":"uint256"}],"outputs":[{"type":"bool"}],"stateMutability":"nonpayable"},
+  {"type":"function","name":"balanceOf","inputs":[{"name":"owner","type":"address"}],"outputs":[{"type":"uint256"}],"stateMutability":"view"},
+  {"type":"function","name":"deposit","inputs":[],"stateMutability":"payable"},
+  {"type":"event","name":"Transfer","inputs":[{"name":"from","type":"address"},{"name":"to","type":"address"},{"name":"value","type":"uint256"}]},
+  {"type":"fallback","stateMutability":"payable"}
+]`
+
+// exoticJSON exercises the coercion corners: small ints, fixed bytes,
+// arrays, nested tuples, overloads, receive, and legacy mutability flags.
+const exoticJSON = `[
+  {"type":"function","name":"set","inputs":[{"name":"v","type":"uint8"}]},
+  {"type":"function","name":"set","inputs":[{"name":"v","type":"bytes4"}]},
+  {"type":"function","name":"batch","inputs":[{"name":"xs","type":"uint256[]"}],"stateMutability":"nonpayable"},
+  {"type":"function","name":"fixedArr","inputs":[{"name":"xs","type":"uint256[3]"}]},
+  {"type":"function","name":"order","inputs":[{"name":"o","type":"tuple","components":[{"name":"id","type":"uint256"},{"name":"data","type":"bytes"}]}]},
+  {"type":"function","name":"pair","inputs":[{"name":"p","type":"tuple","components":[{"name":"a","type":"uint"},{"name":"b","type":"bool"}]}]},
+  {"type":"function","name":"legacy","inputs":[],"payable":true,"constant":false},
+  {"type":"receive","stateMutability":"payable"}
+]`
+
+func TestParseJSONERC20(t *testing.T) {
+	a, err := ParseJSON([]byte(erc20JSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Constructor == nil || len(a.Constructor.Inputs) != 1 || a.Constructor.Inputs[0].Kind != Uint256 {
+		t.Fatalf("constructor not parsed: %+v", a.Constructor)
+	}
+	if len(a.Methods) != 3 {
+		t.Fatalf("want 3 methods (event dropped), got %d", len(a.Methods))
+	}
+	if !a.HasFallback || !a.FallbackPayable {
+		t.Fatalf("fallback lost: %+v", a)
+	}
+	tr, ok := a.MethodByName("transfer")
+	if !ok {
+		t.Fatal("transfer missing")
+	}
+	if got := tr.Signature(); got != "transfer(address,uint256)" {
+		t.Fatalf("signature = %q", got)
+	}
+	// The canonical ERC20 transfer selector, straight off the chain.
+	if got := hex.EncodeToString(selSlice(tr.Selector())); got != "a9059cbb" {
+		t.Fatalf("transfer selector = %s, want a9059cbb", got)
+	}
+	bo, _ := a.MethodByName("balanceOf")
+	if !bo.View {
+		t.Fatal("balanceOf should be View")
+	}
+	dep, _ := a.MethodByName("deposit")
+	if !dep.Payable {
+		t.Fatal("deposit should be Payable")
+	}
+}
+
+func TestParseJSONExoticCoercion(t *testing.T) {
+	a, err := ParseJSON([]byte(exoticJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Method{}
+	for _, m := range a.Methods {
+		byName[m.Name] = m
+	}
+	// Overloads get unique fuzzer names but keep their on-chain signature.
+	if _, ok := byName["set"]; !ok {
+		t.Fatal("first overload missing")
+	}
+	m2, ok := byName["set_2"]
+	if !ok {
+		t.Fatalf("second overload not disambiguated: %v", byName)
+	}
+	if got := m2.Signature(); got != "set(bytes4)" {
+		t.Fatalf("overload signature = %q", got)
+	}
+	cases := map[string]struct {
+		kind Kind
+		raw  string
+	}{
+		"set":      {Uint256, "uint8"},
+		"set_2":    {Bytes32, "bytes4"},
+		"batch":    {Bytes, "uint256[]"},
+		"fixedArr": {Bytes32, "uint256[3]"},
+		"order":    {Bytes, "(uint256,bytes)"},
+		"pair":     {Bytes32, "(uint256,bool)"},
+	}
+	for name, want := range cases {
+		m, ok := byName[name]
+		if !ok || len(m.Inputs) != 1 {
+			t.Fatalf("%s: missing or wrong arity", name)
+		}
+		p := m.Inputs[0]
+		if p.Kind != want.kind || p.RawType != want.raw {
+			t.Errorf("%s: kind=%v raw=%q, want kind=%v raw=%q", name, p.Kind, p.RawType, want.kind, want.raw)
+		}
+	}
+	leg := byName["legacy"]
+	if !leg.Payable {
+		t.Fatal("legacy payable flag lost")
+	}
+	if !a.HasReceive {
+		t.Fatal("receive lost")
+	}
+}
+
+// TestJSONRoundTripFixpoint pins decode→encode→decode as a fixpoint on the
+// fixtures: the re-decoded ABI must equal the first decode structurally, and
+// every method's signature (hence selector) must survive.
+func TestJSONRoundTripFixpoint(t *testing.T) {
+	for name, doc := range map[string]string{"erc20": erc20JSON, "exotic": exoticJSON} {
+		t.Run(name, func(t *testing.T) {
+			a1, err := ParseJSON([]byte(doc))
+			if err != nil {
+				t.Fatal(err)
+			}
+			a2, err := ParseJSON(a1.EncodeJSON())
+			if err != nil {
+				t.Fatalf("re-decode: %v\n%s", err, a1.EncodeJSON())
+			}
+			if !reflect.DeepEqual(a1, a2) {
+				t.Fatalf("round trip not a fixpoint:\n%+v\n%+v", a1, a2)
+			}
+			for i := range a1.Methods {
+				if a1.Methods[i].Signature() != a2.Methods[i].Signature() {
+					t.Fatalf("signature drifted: %q vs %q", a1.Methods[i].Signature(), a2.Methods[i].Signature())
+				}
+			}
+		})
+	}
+}
+
+func TestParseJSONRejectsMalformed(t *testing.T) {
+	for _, doc := range []string{
+		`{"not":"an array"}`,
+		`[{"type":"function"}]`, // unnamed function
+		`[{"type":"function","name":"f","inputs":[{"type":"uint7"}]}]`,      // bad width
+		`[{"type":"function","name":"f","inputs":[{"type":"uint256[x]"}]}]`, // bad suffix
+		`[{"type":"function","name":"f","inputs":[{"type":""}]}]`,           // empty type
+		`[{"type":"mystery"}]`, // unknown entry
+		`[{"type":"function","name":"f","inputs":[{"type":"mapping(a=>b)"}]}]`, // not an ABI type
+	} {
+		if _, err := ParseJSON([]byte(doc)); err == nil {
+			t.Errorf("ParseJSON(%s) accepted malformed input", doc)
+		}
+	}
+}
+
+func selSlice(s [4]byte) []byte { return s[:] }
+
+// FuzzABIJSON feeds arbitrary bytes to the JSON decoder; every accepted
+// document must re-encode to a form the decoder accepts again, reaching the
+// same ABI (the fixpoint property), without panicking anywhere.
+func FuzzABIJSON(f *testing.F) {
+	f.Add([]byte(erc20JSON))
+	f.Add([]byte(exoticJSON))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`[{"type":"constructor","inputs":[]}]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a1, err := ParseJSON(data)
+		if err != nil {
+			return
+		}
+		enc := a1.EncodeJSON()
+		a2, err := ParseJSON(enc)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v\n%s", err, enc)
+		}
+		if !reflect.DeepEqual(a1, a2) {
+			t.Fatalf("not a fixpoint:\n%+v\n%+v", a1, a2)
+		}
+	})
+}

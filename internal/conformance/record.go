@@ -49,13 +49,21 @@ type Run struct {
 // Campaigns with a wall-clock TimeBudget are rejected: their stopping point
 // is not a function of the seed, so they cannot replay deterministically.
 func RecordCampaign(name string, comp *minisol.Compiled, opts fuzz.Options) *Run {
+	return RecordTargetCampaign(name, fuzz.MinisolTarget(comp), opts)
+}
+
+// RecordTargetCampaign is RecordCampaign over any fuzz.Target — the entry
+// point source-free (bytecode-ingested) campaigns are recorded through. The
+// engine behind both entry points is one and the same coordinator, which is
+// exactly what TestTargetAdapterConformance pins.
+func RecordTargetCampaign(name string, target fuzz.Target, opts fuzz.Options) *Run {
 	if opts.TimeBudget != 0 {
 		panic("conformance: campaigns with a TimeBudget are not deterministically replayable; use Iterations")
 	}
 	opts = opts.Normalized()
 	rec := &recorder{}
 	opts.Observer = rec
-	c := fuzz.NewCampaign(comp, opts)
+	c := fuzz.NewTargetCampaign(target, opts)
 	res := c.Run()
 	t := &Transcript{
 		Version:  Version,

@@ -1,0 +1,62 @@
+package conformance
+
+import (
+	"bytes"
+	"encoding/hex"
+	"os"
+	"testing"
+
+	"mufuzz/internal/fuzz"
+	"mufuzz/internal/keccak"
+)
+
+// targetGoldenHashes pins the keccak256 of each diff contract's transcript
+// recorded through the Target interface (minisol adapter, MuFuzz preset,
+// seed 5, 200 iterations). The values were locked in alongside the golden
+// result fingerprints that predate the Target refactor — the engine the
+// fingerprints pin and the engine these transcripts pin is decision-for-
+// decision the same one. Regenerate with MUFUZZ_GOLDEN_REGEN=1 after an
+// intentional behavior change.
+var targetGoldenHashes = map[string]string{
+	"crowdsale":         "0daead495644f5d961de6844d408d7911aac76d9ac0c21a8f3a59968853d5bbe",
+	"crowdsale-buggy":   "cafbe8147ec6fee0077ed01185bfcd9d3e29a8a04f6880ac80b41255cb8f023b",
+	"re_swc107_crossfn": "8d34f2c15866376935063f01ef619d0e5bd63a6b209dd7ec714a82e3cb63f562",
+}
+
+// TestTargetAdapterConformance pins the Target refactor three ways: a
+// campaign recorded through the explicit minisol adapter must be
+// byte-identical to one recorded through the classic compiled-contract
+// entry point, must replay byte-identically on a detached engine, and must
+// hash to the committed golden — so the adapter cannot drift from the
+// pre-refactor engine without tripping a diff here.
+func TestTargetAdapterConformance(t *testing.T) {
+	regen := os.Getenv("MUFUZZ_GOLDEN_REGEN") != ""
+	for name, comp := range diffContracts(t) {
+		t.Run(name, func(t *testing.T) {
+			opts := baseOptions(5, 200)
+
+			classic := RecordCampaign(name, comp, opts)
+			adapter := RecordTargetCampaign(name, fuzz.MinisolTarget(comp), opts)
+
+			a, b := classic.Transcript.EncodeBytes(), adapter.Transcript.EncodeBytes()
+			if !bytes.Equal(a, b) {
+				d := Diff(classic.Transcript, adapter.Transcript)
+				t.Fatalf("adapter transcript diverged from classic entry point: %v", d)
+			}
+
+			if _, d := ReplayCheck(comp, adapter.Transcript); d != nil {
+				t.Fatalf("adapter transcript does not replay: %v", d)
+			}
+
+			sum := keccak.Sum256(b)
+			got := hex.EncodeToString(sum[:])
+			if regen {
+				t.Logf("golden transcript hash %q: %s", name, got)
+				return
+			}
+			if want := targetGoldenHashes[name]; got != want {
+				t.Errorf("transcript hash drifted from golden\n got %s\nwant %s", got, want)
+			}
+		})
+	}
+}

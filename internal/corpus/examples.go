@@ -135,6 +135,43 @@ contract Game {
 }`
 }
 
+// Token returns an ERC20-style token: owner-gated minting, guarded
+// transfers, and burn — the shape of the deployed real-world contracts the
+// paper's large-corpus evaluation runs on. Its compiled bytecode + ABI JSON
+// are the bundled source-free fixtures (fixtures/erc20.*) the ingest
+// pipeline is exercised against end to end.
+func Token() string {
+	return `
+contract Token {
+    mapping(address => uint256) balances;
+    uint256 totalSupply = 0;
+    address owner;
+
+    constructor() public {
+        owner = msg.sender;
+    }
+    function mint(address to, uint256 amount) public {
+        require(msg.sender == owner);
+        balances[to] += amount;
+        totalSupply += amount;
+    }
+    function transfer(address to, uint256 amount) public {
+        require(balances[msg.sender] >= amount);
+        balances[msg.sender] -= amount;
+        balances[to] += amount;
+    }
+    function burn(uint256 amount) public {
+        if (balances[msg.sender] >= amount) {
+            balances[msg.sender] -= amount;
+            totalSupply -= amount;
+        }
+    }
+    function balanceOf(address who) public view returns (uint256) {
+        return balances[who];
+    }
+}`
+}
+
 // VulnSuite returns the labelled vulnerability suite: the D2-analog.
 // Each class appears in an easy variant and at least one hard (deep-state or
 // strict-input) variant; several contracts carry multiple classes, like D2's

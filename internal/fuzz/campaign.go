@@ -131,16 +131,25 @@ type Result struct {
 // and drives one or more executors. Executors never touch campaign state;
 // the coordinator folds their outcomes in deterministic order.
 type Campaign struct {
-	comp *minisol.Compiled
+	target Target
+	// code caches target.Code(): the runtime bytecode every analysis,
+	// executor, and oracle of the campaign runs against.
+	code []byte
 	opts Options
 	// rng is the coordinator's deterministic schedule source; rngSrc counts
 	// its draws so snapshots can capture and restore the rng state exactly.
 	rng      *rand.Rand
 	rngSrc   *countedSource
-	dataflow *analysis.Dataflow
 	cfg      *analysis.CFG
 	detector *oracle.Detector
 	exec     *executor
+	// ctorName anchors every sequence (element 0); depOrder, repeatable, and
+	// callable cache the target's dataflow artifacts, shared read-only with
+	// worker goroutines.
+	ctorName   string
+	depOrder   []string
+	repeatable []string
+	callable   []string
 	// workerExecs are the per-worker executors of the batched engine, built
 	// once and reused across rounds so each worker's EVM, attacker native,
 	// jumpdest cache, and trace buffer stay warm for the whole campaign.
@@ -227,17 +236,33 @@ func (c *Campaign) LineSearchStats() (int, int) { return c.lineSearches, c.lineS
 // PrefixCacheStats reports checkpoint cache hits and misses.
 func (c *Campaign) PrefixCacheStats() (hits, misses int) { return c.prefixes.stats() }
 
-// NewCampaign prepares a campaign for a compiled contract.
+// NewCampaign prepares a campaign for a compiled MiniSol contract — the
+// classic entry point, equivalent to NewTargetCampaign over the minisol
+// adapter.
 func NewCampaign(comp *minisol.Compiled, opts Options) *Campaign {
+	return NewTargetCampaign(MinisolTarget(comp), opts)
+}
+
+// NewTargetCampaign prepares a campaign for any fuzzable target: a compiled
+// MiniSol contract (MinisolTarget) or source-free deployed bytecode with an
+// ABI (internal/ingest).
+func NewTargetCampaign(t Target, opts Options) *Campaign {
 	o := opts.withDefaults()
 	src := newCountedSource(o.Seed, 0)
+	code := t.Code()
 	c := &Campaign{
-		comp:     comp,
-		opts:     o,
-		rng:      rand.New(src),
-		rngSrc:   src,
-		dataflow: analysis.AnalyzeDataflow(comp.Contract),
-		cfg:      analysis.BuildCFG(comp.Code),
+		target:     t,
+		code:       code,
+		opts:       o,
+		rng:        rand.New(src),
+		rngSrc:     src,
+		cfg:        analysis.BuildCFG(code),
+		ctorName:   t.Constructor().Name,
+		depOrder:   t.DependencyOrder(),
+		repeatable: t.RepeatCandidates(),
+	}
+	for _, m := range t.Methods() {
+		c.callable = append(c.callable, m.Name)
 	}
 	c.branchIx = analysis.NewBranchIndex(c.cfg)
 	numEdges := c.branchIx.NumEdges()
@@ -248,7 +273,7 @@ func NewCampaign(comp *minisol.Compiled, opts Options) *Campaign {
 	c.distSeed = make([]*Seed, numEdges)
 	c.weights = analysis.NewEdgeWeights(c.branchIx)
 	c.depthByEdge = make([]int, numEdges)
-	for _, site := range comp.Branches {
+	for _, site := range t.Branches() {
 		if id, ok := c.branchIx.EdgeID(site.PC, false); ok {
 			c.depthByEdge[id] = site.Depth
 			c.depthByEdge[id^1] = site.Depth
@@ -273,7 +298,7 @@ func NewCampaign(comp *minisol.Compiled, opts Options) *Campaign {
 	}
 	c.genesis.Commit()
 
-	c.detector = oracle.NewDetector(c.contractAddr, comp.Code)
+	c.detector = oracle.NewDetector(c.contractAddr, code)
 	c.totalEdges = c.branchIx.NumEdges()
 
 	// Address argument pool: every account that exists in the fuzzed world.
@@ -284,7 +309,7 @@ func NewCampaign(comp *minisol.Compiled, opts Options) *Campaign {
 
 	// Value pool: defaults + constants harvested from PUSH immediates.
 	c.pool = defaultValuePool()
-	for _, ins := range analysis.Disassemble(comp.Code) {
+	for _, ins := range analysis.Disassemble(code) {
 		if ins.Op.IsPush() && len(ins.Imm) > 0 && len(ins.Imm) <= 32 {
 			v := u256.FromBytes(ins.Imm)
 			if !v.IsZero() && v.BitLen() < 200 {
@@ -293,10 +318,10 @@ func NewCampaign(comp *minisol.Compiled, opts Options) *Campaign {
 		}
 	}
 
-	methods, selectors := internMethods(comp)
+	methods, selectors := internMethods(t)
 	c.methods = methods
 	c.exec = &executor{
-		comp:         comp,
+		target:       t,
 		genesis:      c.genesis,
 		contractAddr: c.contractAddr,
 		deployer:     c.deployer,
@@ -341,17 +366,15 @@ func (c *Campaign) newTxRand(fn string, rng *rand.Rand) TxInput {
 // order of §IV-A for dataflow strategies, a random order otherwise. The
 // constructor is always first.
 func (c *Campaign) initialSequence() Sequence {
-	seq := Sequence{c.newTx(minisol.CtorName)}
+	seq := Sequence{c.newTx(c.ctorName)}
 	seq[0].Sender = 0 // the deployer deploys
 	seq[0].Value = u256.Zero
 
 	var order []string
 	if c.opts.Strategy.DataflowSequences {
-		order = c.dataflow.DependencyOrder()
+		order = c.depOrder
 	} else {
-		for _, fn := range c.comp.Contract.Functions {
-			order = append(order, fn.Name)
-		}
+		order = append([]string(nil), c.callable...)
 		c.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 	}
 	for _, fn := range order {
@@ -573,8 +596,8 @@ func (c *Campaign) mutateSeedRand(seed *Seed, rng *rand.Rand) (*Seed, int) {
 	seqMutated := 0
 	sm := &seqMutator{
 		strategy:   c.opts.Strategy,
-		repeatable: c.dataflow.RepeatCandidates(),
-		callable:   c.callableFuncs(),
+		repeatable: c.repeatable,
+		callable:   c.callable,
 	}
 	newTx := func(fn string) TxInput { return c.newTxRand(fn, rng) }
 
@@ -706,13 +729,7 @@ func (c *Campaign) randomUncoveredCmp(rng *rand.Rand) (evm.CmpInfo, bool) {
 	return c.distCmp[c.nthFrontierEdge(rng.Intn(c.distCount))], true
 }
 
-func (c *Campaign) callableFuncs() []string {
-	var out []string
-	for _, fn := range c.comp.Contract.Functions {
-		out = append(out, fn.Name)
-	}
-	return out
-}
+func (c *Campaign) callableFuncs() []string { return c.callable }
 
 // --- Mask computation (Algorithm 2 driver) ---
 
@@ -938,7 +955,7 @@ func (c *Campaign) InjectSequences(seqs []Sequence) int {
 // sanitizeSequence adapts a foreign sequence to this campaign's contract, or
 // returns nil when nothing usable remains.
 func (c *Campaign) sanitizeSequence(seq Sequence) Sequence {
-	if len(seq) == 0 || seq[0].Func != minisol.CtorName {
+	if len(seq) == 0 || seq[0].Func != c.ctorName {
 		return nil
 	}
 	out := make(Sequence, 0, len(seq))
@@ -953,7 +970,7 @@ func (c *Campaign) sanitizeSequence(seq Sequence) Sequence {
 			break
 		}
 	}
-	if len(out) == 0 || out[0].Func != minisol.CtorName {
+	if len(out) == 0 || out[0].Func != c.ctorName {
 		return nil
 	}
 	return out

@@ -4,7 +4,6 @@ import (
 	"mufuzz/internal/abi"
 	"mufuzz/internal/analysis"
 	"mufuzz/internal/evm"
-	"mufuzz/internal/minisol"
 	"mufuzz/internal/oracle"
 	"mufuzz/internal/state"
 	"mufuzz/internal/u256"
@@ -62,7 +61,7 @@ type execOutcome struct {
 // capture, timeline — happens on the coordinator in deterministic batch
 // order.
 type executor struct {
-	comp         *minisol.Compiled
+	target       Target
 	genesis      *state.State
 	contractAddr state.Address
 	deployer     state.Address
@@ -166,14 +165,16 @@ func (x *executor) encodeTx(tx TxInput) []byte {
 	return out
 }
 
-// internMethods builds the method and selector tables for a compiled
-// contract, including the constructor pseudo-method.
-func internMethods(comp *minisol.Compiled) (map[string]abi.Method, map[string][4]byte) {
-	methods := make(map[string]abi.Method, len(comp.ABI.Methods)+1)
-	selectors := make(map[string][4]byte, len(comp.ABI.Methods)+1)
-	methods[minisol.CtorName] = comp.Ctor
-	selectors[minisol.CtorName] = comp.Ctor.Selector()
-	for _, m := range comp.ABI.Methods {
+// internMethods builds the method and selector tables for a target,
+// including the constructor pseudo-method.
+func internMethods(t Target) (map[string]abi.Method, map[string][4]byte) {
+	fns := t.Methods()
+	methods := make(map[string]abi.Method, len(fns)+1)
+	selectors := make(map[string][4]byte, len(fns)+1)
+	ctor := t.Constructor()
+	methods[ctor.Name] = ctor
+	selectors[ctor.Name] = ctor.Selector()
+	for _, m := range fns {
 		methods[m.Name] = m
 		selectors[m.Name] = m.Selector()
 	}
@@ -209,8 +210,7 @@ func (x *executor) run(seq Sequence) *execOutcome {
 	} else {
 		st = x.forkOf(x.genesis)
 		e = x.engine(st)
-		st.CreateContract(x.contractAddr, x.comp.Code, x.deployer)
-		st.Commit()
+		x.target.Deploy(st, x.contractAddr, x.deployer)
 	}
 	out.firstLive = start
 

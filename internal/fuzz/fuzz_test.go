@@ -242,7 +242,7 @@ func TestSequenceMutationKeepsCtorFirst(t *testing.T) {
 	c := NewCampaign(comp, Options{Strategy: MuFuzz(), Seed: 3})
 	sm := &seqMutator{
 		strategy:   MuFuzz(),
-		repeatable: c.dataflow.RepeatCandidates(),
+		repeatable: c.repeatable,
 		callable:   c.callableFuncs(),
 	}
 	seq := c.initialSequence()
@@ -262,7 +262,7 @@ func TestRAWRepetitionProducesConsecutiveCalls(t *testing.T) {
 	c := NewCampaign(comp, Options{Strategy: MuFuzz(), Seed: 5})
 	sm := &seqMutator{
 		strategy:   MuFuzz(),
-		repeatable: c.dataflow.RepeatCandidates(),
+		repeatable: c.repeatable,
 		callable:   c.callableFuncs(),
 	}
 	// run many mutations; eventually invest must appear twice consecutively

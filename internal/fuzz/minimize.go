@@ -26,7 +26,7 @@ func (c *Campaign) Replay(seq Sequence) *ReplayResult {
 	x := c.exec.detached()
 	res := x.run(seq)
 
-	det := oracle.NewDetector(c.contractAddr, c.comp.Code)
+	det := oracle.NewDetector(c.contractAddr, c.code)
 	for _, rep := range res.reports {
 		det.Absorb(rep.report)
 	}

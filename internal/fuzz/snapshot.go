@@ -138,8 +138,8 @@ func (c *Campaign) Snapshot() *Snapshot {
 		panic("fuzz: Snapshot called while a slice is running")
 	}
 	s := &Snapshot{
-		Contract:         c.comp.Contract.Name,
-		CodeHash:         keccak.Sum256(c.comp.Code),
+		Contract:         c.target.Name(),
+		CodeHash:         keccak.Sum256(c.code),
 		Options:          c.opts,
 		RngDraws:         c.rngSrc.draws,
 		Executions:       c.executions,
@@ -199,12 +199,19 @@ func (c *Campaign) Snapshot() *Snapshot {
 // install one with SetObserver before the next slice if transcripts should
 // continue.
 func ResumeCampaign(comp *minisol.Compiled, s *Snapshot) (*Campaign, error) {
-	if keccak.Sum256(comp.Code) != s.CodeHash {
-		return nil, fmt.Errorf("fuzz: snapshot code hash does not match compiled contract %s", comp.Contract.Name)
+	return ResumeTargetCampaign(MinisolTarget(comp), s)
+}
+
+// ResumeTargetCampaign is ResumeCampaign for any target kind: the target
+// must carry the same runtime code the snapshot was taken from (pinned by
+// CodeHash).
+func ResumeTargetCampaign(t Target, s *Snapshot) (*Campaign, error) {
+	if keccak.Sum256(t.Code()) != s.CodeHash {
+		return nil, fmt.Errorf("fuzz: snapshot code hash does not match target %s", t.Name())
 	}
 	opts := s.Options
 	opts.Observer = nil
-	c := NewCampaign(comp, opts)
+	c := NewTargetCampaign(t, opts)
 
 	c.rngSrc = newCountedSource(opts.Seed, s.RngDraws)
 	c.rng = rand.New(c.rngSrc)

@@ -1,0 +1,141 @@
+package ingest
+
+import (
+	"sort"
+
+	"mufuzz/internal/analysis"
+	"mufuzz/internal/evm"
+)
+
+// This file recovers the function layout of dispatcher-style runtime
+// bytecode: which 4-byte selector jumps where, which basic blocks belong to
+// each function body, and how deeply nested each JUMPI site sits — the
+// branch-site metadata the campaign gets from compiler output when source is
+// available.
+
+// selEntry is one recovered dispatcher arm.
+type selEntry struct {
+	sel   [4]byte
+	entry uint64
+}
+
+// selectorEntries scans the disassembly for the dispatcher comparison shape
+// both solc and MiniSol emit:
+//
+//	DUP1 PUSH4 <selector> EQ PUSHn <dest> JUMPI
+//
+// and returns the selector → entry arms in code order. The DUP1 anchor keeps
+// body code that happens to compare against a 4-byte constant from reading
+// as a dispatcher arm.
+func selectorEntries(instrs []analysis.Instruction) []selEntry {
+	var out []selEntry
+	for i := 1; i+3 < len(instrs); i++ {
+		ins := instrs[i]
+		if ins.Op != evm.PUSH1+3 || len(ins.Imm) != 4 {
+			continue
+		}
+		if instrs[i-1].Op != evm.DUP1 || instrs[i+1].Op != evm.EQ {
+			continue
+		}
+		dest := instrs[i+2]
+		if !dest.Op.IsPush() || len(dest.Imm) == 0 || len(dest.Imm) > 8 || instrs[i+3].Op != evm.JUMPI {
+			continue
+		}
+		var e selEntry
+		copy(e.sel[:], ins.Imm)
+		for _, b := range dest.Imm {
+			e.entry = e.entry<<8 | uint64(b)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// reachableBlocks returns the start pcs of every block reachable from the
+// block containing entry, in ascending order. An entry outside any block
+// yields nil.
+func reachableBlocks(cfg *analysis.CFG, entry uint64) []uint64 {
+	start, ok := blockStartOf(cfg, entry)
+	if !ok {
+		return nil
+	}
+	seen := map[uint64]bool{start: true}
+	work := []uint64{start}
+	for len(work) > 0 {
+		cur := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range cfg.Blocks[cur].Succs {
+			if _, exists := cfg.Blocks[s]; exists && !seen[s] {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	out := make([]uint64, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// blockStartOf finds the block containing pc (normally pc is itself a block
+// leader: every recovered entry is a JUMPI target, i.e. a JUMPDEST).
+func blockStartOf(cfg *analysis.CFG, pc uint64) (uint64, bool) {
+	if _, ok := cfg.Blocks[pc]; ok {
+		return pc, true
+	}
+	b, ok := cfg.BlockOf(pc)
+	if !ok {
+		return 0, false
+	}
+	return b.Start, true
+}
+
+// branchDepths recovers a nesting depth for every JUMPI reachable from
+// entry: 1 plus the minimum number of conditional blocks crossed on the way
+// from the entry to the branch's block. A top-of-function guard gets depth
+// 1; a branch behind one other conditional gets 2 — the threshold at which
+// the mask-guided mutator treats a seed as having hit a "nested branch"
+// (§IV-B). Exact compiler nesting metadata is unavailable without source;
+// dominating-conditional count is the CFG-observable analogue.
+func branchDepths(cfg *analysis.CFG, entry uint64) map[uint64]int {
+	start, ok := blockStartOf(cfg, entry)
+	if !ok {
+		return nil
+	}
+	// Shortest-path relaxation where traversing a JUMPI-terminated block
+	// costs 1 and any other block costs 0 (graphs are tiny; iterate to a
+	// fixed point).
+	dist := map[uint64]int{start: 0}
+	for changed := true; changed; {
+		changed = false
+		for _, from := range cfg.Order {
+			d, ok := dist[from]
+			if !ok {
+				continue
+			}
+			b := cfg.Blocks[from]
+			cost := 0
+			if b.HasJumpi {
+				cost = 1
+			}
+			for _, s := range b.Succs {
+				if _, exists := cfg.Blocks[s]; !exists {
+					continue
+				}
+				if cur, ok := dist[s]; !ok || d+cost < cur {
+					dist[s] = d + cost
+					changed = true
+				}
+			}
+		}
+	}
+	out := map[uint64]int{}
+	for from, d := range dist {
+		if b := cfg.Blocks[from]; b.HasJumpi {
+			out[b.JumpiPC] = d + 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,352 @@
+// Package ingest turns deployed EVM bytecode plus a standard Solidity ABI
+// JSON document into a fuzzable target — no source required. It is the
+// source-free counterpart of the MiniSol pipeline: the ABI supplies
+// selectors and payability, the CFG supplies branch sites, and a lightweight
+// abstract interpretation of each selector-dispatched function body recovers
+// per-function storage read/write sets, so sequence-aware mutation (§IV-A),
+// mask-guided mutation (§IV-B), and dynamic energy (§IV-C) all run against
+// arbitrary on-chain-style bytecode through the fuzz.Target interface.
+package ingest
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"mufuzz/internal/abi"
+	"mufuzz/internal/analysis"
+	"mufuzz/internal/evm"
+	"mufuzz/internal/fuzz"
+	"mufuzz/internal/keccak"
+	"mufuzz/internal/state"
+)
+
+// FuncStorage is the recovered summary of one dispatched function: where its
+// body starts and which storage slots it touches. Slot keys are rendered by
+// ConstSlotKey/MapSlotKey; "?" is the widened unknown.
+type FuncStorage struct {
+	Name     string
+	Selector [4]byte
+	Entry    uint64
+	// Found reports whether the dispatcher scan located this selector; when
+	// false the sets are empty and Entry is 0.
+	Found       bool
+	Reads       analysis.VarSet
+	Writes      analysis.VarSet
+	BranchReads analysis.VarSet
+	RAW         analysis.VarSet
+}
+
+// Target is a source-free fuzzing target. It implements fuzz.Target; all
+// fields are computed at Load time and immutable afterwards.
+type Target struct {
+	name     string
+	code     []byte
+	codeHash [32]byte
+	spec     *abi.ABI
+	ctor     abi.Method
+	methods  []abi.Method
+	branches []fuzz.TargetBranch
+	df       *analysis.Dataflow
+	depOrder []string
+	repeat   []string
+	access   []FuncStorage
+	arms     []DispatchArm
+	cfg      *analysis.CFG
+}
+
+// DispatchArm is one recovered dispatcher comparison: the raw 4-byte
+// selector and the body entry it jumps to — available even when no ABI (or
+// an incomplete one) was supplied.
+type DispatchArm struct {
+	Selector [4]byte
+	Entry    uint64
+}
+
+// LoadHex is Load over hex-encoded bytecode (0x prefix and whitespace
+// tolerated — the format Etherscan and RPC eth_getCode return).
+func LoadHex(codeHex string, abiJSON []byte) (*Target, error) {
+	s := strings.TrimSpace(codeHex)
+	s = strings.TrimPrefix(s, "0x")
+	s = strings.Map(func(r rune) rune {
+		if r == '\n' || r == '\r' || r == '\t' || r == ' ' {
+			return -1
+		}
+		return r
+	}, s)
+	code, err := hex.DecodeString(s)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: decode bytecode hex: %w", err)
+	}
+	return Load(code, abiJSON)
+}
+
+// Load builds a target from bytecode and ABI JSON. Creation bytecode is
+// detected and its runtime portion extracted automatically (the
+// CODECOPY/RETURN deploy shape); anything else is treated as runtime code.
+func Load(code []byte, abiJSON []byte) (*Target, error) {
+	if len(code) == 0 {
+		return nil, fmt.Errorf("ingest: empty bytecode")
+	}
+	spec, err := abi.ParseJSON(abiJSON)
+	if err != nil {
+		return nil, err
+	}
+	if runtime, ok := ExtractRuntime(code); ok {
+		code = runtime
+	}
+
+	t := &Target{
+		code:     code,
+		codeHash: keccak.Sum256(code),
+		spec:     spec,
+		cfg:      analysis.BuildCFG(code),
+	}
+	t.name = "code-" + hex.EncodeToString(t.codeHash[:6])
+	t.ctor = ctorMethod(spec)
+	t.methods = spec.Methods
+
+	t.recover()
+	return t, nil
+}
+
+// ctorMethod builds the sequence-anchor pseudo-method from the ABI's
+// constructor entry. Its signature uses the fuzzer's constructor pseudo-name
+// over the declared argument types, so bytecode compiled with the same
+// pseudo-selector scheme (the MiniSol toolchain) dispatches it to the real
+// constructor; for foreign bytecode the call lands in the fallback path,
+// which keeps the sequence invariant without touching state.
+func ctorMethod(spec *abi.ABI) abi.Method {
+	m := abi.Method{Name: fuzz.CtorName, Payable: true}
+	if c := spec.Constructor; c != nil {
+		m.Inputs = c.Inputs
+	}
+	parts := make([]string, len(m.Inputs))
+	for i, p := range m.Inputs {
+		parts[i] = p.TypeName()
+	}
+	m.RawSig = fuzz.CtorName + "(" + strings.Join(parts, ",") + ")"
+	return m
+}
+
+// recover runs the static recovery over the runtime code: dispatcher arms,
+// per-function storage access, and branch-site depths.
+func (t *Target) recover() {
+	instrs := analysis.Disassemble(t.code)
+	entryBySel := map[[4]byte]uint64{}
+	for _, e := range selectorEntries(instrs) {
+		if _, dup := entryBySel[e.sel]; !dup {
+			entryBySel[e.sel] = e.entry
+			t.arms = append(t.arms, DispatchArm{Selector: e.sel, Entry: e.entry})
+		}
+	}
+
+	depth := map[uint64]int{}
+	analyze := func(name string, sel [4]byte) FuncStorage {
+		fs := FuncStorage{
+			Name: name, Selector: sel,
+			Reads: analysis.VarSet{}, Writes: analysis.VarSet{},
+			BranchReads: analysis.VarSet{}, RAW: analysis.VarSet{},
+		}
+		entry, ok := entryBySel[sel]
+		if !ok {
+			return fs
+		}
+		fs.Entry = entry
+		fs.Found = true
+		blocks := reachableBlocks(t.cfg, entry)
+		acc := recoverAccess(t.cfg, blocks, nil)
+		fs.Reads = varSet(acc.reads)
+		fs.Writes = varSet(acc.writes)
+		fs.BranchReads = varSet(acc.branchReads)
+		for w := range fs.Writes {
+			if fs.BranchReads[w] {
+				fs.RAW.Add(w)
+			}
+		}
+		for pc, d := range branchDepths(t.cfg, entry) {
+			if d > depth[pc] {
+				depth[pc] = d
+			}
+		}
+		return fs
+	}
+
+	df := &analysis.Dataflow{}
+	ctorAccess := analyze(t.ctor.Name, t.ctor.Selector())
+	df.Ctor = analysis.FuncDataflow{
+		Name:  t.ctor.Name,
+		Reads: ctorAccess.Reads, Writes: ctorAccess.Writes,
+		BranchReads: ctorAccess.BranchReads, RAW: ctorAccess.RAW,
+	}
+	t.access = append(t.access, ctorAccess)
+	for _, m := range t.methods {
+		fs := analyze(m.Name, m.Selector())
+		t.access = append(t.access, fs)
+		df.Funcs = append(df.Funcs, analysis.FuncDataflow{
+			Name:  m.Name,
+			Reads: fs.Reads, Writes: fs.Writes,
+			BranchReads: fs.BranchReads, RAW: fs.RAW,
+			Stateless: len(fs.Reads) == 0 && len(fs.Writes) == 0,
+		})
+	}
+	t.df = df
+	t.depOrder = df.DependencyOrder()
+	t.repeat = df.RepeatCandidates()
+
+	for _, pc := range t.cfg.BranchPCs() {
+		t.branches = append(t.branches, fuzz.TargetBranch{PC: pc, Depth: depth[pc]})
+	}
+}
+
+// --- fuzz.Target ---
+
+// Name returns the codehash-derived label identifying the target; it keys
+// corpus-store buckets, so campaigns on the same deployed code share seeds.
+func (t *Target) Name() string { return t.name }
+
+// Code returns the runtime bytecode.
+func (t *Target) Code() []byte { return t.code }
+
+// Deploy installs the runtime code. Source-free targets have no executable
+// constructor: on-chain state created at deployment is not reproducible from
+// runtime code alone, so fuzzing starts from fresh storage.
+func (t *Target) Deploy(st *state.State, addr, deployer state.Address) {
+	st.CreateContract(addr, t.code, deployer)
+	st.Commit()
+}
+
+// Constructor returns the sequence-anchor pseudo-method.
+func (t *Target) Constructor() abi.Method { return t.ctor }
+
+// Methods lists the ABI's functions in declaration order.
+func (t *Target) Methods() []abi.Method { return t.methods }
+
+// Branches lists every JUMPI site with its recovered nesting depth.
+func (t *Target) Branches() []fuzz.TargetBranch { return t.branches }
+
+// DependencyOrder orders functions writer-before-reader over recovered
+// storage slots (§IV-A source-free).
+func (t *Target) DependencyOrder() []string { return t.depOrder }
+
+// RepeatCandidates lists functions with a recovered read-after-write slot
+// dependency feeding a branch condition.
+func (t *Target) RepeatCandidates() []string { return t.repeat }
+
+// --- tooling accessors ---
+
+// CodeHash returns keccak256 of the runtime code — the content address the
+// store buckets source-free targets by.
+func (t *Target) CodeHash() [32]byte { return t.codeHash }
+
+// ABI returns the parsed ABI.
+func (t *Target) ABI() *abi.ABI { return t.spec }
+
+// Storage returns the per-function recovered storage summaries (constructor
+// pseudo-method first, then methods in ABI order).
+func (t *Target) Storage() []FuncStorage { return t.access }
+
+// DispatcherArms returns every recovered dispatcher comparison in code
+// order, ABI-matched or not — the raw selector inventory of the bytecode.
+func (t *Target) DispatcherArms() []DispatchArm { return t.arms }
+
+// Dataflow returns the recovered whole-contract dependency summary.
+func (t *Target) Dataflow() *analysis.Dataflow { return t.df }
+
+// CFG returns the bytecode control-flow graph.
+func (t *Target) CFG() *analysis.CFG { return t.cfg }
+
+// ExtractRuntime detects creation (deploy) bytecode and extracts the runtime
+// portion it returns. It abstractly walks the constructor prologue from
+// offset 0 — through static jumps and BOTH directions of conditional guards
+// (solc's nonpayable-constructor CALLVALUE check is a JUMPI diamond whose
+// revert arm dies immediately), with a global step budget — using the same
+// opcode model as the storage recovery (stepData). A path that reaches
+// RETURN with constant (offset, size) fed by a CODECOPY of a constant code
+// range identifies that range as the runtime code. Runtime bytecode never
+// matches: its dispatcher paths RETURN memory no CODECOPY ever wrote, so
+// every path dies or exhausts the budget without a candidate.
+func ExtractRuntime(code []byte) ([]byte, bool) {
+	instrs := analysis.Disassemble(code)
+	index := map[uint64]int{}
+	for i, ins := range instrs {
+		index[ins.PC] = i
+	}
+
+	// srcRange remembers CODECOPY(destOff → [srcOff, size]) with constant
+	// arguments; per-path state, like the abstract stack and memory.
+	type srcRange struct{ src, size uint64 }
+	type path struct {
+		i      int
+		st     *absState
+		ranges map[uint64]srcRange
+	}
+	clonePath := func(p *path, i int) *path {
+		np := &path{
+			i:      i,
+			st:     &absState{stack: append([]absVal(nil), p.st.stack...), mem: make(map[uint64]absVal, len(p.st.mem))},
+			ranges: make(map[uint64]srcRange, len(p.ranges)),
+		}
+		for k, v := range p.st.mem {
+			np.st.mem[k] = v
+		}
+		for k, v := range p.ranges {
+			np.ranges[k] = v
+		}
+		return np
+	}
+
+	work := []*path{{i: 0, st: &absState{mem: map[uint64]absVal{}}, ranges: map[uint64]srcRange{}}}
+	for budget := 4096; budget > 0 && len(work) > 0; {
+		p := work[len(work)-1]
+		work = work[:len(work)-1]
+
+		for ; budget > 0 && p.i < len(instrs); budget-- {
+			ins := instrs[p.i]
+			if stepData(p.st, ins, nil) {
+				p.i++
+				continue
+			}
+			switch ins.Op {
+			case evm.CODECOPY:
+				dest, src, size := p.st.pop(), p.st.pop(), p.st.pop()
+				if dest.kind == aConst && dest.c.FitsUint64() &&
+					src.kind == aConst && src.c.FitsUint64() &&
+					size.kind == aConst && size.c.FitsUint64() {
+					p.ranges[dest.c.Uint64()] = srcRange{src: src.c.Uint64(), size: size.c.Uint64()}
+				}
+				p.i++
+				continue
+			case evm.RETURN:
+				off, size := p.st.pop(), p.st.pop()
+				if off.kind == aConst && off.c.FitsUint64() && size.kind == aConst && size.c.FitsUint64() {
+					if r, ok := p.ranges[off.c.Uint64()]; ok && r.size > 0 && r.size >= size.c.Uint64() {
+						end := r.src + r.size
+						if r.src > 0 && end <= uint64(len(code)) {
+							return code[r.src:end], true
+						}
+					}
+				}
+			case evm.JUMP:
+				dest := p.st.pop()
+				if dest.kind == aConst && dest.c.FitsUint64() {
+					if j, ok := index[dest.c.Uint64()]; ok {
+						p.i = j
+						continue
+					}
+				}
+			case evm.JUMPI:
+				dest, _ := p.st.pop(), p.st.pop()
+				if dest.kind == aConst && dest.c.FitsUint64() {
+					if j, ok := index[dest.c.Uint64()]; ok {
+						work = append(work, clonePath(p, j)) // taken arm
+					}
+				}
+				p.i++ // fall-through arm continues on this path
+				continue
+			}
+			break // REVERT/STOP/INVALID/SELFDESTRUCT, or a dead end above
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,406 @@
+package ingest
+
+import (
+	"sort"
+
+	"mufuzz/internal/analysis"
+	"mufuzz/internal/evm"
+	"mufuzz/internal/u256"
+)
+
+// This file is the storage-access recovery: a lightweight abstract
+// interpretation of bytecode basic blocks that reconstructs, per dispatched
+// function, which storage slots it reads and writes — the information
+// MuFuzz's sequence-aware mutation (§IV-A) gets from the MiniSol AST when
+// source is available. The abstract domain tracks three value shapes:
+//
+//	Const c        — a PUSH immediate or a constant fold thereof
+//	MapSlot b      — keccak256(key . b) with constant b: a Solidity mapping
+//	                 slot with base b (the layout solc and MiniSol share)
+//	Top            — anything else
+//
+// Each value also carries a taint set: the storage keys whose SLOAD results
+// flowed into it. A JUMPI whose condition is tainted marks those keys as
+// branch-reads, which is what the read-after-write repetition heuristic
+// consumes.
+//
+// Blocks are interpreted independently with an unknown entry stack (values
+// popped past the block's own pushes widen to Top) and empty memory. That is
+// exact for the patterns compilers emit — slot pushes, mapping-slot keccaks,
+// and compound load/op/store run inside one block — and degrades to Top (the
+// "?" key) for anything carried across block boundaries.
+
+// Storage-key rendering. Constant slots render as decimal, mapping slots as
+// map[base]; Top collapses to "?", which only ever matches itself in
+// dependency analysis (a deliberately conservative choice).
+const topSlotKey = "?"
+
+// ConstSlotKey renders a constant storage slot as a canonical set element.
+func ConstSlotKey(slot u256.Int) string { return slot.String() }
+
+// MapSlotKey renders a mapping's slot family (all keccak(key . base) slots)
+// as a canonical set element.
+func MapSlotKey(base u256.Int) string { return "map[" + base.String() + "]" }
+
+type absKind uint8
+
+const (
+	aTop absKind = iota
+	aConst
+	aMapSlot
+)
+
+// absVal is one abstract word with its storage-read taint.
+type absVal struct {
+	kind  absKind
+	c     u256.Int // constant value (aConst) or mapping base (aMapSlot)
+	taint []string // sorted unique storage keys read to produce this value
+}
+
+func topVal() absVal { return absVal{kind: aTop} }
+
+func constVal(c u256.Int) absVal { return absVal{kind: aConst, c: c} }
+
+// slotKey renders the abstract value used as an SLOAD/SSTORE slot operand.
+func (v absVal) slotKey() string {
+	switch v.kind {
+	case aConst:
+		return ConstSlotKey(v.c)
+	case aMapSlot:
+		return MapSlotKey(v.c)
+	default:
+		return topSlotKey
+	}
+}
+
+// mergeTaint unions two sorted taint sets.
+func mergeTaint(a, b []string) []string {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return b
+	}
+	out := make([]string, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	sort.Strings(out)
+	w := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[w-1] {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// access accumulates the recovered storage interaction of one code region.
+type access struct {
+	reads       map[string]bool
+	writes      map[string]bool
+	branchReads map[string]bool
+}
+
+func newAccess() *access {
+	return &access{
+		reads:       map[string]bool{},
+		writes:      map[string]bool{},
+		branchReads: map[string]bool{},
+	}
+}
+
+// absState is the interpreter state while walking one basic block.
+type absState struct {
+	stack []absVal
+	mem   map[uint64]absVal // word-granular, keyed by constant byte offset
+}
+
+func (s *absState) push(v absVal) { s.stack = append(s.stack, v) }
+
+// pop returns the top of stack, widening to Top past the block's own pushes
+// (the unknown entry stack).
+func (s *absState) pop() absVal {
+	if len(s.stack) == 0 {
+		return topVal()
+	}
+	v := s.stack[len(s.stack)-1]
+	s.stack = s.stack[:len(s.stack)-1]
+	return v
+}
+
+func (s *absState) popN(n int) []absVal {
+	out := make([]absVal, n)
+	for i := 0; i < n; i++ {
+		out[i] = s.pop()
+	}
+	return out
+}
+
+// opArity gives (pops, pushes) for the opcodes the interpreter treats
+// generically; the structured ones (PUSH/DUP/SWAP, memory, storage, keccak,
+// jumps) are handled in the walk itself.
+func opArity(op evm.OpCode) (pops, pushes int, ok bool) {
+	switch op {
+	case evm.ADD, evm.MUL, evm.SUB, evm.DIV, evm.SDIV, evm.MOD, evm.SMOD,
+		evm.EXP, evm.SIGNEXTEND, evm.LT, evm.GT, evm.SLT, evm.SGT, evm.EQ,
+		evm.AND, evm.OR, evm.XOR, evm.BYTE, evm.SHL, evm.SHR, evm.SAR:
+		return 2, 1, true
+	case evm.ADDMOD, evm.MULMOD:
+		return 3, 1, true
+	case evm.ISZERO, evm.NOT:
+		return 1, 1, true
+	case evm.ADDRESS, evm.ORIGIN, evm.CALLER, evm.CALLVALUE, evm.CALLDATASIZE,
+		evm.CODESIZE, evm.GASPRICE, evm.RETURNDATASIZE, evm.COINBASE,
+		evm.TIMESTAMP, evm.NUMBER, evm.DIFFICULTY, evm.GASLIMIT,
+		evm.SELFBALANCE, evm.PC, evm.MSIZE, evm.GAS:
+		return 0, 1, true
+	case evm.BALANCE, evm.BLOCKHASH, evm.CALLDATALOAD:
+		return 1, 1, true
+	case evm.CALLDATACOPY, evm.CODECOPY, evm.RETURNDATACOPY:
+		return 3, 0, true
+	case evm.POP:
+		return 1, 0, true
+	case evm.JUMPDEST, evm.STOP, evm.INVALID:
+		return 0, 0, true
+	case evm.JUMP, evm.SELFDESTRUCT:
+		return 1, 0, true
+	case evm.RETURN, evm.REVERT:
+		return 2, 0, true
+	case evm.CALL:
+		return 7, 1, true
+	case evm.DELEGATECALL, evm.STATICCALL:
+		return 6, 1, true
+	}
+	if op.IsLog() {
+		return 2 + int(op-evm.LOG0), 0, true
+	}
+	return 0, 0, false
+}
+
+// foldBinary constant-folds the arithmetic the slot computations of real
+// compilers use; everything else widens to Top. a is the first-popped (top)
+// operand, matching EVM semantics (SUB = a - b, SHL = b << a).
+func foldBinary(op evm.OpCode, a, b absVal) absVal {
+	taint := mergeTaint(a.taint, b.taint)
+	if a.kind == aConst && b.kind == aConst {
+		var c u256.Int
+		folded := true
+		switch op {
+		case evm.ADD:
+			c = a.c.Add(b.c)
+		case evm.SUB:
+			c = a.c.Sub(b.c)
+		case evm.MUL:
+			c = a.c.Mul(b.c)
+		case evm.AND:
+			c = a.c.And(b.c)
+		case evm.OR:
+			c = a.c.Or(b.c)
+		case evm.XOR:
+			c = a.c.Xor(b.c)
+		case evm.SHL:
+			if a.c.FitsUint64() && a.c.Uint64() < 256 {
+				c = b.c.Lsh(uint(a.c.Uint64()))
+			} else {
+				folded = false
+			}
+		case evm.SHR:
+			if a.c.FitsUint64() && a.c.Uint64() < 256 {
+				c = b.c.Rsh(uint(a.c.Uint64()))
+			} else {
+				folded = false
+			}
+		case evm.EQ:
+			if a.c.Eq(b.c) {
+				c = u256.One
+			}
+		case evm.ISZERO:
+			folded = false
+		default:
+			folded = false
+		}
+		if folded {
+			return absVal{kind: aConst, c: c, taint: taint}
+		}
+	}
+	return absVal{kind: aTop, taint: taint}
+}
+
+// stepData advances the abstract state over one data instruction, recording
+// storage interaction into acc when non-nil (nil runs the same opcode model
+// without recording — the creation-code walk). Control-flow and code-copy
+// instructions (JUMP, JUMPI, CODECOPY, RETURN, REVERT, STOP, INVALID,
+// SELFDESTRUCT) are the caller's: the function touches nothing for them and
+// returns false. This is the single opcode model shared by walkBlock and
+// ExtractRuntime, so memory/stack semantics cannot diverge between the two.
+func stepData(st *absState, ins analysis.Instruction, acc *access) bool {
+	op := ins.Op
+	switch op {
+	case evm.JUMP, evm.JUMPI, evm.CODECOPY, evm.RETURN, evm.REVERT,
+		evm.STOP, evm.INVALID, evm.SELFDESTRUCT:
+		return false
+	}
+	switch {
+	case op.IsPush():
+		st.push(constVal(u256.FromBytes(ins.Imm)))
+
+	case op.IsDup():
+		n := int(op-evm.DUP1) + 1
+		if n <= len(st.stack) {
+			st.push(st.stack[len(st.stack)-n])
+		} else {
+			st.push(topVal())
+		}
+
+	case op.IsSwap():
+		n := int(op-evm.SWAP1) + 1
+		if n >= len(st.stack) {
+			// part of the swapped pair is below the entry stack: materialize
+			// unknowns so positions stay consistent
+			for len(st.stack) < n+1 {
+				st.stack = append([]absVal{topVal()}, st.stack...)
+			}
+		}
+		top := len(st.stack) - 1
+		st.stack[top], st.stack[top-n] = st.stack[top-n], st.stack[top]
+
+	case op == evm.MSTORE:
+		off, val := st.pop(), st.pop()
+		if off.kind == aConst && off.c.FitsUint64() {
+			st.mem[off.c.Uint64()] = val
+		} else {
+			// unknown destination: every remembered word may be gone
+			st.mem = map[uint64]absVal{}
+		}
+
+	case op == evm.MSTORE8:
+		off, _ := st.pop(), st.pop()
+		if off.kind == aConst && off.c.FitsUint64() {
+			delete(st.mem, off.c.Uint64())
+		} else {
+			st.mem = map[uint64]absVal{}
+		}
+
+	case op == evm.MLOAD:
+		off := st.pop()
+		if off.kind == aConst && off.c.FitsUint64() {
+			if v, ok := st.mem[off.c.Uint64()]; ok {
+				st.push(v)
+				return true
+			}
+		}
+		st.push(topVal())
+
+	case op == evm.KECCAK256:
+		off, size := st.pop(), st.pop()
+		// The mapping-slot shape shared by solc and MiniSol:
+		// keccak256(mem[off .. off+64]) with mem[off+32] = constant base.
+		if off.kind == aConst && off.c.FitsUint64() &&
+			size.kind == aConst && size.c.FitsUint64() && size.c.Uint64() == 64 {
+			o := off.c.Uint64()
+			base, okBase := st.mem[o+32]
+			key := st.mem[o] // zero absVal (Top) when unknown
+			if okBase && base.kind == aConst {
+				st.push(absVal{kind: aMapSlot, c: base.c, taint: mergeTaint(key.taint, base.taint)})
+				return true
+			}
+		}
+		st.push(topVal())
+
+	case op == evm.SLOAD:
+		slot := st.pop()
+		key := slot.slotKey()
+		if acc != nil {
+			acc.reads[key] = true
+		}
+		st.push(absVal{kind: aTop, taint: mergeTaint(slot.taint, []string{key})})
+
+	case op == evm.SSTORE:
+		slot, _ := st.pop(), st.pop()
+		if acc != nil {
+			acc.writes[slot.slotKey()] = true
+		}
+
+	case op == evm.CALL || op == evm.DELEGATECALL || op == evm.STATICCALL:
+		// A call's status word is decided by the callee, not by the storage
+		// values among its arguments; cutting taint here keeps call-success
+		// guards (transfer/send checks) out of the branch-read sets,
+		// matching the source-level definition of a condition read.
+		pops, _, _ := opArity(op)
+		st.popN(pops)
+		st.push(topVal())
+
+	case op == evm.ISZERO || op == evm.NOT:
+		v := st.pop()
+		st.push(absVal{kind: aTop, taint: v.taint})
+
+	default:
+		if pops, pushes, ok := opArity(op); ok {
+			if pops == 2 && pushes == 1 {
+				args := st.popN(2)
+				st.push(foldBinary(op, args[0], args[1]))
+				return true
+			}
+			args := st.popN(pops)
+			var taint []string
+			for _, a := range args {
+				taint = mergeTaint(taint, a.taint)
+			}
+			for i := 0; i < pushes; i++ {
+				st.push(absVal{kind: aTop, taint: taint})
+			}
+		} else {
+			// Unknown opcode: assume nothing about the stack from here on.
+			st.stack = st.stack[:0]
+			st.mem = map[uint64]absVal{}
+		}
+	}
+	return true
+}
+
+// walkBlock abstractly interprets one basic block, folding its storage
+// interaction into acc. onBranch, when non-nil, receives the JUMPI site pc
+// and its condition taint.
+func walkBlock(b *analysis.Block, acc *access, onBranch func(pc uint64, taint []string)) {
+	st := &absState{mem: map[uint64]absVal{}}
+	for _, ins := range b.Instr {
+		if stepData(st, ins, acc) {
+			continue
+		}
+		if ins.Op == evm.JUMPI {
+			_, cond := st.pop(), st.pop()
+			for _, key := range cond.taint {
+				acc.branchReads[key] = true
+			}
+			if onBranch != nil {
+				onBranch(ins.PC, cond.taint)
+			}
+			continue
+		}
+		// Remaining control ops terminate the block; only their stack pops
+		// matter (nothing in this block runs after them).
+		if pops, _, ok := opArity(ins.Op); ok {
+			st.popN(pops)
+		}
+	}
+}
+
+// recoverAccess interprets every block in blocks and returns the combined
+// storage interaction. onBranch observes each JUMPI once per block walk.
+func recoverAccess(cfg *analysis.CFG, blocks []uint64, onBranch func(pc uint64, taint []string)) *access {
+	acc := newAccess()
+	for _, start := range blocks {
+		walkBlock(cfg.Blocks[start], acc, onBranch)
+	}
+	return acc
+}
+
+// varSet converts an access set into the analysis package's VarSet form.
+func varSet(m map[string]bool) analysis.VarSet {
+	out := analysis.VarSet{}
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}

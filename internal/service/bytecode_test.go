@@ -1,0 +1,94 @@
+package service
+
+import (
+	"encoding/hex"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"mufuzz/internal/corpus"
+	"mufuzz/internal/minisol"
+)
+
+// buggyBytecodeSpec compiles the buggy crowdsale and returns it as the
+// on-chain artifact pair a source-free submission carries.
+func buggyBytecodeSpec(t *testing.T) CampaignSpec {
+	t.Helper()
+	comp, err := minisol.Compile(corpus.CrowdsaleBuggy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return CampaignSpec{
+		Bytecode:   "0x" + hex.EncodeToString(comp.Code),
+		ABI:        comp.ABI.EncodeJSON(),
+		Iterations: 2_000_000,
+		Seed:       1,
+	}
+}
+
+// TestServiceBytecodeTarget submits deployed bytecode + ABI JSON over the
+// HTTP API, waits for the seeded BD finding, then drains, restarts on the
+// same store, and checks the source-free campaign resumed with its finding
+// — the full lifecycle with no source anywhere.
+func TestServiceBytecodeTarget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("service campaigns are slow")
+	}
+	dir := t.TempDir()
+	svc, ts := startService(t, openStoreT(t, dir), Config{Slots: 1, SliceRounds: 8})
+
+	spec := buggyBytecodeSpec(t)
+	var st Status
+	if code := postJSON(t, ts.URL+"/v1/campaigns", spec, &st); code != http.StatusCreated {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	if !strings.HasPrefix(st.Contract, "code-") {
+		t.Fatalf("bytecode target not bucketed by codehash: contract=%q", st.Contract)
+	}
+
+	waitFor(t, 60*time.Second, "source-free campaign detects BD", func() bool {
+		cur, _ := svc.Status(st.ID)
+		return hasClass(cur, "BD")
+	})
+
+	svc.Drain()
+	ts.Close()
+
+	svc2, _ := startService(t, openStoreT(t, dir), Config{Slots: 1, SliceRounds: 8})
+	defer svc2.Drain()
+	cur, ok := svc2.Status(st.ID)
+	if !ok {
+		t.Fatalf("campaign %s lost across restart", st.ID)
+	}
+	if !hasClass(cur, "BD") {
+		t.Fatalf("finding lost across restart: %+v", cur)
+	}
+	findings, err := svc2.Findings(st.ID, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) == 0 {
+		t.Fatal("no findings served after restart")
+	}
+	// The PoC call order must start at the sequence anchor and use ABI names
+	// — the replayable artifact a source-free consumer gets.
+	if len(findings[0].PoC) == 0 || findings[0].PoC[0] != minisol.CtorName {
+		t.Fatalf("PoC malformed: %v", findings[0].PoC)
+	}
+}
+
+// TestServiceRejectsBadBytecodeSpecs pins the validation errors.
+func TestServiceRejectsBadBytecodeSpecs(t *testing.T) {
+	svc, _ := startService(t, nil, Config{})
+	defer svc.Drain()
+	if _, err := svc.Submit(CampaignSpec{Bytecode: "0x6001"}); err == nil {
+		t.Fatal("bytecode without abi accepted")
+	}
+	if _, err := svc.Submit(CampaignSpec{Bytecode: "zz", ABI: []byte("[]")}); err == nil {
+		t.Fatal("junk hex accepted")
+	}
+	if _, err := svc.Submit(CampaignSpec{Example: "crowdsale", Bytecode: "0x6001", ABI: []byte("[]")}); err == nil {
+		t.Fatal("ambiguous spec accepted")
+	}
+}

@@ -24,6 +24,7 @@ import (
 
 	"mufuzz/internal/corpus"
 	"mufuzz/internal/fuzz"
+	"mufuzz/internal/ingest"
 	"mufuzz/internal/minisol"
 	"mufuzz/internal/store"
 )
@@ -80,11 +81,20 @@ func (c Config) withDefaults() Config {
 type CampaignSpec struct {
 	// Name is a human label; defaults to the contract name.
 	Name string `json:"name,omitempty"`
-	// Source is MiniSol source text. Exactly one of Source/Example is set.
+	// Source is MiniSol source text. Exactly one of Source/Example/Bytecode
+	// is set.
 	Source string `json:"source,omitempty"`
 	// Example names a built-in corpus example (crowdsale, crowdsale-buggy,
 	// game).
 	Example string `json:"example,omitempty"`
+	// Bytecode is hex-encoded deployed EVM bytecode (runtime or creation;
+	// 0x prefix optional) for a source-free target. Requires ABI. Seeds for
+	// bytecode targets are bucketed by codehash, so campaigns fuzzing the
+	// same deployed code cross-pollinate regardless of who submitted them.
+	Bytecode string `json:"bytecode,omitempty"`
+	// ABI is the contract's standard Solidity ABI JSON (the array form),
+	// required alongside Bytecode.
+	ABI json.RawMessage `json:"abi,omitempty"`
 	// Strategy is a preset name (mufuzz, sfuzz, confuzzius, irfuzz,
 	// smartian); default mufuzz.
 	Strategy string `json:"strategy,omitempty"`
@@ -140,8 +150,8 @@ type Finding struct {
 type job struct {
 	id       string
 	spec     CampaignSpec
-	comp     *minisol.Compiled
-	contract string // seed-sharing bucket (contract name)
+	target   fuzz.Target
+	contract string // seed-sharing bucket (contract name or codehash label)
 
 	// execMu serializes campaign engine access: the scheduler slice, the
 	// findings/minimize handlers, and drain snapshotting.
@@ -231,27 +241,44 @@ func (s *Service) worker() {
 	}
 }
 
-// resolveSource maps a spec to MiniSol source text.
-func resolveSource(spec CampaignSpec) (string, error) {
-	switch {
-	case spec.Source != "" && spec.Example != "":
-		return "", fmt.Errorf("pass either source or example, not both")
-	case spec.Source != "":
-		return spec.Source, nil
-	case spec.Example != "":
+// resolveTarget maps a spec to a fuzzable target: compiled MiniSol source
+// (inline or a built-in example) or source-free bytecode + ABI.
+func resolveTarget(spec CampaignSpec) (fuzz.Target, error) {
+	set := 0
+	for _, s := range []bool{spec.Source != "", spec.Example != "", spec.Bytecode != ""} {
+		if s {
+			set++
+		}
+	}
+	if set != 1 {
+		return nil, fmt.Errorf("spec needs exactly one of source, example, or bytecode")
+	}
+
+	if spec.Bytecode != "" {
+		if len(spec.ABI) == 0 {
+			return nil, fmt.Errorf("bytecode campaigns need an abi")
+		}
+		return ingest.LoadHex(spec.Bytecode, spec.ABI)
+	}
+
+	src := spec.Source
+	if spec.Example != "" {
 		switch spec.Example {
 		case "crowdsale":
-			return corpus.Crowdsale(), nil
+			src = corpus.Crowdsale()
 		case "crowdsale-buggy":
-			return corpus.CrowdsaleBuggy(), nil
+			src = corpus.CrowdsaleBuggy()
 		case "game":
-			return corpus.Game(), nil
+			src = corpus.Game()
 		default:
-			return "", fmt.Errorf("unknown example %q", spec.Example)
+			return nil, fmt.Errorf("unknown example %q", spec.Example)
 		}
-	default:
-		return "", fmt.Errorf("spec needs source or example")
 	}
+	comp, err := minisol.Compile(src)
+	if err != nil {
+		return nil, fmt.Errorf("compile: %w", err)
+	}
+	return fuzz.MinisolTarget(comp), nil
 }
 
 // options maps a spec to engine options.
@@ -275,19 +302,15 @@ func (s *Service) options(spec CampaignSpec) (fuzz.Options, error) {
 	return fuzz.Options{Strategy: strat, Seed: seed, Iterations: iters, Workers: workers}, nil
 }
 
-// Submit compiles and enqueues a new campaign.
+// Submit resolves and enqueues a new campaign.
 func (s *Service) Submit(spec CampaignSpec) (Status, error) {
-	src, err := resolveSource(spec)
-	if err != nil {
-		return Status{}, err
-	}
 	opts, err := s.options(spec)
 	if err != nil {
 		return Status{}, err
 	}
-	comp, err := minisol.Compile(src)
+	target, err := resolveTarget(spec)
 	if err != nil {
-		return Status{}, fmt.Errorf("compile: %w", err)
+		return Status{}, err
 	}
 
 	s.mu.Lock()
@@ -299,21 +322,21 @@ func (s *Service) Submit(spec CampaignSpec) (Status, error) {
 	id := fmt.Sprintf("c%04d", s.nextID)
 	name := spec.Name
 	if name == "" {
-		name = comp.Contract.Name
+		name = target.Name()
 	}
 	j := &job{
 		id:       id,
 		spec:     spec,
-		comp:     comp,
-		contract: comp.Contract.Name,
-		campaign: fuzz.NewCampaign(comp, opts),
+		target:   target,
+		contract: target.Name(),
+		campaign: fuzz.NewTargetCampaign(target, opts),
 		exported: make(map[string]bool),
 		imported: make(map[string]bool),
 		seqSeen:  make(map[string]bool),
 		subs:     make(map[chan Status]struct{}),
 	}
 	j.status = Status{
-		ID: id, Name: name, Contract: comp.Contract.Name,
+		ID: id, Name: name, Contract: target.Name(),
 		State: StateQueued, Iterations: opts.Iterations,
 	}
 	s.jobs[id] = j
@@ -551,18 +574,14 @@ func (s *Service) restore() error {
 	return nil
 }
 
-// rebuild recompiles a restored job's contract and resumes its campaign
-// from the stored snapshot.
+// rebuild re-resolves a restored job's target and resumes its campaign from
+// the stored snapshot.
 func (s *Service) rebuild(j *job) error {
-	src, err := resolveSource(j.spec)
+	target, err := resolveTarget(j.spec)
 	if err != nil {
 		return err
 	}
-	comp, err := minisol.Compile(src)
-	if err != nil {
-		return err
-	}
-	j.comp = comp
+	j.target = target
 	data, err := s.cfg.Store.Get(store.KindSnapshot, "", j.id+".snap")
 	if err != nil {
 		return fmt.Errorf("snapshot: %w", err)
@@ -571,7 +590,7 @@ func (s *Service) rebuild(j *job) error {
 	if err != nil {
 		return err
 	}
-	c, err := fuzz.ResumeCampaign(comp, snap)
+	c, err := fuzz.ResumeTargetCampaign(target, snap)
 	if err != nil {
 		return err
 	}
