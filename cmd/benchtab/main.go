@@ -164,6 +164,10 @@ func main() {
 // campaignRun is one measured configuration of the campaign throughput
 // benchmark.
 type campaignRun struct {
+	// Timestamp (RFC 3339 UTC) orders the retained history; runs recorded
+	// before the history schema have none and sort first.
+	Timestamp    string  `json:"timestamp,omitempty"`
+	Iterations   int     `json:"iterations,omitempty"`
 	Workers      int     `json:"workers"`
 	Campaigns    int     `json:"campaigns"`
 	Executions   int     `json:"executions"`
@@ -185,10 +189,18 @@ type campaignBench struct {
 	Iterations int           `json:"iterations"`
 	NumCPU     int           `json:"num_cpu"`
 	Seed       int64         `json:"seed"`
-	Runs       []campaignRun `json:"runs"`
-	// Speedup is execs/s at Workers=NumCPU over Workers=1 (1.0 on a
-	// single-core machine, where both configurations coincide).
+	// Runs is the retained measurement history: each benchtab invocation
+	// APPENDS its timestamped measurements (one per worker count) instead of
+	// overwriting, so the file records the perf trajectory across PRs. At
+	// most maxRetainedRuns entries are kept, oldest dropped first.
+	Runs []campaignRun `json:"runs"`
+	// Speedup is the newest Workers=1 run's execs/s over the OLDEST retained
+	// comparable baseline (same workers and iterations) — the cumulative
+	// perf-trajectory multiplier, 1.0 when the file starts fresh.
 	Speedup float64 `json:"speedup"`
+	// ParallelSpeedup is execs/s at Workers=NumCPU over Workers=1 within the
+	// newest invocation (0 when the machine is single-core).
+	ParallelSpeedup float64 `json:"parallel_speedup,omitempty"`
 	// Service is the scheduler-overhead measurement (-exp service): N
 	// campaigns multiplexed through the campaign service's bounded slot
 	// pool versus the same N run back to back on bare engines.
@@ -216,23 +228,38 @@ type serviceBench struct {
 // Crowdsale contract at Workers ∈ {1, NumCPU} and writes the result as JSON.
 // iterations is the per-campaign budget (the -iters flag); the JSON records
 // it so trajectory comparisons only pair like with like.
+// maxRetainedRuns bounds the trajectory history kept in the JSON; the oldest
+// entries past the cap are dropped (but never the oldest comparable baseline
+// the speedup is measured against, which by construction is among the
+// retained prefix).
+const maxRetainedRuns = 32
+
 func campaignThroughput(path string, iterations int, seed int64) error {
 	comp, err := minisol.Compile(corpus.Crowdsale())
 	if err != nil {
 		return err
 	}
 	const campaigns = 8
-	bench := campaignBench{
-		Benchmark:  "CampaignThroughput",
-		Contract:   "Crowdsale",
-		Iterations: iterations,
-		NumCPU:     runtime.NumCPU(),
-		Seed:       seed,
+
+	// Load the existing trajectory so this invocation appends to the history
+	// instead of erasing it.
+	bench := campaignBench{}
+	if data, err := os.ReadFile(path); err == nil {
+		_ = json.Unmarshal(data, &bench)
 	}
+	if bench.Benchmark == "" {
+		bench = campaignBench{Benchmark: "CampaignThroughput", Contract: "Crowdsale"}
+	}
+	bench.Iterations = iterations
+	bench.NumCPU = runtime.NumCPU()
+	bench.Seed = seed
+
+	now := time.Now().UTC().Format(time.RFC3339)
 	workerCounts := []int{1}
 	if runtime.NumCPU() > 1 {
 		workerCounts = append(workerCounts, runtime.NumCPU())
 	}
+	var newRuns []campaignRun
 	for _, workers := range workerCounts {
 		var execs int
 		var cov float64
@@ -252,7 +279,9 @@ func campaignThroughput(path string, iterations int, seed int64) error {
 		}
 		elapsed := time.Since(start).Seconds()
 		runtime.ReadMemStats(&msAfter)
-		bench.Runs = append(bench.Runs, campaignRun{
+		newRuns = append(newRuns, campaignRun{
+			Timestamp:         now,
+			Iterations:        iterations,
 			Workers:           workers,
 			Campaigns:         campaigns,
 			Executions:        execs,
@@ -263,10 +292,24 @@ func campaignThroughput(path string, iterations int, seed int64) error {
 			AllocsPerExec:     float64(msAfter.Mallocs-msBefore.Mallocs) / float64(execs),
 		})
 	}
-	bench.Speedup = 1
-	if len(bench.Runs) == 2 && bench.Runs[0].ExecsPerSec > 0 {
-		bench.Speedup = bench.Runs[1].ExecsPerSec / bench.Runs[0].ExecsPerSec
+	bench.Runs = append(bench.Runs, newRuns...)
+	if len(bench.Runs) > maxRetainedRuns {
+		bench.Runs = bench.Runs[len(bench.Runs)-maxRetainedRuns:]
 	}
+
+	// Trajectory speedup: newest Workers=1 run against the oldest retained
+	// comparable baseline. Pre-history baselines recorded no per-run
+	// iteration count; they ran at the file-level setting, so they compare
+	// when that matches.
+	bench.Speedup = 1
+	if base := oldestComparable(bench.Runs, 1, iterations); base != nil && base.ExecsPerSec > 0 {
+		bench.Speedup = newRuns[0].ExecsPerSec / base.ExecsPerSec
+	}
+	bench.ParallelSpeedup = 0
+	if len(newRuns) == 2 && newRuns[0].ExecsPerSec > 0 {
+		bench.ParallelSpeedup = newRuns[1].ExecsPerSec / newRuns[0].ExecsPerSec
+	}
+
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -277,11 +320,26 @@ func campaignThroughput(path string, iterations int, seed int64) error {
 	if err := enc.Encode(bench); err != nil {
 		return err
 	}
-	for _, r := range bench.Runs {
+	for _, r := range newRuns {
 		fmt.Printf("  campaign throughput: workers=%d  %8.0f execs/s  %7.0f B/exec  %5.0f allocs/exec  (%.1f%% mean coverage)\n",
 			r.Workers, r.ExecsPerSec, r.AllocBytesPerExec, r.AllocsPerExec, r.CoverageMean*100)
 	}
-	fmt.Printf("  speedup %0.2fx; JSON written to %s\n", bench.Speedup, path)
+	fmt.Printf("  trajectory speedup %0.2fx vs oldest retained baseline; %d runs in history; JSON written to %s\n",
+		bench.Speedup, len(bench.Runs), path)
+	return nil
+}
+
+// oldestComparable returns the earliest retained run matching the given
+// worker count and iteration budget (a zero Iterations on a legacy entry
+// matches any budget — the pre-history schema recorded it only at file
+// level).
+func oldestComparable(runs []campaignRun, workers, iterations int) *campaignRun {
+	for i := range runs {
+		r := &runs[i]
+		if r.Workers == workers && (r.Iterations == 0 || r.Iterations == iterations) {
+			return r
+		}
+	}
 	return nil
 }
 

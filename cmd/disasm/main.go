@@ -23,6 +23,7 @@ import (
 
 	"mufuzz/internal/analysis"
 	"mufuzz/internal/corpus"
+	"mufuzz/internal/evm"
 	"mufuzz/internal/ingest"
 	"mufuzz/internal/minisol"
 )
@@ -160,13 +161,24 @@ func runBytecode(path, abiFile string, showAsm, showCFG, showFlow bool) error {
 
 func printAsm(code []byte) {
 	fmt.Println("\ndisassembly:")
-	for _, ins := range analysis.Disassemble(code) {
+	// evm.Decode is the tree's single decoder: the interpreter's IR compiler,
+	// analysis.Disassemble, and ingest's dispatcher recovery all read it.
+	for _, ins := range evm.Decode(code) {
 		if len(ins.Imm) > 0 {
 			fmt.Printf("  %5d: %-8s 0x%x\n", ins.PC, ins.Op, ins.Imm)
 		} else {
 			fmt.Printf("  %5d: %s\n", ins.PC, ins.Op)
 		}
 	}
+	p := evm.CompileProgram(code)
+	dests := 0
+	for _, d := range p.JumpDests() {
+		if d {
+			dests++
+		}
+	}
+	fmt.Printf("\ninterpreter IR: %d instructions, %d basic blocks, %d fused superinstructions, %d jumpdests\n",
+		p.NumInstrs(), p.NumBlocks(), p.NumFused(), dests)
 }
 
 func printCFG(cfg *analysis.CFG) {

@@ -7,6 +7,7 @@
 //	mufuzz -file contract.sol [-strategy mufuzz|sfuzz|confuzzius|irfuzz]
 //	       [-iters 4000] [-seed 1] [-time 10s] [-workers 1] [-v]
 //	       [-corpus-dir DIR] [-resume snapshot] [-snapshot-out snapshot]
+//	       [-cpuprofile cpu.out] [-memprofile mem.out]
 //	mufuzz -example crowdsale|game    # fuzz a built-in paper example
 //	mufuzz -bytecode code.bin -abi contract.abi.json   # fuzz deployed bytecode
 //
@@ -41,6 +42,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -74,8 +77,40 @@ func run() int {
 		snapOut   = flag.String("snapshot-out", "", "write a resumable snapshot here on SIGINT (or at exit)")
 		bytecode  = flag.String("bytecode", "", "hex EVM bytecode file: fuzz source-free (requires -abi)")
 		abiFile   = flag.String("abi", "", "Solidity ABI JSON file for -bytecode")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile (after the campaign) to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mufuzz: cpuprofile:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "mufuzz: cpuprofile:", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mufuzz: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "mufuzz: memprofile:", err)
+			}
+		}()
+	}
 
 	strat, ok := fuzz.PresetByName(*strategy)
 	if !ok {

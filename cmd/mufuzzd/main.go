@@ -7,7 +7,7 @@
 // Usage:
 //
 //	mufuzzd [-addr :8700] [-store mufuzz-store] [-slots 2]
-//	        [-slice-rounds 8] [-workers 1]
+//	        [-slice-rounds 8] [-workers 1] [-debug-addr localhost:6060]
 //
 // Submit and watch campaigns over the HTTP JSON API:
 //
@@ -29,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // -debug-addr pprof endpoints
 	"os"
 	"os/signal"
 	"syscall"
@@ -46,8 +47,21 @@ func main() {
 		sliceRounds = flag.Int("slice-rounds", 8, "energy rounds per scheduling slice")
 		workers     = flag.Int("workers", 1, "default executor goroutines per campaign")
 		iters       = flag.Int("iters", 20000, "default campaign budget when a spec omits one")
+		debugAddr   = flag.String("debug-addr", "", "optional pprof listen address (e.g. localhost:6060); off when empty")
 	)
 	flag.Parse()
+
+	if *debugAddr != "" {
+		// net/http/pprof registers its handlers on http.DefaultServeMux; serve
+		// that mux on a separate listener so profiling endpoints never share a
+		// port with the campaign API.
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "mufuzzd: debug-addr:", err)
+			}
+		}()
+		fmt.Printf("mufuzzd: pprof debug server on http://%s/debug/pprof/\n", *debugAddr)
+	}
 
 	st, err := store.Open(*storeDir)
 	if err != nil {

@@ -4,32 +4,14 @@ import (
 	"mufuzz/internal/evm"
 )
 
-// Instruction is one decoded opcode with its immediate.
-type Instruction struct {
-	PC  uint64
-	Op  evm.OpCode
-	Imm []byte // PUSH immediate, nil otherwise
-}
+// Instruction is one decoded opcode with its immediate. It is an alias of
+// the interpreter's shared decoder element, so analysis, the IR compiler,
+// cmd/disasm, and ingest all agree on one decoding.
+type Instruction = evm.Instr
 
-// Disassemble decodes bytecode into instructions.
+// Disassemble decodes bytecode into instructions (the shared evm.Decode).
 func Disassemble(code []byte) []Instruction {
-	var out []Instruction
-	for pc := 0; pc < len(code); {
-		op := evm.OpCode(code[pc])
-		ins := Instruction{PC: uint64(pc), Op: op}
-		if n := op.PushBytes(); n > 0 {
-			end := pc + 1 + n
-			if end > len(code) {
-				end = len(code)
-			}
-			ins.Imm = code[pc+1 : end]
-			pc = end
-		} else {
-			pc++
-		}
-		out = append(out, ins)
-	}
-	return out
+	return evm.Decode(code)
 }
 
 // Block is a basic block of the control-flow graph.

@@ -178,6 +178,12 @@ func SequentialVariants() []Variant {
 			o.NoPrefixCache = true
 			return o
 		}},
+		{"seq-w1-noir", func(o fuzz.Options) fuzz.Options {
+			o.Workers = 1
+			o.ForceBatched = false
+			o.NoIR = true
+			return o
+		}},
 	}
 }
 
@@ -208,6 +214,11 @@ func BatchedVariants(workers int) []Variant {
 			o.NoPrefixCache = true
 			return o
 		}},
+		{fmt.Sprintf("batched-w%d-noir", workers), func(o fuzz.Options) fuzz.Options {
+			o.Workers = workers
+			o.NoIR = true
+			return o
+		}},
 	}
 }
 
@@ -233,6 +244,7 @@ func DifferentialMatrix(name string, comp *minisol.Compiled, base fuzz.Options, 
 	base.ForceBatched = false
 	base.UseCopyState = false
 	base.NoPrefixCache = false
+	base.NoIR = false
 	var out []PairResult
 	for _, class := range [][]Variant{SequentialVariants(), BatchedVariants(workers)} {
 		ref := RecordCampaign(name, comp, class[0].Apply(base))

@@ -91,19 +91,85 @@ type EVM struct {
 	TopLevelTo    state.Address
 	TopLevelInput []byte
 
+	// DisableIR forces the reference switch-loop interpreter instead of the
+	// compiled-IR hot path (conformance ablation: Options.NoIR threads here).
+	DisableIR bool
+
 	natives      map[state.Address]Native
 	steps        int
 	callCounter  int
 	activeFrames []frameID
-	callIndex    map[int]int // call ID -> index in Trace.Calls
+	// callIndex maps call ID -> index in Trace.Calls. IDs are assigned
+	// densely from 1 per transaction, so a reslice-and-append slice replaces
+	// the map the pre-IR engine cleared and re-populated per transaction.
+	callIndex []int32
 	// valueCallActive counts in-flight external calls that carried value and
 	// more than the gas stipend — the enabler condition for reentrancy.
 	valueCallActive int
-	// destCode/destCache memoize the valid-JUMPDEST set of the last executed
-	// code blob (see jumpDests); executors reuse one EVM across a whole
-	// campaign, so the per-frame code scan happens once per contract.
-	destCode  []byte
-	destCache []bool
+	// progCode/prog memoize the compiled Program of the last executed code
+	// blob by slice identity (the same policy as the retired jumpdest memo);
+	// executors reuse one EVM across a whole campaign, so compilation happens
+	// once per contract. The jumpdest grid now lives on the Program.
+	progCode []byte
+	prog     *Program
+	// cmpArena is the per-transaction CmpInfo allocation arena: comparison
+	// provenance records are written once and never outlive the transaction
+	// (BranchEvents copy them by value), so they are carved out of a reused
+	// chunk instead of heap-allocated per comparison.
+	cmpArena []CmpInfo
+	// frames pools one reusable frame per call depth. Live frame depths are
+	// always the dense set {1..k} (opCall uses parent depth+1 and the
+	// attacker native uses len(activeFrames)+1), so at most one live frame
+	// ever exists per depth; the busy flag guards the invariant defensively.
+	frames []*frame
+	// keccak32/keccak64 memoize KECCAK256 results for the two input shapes
+	// Solidity storage layout hashes constantly (dynamic-array slots and
+	// mapping keys). Fuzzing re-executes near-identical transactions, so the
+	// same few keys dominate; hashing is pure, so the memo survives Reset.
+	keccak32 map[[32]byte]u256.Int
+	keccak64 map[[64]byte]u256.Int
+}
+
+// keccakMemoCap bounds each keccak memo map; once full, further distinct
+// inputs are hashed directly (no eviction — stale entries are never wrong).
+const keccakMemoCap = 8192
+
+// keccakOf returns the KECCAK256 of data, memoizing 32- and 64-byte inputs.
+func (e *EVM) keccakOf(data []byte) u256.Int {
+	switch len(data) {
+	case 32:
+		var k [32]byte
+		copy(k[:], data)
+		if v, ok := e.keccak32[k]; ok {
+			return v
+		}
+		sum := keccak.Sum256(data)
+		v := u256.FromBytes(sum[:])
+		if e.keccak32 == nil {
+			e.keccak32 = make(map[[32]byte]u256.Int, 64)
+		}
+		if len(e.keccak32) < keccakMemoCap {
+			e.keccak32[k] = v
+		}
+		return v
+	case 64:
+		var k [64]byte
+		copy(k[:], data)
+		if v, ok := e.keccak64[k]; ok {
+			return v
+		}
+		sum := keccak.Sum256(data)
+		v := u256.FromBytes(sum[:])
+		if e.keccak64 == nil {
+			e.keccak64 = make(map[[64]byte]u256.Int, 64)
+		}
+		if len(e.keccak64) < keccakMemoCap {
+			e.keccak64[k] = v
+		}
+		return v
+	}
+	sum := keccak.Sum256(data)
+	return u256.FromBytes(sum[:])
 }
 
 // New constructs an EVM over the given state.
@@ -115,7 +181,6 @@ func New(st *state.State, block BlockCtx) *EVM {
 		MaxDepth:     defaultDepth,
 		MaxSteps:     200000,
 		natives:      make(map[state.Address]Native),
-		callIndex:    make(map[int]int),
 	}
 }
 
@@ -135,8 +200,8 @@ func (e *EVM) ResetTaint() {
 
 // Reset rebinds the EVM to a new world state for a fresh transaction
 // sequence, clearing cross-sequence bookkeeping (storage taint) while
-// keeping the allocation-heavy internals — registered natives, the jumpdest
-// cache, the call-index map — warm. Executors reuse one EVM across every
+// keeping the allocation-heavy internals — registered natives, the compiled
+// program cache, the frame pool — warm. Executors reuse one EVM across every
 // execution of a campaign instead of constructing one per sequence.
 func (e *EVM) Reset(st *state.State) {
 	e.State = st
@@ -175,11 +240,11 @@ func (e *EVM) Transact(sender, to state.Address, value u256.Int, input []byte, g
 	e.callCounter = 0
 	e.activeFrames = e.activeFrames[:0]
 	e.valueCallActive = 0
-	if e.callIndex == nil {
-		e.callIndex = make(map[int]int)
-	} else {
-		clear(e.callIndex)
-	}
+	e.callIndex = e.callIndex[:0]
+	// CmpInfo pointers never outlive the transaction (BranchEvents copy the
+	// record by value; stack metas die with their frames), so the arena is
+	// reclaimed wholesale here.
+	e.cmpArena = e.cmpArena[:0]
 	e.Origin = sender
 	e.TopLevelTo = to
 	e.TopLevelInput = input
@@ -244,13 +309,84 @@ func (e *EVM) call(op OpCode, caller, selfAddr, codeAddr state.Address, value u2
 	}
 
 	e.activeFrames = append(e.activeFrames, frameID{addr: selfAddr, selector: sel})
-	f := newFrame(e, selfAddr, caller, value, input, code, gas, depth)
-	ret, err := f.run()
+	p := e.program(code)
+	f := e.frameFor(selfAddr, caller, value, input, code, gas, depth, p.dests)
+	var ret []byte
+	var err error
+	if e.DisableIR {
+		ret, err = f.run()
+	} else {
+		ret, err = f.runIR(p)
+	}
+	f.busy = false
 	e.activeFrames = e.activeFrames[:len(e.activeFrames)-1]
 	if err != nil {
 		e.State.RevertTo(snap)
 	}
 	return ret, f.gas, err
+}
+
+// program returns the compiled Program for code, cached by slice identity. A
+// fuzzing campaign executes one contract's code millions of times across
+// thousands of frames; the cache makes per-frame compilation a pointer
+// comparison. Distinct code blobs simply miss and recompile.
+func (e *EVM) program(code []byte) *Program {
+	if len(code) == len(e.progCode) && (len(code) == 0 || &code[0] == &e.progCode[0]) {
+		return e.prog
+	}
+	p := CompileProgram(code)
+	e.progCode, e.prog = code, p
+	return p
+}
+
+// UseProgram seeds the program cache with a pre-compiled Program, so campaign
+// workers sharing one read-only Program skip even the first compile. The
+// Program's code slice becomes the cache identity key.
+func (e *EVM) UseProgram(p *Program) {
+	if p == nil {
+		return
+	}
+	e.progCode, e.prog = p.code, p
+}
+
+// frameFor returns a reset frame for the given call depth, reusing the pooled
+// frame (and its stack/meta/memory capacity) from earlier calls at the same
+// depth. If the pooled frame is somehow still live — the per-depth uniqueness
+// invariant violated — a fresh frame is allocated instead of corrupting it.
+func (e *EVM) frameFor(addr, caller state.Address, value u256.Int, input, code []byte, gas uint64, depth int, dests []bool) *frame {
+	for len(e.frames) < depth {
+		e.frames = append(e.frames, &frame{
+			stack: make([]u256.Int, 0, 32),
+			metas: make([]meta, 0, 32),
+		})
+	}
+	f := e.frames[depth-1]
+	if f.busy {
+		f = &frame{
+			stack: make([]u256.Int, 0, 32),
+			metas: make([]meta, 0, 32),
+		}
+	}
+	f.evm = e
+	f.addr = addr
+	f.caller = caller
+	f.value = value
+	f.input = input
+	f.code = code
+	f.gas = gas
+	f.pc = 0
+	f.stack = f.stack[:0]
+	f.metas = f.metas[:0]
+	f.mem = f.mem[:0]
+	if f.memTainted {
+		clear(f.memTaint)
+		f.memTainted = false
+	}
+	f.retData = nil
+	f.depth = depth
+	f.dests = dests
+	f.busy = true
+	return f
 }
 
 func (e *EVM) maxDepth() int {
@@ -298,28 +434,17 @@ type frame struct {
 	metas  []meta
 	mem    []byte
 	// memTaint is allocated lazily on the first tainted memory write; most
-	// frames only move untainted words and never pay for the map.
-	memTaint map[uint64]Taint
-	retData  []byte
-	depth    int
-	dests    []bool
-}
-
-func newFrame(e *EVM, addr, caller state.Address, value u256.Int, input, code []byte, gas uint64, depth int) *frame {
-	return &frame{
-		evm:    e,
-		addr:   addr,
-		caller: caller,
-		value:  value,
-		input:  input,
-		code:   code,
-		gas:    gas,
-		stack:  make([]u256.Int, 0, 32),
-		metas:  make([]meta, 0, 32),
-		mem:    nil,
-		depth:  depth,
-		dests:  e.jumpDests(code),
-	}
+	// frames only move untainted words and never pay for the map. memTainted
+	// mirrors "the map would exist" under pooling: the pooled map is kept
+	// allocated across executions but its live/empty state must match what a
+	// fresh frame's nil/non-nil map would be.
+	memTaint   map[uint64]Taint
+	memTainted bool
+	retData    []byte
+	depth      int
+	dests      []bool
+	// busy guards pooled reuse: set while the frame is executing.
+	busy bool
 }
 
 // validDest reports whether dst is a JUMPDEST on the decoding grid.
@@ -330,11 +455,14 @@ func (f *frame) validDest(dst u256.Int) bool {
 // setMemTaintWord overwrites the taint of one 32-byte-aligned memory word,
 // allocating the taint map only when there is taint to record.
 func (f *frame) setMemTaintWord(o uint64, t Taint) {
-	if f.memTaint == nil {
+	if !f.memTainted {
 		if t == 0 {
 			return
 		}
-		f.memTaint = make(map[uint64]Taint)
+		if f.memTaint == nil {
+			f.memTaint = make(map[uint64]Taint)
+		}
+		f.memTainted = true
 	}
 	f.memTaint[o] = t
 }
@@ -344,38 +472,13 @@ func (f *frame) orMemTaintWord(o uint64, t Taint) {
 	if t == 0 {
 		return
 	}
-	if f.memTaint == nil {
-		f.memTaint = make(map[uint64]Taint)
+	if !f.memTainted {
+		if f.memTaint == nil {
+			f.memTaint = make(map[uint64]Taint)
+		}
+		f.memTainted = true
 	}
 	f.memTaint[o] |= t
-}
-
-// validJumpDests scans code for JUMPDEST positions, skipping PUSH
-// immediates. The result is indexed by pc: lookup is one bounds-checked
-// load instead of a map probe.
-func validJumpDests(code []byte) []bool {
-	dests := make([]bool, len(code))
-	for i := 0; i < len(code); i++ {
-		op := OpCode(code[i])
-		if op == JUMPDEST {
-			dests[i] = true
-		}
-		i += op.PushBytes()
-	}
-	return dests
-}
-
-// jumpDests returns the valid-JUMPDEST set for code, cached by slice
-// identity. A fuzzing campaign executes one contract's code millions of
-// times across thousands of frames; the cache makes the per-frame scan a
-// pointer comparison. Distinct code blobs simply miss and recompute.
-func (e *EVM) jumpDests(code []byte) []bool {
-	if len(code) == len(e.destCode) && (len(code) == 0 || &code[0] == &e.destCode[0]) {
-		return e.destCache
-	}
-	d := validJumpDests(code)
-	e.destCode, e.destCache = code, d
-	return d
 }
 
 func (f *frame) push(v u256.Int, m meta) error {
@@ -398,7 +501,11 @@ func (f *frame) pop() (u256.Int, meta, error) {
 	return v, m, nil
 }
 
-// ensureMem grows memory to cover [off, off+size).
+// ensureMem grows memory to cover [off, off+size). Capacity grows
+// geometrically so repeated expansion amortizes to O(1) per byte, and pooled
+// frames re-expand into their previous capacity without allocating; the newly
+// exposed region is zeroed explicitly because pooled backing arrays are dirty
+// from earlier executions.
 func (f *frame) ensureMem(off, size uint64) error {
 	if size == 0 {
 		return nil
@@ -407,11 +514,28 @@ func (f *frame) ensureMem(off, size uint64) error {
 	if end < off || end > maxMemory {
 		return ErrMemLimit
 	}
-	if uint64(len(f.mem)) < end {
-		grown := make([]byte, end)
-		copy(grown, f.mem)
-		f.mem = grown
+	cur := uint64(len(f.mem))
+	if cur >= end {
+		return nil
 	}
+	if uint64(cap(f.mem)) >= end {
+		f.mem = f.mem[:end]
+		clear(f.mem[cur:end])
+		return nil
+	}
+	newCap := uint64(cap(f.mem)) * 2
+	if newCap < 256 {
+		newCap = 256
+	}
+	for newCap < end {
+		newCap *= 2
+	}
+	if newCap > maxMemory {
+		newCap = maxMemory
+	}
+	grown := make([]byte, end, newCap)
+	copy(grown, f.mem[:cur])
+	f.mem = grown
 	return nil
 }
 
@@ -431,6 +555,9 @@ func (f *frame) memSlice(off, size uint64) ([]byte, error) {
 
 // memTaintRange unions taint over [off, off+size) at word granularity.
 func (f *frame) memTaintRange(off, size uint64) Taint {
+	if !f.memTainted {
+		return 0
+	}
 	var t Taint
 	for o := off &^ 31; o < off+size; o += 32 {
 		t |= f.memTaint[o]
@@ -469,6 +596,81 @@ func (f *frame) recordSink(kind SinkKind, t Taint) {
 	})
 }
 
+// newCmp carves a CmpInfo out of the per-transaction arena. Records die with
+// the transaction (BranchEvents copy them by value, stack metas die with
+// their frames), so Transact reclaims every chunk at once; a full chunk is
+// simply replaced — outstanding pointers keep the old chunk alive.
+func (e *EVM) newCmp(op OpCode, a, b u256.Int) *CmpInfo {
+	if len(e.cmpArena) == cap(e.cmpArena) {
+		e.cmpArena = make([]CmpInfo, 0, 512)
+	}
+	e.cmpArena = append(e.cmpArena, CmpInfo{Op: op, A: a, B: b})
+	return &e.cmpArena[len(e.cmpArena)-1]
+}
+
+// setCallIndex records call ID -> index in Trace.Calls. IDs are dense from 1
+// per transaction but recorded out of order (a nested call's event lands
+// before its parent's), so the slice grows with a -1 unset fill.
+func (e *EVM) setCallIndex(id, idx int) {
+	for len(e.callIndex) < id {
+		e.callIndex = append(e.callIndex, -1)
+	}
+	e.callIndex[id-1] = int32(idx)
+}
+
+// callIndexOf returns the Trace.Calls index for a call ID, or -1 if unset.
+func (e *EVM) callIndexOf(id int) int {
+	if id < 1 || id > len(e.callIndex) {
+		return -1
+	}
+	return int(e.callIndex[id-1])
+}
+
+// underflowErr and invalidOpErr build the interpreter's canonical per-opcode
+// failure errors; the switch loop and the IR loop share them so error text
+// stays byte-identical across engines.
+func underflowErr(op OpCode, pc uint64) error {
+	return fmt.Errorf("%w: %s at pc %d", ErrStackUnderflow, op, pc)
+}
+
+func invalidOpErr(op OpCode, pc uint64) error {
+	return fmt.Errorf("%w: %s at pc %d", ErrInvalidOpcode, op, pc)
+}
+
+// recordBranch emits the JUMPI trace event: the branch itself (with interned
+// edge identity for the contract under test), the checked-call mark when the
+// condition derives from an external call's status word, and the tainted
+// condition sink. Shared verbatim by the switch loop and every fused IR
+// variant so transcripts cannot diverge.
+func (f *frame) recordBranch(taken bool, condTaint Taint, hasCmp bool, cmp CmpInfo, callID int) {
+	e := f.evm
+	if e.Trace != nil {
+		ev := BranchEvent{
+			Addr:      f.addr,
+			PC:        f.pc,
+			Taken:     taken,
+			CondTaint: condTaint,
+			Depth:     f.depth,
+			HasCmp:    hasCmp,
+		}
+		if hasCmp {
+			ev.Cmp = cmp
+		}
+		if e.BranchIndex != nil && f.addr == e.BranchIndexAddr {
+			if id, ok := e.BranchIndex.EdgeID(f.pc, taken); ok {
+				ev.EdgeRef = id + 1
+			}
+		}
+		e.Trace.Branches = append(e.Trace.Branches, ev)
+		if callID != 0 {
+			if idx := e.callIndexOf(callID); idx >= 0 {
+				e.Trace.Calls[idx].Checked = true
+			}
+		}
+	}
+	f.recordSink(SinkJumpCond, condTaint)
+}
+
 // run executes the frame until termination. Returns the output data.
 func (f *frame) run() ([]byte, error) {
 	e := f.evm
@@ -491,10 +693,10 @@ func (f *frame) run() ([]byte, error) {
 		}
 		pop, _, known := op.Arity()
 		if !known {
-			return nil, fmt.Errorf("%w: %s at pc %d", ErrInvalidOpcode, op, f.pc)
+			return nil, invalidOpErr(op, f.pc)
 		}
 		if len(f.stack) < pop {
-			return nil, fmt.Errorf("%w: %s at pc %d", ErrStackUnderflow, op, f.pc)
+			return nil, underflowErr(op, f.pc)
 		}
 		if err := f.useGas(gasCost(op)); err != nil {
 			return nil, err
@@ -673,7 +875,7 @@ func (f *frame) execute(op OpCode) (done bool, out []byte, err error) {
 		if truth {
 			z = u256.One
 		}
-		m := meta{taint: combined, cmp: &CmpInfo{Op: op, A: a, B: b}}
+		m := meta{taint: combined, cmp: e.newCmp(op, a, b)}
 		m.callID = ma.callID
 		if m.callID == 0 {
 			m.callID = mb.callID
@@ -692,7 +894,7 @@ func (f *frame) execute(op OpCode) (done bool, out []byte, err error) {
 		// distance toward "a == 0" (or != 0) is |a|.
 		m := ma
 		if m.cmp == nil {
-			m.cmp = &CmpInfo{Op: EQ, A: a, B: u256.Zero}
+			m.cmp = e.newCmp(EQ, a, u256.Zero)
 		}
 		return false, nil, f.push(z, m)
 
@@ -708,8 +910,7 @@ func (f *frame) execute(op OpCode) (done bool, out []byte, err error) {
 		if err != nil {
 			return false, nil, err
 		}
-		sum := keccak.Sum256(data)
-		return false, nil, f.push(u256.FromBytes(sum[:]), meta{taint: f.memTaintRange(off, size)})
+		return false, nil, f.push(e.keccakOf(data), meta{taint: f.memTaintRange(off, size)})
 
 	case ADDRESS:
 		return false, nil, f.push(f.addr.Word(), meta{})
@@ -811,8 +1012,7 @@ func (f *frame) execute(op OpCode) (done bool, out []byte, err error) {
 	case BLOCKHASH:
 		n, _, _ := f.pop()
 		w := n.Bytes32()
-		sum := keccak.Sum256(w[:])
-		return false, nil, f.push(u256.FromBytes(sum[:]), meta{taint: TaintNumber})
+		return false, nil, f.push(e.keccakOf(w[:]), meta{taint: TaintNumber})
 	case COINBASE:
 		return false, nil, f.push(e.Block.Coinbase.Word(), meta{})
 	case TIMESTAMP:
@@ -896,31 +1096,11 @@ func (f *frame) execute(op OpCode) (done bool, out []byte, err error) {
 		dst, _, _ := f.pop()
 		cond, mc, _ := f.pop()
 		taken := !cond.IsZero()
-		if e.Trace != nil {
-			ev := BranchEvent{
-				Addr:      f.addr,
-				PC:        f.pc,
-				Taken:     taken,
-				CondTaint: mc.taint,
-				Depth:     f.depth,
-			}
-			if e.BranchIndex != nil && f.addr == e.BranchIndexAddr {
-				if id, ok := e.BranchIndex.EdgeID(f.pc, taken); ok {
-					ev.EdgeRef = id + 1
-				}
-			}
-			if mc.cmp != nil {
-				ev.HasCmp = true
-				ev.Cmp = *mc.cmp
-			}
-			e.Trace.Branches = append(e.Trace.Branches, ev)
-			if mc.callID != 0 {
-				if idx, ok := e.callIndex[mc.callID]; ok {
-					e.Trace.Calls[idx].Checked = true
-				}
-			}
+		var cmp CmpInfo
+		if mc.cmp != nil {
+			cmp = *mc.cmp
 		}
-		f.recordSink(SinkJumpCond, mc.taint)
+		f.recordBranch(taken, mc.taint, mc.cmp != nil, cmp, mc.callID)
 		if taken {
 			if !f.validDest(dst) {
 				return false, nil, fmt.Errorf("%w: to %s at pc %d", ErrInvalidJump, dst, f.pc)
@@ -1042,7 +1222,7 @@ func (f *frame) opCall() (bool, []byte, error) {
 			ID: id, Op: CALL, From: f.addr, To: to, Value: valV, Gas: forward,
 			Success: success, Depth: f.depth, TargetTaint: mTo.taint, ValueTaint: mVal.taint,
 		})
-		e.callIndex[id] = len(e.Trace.Calls) - 1
+		e.setCallIndex(id, len(e.Trace.Calls)-1)
 		if !valV.IsZero() {
 			e.Trace.ValueOutAttempted = true
 		}
@@ -1119,7 +1299,7 @@ func (f *frame) opDelegateCall() (bool, []byte, error) {
 			ID: id, Op: DELEGATECALL, From: f.addr, To: to, Gas: forward,
 			Success: success, Depth: f.depth, TargetTaint: mTo.taint,
 		})
-		e.callIndex[id] = len(e.Trace.Calls) - 1
+		e.setCallIndex(id, len(e.Trace.Calls)-1)
 	}
 
 	outOff, outSz := u64(outOffV), u64(outSzV)
@@ -1181,7 +1361,7 @@ func (f *frame) opStaticCall() (bool, []byte, error) {
 			ID: id, Op: STATICCALL, From: f.addr, To: to, Gas: forward,
 			Success: success, Depth: f.depth, TargetTaint: mTo.taint,
 		})
-		e.callIndex[id] = len(e.Trace.Calls) - 1
+		e.setCallIndex(id, len(e.Trace.Calls)-1)
 	}
 
 	outOff, outSz := u64(outOffV), u64(outSzV)

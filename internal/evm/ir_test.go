@@ -1,0 +1,161 @@
+package evm
+
+import (
+	"testing"
+
+	"mufuzz/internal/u256"
+)
+
+// TestDecodeTruncatedPush checks the decoder's edge case: a PUSH whose
+// immediate runs off the end of code yields a truncated (not padded) Imm.
+func TestDecodeTruncatedPush(t *testing.T) {
+	code := []byte{byte(PUSH1 + 3), 0xaa, 0xbb} // 2 of 4 immediate bytes present
+	dec := Decode(code)
+	if len(dec) != 1 {
+		t.Fatalf("decoded %d instrs, want 1", len(dec))
+	}
+	if dec[0].Op != PUSH1+3 || len(dec[0].Imm) != 2 {
+		t.Fatalf("got op=%v imm=%x, want PUSH4 with 2 truncated bytes", dec[0].Op, dec[0].Imm)
+	}
+	// The compiled immediate must be right-padded like the switch loop's
+	// materialization (PUSH4 aa bb == aabb0000 left-aligned in the low word).
+	p := CompileProgram(code)
+	want := u256.FromBytes([]byte{0xaa, 0xbb, 0x00, 0x00})
+	if !p.instrs[0].imm.Eq(want) {
+		t.Fatalf("compiled imm = %s, want %s", p.instrs[0].imm, want)
+	}
+}
+
+// TestDecodeSkipsImmediates checks that JUMPDEST bytes inside a PUSH
+// immediate are not decoded as instructions and are invalid jump targets.
+func TestDecodeSkipsImmediates(t *testing.T) {
+	code := []byte{byte(PUSH1 + 1), byte(JUMPDEST), byte(JUMPDEST), byte(STOP)}
+	dec := Decode(code)
+	if len(dec) != 2 || dec[0].Op != PUSH1+1 || dec[1].Op != STOP {
+		t.Fatalf("decode = %+v, want [PUSH2 STOP]", dec)
+	}
+	p := CompileProgram(code)
+	for pc, ok := range p.JumpDests() {
+		if ok {
+			t.Fatalf("pc %d marked as valid JUMPDEST inside an immediate", pc)
+		}
+	}
+}
+
+// TestCompileProgramPcTable checks the O(1) jump table: every instruction pc
+// maps to its index, immediates map to the implicit-STOP sentinel.
+func TestCompileProgramPcTable(t *testing.T) {
+	a := NewAssembler()
+	a.PushUint(1).PushUint(2).Op(ADD).Op(STOP)
+	code := a.MustBuild()
+	p := CompileProgram(code)
+	dec := Decode(code)
+	for i, ins := range dec {
+		if got := p.pcToIdx[ins.PC]; got != int32(i) {
+			t.Errorf("pcToIdx[%d] = %d, want %d", ins.PC, got, i)
+		}
+	}
+	if got := p.pcToIdx[len(code)]; got != int32(len(p.instrs)) {
+		t.Errorf("pcToIdx[len(code)] = %d, want sentinel %d", got, len(p.instrs))
+	}
+}
+
+// TestCompileProgramFusesDispatcher checks that the solc/MiniSol dispatcher
+// arm (DUP1 PUSH4 sel EQ PUSH dst JUMPI) and the cmp-jumpi pattern are
+// recognized as superinstructions.
+func TestCompileProgramFusesDispatcher(t *testing.T) {
+	a := NewAssembler()
+	// Dispatcher arm: DUP1; PUSH4 selector; EQ; PUSH dst; JUMPI.
+	a.Op(DUP1).PushBytes([]byte{0x11, 0x22, 0x33, 0x44}).Op(EQ)
+	a.JumpITo("fn")
+	// Cmp-jumpi: LT; PUSH dst; JUMPI.
+	a.PushUint(1).PushUint(2).Op(LT)
+	a.JumpITo("fn")
+	a.Op(STOP)
+	a.Label("fn").Op(STOP)
+	p := CompileProgram(a.MustBuild())
+	if p.NumFused() < 2 {
+		t.Fatalf("NumFused = %d, want >= 2 (dispatcher arm + cmp-jumpi)", p.NumFused())
+	}
+	if p.NumBlocks() < 2 {
+		t.Fatalf("NumBlocks = %d, want >= 2", p.NumBlocks())
+	}
+}
+
+// benchEnv builds a fresh EVM per sub-benchmark so the ir and switch variants
+// never share a program cache or trace.
+func benchIRvsSwitch(b *testing.B, code []byte, input []byte) {
+	for _, variant := range []struct {
+		name      string
+		disableIR bool
+	}{{"ir", false}, {"switch", true}} {
+		b.Run(variant.name, func(b *testing.B) {
+			e, sender, contract := testEnv(b, code)
+			e.DisableIR = variant.disableIR
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Trace.Reset()
+				if _, err := e.Transact(sender, contract, u256.Zero, input, 10_000_000); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIRArith measures a tight arithmetic loop — the pure-dispatch cost
+// the IR's pre-decoded stream and fused cmp-jumpi target.
+func BenchmarkIRArith(b *testing.B) {
+	a := NewAssembler()
+	a.PushUint(200)
+	a.Label("loop")
+	a.PushUint(1).Op(SWAP1).Op(SUB)
+	a.Op(DUP1).PushUint(3).Op(MUL).Op(DUP1 + 1).Op(XOR).Op(POP)
+	a.Op(DUP1)
+	a.JumpITo("loop")
+	a.Op(STOP)
+	benchIRvsSwitch(b, a.MustBuild(), nil)
+}
+
+// BenchmarkIRStorage measures SLOAD/SSTORE round-trips — exercises the
+// dup-sload fusion and the storage fast path under the IR.
+func BenchmarkIRStorage(b *testing.B) {
+	a := NewAssembler()
+	a.PushUint(20)
+	a.Label("loop")
+	// slot0 := slot0 + counter
+	a.PushUint(0).Op(SLOAD)
+	a.Op(DUP1 + 1).Op(ADD)
+	a.PushUint(0).Op(SSTORE)
+	a.PushUint(1).Op(SWAP1).Op(SUB)
+	a.Op(DUP1)
+	a.JumpITo("loop")
+	a.Op(STOP)
+	benchIRvsSwitch(b, a.MustBuild(), nil)
+}
+
+// BenchmarkIRDispatch measures a solc-style selector dispatcher — the
+// fuseDispatch superinstruction's home turf. The calldata selects the last
+// arm so every arm's compare executes.
+func BenchmarkIRDispatch(b *testing.B) {
+	a := NewAssembler()
+	a.PushUint(0).Op(CALLDATALOAD).PushUint(224).Op(SHR)
+	sels := [][]byte{
+		{0x10, 0x00, 0x00, 0x01}, {0x10, 0x00, 0x00, 0x02}, {0x10, 0x00, 0x00, 0x03},
+		{0x10, 0x00, 0x00, 0x04}, {0x10, 0x00, 0x00, 0x05}, {0x10, 0x00, 0x00, 0x06},
+	}
+	labels := []string{"f1", "f2", "f3", "f4", "f5", "f6"}
+	for i, sel := range sels {
+		a.Op(DUP1).PushBytes(sel).Op(EQ)
+		a.JumpITo(labels[i])
+	}
+	a.Op(STOP)
+	for _, l := range labels {
+		a.Label(l).PushUint(7).PushUint(0).Op(SSTORE).Op(STOP)
+	}
+	// Select the last arm: all six compares run each transaction.
+	input := make([]byte, 32)
+	copy(input, sels[len(sels)-1])
+	benchIRvsSwitch(b, a.MustBuild(), input)
+}

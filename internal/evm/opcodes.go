@@ -191,9 +191,41 @@ var stackReqs = map[OpCode]stackReq{
 	REVERT: {2, 0}, INVALID: {0, 0}, SELFDESTRUCT: {1, 0},
 }
 
+// arityEntry is one row of the dense arity table.
+type arityEntry struct {
+	pop, push int8
+	known     bool
+}
+
+// arityTable and gasTable are dense per-opcode lookup tables built once at
+// init from the stackReqs map and the gasCostModel switch (which stay the
+// single sources of truth). The interpreter's per-instruction prologue hits
+// both on every step; an array index beats a map probe by an order of
+// magnitude and never allocates.
+var (
+	arityTable [256]arityEntry
+	gasTable   [256]uint64
+)
+
+func init() {
+	for i := 0; i < 256; i++ {
+		op := OpCode(i)
+		pop, push, ok := arityOf(op)
+		arityTable[i] = arityEntry{pop: int8(pop), push: int8(push), known: ok}
+		gasTable[i] = gasCostModel(op)
+	}
+}
+
 // Arity returns the stack pop/push counts for op, covering the parameterized
 // families (PUSH/DUP/SWAP/LOG) that the table omits.
 func (op OpCode) Arity() (pop, push int, ok bool) {
+	e := arityTable[op]
+	return int(e.pop), int(e.push), e.known
+}
+
+// arityOf computes arity from the source tables; init folds it into
+// arityTable, which Arity reads.
+func arityOf(op OpCode) (pop, push int, ok bool) {
 	if r, found := stackReqs[op]; found {
 		return r.pop, r.push, true
 	}
@@ -210,10 +242,16 @@ func (op OpCode) Arity() (pop, push int, ok bool) {
 	return 0, 0, false
 }
 
-// gasCost is a simplified constant cost model per opcode class. The fuzzer
-// does not meter real Ethereum gas schedules; gas exists to bound execution
-// (loops) and to reproduce the 2300-stipend reentrancy distinction.
+// gasCost returns the charge for one opcode (dense table lookup; see
+// gasCostModel for the model itself).
 func gasCost(op OpCode) uint64 {
+	return gasTable[op]
+}
+
+// gasCostModel is a simplified constant cost model per opcode class. The
+// fuzzer does not meter real Ethereum gas schedules; gas exists to bound
+// execution (loops) and to reproduce the 2300-stipend reentrancy distinction.
+func gasCostModel(op OpCode) uint64 {
 	switch {
 	case op == SSTORE:
 		return 5000

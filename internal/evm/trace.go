@@ -201,7 +201,7 @@ type Trace struct {
 	Reentries     []ReentryEvent
 	// ExecutedOps is the set of opcodes executed, used by campaign-level
 	// oracles (e.g. ether freezing).
-	ExecutedOps map[OpCode]bool
+	ExecutedOps OpSet
 	// ValueOutAttempted is set when the contract attempted to move value out
 	// (CALL with value, SELFDESTRUCT) regardless of success.
 	ValueOutAttempted bool
@@ -214,9 +214,19 @@ type Trace struct {
 	PCs []uint64
 }
 
+// OpSet is a dense opcode membership set. It replaces the map the trace used
+// to allocate and clear per transaction: marking is an array store, reset is
+// a 256-byte memclr.
+type OpSet [256]bool
+
+// Has reports whether op is in the set.
+func (s *OpSet) Has(op OpCode) bool {
+	return s[op]
+}
+
 // NewTrace returns an empty trace ready for one transaction.
 func NewTrace() *Trace {
-	return &Trace{ExecutedOps: make(map[OpCode]bool)}
+	return &Trace{}
 }
 
 // Reset clears the trace for reuse, keeping the capacity of its event
@@ -231,11 +241,7 @@ func (t *Trace) Reset() {
 	t.SelfDestructs = t.SelfDestructs[:0]
 	t.Delegates = t.Delegates[:0]
 	t.Reentries = t.Reentries[:0]
-	if t.ExecutedOps == nil {
-		t.ExecutedOps = make(map[OpCode]bool)
-	} else {
-		clear(t.ExecutedOps)
-	}
+	t.ExecutedOps = OpSet{}
 	t.ValueOutAttempted = false
 	t.Reverted = false
 	t.Steps = 0

@@ -1,0 +1,43 @@
+package fuzz
+
+import "testing"
+
+// TestExecuteAllocGate pins the steady-state allocation budget of the hot
+// path: after a warmed-up campaign (IR programs compiled, frame/state pools
+// populated, prefix cache filled), executing a queue sequence must stay
+// within a fixed allocation budget. This is the regression gate behind the
+// "zero-alloc hot path" work — per-execution garbage crept back in whenever
+// a refactor silently re-introduced a copy, and benchmarks alone don't fail
+// CI. The budget is deliberately above the measured steady state (see
+// BENCH_campaign.json) to absorb Go-version variance, but far below the
+// ~80 allocs/exec of the pre-IR engine.
+func TestExecuteAllocGate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	comp := mustCompile(t, crowdsaleSrc)
+	c := NewCampaign(comp, Options{Strategy: MuFuzz(), Seed: 1, Iterations: 400})
+	c.Run() // warm everything the executor pools or caches
+
+	seqs := c.QueueSequences()
+	if len(seqs) == 0 {
+		t.Fatal("campaign produced no queue sequences")
+	}
+	// Pick the longest queue sequence: more transactions per execution means
+	// more chances for a per-transaction allocation to show up in the average.
+	seq := seqs[0]
+	for _, s := range seqs {
+		if len(s) > len(seq) {
+			seq = s
+		}
+	}
+
+	const budget = 16.0 // measured ~3; pre-IR engine was ~80
+	avg := testing.AllocsPerRun(200, func() {
+		c.execute(seq)
+	})
+	if avg > budget {
+		t.Errorf("steady-state execute allocates %.1f objects/run, budget %.0f", avg, budget)
+	}
+	t.Logf("steady-state execute: %.1f allocs/run over %d txs", avg, len(seq))
+}

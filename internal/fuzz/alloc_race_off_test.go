@@ -1,0 +1,5 @@
+//go:build !race
+
+package fuzz
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package fuzz
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation-gate test skips under -race because instrumentation changes
+// allocation counts.
+const raceEnabled = true

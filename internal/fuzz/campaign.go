@@ -62,6 +62,11 @@ type Options struct {
 	// specification Fork is tested against; running a whole campaign under
 	// Copy must be byte-identical to the Fork engine (conformance check).
 	UseCopyState bool
+	// NoIR pins every executor EVM to the reference switch-loop interpreter
+	// instead of the compiled-IR hot path. The IR engine must be
+	// byte-identical to the switch loop; running a whole campaign under NoIR
+	// is the conformance ablation that proves it end-to-end.
+	NoIR bool
 	// Observer, when non-nil, receives one ExecRecord per execution on the
 	// coordinator goroutine in deterministic fold order. Observing never
 	// changes campaign behavior; it is the conformance transcript hook.
@@ -335,6 +340,10 @@ func NewTargetCampaign(t Target, opts Options) *Campaign {
 		methods:      methods,
 		selectors:    selectors,
 		copyState:    o.UseCopyState,
+		// Compile the contract's IR once per campaign; worker clones share the
+		// read-only Program, so no worker ever pays the decode+fuse pass.
+		prog: evm.CompileProgram(code),
+		noIR: o.NoIR,
 	}
 	return c
 }
@@ -459,12 +468,12 @@ func (c *Campaign) fold(res *execResult, branches []evm.BranchEvent, seq Sequenc
 // by transaction, exactly the way a live single-threaded execution would
 // have: coverage/distance fold, then oracle absorption and proof-of-concept
 // capture, per transaction in order.
-func (c *Campaign) foldOutcome(seq Sequence, out *execOutcome) *execResult {
-	res := &execResult{branchesByTx: out.branchesByTx}
+func (c *Campaign) foldOutcome(seq Sequence, out *execOutcome) execResult {
+	res := execResult{branchesByTx: out.branchesByTx}
 	var newClasses []oracle.BugClass
 	ri := 0
 	for i, txBranches := range out.branchesByTx {
-		c.fold(res, txBranches, seq)
+		c.fold(&res, txBranches, seq)
 		for ri < len(out.reports) && out.reports[ri].txIdx == i {
 			for _, class := range c.detector.Absorb(out.reports[ri].report) {
 				if _, have := c.repro[class]; !have {
@@ -511,9 +520,10 @@ func (c *Campaign) foldOutcome(seq Sequence, out *execOutcome) *execResult {
 // feedback into the campaign. Every execution — including Algorithm 2 mask
 // probes — counts toward coverage and the oracles, the way any AFL-family
 // fuzzer counts all of its executions.
-func (c *Campaign) execute(seq Sequence) *execResult {
+func (c *Campaign) execute(seq Sequence) execResult {
 	c.executions++
-	return c.foldOutcome(seq, c.exec.run(seq))
+	out := c.exec.run(seq)
+	return c.foldOutcome(seq, &out)
 }
 
 // Covered returns the covered branch edges as a BranchKey set — a snapshot
@@ -672,13 +682,12 @@ func (c *Campaign) mutateStream(stream []byte, mask *Mask, rng *rand.Rand) ([]by
 			if mask.OK(MutOverwrite, (i/32)*32) {
 				switch rng.Intn(3) {
 				case 0:
-					return WriteWordAt(stream, i, cmp.A), nil
+					return writeWordAt(stream, i, cmp.A), nil
 				case 1:
-					return WriteWordAt(stream, i, cmp.B), nil
+					return writeWordAt(stream, i, cmp.B), nil
 				default:
-					deltas := []int64{1, -1, 2, -2, 16, -16, 256, -256, 4096, -4096, 65536, -65536}
-					d := deltas[rng.Intn(len(deltas))]
-					return NudgeWordAt(stream, i, d), &nudgeInfo{pos: i, delta: d}
+					d := nudgeDeltas[rng.Intn(len(nudgeDeltas))]
+					return nudgeWordAt(stream, i, d), &nudgeInfo{pos: i, delta: d}
 				}
 			}
 		}
@@ -698,10 +707,14 @@ func (c *Campaign) mutateStream(stream []byte, mask *Mask, rng *rand.Rand) ([]by
 		if !mask.OK(x, i) {
 			continue
 		}
-		return ApplyMutation(stream, x, n, i, rng, c.pool), nil
+		return applyMutation(stream, x, n, i, rng, c.pool), nil
 	}
 	return stream, nil
 }
+
+// nudgeDeltas are the arithmetic descent steps of distance-guided mutation
+// (hoisted so the hot path does not rebuild the literal per mutation).
+var nudgeDeltas = []int64{1, -1, 2, -2, 16, -16, 256, -256, 4096, -4096, 65536, -65536}
 
 // nthFrontierEdge returns the edge ID of the k-th frontier entry in edge-ID
 // order. Edge-ID order is the deterministic branch order the pre-interning
@@ -766,6 +779,11 @@ func (c *Campaign) ensureMasks(seed *Seed) {
 			continue
 		}
 		c.masksComputed++
+		// One probe sequence serves the whole mask scan: SetStream replaces
+		// the transaction's Args wholesale per candidate, so anything the
+		// fold retained from an earlier probe (repro/distance clones share
+		// the then-current Args array) stays intact.
+		probeSeq := seed.Seq.Clone()
 		seed.masks[ti] = ComputeMask(stream, c.rng, c.pool, func(candidate []byte) bool {
 			if c.budgetExhausted() || c.maskProbes*5 > c.opts.Iterations {
 				// Out of budget: deny, leaving the position frozen rather
@@ -773,7 +791,6 @@ func (c *Campaign) ensureMasks(seed *Seed) {
 				return false
 			}
 			c.maskProbes++
-			probeSeq := seed.Seq.Clone()
 			probeSeq[ti].SetStream(candidate)
 			r := c.execute(probeSeq)
 			// property preserved: still reaches the nested depth, or still
@@ -1026,7 +1043,7 @@ func (c *Campaign) fuzzRoundParallel(seed *Seed, energy int, qi *int) {
 
 	type slot struct {
 		child      *Seed
-		out        *execOutcome
+		out        execOutcome
 		seqMutated int
 	}
 	slots := make([]slot, n)
@@ -1068,7 +1085,7 @@ func (c *Campaign) fuzzRoundParallel(seed *Seed, energy int, qi *int) {
 		c.pendingExecs--
 		c.executions++
 		c.sequencesMutated += slots[i].seqMutated
-		r := c.foldOutcome(slots[i].child.Seq, slots[i].out)
+		r := c.foldOutcome(slots[i].child.Seq, &slots[i].out)
 		child, r := c.maybeLineSearch(slots[i].child, r)
 		c.admit(child, r, qi)
 	}
@@ -1078,7 +1095,7 @@ func (c *Campaign) fuzzRoundParallel(seed *Seed, energy int, qi *int) {
 // nudge improved some branch distance without new coverage — the
 // hill-climbing descent that cracks derived-value guards (b*7 == 9163
 // style) in O(distance/step) executions.
-func (c *Campaign) maybeLineSearch(child *Seed, r *execResult) (*Seed, *execResult) {
+func (c *Campaign) maybeLineSearch(child *Seed, r execResult) (*Seed, execResult) {
 	if c.opts.Strategy.BranchDistance && r.distImproved && r.newEdges == 0 && child.lastNudge != nil {
 		return c.lineSearch(child, r)
 	}
@@ -1087,7 +1104,7 @@ func (c *Campaign) maybeLineSearch(child *Seed, r *execResult) (*Seed, *execResu
 
 // admit applies queue admission to one executed child: children that found
 // new edges or improved a branch distance join the seed queue.
-func (c *Campaign) admit(child *Seed, r *execResult, qi *int) {
+func (c *Campaign) admit(child *Seed, r execResult, qi *int) {
 	if r.newEdges > 0 || (c.opts.Strategy.BranchDistance && r.distImproved) {
 		child.NewEdges = r.newEdges
 		child.HitNestedDepth = r.hitNestedDepth
@@ -1106,7 +1123,7 @@ func (c *Campaign) admit(child *Seed, r *execResult, qi *int) {
 // improving, returning the furthest point reached (or the first point that
 // discovers new edges). Sequential by nature: each step depends on the
 // previous one's feedback.
-func (c *Campaign) lineSearch(child *Seed, r *execResult) (*Seed, *execResult) {
+func (c *Campaign) lineSearch(child *Seed, r execResult) (*Seed, execResult) {
 	const maxSteps = 64
 	best, bestRes := child, r
 	c.lineSearches++
@@ -1120,7 +1137,7 @@ func (c *Campaign) lineSearch(child *Seed, r *execResult) (*Seed, *execResult) {
 		if len(stream) == 0 {
 			break
 		}
-		tx.SetStream(NudgeWordAt(stream, n.pos%len(stream), n.delta))
+		tx.SetStream(nudgeWordAt(stream, n.pos%len(stream), n.delta))
 		res := c.execute(next.Seq)
 		if res.newEdges > 0 {
 			return next, res

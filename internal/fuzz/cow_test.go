@@ -119,7 +119,7 @@ func TestResumeFromForkedCheckpointMatchesFreshRun(t *testing.T) {
 	}
 	ref := fresh.exec.run(seq)
 
-	for _, out := range []*execOutcome{out1, out2} {
+	for _, out := range []*execOutcome{&out1, &out2} {
 		if len(out.branchesByTx) != len(ref.branchesByTx) {
 			t.Fatalf("tx batch count %d != %d", len(out.branchesByTx), len(ref.branchesByTx))
 		}

@@ -86,14 +86,37 @@ type executor struct {
 	// of the copy-on-write State.Fork — the Options.UseCopyState conformance
 	// mode that pins Fork's semantics end-to-end.
 	copyState bool
+	// prog is the contract's compiled IR program, built once per campaign and
+	// shared read-only by every worker's EVM (the decode-once hot path).
+	prog *evm.Program
+	// noIR pins every EVM to the reference switch-loop interpreter
+	// (Options.NoIR conformance ablation).
+	noIR bool
 	// trace is the reusable per-transaction event buffer. Branch events are
 	// copied out of it before reuse, so recycling it across transactions and
 	// executions is safe and saves eight slice allocations per transaction.
 	trace *evm.Trace
+	// txBuf is the reusable calldata encoding buffer. The EVM only reads
+	// TopLevelInput during its own transaction and every consumer that retains
+	// input bytes copies them, so one buffer per executor is safe.
+	txBuf []byte
 	// vm is the executor's persistent EVM, rebound to a fresh world state per
-	// execution (natives, jumpdest cache, and call-index map stay warm).
+	// execution (natives, program cache, and frame pool stay warm).
 	vm       *evm.EVM
 	attacker *evm.ReentrantAttacker
+	// scratch is the reusable working state: every execution re-forks its
+	// start state (genesis or a checkpoint) into it via State.ForkInto, so
+	// the per-execution fork allocates nothing. Checkpoint stores still take
+	// real Forks — those states are retained by the cache.
+	scratch *state.State
+	// hashBuf is the reusable prefix-hash table backing (see prefixHashes).
+	hashBuf []uint64
+	// brArena is the bump allocator for per-transaction branch-event batches.
+	// Batches are carved off its tail and never recycled (their ownership
+	// transfers to outcomes, the prefix cache, and coverage folding), so one
+	// chunk allocation amortizes over many transactions; only the unused tail
+	// capacity is ever written again.
+	brArena []evm.BranchEvent
 }
 
 // clone returns an executor sharing the immutable substrate but owning a
@@ -101,8 +124,12 @@ type executor struct {
 func (x *executor) clone() *executor {
 	nx := *x
 	nx.trace = nil
+	nx.txBuf = nil
 	nx.vm = nil
 	nx.attacker = nil
+	nx.scratch = nil
+	nx.hashBuf = nil
+	nx.brArena = nil
 	return &nx
 }
 
@@ -111,8 +138,12 @@ func (x *executor) clone() *executor {
 func (x *executor) detached() *executor {
 	nx := *x
 	nx.trace = nil
+	nx.txBuf = nil
 	nx.vm = nil
 	nx.attacker = nil
+	nx.scratch = nil
+	nx.hashBuf = nil
+	nx.brArena = nil
 	nx.prefixes = nil
 	return &nx
 }
@@ -128,14 +159,45 @@ func (x *executor) forkOf(s *state.State) *state.State {
 	return s.Fork()
 }
 
+// workState forks s into the executor's reusable scratch state — the
+// per-execution working copy nothing retains (checkpoint stores fork the
+// scratch again via forkOf, so cache entries are always independent states).
+// Under UseCopyState the deep-copy specification path is kept unpooled.
+func (x *executor) workState(s *state.State) *state.State {
+	if x.copyState {
+		return s.Copy()
+	}
+	x.scratch = s.ForkInto(x.scratch)
+	return x.scratch
+}
+
+// carveBranches reserves an n-event batch at the arena tail and returns it
+// empty (len 0, cap n). The caller fills it with append; the reservation
+// means later carves can never touch it, so handing the batch to long-lived
+// owners (outcomes, the prefix cache) is safe.
+func (x *executor) carveBranches(n int) []evm.BranchEvent {
+	if cap(x.brArena)-len(x.brArena) < n {
+		sz := 1024
+		if n > sz {
+			sz = n
+		}
+		x.brArena = make([]evm.BranchEvent, 0, sz)
+	}
+	tail := len(x.brArena)
+	x.brArena = x.brArena[:tail+n]
+	return x.brArena[tail:tail : tail+n]
+}
+
 // engine returns the executor's persistent EVM rebound to st. The EVM, its
-// registered attacker native, the jumpdest cache, and the call-index map are
-// built once per executor and reused for every execution.
+// registered attacker native, the compiled program cache, and the frame pool
+// are built once per executor and reused for every execution.
 func (x *executor) engine(st *state.State) *evm.EVM {
 	if x.vm == nil {
 		x.vm = evm.New(st, campaignBlockCtx)
 		x.vm.BranchIndex = x.branchIx
 		x.vm.BranchIndexAddr = x.contractAddr
+		x.vm.DisableIR = x.noIR
+		x.vm.UseProgram(x.prog)
 		x.attacker = &evm.ReentrantAttacker{Addr: x.attackerAddr, MaxReentries: 1}
 		x.vm.RegisterNative(x.attackerAddr, x.attacker)
 		return x.vm
@@ -156,12 +218,15 @@ func (x *executor) resetTrace() *evm.Trace {
 }
 
 // encodeTx builds the full calldata of a transaction from the interned
-// selector table (no signature re-hash per transaction).
+// selector table (no signature re-hash per transaction), reusing the
+// executor's encoding buffer: the EVM only reads the calldata during its own
+// transaction, and every consumer that retains input bytes (reentry events,
+// proof-of-concept capture) copies them.
 func (x *executor) encodeTx(tx TxInput) []byte {
 	sel := x.selectors[tx.Func]
-	out := make([]byte, 4+len(tx.Args))
-	copy(out, sel[:])
-	copy(out[4:], tx.Args)
+	out := append(x.txBuf[:0], sel[:]...)
+	out = append(out, tx.Args...)
+	x.txBuf = out
 	return out
 }
 
@@ -192,15 +257,25 @@ func internMethods(t Target) (map[string]abi.Method, map[string][4]byte) {
 // copies — the deep copy the pre-CoW engine paid per checkpoint and per
 // resume is gone, and only accounts a live transaction actually writes get
 // cloned (see the state package's memory model).
-func (x *executor) run(seq Sequence) *execOutcome {
-	out := &execOutcome{}
+func (x *executor) run(seq Sequence) execOutcome {
+	// The outer batch list is exactly one entry per transaction; pre-sizing
+	// makes it a single allocation instead of append growth.
+	out := execOutcome{branchesByTx: make([][]evm.BranchEvent, 0, len(seq))}
 
 	var st *state.State
 	var e *evm.EVM
 	start := 0
 
-	if entry := x.prefixes.lookup(seq); entry != nil {
-		st = x.forkOf(entry.st)
+	// One pass computes every proper-prefix key; the resume lookup and the
+	// store-policy scan below both index into it.
+	var hashes []uint64
+	if x.prefixes != nil {
+		hashes = prefixHashes(seq, x.hashBuf)
+		x.hashBuf = hashes
+	}
+
+	if entry := x.prefixes.lookupHashed(hashes); entry != nil {
+		st = x.workState(entry.st)
 		e = x.engine(st)
 		e.RestoreTaint(entry.taint)
 		start = entry.txs
@@ -208,11 +283,29 @@ func (x *executor) run(seq Sequence) *execOutcome {
 		out.reports = append(out.reports, entry.reports...)
 		out.nestedDepth = entry.nestedDepth
 	} else {
-		st = x.forkOf(x.genesis)
+		st = x.workState(x.genesis)
 		e = x.engine(st)
 		x.target.Deploy(st, x.contractAddr, x.deployer)
 	}
 	out.firstLive = start
+
+	// Single-store checkpoint policy: of all proper prefixes this run could
+	// checkpoint, only the longest not-yet-cached one is stored. Shorter
+	// prefixes are dominated — any future sequence sharing a short prefix
+	// either shares the long one too, or misses and stores its own longest —
+	// so storing them would multiply the fork + taint-snapshot cost per run
+	// without improving resume depth. The cache stays write-once per key and
+	// contains/admissible are re-checked at store time (another worker may
+	// have stored the same prefix mid-run).
+	bestStore := -1
+	if x.prefixes != nil {
+		for i := len(seq) - 2; i >= start; i-- {
+			if !x.prefixes.contains(hashes[i]) {
+				bestStore = i
+				break
+			}
+		}
+	}
 
 	for i := start; i < len(seq); i++ {
 		tx := seq[i]
@@ -222,10 +315,23 @@ func (x *executor) run(seq Sequence) *execOutcome {
 		e.Trace = x.resetTrace()
 		_, err := e.Transact(sender, x.contractAddr, value, data, x.gasPerTx)
 
-		var txBranches []evm.BranchEvent
+		// Two-pass copy into an exact-size batch carved off the arena: the
+		// batch's ownership transfers to the outcome (and possibly the prefix
+		// cache), so it must never be written again — carving advances the
+		// arena tail past it, and append-growth overshoot never happens.
+		n := 0
 		for _, br := range e.Trace.Branches {
 			if br.Addr == x.contractAddr {
-				txBranches = append(txBranches, br)
+				n++
+			}
+		}
+		var txBranches []evm.BranchEvent
+		if n > 0 {
+			txBranches = x.carveBranches(n)
+			for _, br := range e.Trace.Branches {
+				if br.Addr == x.contractAddr {
+					txBranches = append(txBranches, br)
+				}
 			}
 		}
 		out.branchesByTx = append(out.branchesByTx, txBranches)
@@ -241,14 +347,10 @@ func (x *executor) run(seq Sequence) *execOutcome {
 			out.reports = append(out.reports, txReport{txIdx: i, report: rep})
 		}
 
-		// Checkpoint the state after this transaction (except the last: the
-		// cache only serves proper prefixes). The outcome accumulated so far
-		// is exactly the checkpoint's payload. The guards keep detached
-		// executors, NoPrefixCache campaigns, already-cached prefixes, and
-		// inadmissible (oversized) prefixes from paying the fork and
-		// taint-snapshot cost for a store that would be discarded.
-		if x.prefixes != nil && i < len(seq)-1 && x.prefixes.admissible(out.branchesByTx) {
-			key := hashPrefix(seq, i+1)
+		// Checkpoint the state after the chosen prefix transaction. The
+		// outcome accumulated so far is exactly the checkpoint's payload.
+		if i == bestStore && x.prefixes.admissible(out.branchesByTx) {
+			key := hashes[i]
 			if !x.prefixes.contains(key) {
 				x.prefixes.storeKeyed(key, i+1, x.forkOf(st), e.TaintSnapshot(), out.branchesByTx, out.reports, out.nestedDepth)
 			}

@@ -99,12 +99,19 @@ func fillBytes(rng *rand.Rand, p []byte) {
 
 // ApplyMutation applies mutation m=(x,n) to the stream at position i and
 // returns the mutated copy (MUTATE(t, m, i) in the paper). pool supplies
-// interesting values for the R operator.
+// interesting values for the R operator. The input stream is not modified.
 func ApplyMutation(stream []byte, x MutType, n, i int, rng *rand.Rand, pool []u256.Int) []byte {
+	return applyMutation(append([]byte(nil), stream...), x, n, i, rng, pool)
+}
+
+// applyMutation is the in-place core of ApplyMutation: it takes ownership of
+// out (the campaign hot path hands it a dead scratch stream, skipping the
+// defensive copy) and consumes rng exactly the way the copying wrapper always
+// has, so transcripts are unaffected by which entry point ran.
+func applyMutation(out []byte, x MutType, n, i int, rng *rand.Rand, pool []u256.Int) []byte {
 	if n < 1 {
 		n = 1
 	}
-	out := append([]byte(nil), stream...)
 	if i < 0 {
 		i = 0
 	}
@@ -117,9 +124,12 @@ func ApplyMutation(stream []byte, x MutType, n, i int, rng *rand.Rand, pool []u2
 		if i > len(out) {
 			i = len(out)
 		}
-		ins := make([]byte, n)
-		fillBytes(rng, ins)
-		out = append(out[:i], append(ins, out[i:]...)...)
+		// Open an n-byte gap at i with one (at most) growth and fill it with
+		// the same fillBytes draw the two-append splice used to produce.
+		oldLen := len(out)
+		out = append(out, make([]byte, n)...)
+		copy(out[i+n:], out[i:oldLen])
+		fillBytes(rng, out[i:i+n])
 	case MutReplace:
 		w := pool[rng.Intn(len(pool))].Bytes32()
 		if n > 32 {
@@ -144,9 +154,13 @@ func ApplyMutation(stream []byte, x MutType, n, i int, rng *rand.Rand, pool []u2
 
 // WriteWordAt overwrites the 32-byte word starting at the aligned position
 // containing i with the given value — the distance-directed mutation that
-// copies a comparison operand into an input word.
+// copies a comparison operand into an input word. The input is not modified.
 func WriteWordAt(stream []byte, i int, v u256.Int) []byte {
-	out := append([]byte(nil), stream...)
+	return writeWordAt(append([]byte(nil), stream...), i, v)
+}
+
+// writeWordAt is the in-place core of WriteWordAt (hot path; takes ownership).
+func writeWordAt(out []byte, i int, v u256.Int) []byte {
 	start := (i / 32) * 32
 	w := v.Bytes32()
 	for k := 0; k < 32 && start+k < len(out); k++ {
@@ -156,9 +170,14 @@ func WriteWordAt(stream []byte, i int, v u256.Int) []byte {
 }
 
 // NudgeWordAt adds a small signed delta to the word at the aligned position
-// containing i — the arithmetic descent step of distance-guided mutation.
+// containing i — the arithmetic descent step of distance-guided mutation. The
+// input is not modified.
 func NudgeWordAt(stream []byte, i int, delta int64) []byte {
-	out := append([]byte(nil), stream...)
+	return nudgeWordAt(append([]byte(nil), stream...), i, delta)
+}
+
+// nudgeWordAt is the in-place core of NudgeWordAt (hot path; takes ownership).
+func nudgeWordAt(out []byte, i int, delta int64) []byte {
 	start := (i / 32) * 32
 	end := start + 32
 	if end > len(out) {
@@ -208,11 +227,14 @@ func ComputeMask(stream []byte, rng *rand.Rand, pool []u256.Int, probe func([]by
 	if len(stream) > maskPositionBudget {
 		stride = (len(stream) + maskPositionBudget - 1) / maskPositionBudget
 	}
+	// One scratch buffer serves every probe: candidates only need to live
+	// until probe returns (probes that retain bytes copy them via SetStream).
+	var buf []byte
 	for i := 0; i < len(stream); i += stride {
 		var verdict [numMutTypes]bool
 		for _, x := range []MutType{MutOverwrite, MutInsert, MutReplace, MutDelete} {
-			mutated := ApplyMutation(stream, x, n, i, rng, pool)
-			if probe(mutated) {
+			buf = applyMutation(append(buf[:0], stream...), x, n, i, rng, pool)
+			if probe(buf) {
 				verdict[x] = true
 			}
 		}
@@ -298,8 +320,12 @@ func (m *seqMutator) mutateSequence(seq Sequence, rng *rand.Rand, newTx func(fn 
 			rest := append(Sequence{t1, t2}, out[1:]...)
 			out = append(out[:1], rest...)
 		} else if len(out) < maxLen+2 {
+			// single-growth splice: open one slot at idx+1 and drop the dup in
 			dup := out[idx].Clone()
-			out = append(out[:idx+1], append(Sequence{dup}, out[idx+1:]...)...)
+			oldLen := len(out)
+			out = append(out, TxInput{})
+			copy(out[idx+2:], out[idx+1:oldLen])
+			out[idx+1] = dup
 		}
 	case prolong:
 		out = append(out, newTx(m.callable[rng.Intn(len(m.callable))]))

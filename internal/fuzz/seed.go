@@ -24,10 +24,12 @@ type TxInput struct {
 	Sender int
 }
 
-// Stream flattens the mutable bytes of the transaction: args ++ value.
+// Stream flattens the mutable bytes of the transaction: args ++ value. The
+// buffer carries spare capacity so in-place insert mutations on the returned
+// stream usually splice without growing.
 func (t *TxInput) Stream() []byte {
 	v := t.Value.Bytes32()
-	out := make([]byte, 0, len(t.Args)+32)
+	out := make([]byte, 0, len(t.Args)+64)
 	out = append(out, t.Args...)
 	return append(out, v[:]...)
 }
@@ -45,26 +47,23 @@ func (t *TxInput) SetStream(s []byte) {
 	t.Value = u256.FromBytes(s[cut:])
 }
 
-// Clone deep-copies the transaction.
+// Clone copies the transaction. Args is shared, not copied: argument streams
+// are immutable once built — every mutation path (Stream → mutate →
+// SetStream) constructs a fresh stream and replaces Args wholesale, so two
+// transactions sharing one Args backing array can never observe each other.
 func (t *TxInput) Clone() TxInput {
-	return TxInput{
-		Func:   t.Func,
-		Args:   append([]byte(nil), t.Args...),
-		Value:  t.Value,
-		Sender: t.Sender,
-	}
+	return *t
 }
 
 // Sequence is an ordered list of transactions; the constructor is always
 // element zero (paper §IV-A).
 type Sequence []TxInput
 
-// Clone deep-copies a sequence.
+// Clone copies a sequence (element-shallow; see TxInput.Clone for why
+// sharing Args is sound).
 func (s Sequence) Clone() Sequence {
 	out := make(Sequence, len(s))
-	for i := range s {
-		out[i] = s[i].Clone()
-	}
+	copy(out, s)
 	return out
 }
 

@@ -2,7 +2,6 @@ package fuzz
 
 import (
 	"encoding/binary"
-	"hash/fnv"
 	"sync"
 	"sync/atomic"
 
@@ -86,22 +85,70 @@ func (pc *prefixCache) shard(key uint64) *prefixShard {
 	return &pc.shards[key%prefixShards]
 }
 
+// fnv-1a, hand-rolled: the stdlib hash.Hash64 interface costs an allocation
+// and a virtual call per Write, and the hot path hashes every prefix of every
+// sequence per execution.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvAdd(h uint64, p []byte) uint64 {
+	for _, c := range p {
+		h = (h ^ uint64(c)) * fnvPrime64
+	}
+	return h
+}
+
+func fnvAddString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	return h
+}
+
+func fnvAddByte(h uint64, b byte) uint64 {
+	return (h ^ uint64(b)) * fnvPrime64
+}
+
+// hashTx folds one transaction into a running prefix hash.
+func hashTx(h uint64, tx *TxInput) uint64 {
+	h = fnvAddString(h, tx.Func)
+	h = fnvAddByte(h, 0)
+	h = fnvAdd(h, tx.Args)
+	v := tx.Value.Bytes32()
+	h = fnvAdd(h, v[:])
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(tx.Sender))
+	h = fnvAdd(h, buf[:])
+	return fnvAddByte(h, 0xfe)
+}
+
 // hashPrefix fingerprints the first n transactions of a sequence.
 func hashPrefix(seq Sequence, n int) uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
+	h := uint64(fnvOffset64)
 	for i := 0; i < n && i < len(seq); i++ {
-		tx := seq[i]
-		h.Write([]byte(tx.Func))
-		h.Write([]byte{0})
-		h.Write(tx.Args)
-		v := tx.Value.Bytes32()
-		h.Write(v[:])
-		binary.LittleEndian.PutUint64(buf[:], uint64(tx.Sender))
-		h.Write(buf[:])
-		h.Write([]byte{0xfe})
+		h = hashTx(h, &seq[i])
 	}
-	return h.Sum64()
+	return h
+}
+
+// prefixHashes computes the keys of every proper prefix of seq in one pass:
+// out[k] is hashPrefix(seq, k+1) for k in [0, len(seq)-2]. The hash is a pure
+// running fold over transactions, so all prefixes cost one sequence walk —
+// the per-execution lookup and store-policy scans reuse the same table
+// instead of rehashing O(n²) bytes. buf is an optional reusable backing.
+func prefixHashes(seq Sequence, buf []uint64) []uint64 {
+	if len(seq) < 2 {
+		return buf[:0]
+	}
+	out := buf[:0]
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(seq)-1; i++ {
+		h = hashTx(h, &seq[i])
+		out = append(out, h)
+	}
+	return out
 }
 
 // lookup returns the entry for the longest cached proper prefix of seq
@@ -112,8 +159,17 @@ func (pc *prefixCache) lookup(seq Sequence) *prefixEntry {
 	if pc == nil {
 		return nil
 	}
-	for n := len(seq) - 1; n >= 1; n-- {
-		key := hashPrefix(seq, n)
+	return pc.lookupHashed(prefixHashes(seq, nil))
+}
+
+// lookupHashed is lookup over a precomputed prefix-hash table (hashes[k] is
+// the key of the k+1-transaction prefix, as built by prefixHashes).
+func (pc *prefixCache) lookupHashed(hashes []uint64) *prefixEntry {
+	if pc == nil {
+		return nil
+	}
+	for n := len(hashes); n >= 1; n-- {
+		key := hashes[n-1]
 		sh := pc.shard(key)
 		sh.mu.RLock()
 		e, ok := sh.entries[key]

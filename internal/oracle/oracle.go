@@ -104,6 +104,12 @@ func (r *report) add(f Finding) {
 	if r.seen[f.Key()] {
 		return
 	}
+	if r.seen == nil {
+		// Allocated on the first finding only: the overwhelming majority of
+		// executions observe nothing, and the campaign hot path calls Inspect
+		// once per transaction.
+		r.seen = make(map[string]bool)
+	}
 	r.seen[f.Key()] = true
 	r.Findings = append(r.Findings, f)
 }
@@ -117,16 +123,16 @@ func (ins *Inspector) Inspect(tr *evm.Trace, txValue u256.Int, txOK bool) Report
 	if tr == nil {
 		return Report{}
 	}
-	r := &report{seen: make(map[string]bool)}
+	var r report
 	if txOK && !txValue.IsZero() {
 		r.ReceivedValue = true
 	}
-	ins.inspectSinks(tr, r)
-	ins.inspectOverflows(tr, r)
-	ins.inspectCalls(tr, r)
-	ins.inspectReentry(tr, r)
-	ins.inspectSelfDestructs(tr, r)
-	ins.inspectDelegates(tr, r)
+	ins.inspectSinks(tr, &r)
+	ins.inspectOverflows(tr, &r)
+	ins.inspectCalls(tr, &r)
+	ins.inspectReentry(tr, &r)
+	ins.inspectSelfDestructs(tr, &r)
+	ins.inspectDelegates(tr, &r)
 	return r.Report
 }
 

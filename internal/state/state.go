@@ -119,10 +119,19 @@ const (
 	jDestroy
 )
 
+// accountSlot pairs an address with its account. The world state holds a
+// handful of accounts (deployer, attacker, senders, contract), so a flat
+// slice with linear lookup beats a hash map on every access — and makes
+// Fork/ForkInto a single memcpy instead of a map rebuild.
+type accountSlot struct {
+	addr Address
+	acc  *Account
+}
+
 // State is the mutable world state with snapshot/revert support and O(1)
 // copy-on-write forking.
 type State struct {
-	accounts map[Address]*Account
+	accounts []accountSlot
 	journal  []journalEntry
 	// gen is the write generation: accounts whose tag matches may be mutated
 	// in place, anything else is shared with a fork and cloned first. It is
@@ -135,9 +144,29 @@ type State struct {
 
 // New returns an empty world state.
 func New() *State {
-	s := &State{accounts: make(map[Address]*Account), family: &genCounter{}}
+	s := &State{family: &genCounter{}}
 	s.gen.Store(s.family.next())
 	return s
+}
+
+// find returns the account at addr, or nil if absent.
+func (s *State) find(addr Address) *Account {
+	for i := range s.accounts {
+		if s.accounts[i].addr == addr {
+			return s.accounts[i].acc
+		}
+	}
+	return nil
+}
+
+// findIdx returns the slot index of addr, or -1 if absent.
+func (s *State) findIdx(addr Address) int {
+	for i := range s.accounts {
+		if s.accounts[i].addr == addr {
+			return i
+		}
+	}
+	return -1
 }
 
 // Fork returns a child state observationally identical to the receiver, in
@@ -152,12 +181,28 @@ func New() *State {
 // to the receiver.
 func (s *State) Fork() *State {
 	child := &State{
-		accounts: make(map[Address]*Account, len(s.accounts)),
+		accounts: append([]accountSlot(nil), s.accounts...),
 		family:   s.family,
 	}
-	for addr, acc := range s.accounts {
-		child.accounts[addr] = acc
+	child.gen.Store(s.family.next())
+	s.gen.Store(s.family.next())
+	return child
+}
+
+// ForkInto forks the receiver into an existing child state, reusing the
+// child's account map and journal capacity instead of allocating fresh ones.
+// Semantically identical to Fork — the returned state is observationally a
+// Fork of s — but the child's previous contents are discarded, so it must
+// only be used on a scratch state nothing else references (the fuzzing
+// executors' per-worker working state, re-forked from a frozen checkpoint on
+// every execution). The child must belong to the same fork family as s;
+// a mismatched child falls back to a plain Fork.
+func (s *State) ForkInto(child *State) *State {
+	if child == nil || child.family != s.family || child == s {
+		return s.Fork()
 	}
+	child.accounts = append(child.accounts[:0], s.accounts...)
+	child.journal = child.journal[:0]
 	child.gen.Store(s.family.next())
 	s.gen.Store(s.family.next())
 	return child
@@ -167,10 +212,11 @@ func (s *State) Fork() *State {
 // is still shared with a fork. It must only be called for existing accounts
 // (the revert path).
 func (s *State) mutableAt(addr Address) *Account {
-	acc := s.accounts[addr]
+	i := s.findIdx(addr)
+	acc := s.accounts[i].acc
 	if g := s.gen.Load(); acc.gen != g {
 		acc = acc.cloneFor(g)
-		s.accounts[addr] = acc
+		s.accounts[i].acc = acc
 	}
 	return acc
 }
@@ -178,20 +224,21 @@ func (s *State) mutableAt(addr Address) *Account {
 // mutableOrCreate returns a writable account, creating (and journaling) it
 // if needed and cloning it first when it is shared with a fork.
 func (s *State) mutableOrCreate(addr Address) *Account {
-	acc, ok := s.accounts[addr]
-	if !ok {
-		acc = &Account{
+	i := s.findIdx(addr)
+	if i < 0 {
+		acc := &Account{
 			Storage:      make(map[u256.Int]u256.Int),
 			gen:          s.gen.Load(),
 			storageOwned: true,
 		}
-		s.accounts[addr] = acc
+		s.accounts = append(s.accounts, accountSlot{addr: addr, acc: acc})
 		s.journal = append(s.journal, journalEntry{kind: jCreate, addr: addr, created: true})
 		return acc
 	}
+	acc := s.accounts[i].acc
 	if g := s.gen.Load(); acc.gen != g {
 		acc = acc.cloneFor(g)
-		s.accounts[addr] = acc
+		s.accounts[i].acc = acc
 	}
 	return acc
 }
@@ -212,8 +259,7 @@ func (s *State) ownedStorage(acc *Account) map[u256.Int]u256.Int {
 
 // Exists reports whether an account is present.
 func (s *State) Exists(addr Address) bool {
-	_, ok := s.accounts[addr]
-	return ok
+	return s.find(addr) != nil
 }
 
 // CreateContract installs code at addr, recording its creator.
@@ -225,7 +271,7 @@ func (s *State) CreateContract(addr Address, code []byte, creator Address) {
 
 // Code returns the code at addr (nil for absent accounts).
 func (s *State) Code(addr Address) []byte {
-	if acc, ok := s.accounts[addr]; ok && !acc.Destroyed {
+	if acc := s.find(addr); acc != nil && !acc.Destroyed {
 		return acc.Code
 	}
 	return nil
@@ -233,7 +279,7 @@ func (s *State) Code(addr Address) []byte {
 
 // Creator returns the deployer of addr.
 func (s *State) Creator(addr Address) Address {
-	if acc, ok := s.accounts[addr]; ok {
+	if acc := s.find(addr); acc != nil {
 		return acc.Creator
 	}
 	return Address{}
@@ -241,7 +287,7 @@ func (s *State) Creator(addr Address) Address {
 
 // GetStorage reads a storage slot (zero for absent slots).
 func (s *State) GetStorage(addr Address, slot u256.Int) u256.Int {
-	if acc, ok := s.accounts[addr]; ok {
+	if acc := s.find(addr); acc != nil {
 		return acc.Storage[slot]
 	}
 	return u256.Zero
@@ -262,7 +308,7 @@ func (s *State) SetStorage(addr Address, slot, val u256.Int) {
 
 // Balance returns the balance of addr.
 func (s *State) Balance(addr Address) u256.Int {
-	if acc, ok := s.accounts[addr]; ok {
+	if acc := s.find(addr); acc != nil {
 		return acc.Balance
 	}
 	return u256.Zero
@@ -311,7 +357,7 @@ func (s *State) Destroy(addr, beneficiary Address) {
 
 // Destroyed reports whether addr has self-destructed.
 func (s *State) Destroyed(addr Address) bool {
-	if acc, ok := s.accounts[addr]; ok {
+	if acc := s.find(addr); acc != nil {
 		return acc.Destroyed
 	}
 	return false
@@ -341,7 +387,9 @@ func (s *State) RevertTo(snap int) {
 		case jBalance:
 			s.mutableAt(e.addr).Balance = e.prevBal
 		case jCreate:
-			delete(s.accounts, e.addr)
+			if i := s.findIdx(e.addr); i >= 0 {
+				s.accounts = append(s.accounts[:i], s.accounts[i+1:]...)
+			}
 		case jDestroy:
 			acc := s.mutableAt(e.addr)
 			acc.Destroyed = e.prevDes
@@ -363,7 +411,8 @@ func (s *State) Commit() {
 func (s *State) Copy() *State {
 	ns := New()
 	g := ns.gen.Load()
-	for addr, acc := range s.accounts {
+	for _, slot := range s.accounts {
+		acc := slot.acc
 		na := &Account{
 			Balance:      acc.Balance,
 			Code:         append([]byte(nil), acc.Code...),
@@ -376,7 +425,7 @@ func (s *State) Copy() *State {
 		for k, v := range acc.Storage {
 			na.Storage[k] = v
 		}
-		ns.accounts[addr] = na
+		ns.accounts = append(ns.accounts, accountSlot{addr: slot.addr, acc: na})
 	}
 	return ns
 }
@@ -384,8 +433,8 @@ func (s *State) Copy() *State {
 // Accounts returns all addresses in deterministic order.
 func (s *State) Accounts() []Address {
 	out := make([]Address, 0, len(s.accounts))
-	for a := range s.accounts {
-		out = append(out, a)
+	for _, slot := range s.accounts {
+		out = append(out, slot.addr)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		for k := 0; k < len(out[i]); k++ {
@@ -400,7 +449,7 @@ func (s *State) Accounts() []Address {
 
 // StorageSize returns the number of non-zero slots at addr.
 func (s *State) StorageSize(addr Address) int {
-	if acc, ok := s.accounts[addr]; ok {
+	if acc := s.find(addr); acc != nil {
 		return len(acc.Storage)
 	}
 	return 0
@@ -409,8 +458,8 @@ func (s *State) StorageSize(addr Address) int {
 // StorageDump returns a copy of every non-zero storage slot at addr, for
 // diagnostics and state-equality checks in tests.
 func (s *State) StorageDump(addr Address) map[u256.Int]u256.Int {
-	acc, ok := s.accounts[addr]
-	if !ok {
+	acc := s.find(addr)
+	if acc == nil {
 		return nil
 	}
 	out := make(map[u256.Int]u256.Int, len(acc.Storage))
