@@ -8,6 +8,7 @@
 //	       [-iters 4000] [-seed 1] [-time 10s] [-workers 1] [-v]
 //	       [-corpus-dir DIR] [-resume snapshot] [-snapshot-out snapshot]
 //	       [-cpuprofile cpu.out] [-memprofile mem.out]
+//	       [-mutexprofile mutex.out] [-blockprofile block.out]
 //	mufuzz -example crowdsale|game    # fuzz a built-in paper example
 //	mufuzz -bytecode code.bin -abi contract.abi.json   # fuzz deployed bytecode
 //
@@ -60,6 +61,19 @@ func main() {
 	os.Exit(run())
 }
 
+// writeLookupProfile dumps a named runtime profile (mutex, block) to path.
+func writeLookupProfile(name, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mufuzz: %sprofile: %v\n", name, err)
+		return
+	}
+	defer f.Close()
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "mufuzz: %sprofile: %v\n", name, err)
+	}
+}
+
 func run() int {
 	var (
 		file      = flag.String("file", "", "MiniSol source file to fuzz")
@@ -79,6 +93,8 @@ func run() int {
 		abiFile   = flag.String("abi", "", "Solidity ABI JSON file for -bytecode")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile (after the campaign) to this file")
+		mutexProf = flag.String("mutexprofile", "", "write a mutex-contention profile (after the campaign) to this file")
+		blockProf = flag.String("blockprofile", "", "write a goroutine-blocking profile (after the campaign) to this file")
 	)
 	flag.Parse()
 
@@ -110,6 +126,18 @@ func run() int {
 				fmt.Fprintln(os.Stderr, "mufuzz: memprofile:", err)
 			}
 		}()
+	}
+	// Contention profiles for the parallel engine: where worker goroutines
+	// fight over locks (-mutexprofile) and where they park — pool queue,
+	// reorder buffer, shard writes (-blockprofile). Sampling is enabled only
+	// when asked: both profilers tax the hot path.
+	if *mutexProf != "" {
+		runtime.SetMutexProfileFraction(1)
+		defer writeLookupProfile("mutex", *mutexProf)
+	}
+	if *blockProf != "" {
+		runtime.SetBlockProfileRate(1)
+		defer writeLookupProfile("block", *blockProf)
 	}
 
 	strat, ok := fuzz.PresetByName(*strategy)

@@ -8,6 +8,7 @@
 //
 //	mufuzzd [-addr :8700] [-store mufuzz-store] [-slots 2]
 //	        [-slice-rounds 8] [-workers 1] [-debug-addr localhost:6060]
+//	        [-mutex-profile-fraction 5] [-block-profile-rate 10000]
 //
 // Submit and watch campaigns over the HTTP JSON API:
 //
@@ -32,6 +33,7 @@ import (
 	_ "net/http/pprof" // -debug-addr pprof endpoints
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -48,13 +50,24 @@ func main() {
 		workers     = flag.Int("workers", 1, "default executor goroutines per campaign")
 		iters       = flag.Int("iters", 20000, "default campaign budget when a spec omits one")
 		debugAddr   = flag.String("debug-addr", "", "optional pprof listen address (e.g. localhost:6060); off when empty")
+		mutexFrac   = flag.Int("mutex-profile-fraction", 0, "sample 1/n of mutex contention events for /debug/pprof/mutex (0 = off)")
+		blockRate   = flag.Int("block-profile-rate", 0, "sample goroutine blocking events >= n ns for /debug/pprof/block (0 = off)")
 	)
 	flag.Parse()
 
 	if *debugAddr != "" {
 		// net/http/pprof registers its handlers on http.DefaultServeMux; serve
 		// that mux on a separate listener so profiling endpoints never share a
-		// port with the campaign API.
+		// port with the campaign API. The contention endpoints (mutex, block)
+		// report nothing until their runtime sampling rates are set — opt in
+		// with -mutex-profile-fraction / -block-profile-rate, since both tax
+		// the executor hot path.
+		if *mutexFrac > 0 {
+			runtime.SetMutexProfileFraction(*mutexFrac)
+		}
+		if *blockRate > 0 {
+			runtime.SetBlockProfileRate(*blockRate)
+		}
 		go func() {
 			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "mufuzzd: debug-addr:", err)

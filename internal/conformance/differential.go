@@ -188,33 +188,47 @@ func SequentialVariants() []Variant {
 }
 
 // BatchedVariants returns the batched-schedule equivalence class: the
-// batched engine pinned to one worker (reference) against N workers, N
-// workers on deep copies, and N workers without the prefix cache. The
-// batched schedule is a pure function of the campaign seed, so all four
-// must produce byte-identical transcripts regardless of executor completion
-// order.
+// pipelined engine pinned to one worker (reference) against the pipelined
+// engine at N workers, the legacy fork-join barrier engine (NoPipeline) at
+// both widths, and the N-worker pipeline on deep copies, without the prefix
+// cache, and without the IR. The batched schedule is a pure function of the
+// campaign seed, so every variant must produce byte-identical transcripts
+// regardless of engine shape, worker count, or executor completion order —
+// the end-to-end proof that the persistent pool, the streaming in-order
+// fold, and the speculative line search changed nothing observable.
 func BatchedVariants(workers int) []Variant {
 	return []Variant{
-		{"batched-w1", func(o fuzz.Options) fuzz.Options {
+		{"pipelined-w1", func(o fuzz.Options) fuzz.Options {
 			o.Workers = 1
 			o.ForceBatched = true
 			return o
 		}},
-		{fmt.Sprintf("batched-w%d", workers), func(o fuzz.Options) fuzz.Options {
+		{fmt.Sprintf("pipelined-w%d", workers), func(o fuzz.Options) fuzz.Options {
 			o.Workers = workers
 			return o
 		}},
-		{fmt.Sprintf("batched-w%d-copystate", workers), func(o fuzz.Options) fuzz.Options {
+		{"barrier-w1", func(o fuzz.Options) fuzz.Options {
+			o.Workers = 1
+			o.ForceBatched = true
+			o.NoPipeline = true
+			return o
+		}},
+		{fmt.Sprintf("barrier-w%d", workers), func(o fuzz.Options) fuzz.Options {
+			o.Workers = workers
+			o.NoPipeline = true
+			return o
+		}},
+		{fmt.Sprintf("pipelined-w%d-copystate", workers), func(o fuzz.Options) fuzz.Options {
 			o.Workers = workers
 			o.UseCopyState = true
 			return o
 		}},
-		{fmt.Sprintf("batched-w%d-nocache", workers), func(o fuzz.Options) fuzz.Options {
+		{fmt.Sprintf("pipelined-w%d-nocache", workers), func(o fuzz.Options) fuzz.Options {
 			o.Workers = workers
 			o.NoPrefixCache = true
 			return o
 		}},
-		{fmt.Sprintf("batched-w%d-noir", workers), func(o fuzz.Options) fuzz.Options {
+		{fmt.Sprintf("pipelined-w%d-noir", workers), func(o fuzz.Options) fuzz.Options {
 			o.Workers = workers
 			o.NoIR = true
 			return o
@@ -245,6 +259,7 @@ func DifferentialMatrix(name string, comp *minisol.Compiled, base fuzz.Options, 
 	base.UseCopyState = false
 	base.NoPrefixCache = false
 	base.NoIR = false
+	base.NoPipeline = false
 	var out []PairResult
 	for _, class := range [][]Variant{SequentialVariants(), BatchedVariants(workers)} {
 		ref := RecordCampaign(name, comp, class[0].Apply(base))

@@ -67,6 +67,13 @@ type Options struct {
 	// byte-identical to the switch loop; running a whole campaign under NoIR
 	// is the conformance ablation that proves it end-to-end.
 	NoIR bool
+	// NoPipeline pins the batched engine to the legacy fork-join shape: spawn
+	// workers per round, wg.Wait(), then fold every slot serially. The default
+	// pipelined engine (persistent worker pool, streaming in-order fold,
+	// speculative line search) must be byte-identical to this barrier engine;
+	// running a whole campaign under NoPipeline is the conformance ablation
+	// that proves it end-to-end. Irrelevant when the sequential engine runs.
+	NoPipeline bool
 	// Observer, when non-nil, receives one ExecRecord per execution on the
 	// coordinator goroutine in deterministic fold order. Observing never
 	// changes campaign behavior; it is the conformance transcript hook.
@@ -159,6 +166,11 @@ type Campaign struct {
 	// once and reused across rounds so each worker's EVM, attacker native,
 	// jumpdest cache, and trace buffer stay warm for the whole campaign.
 	workerExecs []*executor
+	// workerPool is the persistent goroutine pool of the pipelined engine,
+	// scoped to the running slice: started lazily by the first pipelined
+	// round, shut down when RunSlice returns so a parked campaign holds no
+	// goroutines.
+	workerPool *workerPool
 
 	// identities
 	genesis      *state.State
@@ -867,6 +879,7 @@ func (c *Campaign) RunSlice(ctx context.Context, maxRounds int) (*Result, bool) 
 	c.inSlice = true
 	c.sliceStart = time.Now()
 	defer func() {
+		c.stopWorkerPool()
 		c.elapsedPrior += time.Since(c.sliceStart)
 		c.inSlice = false
 		c.ctx = nil
@@ -895,7 +908,11 @@ func (c *Campaign) RunSlice(ctx context.Context, maxRounds int) (*Result, bool) 
 		c.ensureMasks(seed)
 		energy := c.energyFor(seed)
 		if c.opts.Workers > 1 || c.opts.ForceBatched {
-			c.fuzzRoundParallel(seed, energy, &c.qi)
+			if c.opts.NoPipeline {
+				c.fuzzRoundBarrier(seed, energy, &c.qi)
+			} else {
+				c.fuzzRoundPipelined(seed, energy, &c.qi)
+			}
 		} else {
 			c.fuzzRound(seed, energy, &c.qi)
 		}
@@ -1020,13 +1037,15 @@ func (c *Campaign) fuzzRound(seed *Seed, energy int, qi *int) {
 	}
 }
 
-// fuzzRoundParallel spends one seed's energy as a batch: the round's
-// children are generated and executed across Options.Workers goroutines,
-// each worker owning its own executor (EVM, state copies, trace buffer) and
-// a per-child rand.Rand seeded from the coordinator rng. The coordinator
-// then merges outcomes in batch order, so results are deterministic for a
-// fixed (Seed, Workers) pair regardless of goroutine scheduling.
-func (c *Campaign) fuzzRoundParallel(seed *Seed, energy int, qi *int) {
+// fuzzRoundBarrier spends one seed's energy as a fork-join batch: the
+// round's children are generated and executed across Options.Workers
+// goroutines, each worker owning its own executor (EVM, state copies, trace
+// buffer) and a per-child rand.Rand seeded from the coordinator rng; a
+// WaitGroup barrier joins them all before the coordinator merges outcomes in
+// batch order. This is the legacy batched engine, kept verbatim as the
+// Options.NoPipeline ablation — the reference the pipelined engine is proven
+// byte-identical against.
+func (c *Campaign) fuzzRoundBarrier(seed *Seed, energy int, qi *int) {
 	n := energy
 	if remaining := c.opts.Iterations - c.executions; n > remaining {
 		n = remaining
@@ -1091,6 +1110,178 @@ func (c *Campaign) fuzzRoundParallel(seed *Seed, energy int, qi *int) {
 	}
 }
 
+// ensureWorkerPool lazily starts the pipelined engine's persistent pool over
+// the campaign's warmed worker executors.
+func (c *Campaign) ensureWorkerPool() *workerPool {
+	if c.workerPool != nil {
+		return c.workerPool
+	}
+	for len(c.workerExecs) < c.opts.Workers {
+		c.workerExecs = append(c.workerExecs, c.exec.clone())
+	}
+	c.workerPool = newWorkerPool(c.workerExecs[:c.opts.Workers])
+	return c.workerPool
+}
+
+// stopWorkerPool joins and discards the slice's pool (no-op when none ran).
+func (c *Campaign) stopWorkerPool() {
+	if c.workerPool != nil {
+		c.workerPool.shutdown()
+		c.workerPool = nil
+	}
+}
+
+// fuzzRoundPipelined spends one seed's energy through the persistent worker
+// pool with a streaming in-order fold: the coordinator mutates every child of
+// the round up front, keeps the bounded job queue fed, and folds slot i the
+// moment it completes — coverage merge, admission, and the line search for
+// early slots overlap the execution of later ones, and nothing joins on a
+// barrier.
+//
+// The schedule is byte-identical to fuzzRoundBarrier's. Per-child rng seeds
+// come from the same coordinator draws; children are a pure function of the
+// round-start feedback state (mutation happens before any fold of this round
+// touches the value pool, masks, or distance frontier — exactly the state
+// the barrier engine's workers read); executors are pure; and the reorder
+// buffer releases outcomes in batch order, so every fold sees the state the
+// serial merge would have produced.
+func (c *Campaign) fuzzRoundPipelined(seed *Seed, energy int, qi *int) {
+	n := energy
+	if remaining := c.opts.Iterations - c.executions; n > remaining {
+		n = remaining
+	}
+	if n <= 0 {
+		return
+	}
+	childSeeds := make([]int64, n)
+	for i := range childSeeds {
+		childSeeds[i] = c.rng.Int63()
+	}
+	children := make([]*Seed, n)
+	muts := make([]int, n)
+	for i := 0; i < n; i++ {
+		rng := rand.New(rand.NewSource(childSeeds[i]))
+		children[i], muts[i] = c.mutateSeedRand(seed, rng)
+	}
+
+	p := c.ensureWorkerPool()
+	outs := make([]execOutcome, n)
+	ready := make([]bool, n)
+	done := make(chan int, n)
+	c.pendingExecs = n
+	sent, next := 0, 0
+	for next < n {
+		if sent < n {
+			// Feed the queue and drain completions with equal priority; when
+			// the queue is full the select blocks until a worker frees a slot
+			// or finishes a job, so dispatch can never deadlock against fold.
+			select {
+			case p.jobs <- poolJob{seq: children[sent].Seq, out: &outs[sent], idx: sent, done: done}:
+				sent++
+			case i := <-done:
+				ready[i] = true
+			}
+		} else {
+			i := <-done
+			ready[i] = true
+		}
+		// Reorder buffer: release every contiguous completed slot in batch
+		// order. Counter updates, fold, line search, and admission mirror the
+		// barrier engine's serial merge statement for statement.
+		for next < n && ready[next] {
+			i := next
+			next++
+			c.pendingExecs--
+			c.executions++
+			c.sequencesMutated += muts[i]
+			r := c.foldOutcome(children[i].Seq, &outs[i])
+			child := children[i]
+			if c.opts.Strategy.BranchDistance && r.distImproved && r.newEdges == 0 && child.lastNudge != nil {
+				child, r = c.lineSearchSpec(p, child, r)
+			}
+			c.admit(child, r, qi)
+		}
+	}
+}
+
+// lineSearchSpec is the pipelined engine's batched line search. The scalar
+// lineSearch is inherently sequential — each step's verdict gates the next —
+// but step k+1's CANDIDATE is not: the nudge never changes, so the sequence
+// at step k is just the previous step's with the nudge applied once more,
+// computable without feedback. The search therefore speculates: build a
+// window of successive candidates, execute them across the pool in parallel,
+// fold verdicts in step order, and discard everything past the first
+// non-improving step. Discarded executions touched only worker-local state
+// and the (transparent) checkpoint cache — they never count toward the
+// budget and never fold, so the decision sequence, every counter, and every
+// transcript byte match the scalar search exactly.
+func (c *Campaign) lineSearchSpec(p *workerPool, child *Seed, r execResult) (*Seed, execResult) {
+	const maxSteps = 64
+	best, bestRes := child, r
+	c.lineSearches++
+	nd := child.lastNudge
+	step := 0
+	for step < maxSteps {
+		if c.budgetExhausted() {
+			return best, bestRes
+		}
+		width := p.size
+		if width > maxSteps-step {
+			width = maxSteps - step
+		}
+		// Build the speculative chain off the current best.
+		specs := make([]*Seed, 0, width)
+		prev := best
+		for k := 0; k < width; k++ {
+			next := prev.Clone()
+			next.lastNudge = nd
+			tx := &next.Seq[nd.txIdx%len(next.Seq)]
+			stream := tx.Stream()
+			if len(stream) == 0 {
+				break
+			}
+			tx.SetStream(nudgeWordAt(stream, nd.pos%len(stream), nd.delta))
+			specs = append(specs, next)
+			prev = next
+		}
+		if len(specs) == 0 {
+			// Mirrors the scalar engine's empty-stream step: counted, no run.
+			c.lineSteps++
+			return best, bestRes
+		}
+		outs := make([]execOutcome, len(specs))
+		ready := make([]bool, len(specs))
+		done := make(chan int, len(specs))
+		for k := range specs {
+			p.submit(poolJob{seq: specs[k].Seq, out: &outs[k], idx: k, done: done})
+		}
+		for k := 0; k < len(specs); k++ {
+			if k > 0 && c.budgetExhausted() {
+				// Budget expired mid-window: the scalar engine would not have
+				// started this step. The window's tail stays unfolded and
+				// uncounted; its completions land in the buffered done
+				// channel, so no worker ever blocks on an abandoned batch.
+				return best, bestRes
+			}
+			for !ready[k] {
+				ready[<-done] = true
+			}
+			c.lineSteps++
+			c.executions++
+			res := c.foldOutcome(specs[k].Seq, &outs[k])
+			step++
+			if res.newEdges > 0 {
+				return specs[k], res
+			}
+			if !res.distImproved {
+				return best, bestRes
+			}
+			best, bestRes = specs[k], res
+		}
+	}
+	return best, bestRes
+}
+
 // maybeLineSearch runs the greedy line search when a child's arithmetic
 // nudge improved some branch distance without new coverage — the
 // hill-climbing descent that cracks derived-value guards (b*7 == 9163
@@ -1111,9 +1302,14 @@ func (c *Campaign) admit(child *Seed, r execResult, qi *int) {
 		child.DistanceImproved = r.distImproved
 		child.PathWeight = c.weights.PathWeightTx(r.branchesByTx)
 		c.queue = append(c.queue, child)
-		// cap queue growth: keep the newest/most valuable seeds
+		// cap queue growth: keep the newest/most valuable seeds. Copy the
+		// survivors into a fresh slice — reslicing the old backing array
+		// (c.queue[len-192:]) would pin every evicted seed (and its sequence,
+		// masks, and distance clones) live for as long as the tail survives.
 		if len(c.queue) > 256 {
-			c.queue = c.queue[len(c.queue)-192:]
+			kept := make([]*Seed, 192)
+			copy(kept, c.queue[len(c.queue)-192:])
+			c.queue = kept
 			*qi = 0
 		}
 	}

@@ -38,12 +38,9 @@ func dumpState(s *state.State) string {
 func collectEntries(pc *prefixCache) []*prefixEntry {
 	var out []*prefixEntry
 	for i := range pc.shards {
-		sh := &pc.shards[i]
-		sh.mu.RLock()
-		for _, e := range sh.entries {
+		for _, e := range pc.shards[i].view() {
 			out = append(out, e)
 		}
-		sh.mu.RUnlock()
 	}
 	return out
 }

@@ -72,6 +72,11 @@ type executor struct {
 	// prefixes is the shared sharded checkpoint cache; nil disables the
 	// intermediate-state optimization (ablation / replay).
 	prefixes *prefixCache
+	// view is the executor's private read affinity over prefixes: the shard
+	// snapshots, revalidated once per execution against the cache epoch. All
+	// hot-path cache probes (resume lookup, store-policy scan) go through it
+	// as plain worker-local map reads instead of shared atomic loads.
+	view prefixView
 	// branchIx interns the contract's branch edges; installed on every EVM so
 	// trace events carry compact edge IDs. depthByEdge is the per-edge
 	// branch-site nesting depth (shared, read-only).
@@ -130,6 +135,7 @@ func (x *executor) clone() *executor {
 	nx.scratch = nil
 	nx.hashBuf = nil
 	nx.brArena = nil
+	nx.view = prefixView{}
 	return &nx
 }
 
@@ -145,6 +151,7 @@ func (x *executor) detached() *executor {
 	nx.hashBuf = nil
 	nx.brArena = nil
 	nx.prefixes = nil
+	nx.view = prefixView{}
 	return &nx
 }
 
@@ -272,9 +279,10 @@ func (x *executor) run(seq Sequence) execOutcome {
 	if x.prefixes != nil {
 		hashes = prefixHashes(seq, x.hashBuf)
 		x.hashBuf = hashes
+		x.view.refresh(x.prefixes)
 	}
 
-	if entry := x.prefixes.lookupHashed(hashes); entry != nil {
+	if entry := x.view.lookupHashed(hashes); entry != nil {
 		st = x.workState(entry.st)
 		e = x.engine(st)
 		e.RestoreTaint(entry.taint)
@@ -300,7 +308,7 @@ func (x *executor) run(seq Sequence) execOutcome {
 	bestStore := -1
 	if x.prefixes != nil {
 		for i := len(seq) - 2; i >= start; i-- {
-			if !x.prefixes.contains(hashes[i]) {
+			if !x.view.contains(hashes[i]) {
 				bestStore = i
 				break
 			}

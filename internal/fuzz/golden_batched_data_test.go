@@ -1,0 +1,48 @@
+package fuzz
+
+// goldenBatchedFingerprints pins the observable behavior of the batched
+// engine — the coordinator/executor schedule that is a pure function of
+// Options.Seed, independent of worker count. Captured from the fork-join
+// barrier engine (pre-pipeline, PR 6); the pipelined engine must reproduce
+// every byte at any worker count, and the barrier engine itself stays
+// available as the Options.NoPipeline ablation pinned to the same strings.
+// One fingerprint per campaign suffices because workers=1 and workers=N are
+// asserted equal to it separately. Regenerate with MUFUZZ_GOLDEN_REGEN=1
+// only after an intentional schedule change.
+var goldenBatchedFingerprints = map[string]string{
+	"crowdsale-seed1": `strategy=MuFuzz covered=21/24 cov=0.875000 execs=300 queue=10 masks=3 seqmut=85
+findings=[]
+classes=[]
+repro=[]
+t 1 0.541667
+t 3 0.583333
+t 5 0.625000
+t 8 0.666667
+t 36 0.708333
+t 46 0.750000
+t 57 0.833333
+t 61 0.875000
+`,
+	"crowdsale-seed7": `strategy=MuFuzz covered=21/24 cov=0.875000 execs=300 queue=8 masks=4 seqmut=68
+findings=[]
+classes=[]
+repro=[]
+t 1 0.541667
+t 9 0.583333
+t 14 0.625000
+t 23 0.791667
+t 114 0.833333
+t 270 0.875000
+`,
+	"crowdsale-buggy-seed1": `strategy=MuFuzz covered=21/26 cov=0.807692 execs=300 queue=8 masks=4 seqmut=85
+findings=[BD@283:block state (timestamp/number) influences a branch or call; BD@288:block state (timestamp/number) influences a branch or call]
+classes=[BD]
+repro=[BD:__ctor>invest>invest>refund>withdraw]
+t 1 0.500000
+t 3 0.538462
+t 5 0.576923
+t 8 0.615385
+t 66 0.653846
+t 208 0.807692
+`,
+}

@@ -1,0 +1,152 @@
+package fuzz
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"mufuzz/internal/corpus"
+	"mufuzz/internal/minisol"
+)
+
+// runBatchedGolden runs one pinned campaign configuration on the batched
+// engine and returns its fingerprint.
+func runBatchedGolden(t *testing.T, source string, seed int64, iters, workers int, noPipeline bool) string {
+	t.Helper()
+	comp, err := minisol.Compile(source)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res := Run(comp, Options{
+		Strategy:     MuFuzz(),
+		Seed:         seed,
+		Iterations:   iters,
+		Workers:      workers,
+		ForceBatched: workers == 1,
+		NoPipeline:   noPipeline,
+	})
+	return resultFingerprint(res)
+}
+
+// TestGoldenBatchedEquivalence pins the batched schedule across engines and
+// worker counts: the pipelined engine (persistent pool, streaming in-order
+// fold, speculative line search) and the legacy barrier engine (NoPipeline)
+// must both reproduce the committed pre-pipeline fingerprints at workers=1
+// and workers=4 — four engine×width combinations against one golden string
+// per campaign. Regenerate with MUFUZZ_GOLDEN_REGEN=1 after an intentional
+// schedule change.
+func TestGoldenBatchedEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden campaigns are slow")
+	}
+	regen := os.Getenv("MUFUZZ_GOLDEN_REGEN") != ""
+	engines := []struct {
+		label      string
+		workers    int
+		noPipeline bool
+	}{
+		{"pipelined-w1", 1, false},
+		{"pipelined-w4", 4, false},
+		{"barrier-w1", 1, true},
+		{"barrier-w4", 4, true},
+	}
+	for _, gc := range goldenCampaigns {
+		want, ok := goldenBatchedFingerprints[gc.name]
+		for _, eng := range engines {
+			t.Run(gc.name+"/"+eng.label, func(t *testing.T) {
+				got := runBatchedGolden(t, gc.source, gc.seed, gc.iters, eng.workers, eng.noPipeline)
+				if regen || !ok {
+					t.Logf("golden %q (%s) fingerprint:\n%s", gc.name, eng.label, got)
+					return
+				}
+				if got != want {
+					t.Errorf("%s diverged from the pinned batched schedule\n--- want\n%s\n--- got\n%s", eng.label, want, got)
+				}
+			})
+		}
+	}
+}
+
+// TestReorderBufferUnderGOMAXPROCSChurn stresses the pipelined engine's
+// reorder buffer while another goroutine thrashes GOMAXPROCS between 1 and
+// NumCPU: completions land in wildly shifting orders (including fully serial
+// ones), and under -race the test doubles as the data-race gate for the
+// pool/reorder handshake. The fingerprint must not move a byte.
+func TestReorderBufferUnderGOMAXPROCSChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn stress is slow")
+	}
+	comp := mustCompile(t, corpus.CrowdsaleBuggy())
+	opts := Options{Strategy: MuFuzz(), Seed: 3, Iterations: 400, Workers: 4}
+	want := resultFingerprint(Run(comp, opts))
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				runtime.GOMAXPROCS(1)
+			} else {
+				runtime.GOMAXPROCS(prev)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	for round := 0; round < 3; round++ {
+		got := resultFingerprint(Run(comp, opts))
+		if got != want {
+			t.Fatalf("round %d: fingerprint moved under GOMAXPROCS churn\n--- want\n%s\n--- got\n%s", round, want, got)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestPipelineScalingSmoke is the CI multi-core gate: on a machine with at
+// least two CPUs, workers=2 must beat workers=1 on the fixture corpus.
+// Self-skips unless MUFUZZ_SCALING_SMOKE=1 (throughput measurement has no
+// place in the default unit-test wall clock) or when the host is
+// single-core, where the assertion is unfalsifiable.
+func TestPipelineScalingSmoke(t *testing.T) {
+	if os.Getenv("MUFUZZ_SCALING_SMOKE") == "" {
+		t.Skip("set MUFUZZ_SCALING_SMOKE=1 to run the scaling gate")
+	}
+	if runtime.NumCPU() < 2 {
+		t.Skipf("host has %d CPU(s); scaling is unmeasurable", runtime.NumCPU())
+	}
+	comp := mustCompile(t, corpus.Crowdsale())
+	const iters = 20000
+	measure := func(workers int) float64 {
+		best := 0.0
+		// Three trials, best-of: absorbs scheduler noise on shared CI runners.
+		for trial := 0; trial < 3; trial++ {
+			c := NewCampaign(comp, Options{Strategy: MuFuzz(), Seed: 1, Iterations: iters, Workers: workers, ForceBatched: true})
+			start := time.Now()
+			res := c.Run()
+			if eps := float64(res.Executions) / time.Since(start).Seconds(); eps > best {
+				best = eps
+			}
+		}
+		return best
+	}
+	e1 := measure(1)
+	e2 := measure(2)
+	t.Logf("workers=1: %.0f execs/s, workers=2: %.0f execs/s (%.2fx)", e1, e2, e2/e1)
+	if e2 <= e1 {
+		t.Errorf("workers=2 (%.0f execs/s) does not beat workers=1 (%.0f execs/s)", e2, e1)
+	}
+}
+
+var _ = fmt.Sprintf // keep fmt when goldens log nothing

@@ -20,27 +20,45 @@ import (
 // events of the prefix (replayed into the campaign's feedback fold so
 // coverage/distance bookkeeping is identical to a full execution).
 //
-// The cache is striped across prefixShards independently locked shards so
-// the executor goroutines of a parallel campaign can look up checkpoints and
-// propose inserts concurrently. Entries are immutable once stored: readers
-// copy entry.st outside the shard lock, writers only ever insert or evict
-// whole entries. Eviction is FIFO per shard.
+// Concurrency: the cache is striped across prefixShards, and each shard
+// publishes its entry map as an immutable snapshot behind an atomic pointer.
+// Readers — the hot per-execution lookup and store-policy scans of every
+// worker — never take a lock: they load the current snapshot and read a map
+// nothing will ever mutate. Writers serialize on a per-shard mutex, build the
+// next map copy-on-write, publish it atomically, and bump the cache epoch so
+// per-worker views (prefixView) know to refresh. Stores are rare relative to
+// lookups (a checkpoint is stored once and read thousands of times), so the
+// copy cost sits far off the hot path while the read path is contention-free
+// at any worker count.
+//
+// Entries are immutable once stored: readers copy entry.st outside any lock,
+// writers only ever insert or evict whole entries. Eviction is FIFO per
+// shard. A reader holding a stale snapshot may resume from an entry that was
+// just evicted — harmless, since entries stay valid forever and the
+// cache-transparency invariant makes their use semantically invisible.
 type prefixCache struct {
 	shards [prefixShards]prefixShard
+	// epoch counts published snapshot generations across all shards;
+	// prefixView compares it to skip refreshing unchanged snapshots.
+	epoch  atomic.Uint64
 	hits   atomic.Int64
 	misses atomic.Int64
 }
 
-// prefixShards is the stripe count. Sixteen shards keep lock contention
-// negligible for any realistic Options.Workers while costing only a few
-// hundred bytes of overhead.
+// prefixShards is the stripe count. Sixteen shards keep any single shard's
+// copy-on-write republish small while costing only a few hundred bytes of
+// overhead.
 const prefixShards = 16
 
+// prefixSnap is one shard's immutable published generation.
+type prefixSnap map[uint64]*prefixEntry
+
 type prefixShard struct {
-	mu      sync.RWMutex
-	entries map[uint64]*prefixEntry
-	order   []uint64 // FIFO eviction order
-	max     int      // per-shard capacity
+	// mu serializes writers only; readers go through snap.
+	mu    sync.Mutex
+	snap  atomic.Pointer[prefixSnap]
+	order []uint64 // FIFO eviction order
+	max   int      // per-shard capacity
 }
 
 type prefixEntry struct {
@@ -74,8 +92,9 @@ func newPrefixCache(max int) *prefixCache {
 		perShard = 1
 	}
 	pc := &prefixCache{}
+	empty := prefixSnap{}
 	for i := range pc.shards {
-		pc.shards[i].entries = make(map[uint64]*prefixEntry)
+		pc.shards[i].snap.Store(&empty)
 		pc.shards[i].max = perShard
 	}
 	return pc
@@ -84,6 +103,9 @@ func newPrefixCache(max int) *prefixCache {
 func (pc *prefixCache) shard(key uint64) *prefixShard {
 	return &pc.shards[key%prefixShards]
 }
+
+// view returns the shard's current immutable generation.
+func (sh *prefixShard) view() prefixSnap { return *sh.snap.Load() }
 
 // fnv-1a, hand-rolled: the stdlib hash.Hash64 interface costs an allocation
 // and a virtual call per Write, and the hot path hashes every prefix of every
@@ -170,11 +192,7 @@ func (pc *prefixCache) lookupHashed(hashes []uint64) *prefixEntry {
 	}
 	for n := len(hashes); n >= 1; n-- {
 		key := hashes[n-1]
-		sh := pc.shard(key)
-		sh.mu.RLock()
-		e, ok := sh.entries[key]
-		sh.mu.RUnlock()
-		if ok && e.txs == n {
+		if e, ok := pc.shard(key).view()[key]; ok && e.txs == n {
 			pc.hits.Add(1)
 			return e
 		}
@@ -188,10 +206,7 @@ func (pc *prefixCache) contains(key uint64) bool {
 	if pc == nil {
 		return false
 	}
-	sh := pc.shard(key)
-	sh.mu.RLock()
-	_, ok := sh.entries[key]
-	sh.mu.RUnlock()
+	_, ok := pc.shard(key).view()[key]
 	return ok
 }
 
@@ -211,7 +226,9 @@ func (pc *prefixCache) admissible(branchesByTx [][]evm.BranchEvent) bool {
 
 // storeKeyed records a checkpoint for a pre-computed prefix hash. The first
 // writer of a key wins; concurrent proposals for the same prefix are
-// deduplicated under the shard lock.
+// deduplicated under the shard's writer lock. The new generation is built
+// copy-on-write and published atomically, so in-flight readers keep their
+// consistent snapshot.
 func (pc *prefixCache) storeKeyed(key uint64, n int, st *state.State, taint map[evm.StorageKey]evm.Taint, branchesByTx [][]evm.BranchEvent, reports []txReport, nestedDepth int) {
 	if pc == nil || n < 1 || !pc.admissible(branchesByTx) {
 		return
@@ -233,16 +250,23 @@ func (pc *prefixCache) storeKeyed(key uint64, n int, st *state.State, taint map[
 	sh := pc.shard(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if _, dup := sh.entries[key]; dup {
+	cur := sh.view()
+	if _, dup := cur[key]; dup {
 		return
+	}
+	next := make(prefixSnap, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
 	}
 	if len(sh.order) >= sh.max {
 		oldest := sh.order[0]
 		sh.order = sh.order[1:]
-		delete(sh.entries, oldest)
+		delete(next, oldest)
 	}
-	sh.entries[key] = entry
+	next[key] = entry
 	sh.order = append(sh.order, key)
+	sh.snap.Store(&next)
+	pc.epoch.Add(1)
 }
 
 // len returns the total number of cached entries (diagnostics and tests).
@@ -252,10 +276,7 @@ func (pc *prefixCache) len() int {
 	}
 	n := 0
 	for i := range pc.shards {
-		sh := &pc.shards[i]
-		sh.mu.RLock()
-		n += len(sh.entries)
-		sh.mu.RUnlock()
+		n += len(pc.shards[i].view())
 	}
 	return n
 }
@@ -266,4 +287,64 @@ func (pc *prefixCache) stats() (hits, misses int) {
 		return 0, 0
 	}
 	return int(pc.hits.Load()), int(pc.misses.Load())
+}
+
+// prefixView is one executor's cached read affinity over the cache: the 16
+// shard snapshots, revalidated against the global epoch once per execution
+// instead of once per probe. A sequence walk probes the cache O(len²) times
+// across lookup and store-policy scans; through the view those probes are
+// plain map reads on worker-local pointers — no atomics, no shared cache
+// lines — while a stale view is at most one execution behind (and staleness
+// is semantically invisible by cache transparency: a missed fresh entry only
+// costs a longer re-execution, a just-evicted entry is still valid).
+type prefixView struct {
+	pc    *prefixCache
+	epoch uint64
+	snaps [prefixShards]prefixSnap
+}
+
+// refresh revalidates the view against pc, reloading the shard snapshots
+// only when some store has bumped the epoch since the last refresh. The
+// epoch is read before the snapshots: a concurrent store between the two
+// loads yields fresher snapshots stamped with the older epoch, forcing a
+// redundant (never unsafe) refresh next time.
+func (v *prefixView) refresh(pc *prefixCache) {
+	if pc == nil {
+		v.pc = nil
+		return
+	}
+	e := pc.epoch.Load()
+	if v.pc == pc && v.epoch == e {
+		return
+	}
+	for i := range v.snaps {
+		v.snaps[i] = pc.shards[i].view()
+	}
+	v.pc = pc
+	v.epoch = e
+}
+
+// lookupHashed mirrors prefixCache.lookupHashed over the view's snapshots.
+func (v *prefixView) lookupHashed(hashes []uint64) *prefixEntry {
+	if v.pc == nil {
+		return nil
+	}
+	for n := len(hashes); n >= 1; n-- {
+		key := hashes[n-1]
+		if e, ok := v.snaps[key%prefixShards][key]; ok && e.txs == n {
+			v.pc.hits.Add(1)
+			return e
+		}
+	}
+	v.pc.misses.Add(1)
+	return nil
+}
+
+// contains mirrors prefixCache.contains over the view's snapshots.
+func (v *prefixView) contains(key uint64) bool {
+	if v.pc == nil {
+		return false
+	}
+	_, ok := v.snaps[key%prefixShards][key]
+	return ok
 }
