@@ -96,10 +96,13 @@ func classStrings[T ~string](labels []T) []string {
 
 // fixtureSources names the contracts bundled as source-free fixtures: the
 // ERC20-style token and the seeded-bug crowdsale the CI ingest-smoke job
-// fuzzes through `mufuzz -bytecode -abi`.
+// fuzzes through `mufuzz -bytecode -abi`, plus the magic-constant gate that
+// separates the comparison-feedback ablation (crackable only with the mined
+// dictionary on).
 var fixtureSources = map[string]string{
 	"erc20":           corpus.Token(),
 	"crowdsale-buggy": corpus.CrowdsaleBuggy(),
+	"magic-gate":      corpus.MagicGate(),
 }
 
 // writeFixtures compiles each fixture contract and writes <name>.bin

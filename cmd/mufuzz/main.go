@@ -91,6 +91,7 @@ func run() int {
 		snapOut   = flag.String("snapshot-out", "", "write a resumable snapshot here on SIGINT (or at exit)")
 		bytecode  = flag.String("bytecode", "", "hex EVM bytecode file: fuzz source-free (requires -abi)")
 		abiFile   = flag.String("abi", "", "Solidity ABI JSON file for -bytecode")
+		noCmpFeed = flag.Bool("no-cmp-feedback", false, "disable comparison-operand feedback and mined dictionaries (ablation)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile (after the campaign) to this file")
 		mutexProf = flag.String("mutexprofile", "", "write a mutex-contention profile (after the campaign) to this file")
@@ -144,6 +145,11 @@ func run() int {
 	if !ok {
 		fmt.Fprintf(os.Stderr, "mufuzz: unknown strategy %q\n", *strategy)
 		return 1
+	}
+	if *noCmpFeed {
+		strat.Name += " w/o comparison feedback"
+		strat.CmpFeedback = false
+		strat.MinedDictionary = false
 	}
 
 	target, name, err := loadTarget(*file, *example, *bytecode, *abiFile)

@@ -115,6 +115,39 @@ func TestDifferentialMatrix(t *testing.T) {
 	}
 }
 
+// TestCmpFeedbackAblationConformance pins the comparison-feedback ablation
+// through the conformance machinery: transcripts store strategies by name
+// only, so the "MuFuzz w/o comparison feedback" variant must resolve through
+// lookupStrategy, record/replay byte-identically, and stay execution-for-
+// execution identical across engine variants with the flags off — the same
+// guarantees the default enjoys with them on.
+func TestCmpFeedbackAblationConformance(t *testing.T) {
+	s, ok := lookupStrategy("MuFuzz w/o comparison feedback")
+	if !ok {
+		t.Fatal("ablation not resolvable by name")
+	}
+	if s.CmpFeedback || s.MinedDictionary {
+		t.Fatalf("ablation must disable both feedback flags: %+v", s)
+	}
+	workers := runtime.NumCPU()
+	if workers > 4 {
+		workers = 4
+	}
+	for name, comp := range diffContracts(t) {
+		opts := baseOptions(9, 200)
+		opts.Strategy = s
+		run := RecordCampaign(name, comp, opts)
+		if _, d := ReplayCheck(comp, run.Transcript); d != nil {
+			t.Errorf("%s: ablation transcript does not replay: %v", name, d)
+		}
+		for _, r := range DifferentialMatrix(name, comp, opts, workers) {
+			if !r.Equal {
+				t.Errorf("%s: %s vs %s: %s", r.Contract, r.Variant, r.Reference, r.Divergence)
+			}
+		}
+	}
+}
+
 // TestBatchedIndependentOfGOMAXPROCS pins the coordinator's deterministic
 // batch-order fold: with a fixed worker count, the parallel engine's results
 // must not depend on how the runtime schedules the executor goroutines. Two

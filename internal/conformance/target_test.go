@@ -12,15 +12,13 @@ import (
 
 // targetGoldenHashes pins the keccak256 of each diff contract's transcript
 // recorded through the Target interface (minisol adapter, MuFuzz preset,
-// seed 5, 200 iterations). The values were locked in alongside the golden
-// result fingerprints that predate the Target refactor — the engine the
-// fingerprints pin and the engine these transcripts pin is decision-for-
-// decision the same one. Regenerate with MUFUZZ_GOLDEN_REGEN=1 after an
-// intentional behavior change.
+// seed 5, 200 iterations). Regenerated when comparison-operand feedback and
+// mined dictionaries became part of the MuFuzz default. Regenerate with
+// MUFUZZ_GOLDEN_REGEN=1 after an intentional behavior change.
 var targetGoldenHashes = map[string]string{
-	"crowdsale":         "0daead495644f5d961de6844d408d7911aac76d9ac0c21a8f3a59968853d5bbe",
-	"crowdsale-buggy":   "cafbe8147ec6fee0077ed01185bfcd9d3e29a8a04f6880ac80b41255cb8f023b",
-	"re_swc107_crossfn": "8d34f2c15866376935063f01ef619d0e5bd63a6b209dd7ec714a82e3cb63f562",
+	"crowdsale":         "4083c35706f55f5e5f856278a5ad630eab21b29acdfc90b60e2528a03a98e80a",
+	"crowdsale-buggy":   "f2990dc8a6e458d9b6f5198666d7d9998f5c1b101e8b4040e98d0965510b1cbb",
+	"re_swc107_crossfn": "3a54e0bbd8ce98022c4ddb4ee4f8e5f90ec2b40edeb8230f03cf4bd2c268e037",
 }
 
 // TestTargetAdapterConformance pins the Target refactor three ways: a

@@ -113,6 +113,33 @@ contract CrowdsaleBuggy {
 }`
 }
 
+// MagicGate returns the magic-constant benchmark for comparison-operand
+// feedback: an unprotected selfdestruct behind a mapping lookup keyed by a
+// 4-byte magic. The mapping indirection makes branch distance useless
+// (grants[wrong] == 0 vs 7 is a constant distance, and the observed operand
+// pair {0, 7} says nothing about the key), and the magic is assembled from
+// two halves at runtime — the compiler does not constant-fold, so no single
+// PUSH immediate or AST literal spells it. Cracking the gate source-free
+// requires mining the folded constant out of the creation bytecode, which is
+// exactly what the mined-dictionary feedback does.
+func MagicGate() string {
+	return `
+contract MagicGate {
+    mapping(uint256 => uint256) grants;
+
+    constructor() public {
+        uint256 hi = 0x4d41;
+        uint256 lo = 0x4749;
+        grants[hi * 65536 + lo] = 7;
+    }
+    function claim(uint256 code) public {
+        if (grants[code] == 7) {
+            selfdestruct(msg.sender);
+        }
+    }
+}`
+}
+
 // Game returns the paper's Fig. 4 guess-number contract: a strict msg.value
 // guard (88 finney) in front of nested branches with a potential overflow.
 func Game() string {

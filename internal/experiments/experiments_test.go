@@ -105,7 +105,7 @@ func TestAblationBaselineIsOne(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 4 {
+	if len(rows) != 5 {
 		t.Fatalf("rows = %d", len(rows))
 	}
 	if rows[0].CoverageFrac != 1 || rows[0].BugsFrac != 1 {

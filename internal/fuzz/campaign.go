@@ -202,6 +202,12 @@ type Campaign struct {
 	distCmp   []evm.CmpInfo
 	distSeed  []*Seed
 	distCount int
+	// cmpOps is the per-uncovered-edge operand table (Strategy.CmpFeedback):
+	// beyond the single best-distance pair in distCmp, every distinct
+	// comparison operand pair observed at an edge is kept, FIFO-bounded to
+	// cmpOpsPerEdge, for splicing into mutated inputs. Cleared when the edge
+	// is covered.
+	cmpOps [][]cmpPair
 
 	weights    *analysis.EdgeWeights
 	totalEdges int
@@ -288,6 +294,7 @@ func NewTargetCampaign(t Target, opts Options) *Campaign {
 	c.minDist = make([]u256.Int, numEdges)
 	c.distCmp = make([]evm.CmpInfo, numEdges)
 	c.distSeed = make([]*Seed, numEdges)
+	c.cmpOps = make([][]cmpPair, numEdges)
 	c.weights = analysis.NewEdgeWeights(c.branchIx)
 	c.depthByEdge = make([]int, numEdges)
 	for _, site := range t.Branches() {
@@ -330,6 +337,22 @@ func NewTargetCampaign(t Target, opts Options) *Campaign {
 		if ins.Op.IsPush() && len(ins.Imm) > 0 && len(ins.Imm) <= 32 {
 			v := u256.FromBytes(ins.Imm)
 			if !v.IsZero() && v.BitLen() < 200 {
+				c.pool = append(c.pool, v)
+			}
+		}
+	}
+	// Mined dictionary: target-specific constants the PUSH harvest cannot
+	// see (folded multi-instruction magics, keccak mapping bases, creation-
+	// code immediates). Merged only under the flag, deduplicated against the
+	// harvest, so legacy strategies keep today's exact pool and transcripts.
+	if o.Strategy.MinedDictionary {
+		seen := make(map[u256.Int]bool, len(c.pool))
+		for _, v := range c.pool {
+			seen[v] = true
+		}
+		for _, v := range t.Dictionary() {
+			if !seen[v] {
+				seen[v] = true
 				c.pool = append(c.pool, v)
 			}
 		}
@@ -451,6 +474,7 @@ func (c *Campaign) fold(res *execResult, branches []evm.BranchEvent, seq Sequenc
 				c.distSeed[id] = nil
 				c.distCount--
 			}
+			c.cmpOps[id] = nil
 		}
 		if d := c.depthByEdge[id]; d > res.hitNestedDepth {
 			res.hitNestedDepth = d
@@ -458,6 +482,9 @@ func (c *Campaign) fold(res *execResult, branches []evm.BranchEvent, seq Sequenc
 		// branch distance toward the uncovered opposite direction
 		opp := id ^ 1
 		if !c.covered[opp] && br.HasCmp {
+			if c.opts.Strategy.CmpFeedback {
+				c.recordCmpPair(opp, br.Cmp)
+			}
 			d := br.Cmp.FlipDistance()
 			if !c.distKnown[opp] || d.Lt(c.minDist[opp]) {
 				res.distImproved = true
@@ -688,19 +715,32 @@ func (c *Campaign) mutateStream(stream []byte, mask *Mask, rng *rand.Rand) ([]by
 	// branch into a word, or nudge a word arithmetically (sFuzz-style
 	// descent). Available to strategies with branch-distance feedback.
 	if c.opts.Strategy.BranchDistance && c.distCount > 0 && rng.Intn(2) == 0 {
-		cmp, ok := c.randomUncoveredCmp(rng)
-		if ok {
-			i := rng.Intn(len(stream))
-			if mask.OK(MutOverwrite, (i/32)*32) {
-				switch rng.Intn(3) {
-				case 0:
-					return writeWordAt(stream, i, cmp.A), nil
-				case 1:
-					return writeWordAt(stream, i, cmp.B), nil
-				default:
-					d := nudgeDeltas[rng.Intn(len(nudgeDeltas))]
-					return nudgeWordAt(stream, i, d), &nudgeInfo{pos: i, delta: d}
+		id := c.nthFrontierEdge(rng.Intn(c.distCount))
+		cmp := c.distCmp[id]
+		i := rng.Intn(len(stream))
+		// Operand-table splicing (CmpFeedback): half the time, plant one of
+		// the edge's observed operand pairs — not just the best-distance one —
+		// into the word at i, writing only mask-permitted bytes. With the flag
+		// off no extra rng draw happens, so legacy transcripts are unchanged.
+		if c.opts.Strategy.CmpFeedback {
+			if ops := c.cmpOps[id]; len(ops) > 0 && rng.Intn(2) == 0 {
+				p := ops[rng.Intn(len(ops))]
+				v := p.a
+				if rng.Intn(2) == 1 {
+					v = p.b
 				}
+				return writeWordAtMasked(stream, i, v, mask), nil
+			}
+		}
+		if mask.OK(MutOverwrite, (i/32)*32) {
+			switch rng.Intn(3) {
+			case 0:
+				return writeWordAt(stream, i, cmp.A), nil
+			case 1:
+				return writeWordAt(stream, i, cmp.B), nil
+			default:
+				d := nudgeDeltas[rng.Intn(len(nudgeDeltas))]
+				return nudgeWordAt(stream, i, d), &nudgeInfo{pos: i, delta: d}
 			}
 		}
 	}
@@ -746,12 +786,30 @@ func (c *Campaign) nthFrontierEdge(k int) int32 {
 	panic("fuzz: frontier count out of sync")
 }
 
-// randomUncoveredCmp picks the comparison info of a random uncovered edge.
-func (c *Campaign) randomUncoveredCmp(rng *rand.Rand) (evm.CmpInfo, bool) {
-	if c.distCount == 0 {
-		return evm.CmpInfo{}, false
+// cmpOpsPerEdge bounds the operand table of one uncovered edge; the oldest
+// pair is evicted first, so the table tracks the operands of recent
+// executions (storage-dependent comparisons drift as state mutates).
+const cmpOpsPerEdge = 6
+
+// cmpPair is one concrete comparison operand pair observed at a branch.
+type cmpPair struct{ a, b u256.Int }
+
+// recordCmpPair folds one observed comparison into an uncovered edge's
+// operand table: distinct pairs only, FIFO-bounded. Repeat observations of
+// the same pair (by far the common case) exit on the first scan hit.
+func (c *Campaign) recordCmpPair(id int32, cmp evm.CmpInfo) {
+	ops := c.cmpOps[id]
+	for _, p := range ops {
+		if p.a.Eq(cmp.A) && p.b.Eq(cmp.B) {
+			return
+		}
 	}
-	return c.distCmp[c.nthFrontierEdge(rng.Intn(c.distCount))], true
+	if len(ops) >= cmpOpsPerEdge {
+		copy(ops, ops[1:])
+		ops[len(ops)-1] = cmpPair{a: cmp.A, b: cmp.B}
+		return
+	}
+	c.cmpOps[id] = append(ops, cmpPair{a: cmp.A, b: cmp.B})
 }
 
 func (c *Campaign) callableFuncs() []string { return c.callable }

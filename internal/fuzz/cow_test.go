@@ -34,8 +34,10 @@ func dumpState(s *state.State) string {
 	return b.String()
 }
 
-// collectEntries drains every checkpoint entry of a campaign's prefix cache.
+// collectEntries drains every checkpoint entry of a campaign's prefix cache,
+// publishing pending stores first so nothing batched is missed.
 func collectEntries(pc *prefixCache) []*prefixEntry {
+	pc.flush()
 	var out []*prefixEntry
 	for i := range pc.shards {
 		for _, e := range pc.shards[i].view() {
@@ -102,7 +104,9 @@ func TestResumeFromForkedCheckpointMatchesFreshRun(t *testing.T) {
 	fresh := NewCampaign(comp, Options{Strategy: MuFuzz(), Seed: 3, Iterations: 10, NoPrefixCache: true})
 
 	seq := cached.initialSequence()
-	// First run populates checkpoints; stress-fork them; second run resumes.
+	// First run populates checkpoints (collectEntries publishes the batched
+	// stores, so the second run's lock-free lookup sees them); stress-fork
+	// them; second run resumes.
 	out1 := cached.exec.run(seq)
 	for _, e := range collectEntries(cached.prefixes) {
 		for i := 0; i < 4; i++ {

@@ -1,0 +1,226 @@
+package fuzz
+
+import (
+	"sort"
+
+	"mufuzz/internal/minisol"
+	"mufuzz/internal/u256"
+)
+
+// maxDictionary bounds a mined dictionary so pathological targets cannot
+// dilute the value pool into uselessness.
+const maxDictionary = 128
+
+// mineASTDictionary walks a MiniSol contract and collects interesting word
+// constants for the campaign value pool: every integer literal, plus the
+// results of constant-foldable arithmetic — with constant propagation through
+// locals, so a magic value the source assembles from parts
+// ("uint256 hi = 0x4d41; ... hi * 65536 + lo") is mined whole even though no
+// single literal (and, since the compiler does not fold constants, no single
+// PUSH immediate) spells it. The result is deduplicated and sorted.
+func mineASTDictionary(c *minisol.Contract) []u256.Int {
+	m := &astMiner{vals: map[u256.Int]bool{}}
+	for i := range c.StateVars {
+		if init := c.StateVars[i].Init; init != nil {
+			m.walkExpr(init, map[string]u256.Int{})
+		}
+	}
+	if c.Ctor != nil {
+		m.walkStmts(c.Ctor.Body, map[string]u256.Int{})
+	}
+	for i := range c.Functions {
+		m.walkStmts(c.Functions[i].Body, map[string]u256.Int{})
+	}
+	out := make([]u256.Int, 0, len(m.vals))
+	for v := range m.vals {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Lt(out[j]) })
+	if len(out) > maxDictionary {
+		out = out[:maxDictionary]
+	}
+	return out
+}
+
+type astMiner struct {
+	vals map[u256.Int]bool
+}
+
+// add records a mined constant, applying the same filter as the campaign's
+// PUSH-immediate harvest: zero and near-full-width values carry no signal.
+func (m *astMiner) add(v u256.Int) {
+	if v.IsZero() || v.BitLen() >= 200 {
+		return
+	}
+	m.vals[v] = true
+}
+
+// walkStmts scans statements, tracking which locals are bound to known
+// constants. env maps local names to their constant values; a local loses its
+// binding on any assignment that is not itself constant.
+func (m *astMiner) walkStmts(stmts []minisol.Stmt, env map[string]u256.Int) {
+	for _, s := range stmts {
+		switch t := s.(type) {
+		case *minisol.VarDeclStmt:
+			if t.Init != nil {
+				m.walkExpr(t.Init, env)
+				if v, ok := evalConstExpr(t.Init, env); ok {
+					env[t.Name] = v
+					continue
+				}
+			}
+			delete(env, t.Name)
+		case *minisol.AssignStmt:
+			m.walkExpr(t.Target, env)
+			m.walkExpr(t.Value, env)
+			if id, isIdent := t.Target.(*minisol.Ident); isIdent &&
+				id.Binding != nil && id.Binding.Kind == minisol.BindLocal {
+				if v, ok := evalConstExpr(t.Value, env); ok && t.Op == "=" {
+					env[id.Name] = v
+				} else {
+					delete(env, id.Name)
+				}
+			}
+		case *minisol.IfStmt:
+			m.walkExpr(t.Cond, env)
+			m.walkStmts(t.Then, copyConstEnv(env))
+			m.walkStmts(t.Else, copyConstEnv(env))
+			invalidateAssigned(t.Then, env)
+			invalidateAssigned(t.Else, env)
+		case *minisol.WhileStmt:
+			m.walkExpr(t.Cond, env)
+			m.walkStmts(t.Body, copyConstEnv(env))
+			invalidateAssigned(t.Body, env)
+		case *minisol.RequireStmt:
+			m.walkExpr(t.Cond, env)
+		case *minisol.ReturnStmt:
+			if t.Value != nil {
+				m.walkExpr(t.Value, env)
+			}
+		case *minisol.TransferStmt:
+			m.walkExpr(t.Target, env)
+			m.walkExpr(t.Amount, env)
+		case *minisol.SelfDestructStmt:
+			m.walkExpr(t.Beneficiary, env)
+		case *minisol.ExprStmt:
+			m.walkExpr(t.X, env)
+		}
+	}
+}
+
+// walkExpr collects literals everywhere and folded values at every constant
+// arithmetic node (intermediate results included — a near-miss constant is
+// still a better guess than a random byte).
+func (m *astMiner) walkExpr(e minisol.Expr, env map[string]u256.Int) {
+	switch t := e.(type) {
+	case *minisol.NumberLit:
+		m.add(t.Value)
+	case *minisol.BinaryExpr:
+		m.walkExpr(t.L, env)
+		m.walkExpr(t.R, env)
+		if v, ok := evalConstExpr(e, env); ok {
+			m.add(v)
+		}
+	case *minisol.UnaryExpr:
+		m.walkExpr(t.X, env)
+	case *minisol.IndexExpr:
+		m.walkExpr(t.Key, env)
+	case *minisol.CastExpr:
+		m.walkExpr(t.X, env)
+	case *minisol.BalanceExpr:
+		m.walkExpr(t.Addr, env)
+	case *minisol.KeccakExpr:
+		for _, a := range t.Args {
+			m.walkExpr(a, env)
+		}
+	case *minisol.CallValueExpr:
+		m.walkExpr(t.Target, env)
+		m.walkExpr(t.Amount, env)
+	case *minisol.SendExpr:
+		m.walkExpr(t.Target, env)
+		m.walkExpr(t.Amount, env)
+	case *minisol.DelegateCallExpr:
+		m.walkExpr(t.Target, env)
+		for _, a := range t.Args {
+			m.walkExpr(a, env)
+		}
+	}
+}
+
+// evalConstExpr evaluates a word-valued expression to a constant under the
+// local bindings in env, with EVM wrapping semantics (matching what the
+// generated code computes at runtime). ok=false for anything non-constant.
+func evalConstExpr(e minisol.Expr, env map[string]u256.Int) (u256.Int, bool) {
+	switch t := e.(type) {
+	case *minisol.NumberLit:
+		return t.Value, true
+	case *minisol.Ident:
+		if t.Binding != nil && t.Binding.Kind == minisol.BindLocal {
+			v, ok := env[t.Name]
+			return v, ok
+		}
+	case *minisol.CastExpr:
+		if t.To.Kind == minisol.TyUint || t.To.Kind == minisol.TyBytes32 || t.To.Kind == minisol.TyInt {
+			return evalConstExpr(t.X, env)
+		}
+	case *minisol.UnaryExpr:
+		if t.Op == "-" {
+			if v, ok := evalConstExpr(t.X, env); ok {
+				return v.Neg(), true
+			}
+		}
+	case *minisol.BinaryExpr:
+		l, lok := evalConstExpr(t.L, env)
+		r, rok := evalConstExpr(t.R, env)
+		if !lok || !rok {
+			return u256.Int{}, false
+		}
+		switch t.Op {
+		case "+":
+			return l.Add(r), true
+		case "-":
+			return l.Sub(r), true
+		case "*":
+			return l.Mul(r), true
+		case "/":
+			return l.Div(r), true
+		case "%":
+			return l.Mod(r), true
+		case "&":
+			return l.And(r), true
+		case "|":
+			return l.Or(r), true
+		case "^":
+			return l.Xor(r), true
+		}
+	}
+	return u256.Int{}, false
+}
+
+func copyConstEnv(env map[string]u256.Int) map[string]u256.Int {
+	out := make(map[string]u256.Int, len(env))
+	for k, v := range env {
+		out[k] = v
+	}
+	return out
+}
+
+// invalidateAssigned drops from env every local assigned or redeclared
+// anywhere inside stmts — after a conditional region its value is unknown.
+func invalidateAssigned(stmts []minisol.Stmt, env map[string]u256.Int) {
+	for _, s := range stmts {
+		switch t := s.(type) {
+		case *minisol.VarDeclStmt:
+			delete(env, t.Name)
+		case *minisol.AssignStmt:
+			if id, ok := t.Target.(*minisol.Ident); ok {
+				delete(env, id.Name)
+			}
+		case *minisol.IfStmt:
+			invalidateAssigned(t.Then, env)
+			invalidateAssigned(t.Else, env)
+		case *minisol.WhileStmt:
+			invalidateAssigned(t.Body, env)
+		}
+	}
+}

@@ -464,7 +464,7 @@ func TestStrategyPresets(t *testing.T) {
 		t.Error("sFuzz must disable MuFuzz components")
 	}
 	ab := Ablations()
-	if len(ab) != 3 {
+	if len(ab) != 4 {
 		t.Fatalf("ablations = %d", len(ab))
 	}
 	if ab[0].RAWRepetition || !ab[0].MutationMasking {
@@ -475,6 +475,12 @@ func TestStrategyPresets(t *testing.T) {
 	}
 	if ab[2].DynamicEnergy || !ab[2].MutationMasking {
 		t.Error("third ablation should disable only dynamic energy")
+	}
+	if ab[3].CmpFeedback || ab[3].MinedDictionary || !ab[3].MutationMasking {
+		t.Error("fourth ablation should disable only comparison feedback")
+	}
+	if !mu.CmpFeedback || !mu.MinedDictionary {
+		t.Error("MuFuzz must enable comparison feedback and mined dictionary")
 	}
 }
 

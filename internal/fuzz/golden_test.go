@@ -78,6 +78,41 @@ func runGolden(t *testing.T, source string, seed int64, iters int) string {
 	return resultFingerprint(res)
 }
 
+// TestGoldenCmpFeedbackOffLegacy pins the flag-off path: with CmpFeedback and
+// MinedDictionary disabled (the "w/o comparison feedback" ablation) the
+// campaign must reproduce, draw for draw, the fingerprints the engine produced
+// before those features existed — only the strategy name differs. This is the
+// guarantee that the feedback extension is purely additive.
+func TestGoldenCmpFeedbackOffLegacy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden campaigns are slow")
+	}
+	off := MuFuzz()
+	off.Name = "MuFuzz w/o comparison feedback"
+	off.CmpFeedback = false
+	off.MinedDictionary = false
+	for _, gc := range goldenCampaigns {
+		t.Run(gc.name, func(t *testing.T) {
+			comp, err := minisol.Compile(gc.source)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			res := Run(comp, Options{
+				Strategy:   off,
+				Seed:       gc.seed,
+				Iterations: gc.iters,
+				Workers:    1,
+			})
+			got := resultFingerprint(res)
+			want := strings.Replace(goldenLegacyFingerprints[gc.name],
+				"strategy=MuFuzz ", "strategy="+off.Name+" ", 1)
+			if got != want {
+				t.Errorf("flag-off campaign diverged from the pre-feature engine\n--- want\n%s\n--- got\n%s", want, got)
+			}
+		})
+	}
+}
+
 // TestGoldenWorkers1Equivalence pins the sequential engine's observable
 // behavior: for a fixed seed the campaign must make exactly the decisions the
 // pre-refactor deep-copy engine made (coverage, findings, timeline, PoCs, all

@@ -131,6 +131,17 @@ func applyMutation(out []byte, x MutType, n, i int, rng *rand.Rand, pool []u256.
 		copy(out[i+n:], out[i:oldLen])
 		fillBytes(rng, out[i:i+n])
 	case MutReplace:
+		if len(pool) == 0 {
+			// No interesting values to draw from (targets may supply an empty
+			// dictionary): degrade to MutOverwrite instead of panicking on
+			// Intn(0). The non-empty path below is untouched, so rng
+			// consumption — and therefore every transcript — is unchanged
+			// whenever a pool exists.
+			for k := 0; k < n && i+k < len(out); k++ {
+				out[i+k] = byte(rng.Intn(256))
+			}
+			return out
+		}
 		w := pool[rng.Intn(len(pool))].Bytes32()
 		if n > 32 {
 			n = 32
@@ -165,6 +176,28 @@ func writeWordAt(out []byte, i int, v u256.Int) []byte {
 	w := v.Bytes32()
 	for k := 0; k < 32 && start+k < len(out); k++ {
 		out[start+k] = w[k]
+	}
+	return out
+}
+
+// WriteWordAtMasked is WriteWordAt restricted by a mutation mask: only bytes
+// of the word whose position permits MutOverwrite are written. Comparison-
+// operand splicing uses it to plant an observed operand without disturbing
+// the frozen bytes that keep the seed on its target branch. A nil mask
+// permits every position. The input is not modified.
+func WriteWordAtMasked(stream []byte, i int, v u256.Int, mask *Mask) []byte {
+	return writeWordAtMasked(append([]byte(nil), stream...), i, v, mask)
+}
+
+// writeWordAtMasked is the in-place core of WriteWordAtMasked (hot path;
+// takes ownership).
+func writeWordAtMasked(out []byte, i int, v u256.Int, mask *Mask) []byte {
+	start := (i / 32) * 32
+	w := v.Bytes32()
+	for k := 0; k < 32 && start+k < len(out); k++ {
+		if mask.OK(MutOverwrite, start+k) {
+			out[start+k] = w[k]
+		}
 	}
 	return out
 }

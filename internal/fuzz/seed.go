@@ -136,7 +136,12 @@ func randomArgsFor(m abi.Method, rng *rand.Rand, pool []u256.Int, addrPool []u25
 				w = u256.One
 			}
 		default:
-			w = pool[rng.Intn(len(pool))]
+			// Empty pools happen when a caller fuzzes with a bare dictionary;
+			// leave the word zero instead of panicking on Intn(0). A non-empty
+			// pool draws exactly as before, keeping transcripts unchanged.
+			if len(pool) > 0 {
+				w = pool[rng.Intn(len(pool))]
+			}
 		}
 		b := w.Bytes32()
 		out = append(out, b[:]...)

@@ -21,9 +21,15 @@ import (
 	"mufuzz/internal/u256"
 )
 
-// SnapshotVersion is the snapshot format version this package reads and
-// writes.
-const SnapshotVersion = 1
+// SnapshotVersion is the snapshot format version this package writes.
+// Decoding accepts any version up to it: v1 snapshots (no comparison-feedback
+// strategy flags, no operand-table records) load with those features off —
+// exactly the semantics the campaign that wrote them had. Versions beyond it
+// come from newer builds and are rejected rather than misparsed.
+//
+// v2: strategy line gained cmpfeed=/dict= fields; cmpop records serialize the
+// per-uncovered-edge comparison operand tables.
+const SnapshotVersion = 2
 
 // snapshotMagic is the first token of every encoded snapshot.
 const snapshotMagic = "mufuzz-snapshot"
@@ -74,6 +80,10 @@ type Snapshot struct {
 	// Frontier is the branch-distance frontier: per uncovered-but-approached
 	// edge, the best distance, its comparison, and the seed that achieved it.
 	Frontier []FrontierEntry
+	// CmpOps flattens the per-uncovered-edge operand tables
+	// (Strategy.CmpFeedback) in edge-ID-then-FIFO order; decoding re-appends
+	// in order, so table state round-trips exactly.
+	CmpOps []CmpOpEntry
 	// Repro maps bug classes to their first triggering sequence, in class
 	// order.
 	Repro []ReproEntry
@@ -94,6 +104,12 @@ type FrontierEntry struct {
 	Dist u256.Int
 	Cmp  evm.CmpInfo
 	Seed *Seed
+}
+
+// CmpOpEntry is one observed comparison operand pair of an uncovered edge.
+type CmpOpEntry struct {
+	Edge BranchEdge
+	A, B u256.Int
 }
 
 // ReproEntry is one bug class's proof-of-concept sequence.
@@ -179,6 +195,12 @@ func (c *Campaign) Snapshot() *Snapshot {
 				Cmp:  c.distCmp[id],
 				Seed: c.distSeed[id].snapClone(),
 			})
+		}
+	}
+	for id, ops := range c.cmpOps {
+		for _, p := range ops {
+			pc, taken := c.branchIx.Edge(int32(id))
+			s.CmpOps = append(s.CmpOps, CmpOpEntry{Edge: BranchEdge{PC: pc, Taken: taken}, A: p.a, B: p.b})
 		}
 	}
 	classes := make([]oracle.BugClass, 0, len(c.repro))
@@ -268,6 +290,15 @@ func ResumeTargetCampaign(t Target, s *Snapshot) (*Campaign, error) {
 		c.distCmp[id] = fe.Cmp
 		c.distSeed[id] = fe.Seed.snapClone()
 	}
+	for _, ce := range s.CmpOps {
+		id, err := edgeID(ce.Edge)
+		if err != nil {
+			return nil, err
+		}
+		if len(c.cmpOps[id]) < cmpOpsPerEdge {
+			c.cmpOps[id] = append(c.cmpOps[id], cmpPair{a: ce.A, b: ce.B})
+		}
+	}
 	for _, re := range s.Repro {
 		c.repro[re.Class] = re.Seq.Clone()
 	}
@@ -277,17 +308,18 @@ func ResumeTargetCampaign(t Target, s *Snapshot) (*Campaign, error) {
 
 // --- Stable text encoding ---
 
-// Encode writes the snapshot in the stable v1 text encoding; encoding the
-// same snapshot always yields the same bytes.
+// Encode writes the snapshot in the stable text encoding (the current
+// SnapshotVersion); encoding the same snapshot always yields the same bytes.
 func (s *Snapshot) Encode(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "%s v%d\n", snapshotMagic, SnapshotVersion)
 	fmt.Fprintf(bw, "contract %s\n", s.Contract)
 	fmt.Fprintf(bw, "codehash %s\n", hex.EncodeToString(s.CodeHash[:]))
 	st := s.Options.Strategy
-	fmt.Fprintf(bw, "strategy name=%q dataflow=%d raw=%d prolong=%d dist=%d mask=%d energy=%d\n",
+	fmt.Fprintf(bw, "strategy name=%q dataflow=%d raw=%d prolong=%d dist=%d mask=%d energy=%d cmpfeed=%d dict=%d\n",
 		st.Name, boolBit01(st.DataflowSequences), boolBit01(st.RAWRepetition), boolBit01(st.Prolongation),
-		boolBit01(st.BranchDistance), boolBit01(st.MutationMasking), boolBit01(st.DynamicEnergy))
+		boolBit01(st.BranchDistance), boolBit01(st.MutationMasking), boolBit01(st.DynamicEnergy),
+		boolBit01(st.CmpFeedback), boolBit01(st.MinedDictionary))
 	o := s.Options
 	fmt.Fprintf(bw, "options seed=%d iters=%d maxseq=%d gas=%d energybase=%d initseeds=%d workers=%d batched=%d copystate=%d nocache=%d timebudgetns=%d\n",
 		o.Seed, o.Iterations, o.MaxSeqLen, o.GasPerTx, o.EnergyBase, o.InitialSeeds, o.Workers,
@@ -311,6 +343,10 @@ func (s *Snapshot) Encode(w io.Writer) error {
 		fmt.Fprintf(bw, "front %d %d %s %d %s %s\n",
 			fe.Edge.PC, boolBit01(fe.Edge.Taken), fe.Dist.Hex(), int(fe.Cmp.Op), fe.Cmp.A.Hex(), fe.Cmp.B.Hex())
 		encodeSeed(bw, "fseed", fe.Seed)
+	}
+	for _, ce := range s.CmpOps {
+		fmt.Fprintf(bw, "cmpop %d %d %s %s\n",
+			ce.Edge.PC, boolBit01(ce.Edge.Taken), ce.A.Hex(), ce.B.Hex())
 	}
 	for _, re := range s.Repro {
 		fmt.Fprintf(bw, "repro %s\n", re.Class)
@@ -426,7 +462,11 @@ func snapErr(line, format string, args ...any) error {
 	return fmt.Errorf("fuzz: decode snapshot %q: %s", line, fmt.Sprintf(format, args...))
 }
 
-// DecodeSnapshot parses a snapshot from its v1 text encoding.
+// DecodeSnapshot parses a snapshot from its text encoding. Every format
+// version up to SnapshotVersion is accepted (older versions decode with the
+// later-added fields at their zero values — the semantics the writing build
+// had); newer versions are rejected with an explicit error instead of
+// misparsing fields whose layout this build does not know.
 func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
@@ -443,8 +483,11 @@ func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
 		return nil, snapErr(line, "missing %s header", snapshotMagic)
 	}
 	v, err := strconv.Atoi(strings.TrimPrefix(line, snapshotMagic+" v"))
-	if err != nil || v != SnapshotVersion {
+	if err != nil || v < 1 {
 		return nil, snapErr(line, "unsupported version")
+	}
+	if v > SnapshotVersion {
+		return nil, snapErr(line, "format v%d was produced by a newer mufuzz (this build reads up to v%d)", v, SnapshotVersion)
 	}
 
 	line, ok = readLine()
@@ -467,10 +510,19 @@ func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
 	if !ok || !strings.HasPrefix(line, "strategy ") {
 		return nil, snapErr(line, "missing strategy line")
 	}
-	var sb [6]int
-	if _, err := fmt.Sscanf(line, "strategy name=%q dataflow=%d raw=%d prolong=%d dist=%d mask=%d energy=%d",
-		&s.Options.Strategy.Name, &sb[0], &sb[1], &sb[2], &sb[3], &sb[4], &sb[5]); err != nil {
-		return nil, snapErr(line, "bad strategy: %v", err)
+	var sb [8]int
+	if v >= 2 {
+		if _, err := fmt.Sscanf(line, "strategy name=%q dataflow=%d raw=%d prolong=%d dist=%d mask=%d energy=%d cmpfeed=%d dict=%d",
+			&s.Options.Strategy.Name, &sb[0], &sb[1], &sb[2], &sb[3], &sb[4], &sb[5], &sb[6], &sb[7]); err != nil {
+			return nil, snapErr(line, "bad strategy: %v", err)
+		}
+	} else {
+		// v1: the comparison-feedback flags postdate the format; a campaign
+		// snapshotted then ran without them, so they stay off on resume.
+		if _, err := fmt.Sscanf(line, "strategy name=%q dataflow=%d raw=%d prolong=%d dist=%d mask=%d energy=%d",
+			&s.Options.Strategy.Name, &sb[0], &sb[1], &sb[2], &sb[3], &sb[4], &sb[5]); err != nil {
+			return nil, snapErr(line, "bad strategy: %v", err)
+		}
 	}
 	s.Options.Strategy.DataflowSequences = sb[0] == 1
 	s.Options.Strategy.RAWRepetition = sb[1] == 1
@@ -478,6 +530,8 @@ func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
 	s.Options.Strategy.BranchDistance = sb[3] == 1
 	s.Options.Strategy.MutationMasking = sb[4] == 1
 	s.Options.Strategy.DynamicEnergy = sb[5] == 1
+	s.Options.Strategy.CmpFeedback = sb[6] == 1
+	s.Options.Strategy.MinedDictionary = sb[7] == 1
 
 	line, ok = readLine()
 	if !ok || !strings.HasPrefix(line, "options ") {
@@ -689,6 +743,23 @@ func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
 			}
 			fe.Seed = seed
 			s.Frontier = append(s.Frontier, fe)
+		case "cmpop":
+			if len(fields) != 5 {
+				return nil, snapErr(line, "malformed cmpop")
+			}
+			e, err := decodeSnapEdge(line, fields)
+			if err != nil {
+				return nil, err
+			}
+			a, err := parseSnapU256(fields[3])
+			if err != nil {
+				return nil, snapErr(line, "bad cmpop a: %v", err)
+			}
+			b, err := parseSnapU256(fields[4])
+			if err != nil {
+				return nil, snapErr(line, "bad cmpop b: %v", err)
+			}
+			s.CmpOps = append(s.CmpOps, CmpOpEntry{Edge: e, A: a, B: b})
 		case "repro":
 			if len(fields) != 2 {
 				return nil, snapErr(line, "malformed repro")

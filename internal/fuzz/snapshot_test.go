@@ -3,6 +3,7 @@ package fuzz
 import (
 	"bytes"
 	"context"
+	"strings"
 	"testing"
 
 	"mufuzz/internal/corpus"
@@ -122,6 +123,73 @@ func TestSnapshotResumeAcrossManySlices(t *testing.T) {
 	res, _ := c.RunSlice(context.Background(), 0)
 	if got := resultFingerprint(res); got != want {
 		t.Errorf("slice-hopped result diverged\n--- want\n%s\n--- got\n%s", want, got)
+	}
+}
+
+// TestSnapshotRejectsNewerVersion pins forward compatibility: a snapshot
+// whose header claims a version this build does not know must be rejected
+// with an error that tells the operator to upgrade — not silently
+// misparsed as whatever the current decoder expects.
+func TestSnapshotRejectsNewerVersion(t *testing.T) {
+	comp := compileT(t, corpus.Crowdsale())
+	c := NewCampaign(comp, Options{Strategy: MuFuzz(), Seed: 1, Iterations: 200, Workers: 1})
+	if _, done := c.RunSlice(context.Background(), 2); done {
+		t.Fatal("campaign finished before the pause point")
+	}
+	enc := c.Snapshot().EncodeBytes()
+	future := bytes.Replace(enc, []byte(" v2\n"), []byte(" v3\n"), 1)
+	if bytes.Equal(future, enc) {
+		t.Fatal("header rewrite did not take; encoder format changed?")
+	}
+	_, err := DecodeSnapshot(bytes.NewReader(future))
+	if err == nil {
+		t.Fatal("v3 snapshot decoded without error")
+	}
+	if !strings.Contains(err.Error(), "newer mufuzz") {
+		t.Fatalf("v3 rejection should name the cause, got: %v", err)
+	}
+}
+
+// TestSnapshotDecodesV1 pins backward compatibility: a v1 snapshot — strategy
+// line without the cmpfeed/dict fields, no cmpop records — must still decode,
+// with the comparison-feedback flags off (they postdate the format) and
+// resume into a runnable campaign.
+func TestSnapshotDecodesV1(t *testing.T) {
+	comp := compileT(t, corpus.Crowdsale())
+	c := NewCampaign(comp, Options{Strategy: MuFuzz(), Seed: 1, Iterations: 200, Workers: 1})
+	if _, done := c.RunSlice(context.Background(), 2); done {
+		t.Fatal("campaign finished before the pause point")
+	}
+	// Transform the v2 encoding into the exact v1 shape.
+	var v1 bytes.Buffer
+	for _, line := range strings.SplitAfter(string(c.Snapshot().EncodeBytes()), "\n") {
+		switch {
+		case strings.HasPrefix(line, "mufuzz-snapshot v2"):
+			v1.WriteString(strings.Replace(line, " v2", " v1", 1))
+		case strings.HasPrefix(line, "strategy "):
+			v1.WriteString(strings.Replace(line, " cmpfeed=1 dict=1", "", 1))
+		case strings.HasPrefix(line, "cmpop "):
+			// v1 had no operand table
+		default:
+			v1.WriteString(line)
+		}
+	}
+	snap, err := DecodeSnapshot(bytes.NewReader(v1.Bytes()))
+	if err != nil {
+		t.Fatalf("v1 snapshot failed to decode: %v", err)
+	}
+	if snap.Options.Strategy.CmpFeedback || snap.Options.Strategy.MinedDictionary {
+		t.Error("v1 snapshot must resume with the comparison-feedback flags off")
+	}
+	if len(snap.CmpOps) != 0 {
+		t.Errorf("v1 snapshot decoded %d cmpop records from nowhere", len(snap.CmpOps))
+	}
+	resumed, err := ResumeCampaign(comp, snap)
+	if err != nil {
+		t.Fatalf("resume from v1: %v", err)
+	}
+	if res, done := resumed.RunSlice(context.Background(), 0); !done || res.Executions == 0 {
+		t.Error("campaign resumed from v1 snapshot did not run to completion")
 	}
 }
 

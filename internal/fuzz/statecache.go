@@ -20,16 +20,23 @@ import (
 // events of the prefix (replayed into the campaign's feedback fold so
 // coverage/distance bookkeeping is identical to a full execution).
 //
-// Concurrency: the cache is striped across prefixShards, and each shard
-// publishes its entry map as an immutable snapshot behind an atomic pointer.
-// Readers — the hot per-execution lookup and store-policy scans of every
-// worker — never take a lock: they load the current snapshot and read a map
-// nothing will ever mutate. Writers serialize on a per-shard mutex, build the
-// next map copy-on-write, publish it atomically, and bump the cache epoch so
-// per-worker views (prefixView) know to refresh. Stores are rare relative to
-// lookups (a checkpoint is stored once and read thousands of times), so the
-// copy cost sits far off the hot path while the read path is contention-free
-// at any worker count.
+// Concurrency: the cache is striped across prefixShards. Each shard keeps an
+// authoritative live map, mutated in place under the shard mutex, and
+// publishes an immutable copy of it behind an atomic pointer. Readers — the
+// hot per-execution lookup and store-policy scans of every worker — never
+// take a lock: they load the current published snapshot and read a map
+// nothing will ever mutate. Writers serialize on the per-shard mutex and
+// republish only every publishEvery stores: under campaign churn the cache
+// stores a new checkpoint almost every execution (the FIFO keeps turning
+// over), so copying the map per store was the single largest allocation site
+// of the whole engine. Batching amortizes the copy to 1/publishEvery stores;
+// the entries a stale snapshot is missing become visible a few executions
+// later, which cache transparency makes semantically invisible (the
+// conformance matrix pins cache-on ≡ cache-off transcripts).
+//
+// The store path dedups against the live map under the lock (contains,
+// storeKeyed), so delayed publication never re-materializes the state fork
+// and taint snapshot for a prefix that is already checkpointed.
 //
 // Entries are immutable once stored: readers copy entry.st outside any lock,
 // writers only ever insert or evict whole entries. Eviction is FIFO per
@@ -53,12 +60,23 @@ const prefixShards = 16
 // prefixSnap is one shard's immutable published generation.
 type prefixSnap map[uint64]*prefixEntry
 
+// publishEvery is the store-batching factor: a shard republishes its
+// snapshot after this many live-map mutations. Higher values amortize the
+// copy further but widen the window in which fresh checkpoints are invisible
+// to the lock-free read path.
+const publishEvery = 8
+
 type prefixShard struct {
-	// mu serializes writers only; readers go through snap.
-	mu    sync.Mutex
+	// mu guards live, order, and unpub; readers go through snap.
+	mu sync.Mutex
+	// live is the authoritative entry map, mutated in place under mu.
+	live prefixSnap
+	// snap is the published immutable copy the lock-free readers use; it
+	// trails live by at most publishEvery-1 stores.
 	snap  atomic.Pointer[prefixSnap]
 	order []uint64 // FIFO eviction order
 	max   int      // per-shard capacity
+	unpub int      // live mutations since the last publish
 }
 
 type prefixEntry struct {
@@ -94,6 +112,7 @@ func newPrefixCache(max int) *prefixCache {
 	pc := &prefixCache{}
 	empty := prefixSnap{}
 	for i := range pc.shards {
+		pc.shards[i].live = prefixSnap{}
 		pc.shards[i].snap.Store(&empty)
 		pc.shards[i].max = perShard
 	}
@@ -177,6 +196,7 @@ func prefixHashes(seq Sequence, buf []uint64) []uint64 {
 // (at least 1 transaction, at most len(seq)-1 so the suffix still runs).
 // The txs check guards against fnv collisions across prefix lengths: a hit
 // only counts when the stored entry checkpoints exactly n transactions.
+// Reads the authoritative live state; the hot path uses prefixView instead.
 func (pc *prefixCache) lookup(seq Sequence) *prefixEntry {
 	if pc == nil {
 		return nil
@@ -192,7 +212,11 @@ func (pc *prefixCache) lookupHashed(hashes []uint64) *prefixEntry {
 	}
 	for n := len(hashes); n >= 1; n-- {
 		key := hashes[n-1]
-		if e, ok := pc.shard(key).view()[key]; ok && e.txs == n {
+		sh := pc.shard(key)
+		sh.mu.Lock()
+		e, ok := sh.live[key]
+		sh.mu.Unlock()
+		if ok && e.txs == n {
 			pc.hits.Add(1)
 			return e
 		}
@@ -201,12 +225,19 @@ func (pc *prefixCache) lookupHashed(hashes []uint64) *prefixEntry {
 	return nil
 }
 
-// contains reports whether a prefix hash is already checkpointed.
+// contains reports whether a prefix hash is already checkpointed,
+// authoritatively: it consults the live map under the shard lock, so the
+// store path never duplicates the fork + taint materialization for an entry
+// that is stored but not yet published. Called at most once per execution;
+// the per-probe scans go through prefixView.contains.
 func (pc *prefixCache) contains(key uint64) bool {
 	if pc == nil {
 		return false
 	}
-	_, ok := pc.shard(key).view()[key]
+	sh := pc.shard(key)
+	sh.mu.Lock()
+	_, ok := sh.live[key]
+	sh.mu.Unlock()
 	return ok
 }
 
@@ -226,9 +257,10 @@ func (pc *prefixCache) admissible(branchesByTx [][]evm.BranchEvent) bool {
 
 // storeKeyed records a checkpoint for a pre-computed prefix hash. The first
 // writer of a key wins; concurrent proposals for the same prefix are
-// deduplicated under the shard's writer lock. The new generation is built
-// copy-on-write and published atomically, so in-flight readers keep their
-// consistent snapshot.
+// deduplicated against the live map under the shard's lock. The live map is
+// mutated in place; a fresh immutable snapshot is published only every
+// publishEvery stores, so in-flight readers keep their consistent (slightly
+// stale) generation and the per-store copy cost is amortized away.
 func (pc *prefixCache) storeKeyed(key uint64, n int, st *state.State, taint map[evm.StorageKey]evm.Taint, branchesByTx [][]evm.BranchEvent, reports []txReport, nestedDepth int) {
 	if pc == nil || n < 1 || !pc.admissible(branchesByTx) {
 		return
@@ -250,23 +282,50 @@ func (pc *prefixCache) storeKeyed(key uint64, n int, st *state.State, taint map[
 	sh := pc.shard(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	cur := sh.view()
-	if _, dup := cur[key]; dup {
+	if _, dup := sh.live[key]; dup {
 		return
-	}
-	next := make(prefixSnap, len(cur)+1)
-	for k, v := range cur {
-		next[k] = v
 	}
 	if len(sh.order) >= sh.max {
 		oldest := sh.order[0]
 		sh.order = sh.order[1:]
-		delete(next, oldest)
+		delete(sh.live, oldest)
 	}
-	next[key] = entry
+	sh.live[key] = entry
 	sh.order = append(sh.order, key)
+	sh.unpub++
+	if sh.unpub >= publishEvery {
+		sh.publishLocked(pc)
+	}
+}
+
+// publishLocked copies the live map into a fresh immutable snapshot, swaps
+// it in for the lock-free readers, and bumps the cache epoch so per-worker
+// views refresh. Caller holds sh.mu.
+func (sh *prefixShard) publishLocked(pc *prefixCache) {
+	next := make(prefixSnap, len(sh.live))
+	for k, v := range sh.live {
+		next[k] = v
+	}
 	sh.snap.Store(&next)
+	sh.unpub = 0
 	pc.epoch.Add(1)
+}
+
+// flush publishes every shard's pending live entries immediately. Tests use
+// it to make a just-stored checkpoint visible to the lock-free read path
+// without waiting out the publish batch.
+func (pc *prefixCache) flush() {
+	if pc == nil {
+		return
+	}
+	for i := range pc.shards {
+		sh := &pc.shards[i]
+		sh.mu.Lock()
+		if sh.unpub > 0 {
+			sh.publishLocked(pc)
+		}
+		sh.mu.Unlock()
+	}
 }
 
 // len returns the total number of cached entries (diagnostics and tests).
@@ -276,7 +335,10 @@ func (pc *prefixCache) len() int {
 	}
 	n := 0
 	for i := range pc.shards {
-		n += len(pc.shards[i].view())
+		sh := &pc.shards[i]
+		sh.mu.Lock()
+		n += len(sh.live)
+		sh.mu.Unlock()
 	}
 	return n
 }

@@ -33,6 +33,16 @@ type Strategy struct {
 	// DynamicEnergy enables Algorithm 3 branch-weighted energy allocation.
 	// Off = uniform energy (sFuzz's default scheme).
 	DynamicEnergy bool
+	// CmpFeedback keeps a bounded table of concrete comparison operand pairs
+	// observed at each uncovered branch and splices them into mask-permitted
+	// bytes during distance-directed mutation — beyond the single
+	// best-distance pair BranchDistance already tracks. MuFuzz only.
+	CmpFeedback bool
+	// MinedDictionary merges the target's mined constant dictionary
+	// (Target.Dictionary: AST literals for source targets, abstract-interp
+	// constants and keccak mapping bases for source-free bytecode) into the
+	// campaign value pool. MuFuzz only.
+	MinedDictionary bool
 }
 
 // MuFuzz returns the full strategy: all three components on.
@@ -45,6 +55,8 @@ func MuFuzz() Strategy {
 		BranchDistance:    true,
 		MutationMasking:   true,
 		DynamicEnergy:     true,
+		CmpFeedback:       true,
+		MinedDictionary:   true,
 	}
 }
 
@@ -91,8 +103,8 @@ func Smartian() Strategy {
 	}
 }
 
-// Ablations returns the three paper ablation variants of MuFuzz (§V-D):
-// each disables exactly one component.
+// Ablations returns the ablation variants of MuFuzz (§V-D plus the
+// comparison-feedback extension): each disables exactly one component.
 func Ablations() []Strategy {
 	noSeq := MuFuzz()
 	noSeq.Name = "MuFuzz w/o sequence-aware mutation"
@@ -107,7 +119,12 @@ func Ablations() []Strategy {
 	noEnergy.Name = "MuFuzz w/o dynamic energy adjustment"
 	noEnergy.DynamicEnergy = false
 
-	return []Strategy{noSeq, noMask, noEnergy}
+	noCmp := MuFuzz()
+	noCmp.Name = "MuFuzz w/o comparison feedback"
+	noCmp.CmpFeedback = false
+	noCmp.MinedDictionary = false
+
+	return []Strategy{noSeq, noMask, noEnergy, noCmp}
 }
 
 // PresetByName resolves the five strategy presets by their user-facing

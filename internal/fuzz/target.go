@@ -5,6 +5,7 @@ import (
 	"mufuzz/internal/analysis"
 	"mufuzz/internal/minisol"
 	"mufuzz/internal/state"
+	"mufuzz/internal/u256"
 )
 
 // CtorName is the pseudo-function name heading every transaction sequence
@@ -61,6 +62,13 @@ type Target interface {
 	// on branch-read state — the candidates for consecutive-repetition
 	// sequence mutation (paper §IV-A).
 	RepeatCandidates() []string
+	// Dictionary returns mined interesting constants beyond the campaign's
+	// own PUSH-immediate harvest — AST literals and folded constant
+	// expressions for source targets, abstract-interpretation constants and
+	// keccak mapping bases for source-free bytecode. The campaign merges them
+	// into its value pool when Strategy.MinedDictionary is on. The slice must
+	// be deterministic (sorted, deduplicated) for a given target.
+	Dictionary() []u256.Int
 }
 
 // minisolTarget adapts a compiled MiniSol contract to the Target interface.
@@ -73,6 +81,7 @@ type minisolTarget struct {
 	depOrder []string
 	repeat   []string
 	branches []TargetBranch
+	dict     []u256.Int
 }
 
 // MinisolTarget wraps a compiled MiniSol contract as a fuzzing target. The
@@ -87,6 +96,7 @@ func MinisolTarget(comp *minisol.Compiled) Target {
 	for _, site := range comp.Branches {
 		t.branches = append(t.branches, TargetBranch{PC: site.PC, Depth: site.Depth})
 	}
+	t.dict = mineASTDictionary(comp.Contract)
 	return t
 }
 
@@ -108,3 +118,4 @@ func (t *minisolTarget) Methods() []abi.Method { return t.comp.ABI.Methods }
 func (t *minisolTarget) Branches() []TargetBranch   { return t.branches }
 func (t *minisolTarget) DependencyOrder() []string  { return t.depOrder }
 func (t *minisolTarget) RepeatCandidates() []string { return t.repeat }
+func (t *minisolTarget) Dictionary() []u256.Int     { return t.dict }

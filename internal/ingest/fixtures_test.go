@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"mufuzz/internal/corpus"
+	"mufuzz/internal/experiments"
 	"mufuzz/internal/fuzz"
 	"mufuzz/internal/minisol"
 	"mufuzz/internal/oracle"
@@ -34,6 +35,7 @@ func TestFixturesCurrent(t *testing.T) {
 	for name, src := range map[string]string{
 		"erc20":           corpus.Token(),
 		"crowdsale-buggy": corpus.CrowdsaleBuggy(),
+		"magic-gate":      corpus.MagicGate(),
 	} {
 		t.Run(name, func(t *testing.T) {
 			comp, err := minisol.Compile(src)
@@ -92,5 +94,56 @@ func TestFixtureCampaigns(t *testing.T) {
 	}).Run()
 	if !bres.BugClasses[oracle.BugClass("BD")] {
 		t.Fatalf("buggy fixture: BD not found (classes %v)", bres.BugClasses)
+	}
+}
+
+// TestMagicGateCmpFeedback is the detection gate for comparison-operand
+// feedback: the magic-gate fixture hides an unprotected selfdestruct behind
+// grants[code] == 7, where the mapping key 0x4d414749 is assembled from two
+// halves in the constructor — no single PUSH immediate spells it, branch
+// distance is constant at the guard, and the observed operand pair {0, 7}
+// says nothing about the key. At the experiments gate budget the full MuFuzz
+// strategy must crack it source-free (the mined dictionary carries the folded
+// constant) and the ablation with the feedback off must NOT — proving the
+// crack comes from the feedback, not from budget.
+func TestMagicGateCmpFeedback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaigns are slow")
+	}
+	codeHex, abiJSON := readFixture(t, "magic-gate")
+
+	tgt, err := LoadHex(codeHex, abiJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	magic := false
+	for _, v := range tgt.Dictionary() {
+		if v.Hex() == "0x4d414749" {
+			magic = true
+		}
+	}
+	if !magic {
+		t.Fatalf("assembled magic missing from mined dictionary: %v", tgt.Dictionary())
+	}
+	on := fuzz.NewTargetCampaign(tgt, fuzz.Options{
+		Strategy: fuzz.MuFuzz(), Seed: experiments.GateSeed, Iterations: experiments.GateBudget, Workers: 1,
+	}).Run()
+	if !on.BugClasses[oracle.BugClass("US")] {
+		t.Errorf("magic gate not cracked with comparison feedback on (classes %v)", on.BugClasses)
+	}
+
+	off := fuzz.MuFuzz()
+	off.Name = "MuFuzz w/o comparison feedback"
+	off.CmpFeedback = false
+	off.MinedDictionary = false
+	offTgt, err := LoadHex(codeHex, abiJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offRes := fuzz.NewTargetCampaign(offTgt, fuzz.Options{
+		Strategy: off, Seed: experiments.GateSeed, Iterations: experiments.GateBudget, Workers: 1,
+	}).Run()
+	if offRes.BugClasses[oracle.BugClass("US")] {
+		t.Error("magic gate cracked with the feedback off — the fixture no longer separates the ablation")
 	}
 }

@@ -11,6 +11,7 @@ package ingest
 import (
 	"encoding/hex"
 	"fmt"
+	"sort"
 	"strings"
 
 	"mufuzz/internal/abi"
@@ -19,6 +20,7 @@ import (
 	"mufuzz/internal/fuzz"
 	"mufuzz/internal/keccak"
 	"mufuzz/internal/state"
+	"mufuzz/internal/u256"
 )
 
 // FuncStorage is the recovered summary of one dispatched function: where its
@@ -53,6 +55,7 @@ type Target struct {
 	access   []FuncStorage
 	arms     []DispatchArm
 	cfg      *analysis.CFG
+	dict     []u256.Int
 }
 
 // DispatchArm is one recovered dispatcher comparison: the raw 4-byte
@@ -92,7 +95,9 @@ func Load(code []byte, abiJSON []byte) (*Target, error) {
 	if err != nil {
 		return nil, err
 	}
+	var creation []byte
 	if runtime, ok := ExtractRuntime(code); ok {
+		creation = code // keep the full creation image for dictionary mining
 		code = runtime
 	}
 
@@ -106,7 +111,7 @@ func Load(code []byte, abiJSON []byte) (*Target, error) {
 	t.ctor = ctorMethod(spec)
 	t.methods = spec.Methods
 
-	t.recover()
+	t.dict = buildDictionary(t.recover(), creation)
 	return t, nil
 }
 
@@ -130,8 +135,10 @@ func ctorMethod(spec *abi.ABI) abi.Method {
 }
 
 // recover runs the static recovery over the runtime code: dispatcher arms,
-// per-function storage access, and branch-site depths.
-func (t *Target) recover() {
+// per-function storage access, and branch-site depths. It returns the
+// dictionary candidates the abstract interpretation materialized along the
+// way (constant-fold results and keccak mapping bases).
+func (t *Target) recover() map[u256.Int]bool {
 	instrs := analysis.Disassemble(t.code)
 	entryBySel := map[[4]byte]uint64{}
 	for _, e := range selectorEntries(instrs) {
@@ -142,6 +149,7 @@ func (t *Target) recover() {
 	}
 
 	depth := map[uint64]int{}
+	consts := map[u256.Int]bool{}
 	analyze := func(name string, sel [4]byte) FuncStorage {
 		fs := FuncStorage{
 			Name: name, Selector: sel,
@@ -156,6 +164,9 @@ func (t *Target) recover() {
 		fs.Found = true
 		blocks := reachableBlocks(t.cfg, entry)
 		acc := recoverAccess(t.cfg, blocks, nil)
+		for v := range acc.consts {
+			consts[v] = true
+		}
 		fs.Reads = varSet(acc.reads)
 		fs.Writes = varSet(acc.writes)
 		fs.BranchReads = varSet(acc.branchReads)
@@ -197,6 +208,39 @@ func (t *Target) recover() {
 	for _, pc := range t.cfg.BranchPCs() {
 		t.branches = append(t.branches, fuzz.TargetBranch{PC: pc, Depth: depth[pc]})
 	}
+	return consts
+}
+
+// maxDict bounds the mined dictionary; pathological bytecode cannot dilute
+// the campaign value pool past it.
+const maxDict = 256
+
+// buildDictionary finalizes the mined dictionary: the abstract-interp
+// candidates from recover plus, when the target arrived as creation bytecode,
+// every PUSH immediate of the creation image — constructor-only constants
+// (initialization magics, owner addresses) are discarded with the creation
+// code otherwise and the campaign's runtime PUSH harvest never sees them.
+// Deterministic: deduplicated, value-sorted.
+func buildDictionary(consts map[u256.Int]bool, creation []byte) []u256.Int {
+	if creation != nil {
+		for _, ins := range analysis.Disassemble(creation) {
+			if ins.Op.IsPush() && len(ins.Imm) > 0 && len(ins.Imm) <= 32 {
+				consts[u256.FromBytes(ins.Imm)] = true
+			}
+		}
+	}
+	out := make([]u256.Int, 0, len(consts))
+	for v := range consts {
+		if v.IsZero() || v.BitLen() >= 200 {
+			continue
+		}
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Lt(out[j]) })
+	if len(out) > maxDict {
+		out = out[:maxDict]
+	}
+	return out
 }
 
 // --- fuzz.Target ---
@@ -232,6 +276,11 @@ func (t *Target) DependencyOrder() []string { return t.depOrder }
 // RepeatCandidates lists functions with a recovered read-after-write slot
 // dependency feeding a branch condition.
 func (t *Target) RepeatCandidates() []string { return t.repeat }
+
+// Dictionary returns the constants mined from the bytecode beyond the
+// campaign's own PUSH harvest: constant-fold results and keccak mapping bases
+// from the abstract interpretation, plus creation-code immediates.
+func (t *Target) Dictionary() []u256.Int { return t.dict }
 
 // --- tooling accessors ---
 

@@ -100,6 +100,11 @@ type access struct {
 	reads       map[string]bool
 	writes      map[string]bool
 	branchReads map[string]bool
+	// consts collects the dictionary candidates this walk materialized:
+	// results of constant folds (a magic value the code assembles from parts
+	// exists nowhere as a PUSH immediate, but the fold computes it whole) and
+	// keccak mapping bases.
+	consts map[u256.Int]bool
 }
 
 func newAccess() *access {
@@ -107,6 +112,7 @@ func newAccess() *access {
 		reads:       map[string]bool{},
 		writes:      map[string]bool{},
 		branchReads: map[string]bool{},
+		consts:      map[u256.Int]bool{},
 	}
 }
 
@@ -302,6 +308,9 @@ func stepData(st *absState, ins analysis.Instruction, acc *access) bool {
 			base, okBase := st.mem[o+32]
 			key := st.mem[o] // zero absVal (Top) when unknown
 			if okBase && base.kind == aConst {
+				if acc != nil {
+					acc.consts[base.c] = true
+				}
 				st.push(absVal{kind: aMapSlot, c: base.c, taint: mergeTaint(key.taint, base.taint)})
 				return true
 			}
@@ -339,7 +348,11 @@ func stepData(st *absState, ins analysis.Instruction, acc *access) bool {
 		if pops, pushes, ok := opArity(op); ok {
 			if pops == 2 && pushes == 1 {
 				args := st.popN(2)
-				st.push(foldBinary(op, args[0], args[1]))
+				v := foldBinary(op, args[0], args[1])
+				if acc != nil && v.kind == aConst {
+					acc.consts[v.c] = true
+				}
+				st.push(v)
 				return true
 			}
 			args := st.popN(pops)

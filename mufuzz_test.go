@@ -89,8 +89,8 @@ func TestStrategyCatalog(t *testing.T) {
 		}
 		names[s.Name] = true
 	}
-	if len(mufuzz.Ablations()) != 3 {
-		t.Error("three ablation variants expected")
+	if len(mufuzz.Ablations()) != 4 {
+		t.Error("four ablation variants expected")
 	}
 	if len(mufuzz.AllBugClasses) != 9 {
 		t.Error("nine bug classes expected")
