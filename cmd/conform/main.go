@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	conform -mode diff [-contracts a,b,c] [-iters 400] [-seed 1] [-workers N]
+//	conform -mode diff [-contracts a,b,c] [-iters 400] [-seed 1] [-workers N] [-fixtures dir]
 //	conform -mode gate [-iters 3000] [-seed 1]
 //	conform -mode strategies [-contracts a] [-iters 1000] [-seed 1]
 //	conform -mode record -contracts a -out a.transcript [-iters 400]
@@ -16,12 +16,16 @@
 //
 // Contract names come from the corpus: "crowdsale", "crowdsale-buggy",
 // "game", or any labelled suite name (run `-mode list` to enumerate).
+// Mode diff additionally runs the multi-contract world-w1/world-wN pair on
+// the ingest fixtures (bank-reentrant primary + token member + synthesized
+// attacker) when the fixture dir is present.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
@@ -30,7 +34,9 @@ import (
 	"mufuzz/internal/corpus"
 	"mufuzz/internal/experiments"
 	"mufuzz/internal/fuzz"
+	"mufuzz/internal/ingest"
 	"mufuzz/internal/minisol"
+	"mufuzz/internal/world"
 )
 
 // registry maps every named contract source available to the CLI.
@@ -61,6 +67,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "batched-class worker count (0 = NumCPU, capped at 8)")
 		out       = flag.String("out", "", "transcript output path (mode record)")
 		in        = flag.String("in", "", "transcript input path (mode replay)")
+		fixtures  = flag.String("fixtures", "fixtures", "ingest fixture dir for the world pair (mode diff)")
 	)
 	flag.Parse()
 
@@ -93,6 +100,14 @@ func main() {
 		for _, name := range names {
 			comp := compile(name)
 			results := conformance.DifferentialMatrix(name, comp, baseOptions(*seed, *iters), w)
+			conformance.PrintMatrix(os.Stdout, results)
+			for _, r := range results {
+				if !r.Equal {
+					failed = true
+				}
+			}
+		}
+		if results, ok := worldPair(*fixtures, *seed, *iters, w); ok {
 			conformance.PrintMatrix(os.Stdout, results)
 			for _, r := range results {
 				if !r.Equal {
@@ -181,6 +196,45 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
+}
+
+// worldPair builds the world-w1/world-wN differential pair from the ingest
+// fixtures: the reentrant bank as primary, the token as a member, attacker
+// synthesis on — so member deployment, callee routing, and attacker-spec
+// compilation all sit inside the equivalence check. Returns ok=false (with
+// a stderr notice) when the fixture dir is absent, so the minisol half of
+// mode diff still works away from the repo root.
+func worldPair(dir string, seed int64, iters, workers int) ([]conformance.PairResult, bool) {
+	load := func(name string) (fuzz.Target, error) {
+		bin, err := os.ReadFile(filepath.Join(dir, name+".bin"))
+		if err != nil {
+			return nil, err
+		}
+		abiJSON, err := os.ReadFile(filepath.Join(dir, name+".abi.json"))
+		if err != nil {
+			return nil, err
+		}
+		return ingest.LoadHex(string(bin), abiJSON)
+	}
+	if _, err := load("bank-reentrant"); err != nil {
+		fmt.Fprintf(os.Stderr, "conform: world pair skipped (%v; regen with `go run ./cmd/corpusgen -fixtures %s`)\n", err, dir)
+		return nil, false
+	}
+	mk := func() (fuzz.Target, *fuzz.WorldOptions) {
+		bank, err := load("bank-reentrant")
+		if err != nil {
+			fatal(err)
+		}
+		token, err := load("erc20")
+		if err != nil {
+			fatal(err)
+		}
+		return bank, &fuzz.WorldOptions{
+			Members:  []fuzz.WorldMember{{Name: "token", Target: token}},
+			Attacker: world.NewModel(bank.Methods()),
+		}
+	}
+	return conformance.WorldDifferentialMatrix("bank-reentrant", mk, baseOptions(seed, iters), workers), true
 }
 
 func baseOptions(seed int64, iters int) fuzz.Options {

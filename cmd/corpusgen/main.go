@@ -103,6 +103,8 @@ var fixtureSources = map[string]string{
 	"erc20":           corpus.Token(),
 	"crowdsale-buggy": corpus.CrowdsaleBuggy(),
 	"magic-gate":      corpus.MagicGate(),
+	"bank-reentrant":  corpus.BankReentrant(),
+	"proxy-delegate":  corpus.ProxyDelegate(),
 }
 
 // writeFixtures compiles each fixture contract and writes <name>.bin

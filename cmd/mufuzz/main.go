@@ -11,6 +11,9 @@
 //	       [-mutexprofile mutex.out] [-blockprofile block.out]
 //	mufuzz -example crowdsale|game    # fuzz a built-in paper example
 //	mufuzz -bytecode code.bin -abi contract.abi.json   # fuzz deployed bytecode
+//	mufuzz -bytecode bank.bin -abi bank.abi.json \
+//	       -bytecode token.bin -abi token.abi.json -attacker   # world campaign
+//	mufuzz -bytecode bank.bin -abi bank.abi.json -world world.txt
 //
 // -bytecode takes hex EVM bytecode (0x prefix optional; creation code is
 // detected and its runtime extracted) and -abi the standard Solidity ABI
@@ -18,6 +21,18 @@
 // dependencies from the code itself, so sequence-aware mutation and energy
 // scheduling run without source. Corpus-store seeds for such targets are
 // bucketed by codehash.
+//
+// Repeating -bytecode/-abi deploys every pair into one shared world: the
+// first pair is the primary target, later pairs become member contracts
+// (named after their bin file) whose functions enter sequences qualified
+// ("token.transfer"). -world FILE declares members in a manifest instead —
+// one `member <name> <bin> <abi> [addr]` line each, paths relative to the
+// manifest. -attacker additionally synthesizes a fuzzer-controlled attacker
+// contract whose callback behavior (re-entered selector, calldata, nesting
+// depth, revert flag) is mutated alongside the transaction sequence, arming
+// the witnessed reentrancy/unchecked-delegatecall oracles. World corpus
+// seeds are bucketed by the keccak of the sorted member codehashes, so any
+// campaign on the same contract set cross-pollinates.
 //
 // -workers N fans each energy round's batch of mutated children across N
 // executor goroutines (0 = all CPU cores). N=1 is the sequential engine,
@@ -43,6 +58,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sort"
@@ -54,8 +70,16 @@ import (
 	"mufuzz/internal/ingest"
 	"mufuzz/internal/minisol"
 	"mufuzz/internal/report"
+	"mufuzz/internal/state"
 	"mufuzz/internal/store"
+	"mufuzz/internal/world"
 )
+
+// multiFlag collects a repeatable string flag in declaration order.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
 func main() {
 	os.Exit(run())
@@ -89,14 +113,17 @@ func run() int {
 		corpusDir = flag.String("corpus-dir", "", "persistent seed store: import shared seeds, export the final queue")
 		resume    = flag.String("resume", "", "resume from a campaign snapshot file")
 		snapOut   = flag.String("snapshot-out", "", "write a resumable snapshot here on SIGINT (or at exit)")
-		bytecode  = flag.String("bytecode", "", "hex EVM bytecode file: fuzz source-free (requires -abi)")
-		abiFile   = flag.String("abi", "", "Solidity ABI JSON file for -bytecode")
+		worldFile = flag.String("world", "", "world manifest: `member <name> <bin> <abi> [addr]` lines declaring member contracts")
+		attacker  = flag.Bool("attacker", false, "synthesize a fuzzer-controlled attacker contract into the world")
 		noCmpFeed = flag.Bool("no-cmp-feedback", false, "disable comparison-operand feedback and mined dictionaries (ablation)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile (after the campaign) to this file")
 		mutexProf = flag.String("mutexprofile", "", "write a mutex-contention profile (after the campaign) to this file")
 		blockProf = flag.String("blockprofile", "", "write a goroutine-blocking profile (after the campaign) to this file")
 	)
+	var bytecodes, abiFiles multiFlag
+	flag.Var(&bytecodes, "bytecode", "hex EVM bytecode file: fuzz source-free (requires -abi; repeat the pair for world members)")
+	flag.Var(&abiFiles, "abi", "Solidity ABI JSON file for the matching -bytecode")
 	flag.Parse()
 
 	if *cpuProf != "" {
@@ -152,13 +179,36 @@ func run() int {
 		strat.MinedDictionary = false
 	}
 
-	target, name, err := loadTarget(*file, *example, *bytecode, *abiFile)
+	target, name, err := loadTarget(*file, *example, bytecodes, abiFiles)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mufuzz:", err)
 		return 1
 	}
 	fmt.Printf("target %s: %d bytes of code, %d functions, %d branch sites\n",
 		target.Name(), len(target.Code()), len(target.Methods()), len(target.Branches()))
+
+	// World assembly: members from extra -bytecode/-abi pairs, then the
+	// manifest, then the synthesized attacker. bucket is the corpus-store
+	// key — the world bucket when members are present, else the target name.
+	worldOpts, bucket, err := buildWorld(target, bytecodes, abiFiles, *worldFile, *attacker)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mufuzz:", err)
+		return 1
+	}
+	if worldOpts != nil {
+		names := make([]string, len(worldOpts.Members))
+		for i, m := range worldOpts.Members {
+			names[i] = m.Name
+		}
+		desc := strings.Join(names, ", ")
+		if *attacker {
+			if desc != "" {
+				desc += ", "
+			}
+			desc += "synthesized attacker"
+		}
+		fmt.Printf("world: %s (corpus bucket %s)\n", desc, bucket)
+	}
 
 	var st *store.Store
 	if *corpusDir != "" {
@@ -180,7 +230,12 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "mufuzz:", err)
 			return 1
 		}
-		if campaign, err = fuzz.ResumeTargetCampaign(target, snap); err != nil {
+		if worldOpts != nil {
+			campaign, err = fuzz.ResumeWorldCampaign(target, worldOpts, snap)
+		} else {
+			campaign, err = fuzz.ResumeTargetCampaign(target, snap)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "mufuzz:", err)
 			return 1
 		}
@@ -199,11 +254,12 @@ func run() int {
 			Iterations: *iters,
 			TimeBudget: *budget,
 			Workers:    nWorkers,
+			World:      worldOpts,
 		})
 	}
 
 	if st != nil {
-		if n := importSeeds(campaign, st, target.Name()); n > 0 {
+		if n := importSeeds(campaign, st, bucket); n > 0 {
 			fmt.Printf("imported %d shared corpus seed(s) from %s\n", n, *corpusDir)
 		}
 	}
@@ -217,7 +273,7 @@ func run() int {
 	stop()
 
 	if st != nil {
-		if n := exportSeeds(campaign, st, target.Name()); n > 0 {
+		if n := exportSeeds(campaign, st, bucket); n > 0 {
 			fmt.Printf("exported %d new corpus seed(s) to %s\n", n, *corpusDir)
 		}
 	}
@@ -312,11 +368,25 @@ func exportSeeds(c *fuzz.Campaign, st *store.Store, contract string) int {
 	return n
 }
 
+// loadBytecodeTarget ingests one bytecode + ABI file pair.
+func loadBytecodeTarget(bin, abiFile string) (fuzz.Target, error) {
+	codeHex, err := os.ReadFile(bin)
+	if err != nil {
+		return nil, err
+	}
+	abiJSON, err := os.ReadFile(abiFile)
+	if err != nil {
+		return nil, err
+	}
+	return ingest.LoadHex(string(codeHex), abiJSON)
+}
+
 // loadTarget resolves exactly one of the three target sources: MiniSol file,
-// built-in example, or raw bytecode + ABI JSON.
-func loadTarget(file, example, bytecode, abiFile string) (fuzz.Target, string, error) {
+// built-in example, or raw bytecode + ABI JSON (the first -bytecode/-abi
+// pair; later pairs are world members, resolved by buildWorld).
+func loadTarget(file, example string, bytecodes, abiFiles []string) (fuzz.Target, string, error) {
 	sources := 0
-	for _, set := range []bool{file != "", example != "", bytecode != ""} {
+	for _, set := range []bool{file != "", example != "", len(bytecodes) > 0} {
 		if set {
 			sources++
 		}
@@ -325,23 +395,18 @@ func loadTarget(file, example, bytecode, abiFile string) (fuzz.Target, string, e
 		return nil, "", fmt.Errorf("pass exactly one of -file, -example, or -bytecode")
 	}
 
-	if bytecode != "" {
-		if abiFile == "" {
-			return nil, "", fmt.Errorf("-bytecode requires -abi <contract.abi.json>")
+	if len(bytecodes) > 0 {
+		if len(abiFiles) != len(bytecodes) {
+			return nil, "", fmt.Errorf("%d -bytecode flag(s) but %d -abi flag(s); each -bytecode needs its -abi", len(bytecodes), len(abiFiles))
 		}
-		codeHex, err := os.ReadFile(bytecode)
+		t, err := loadBytecodeTarget(bytecodes[0], abiFiles[0])
 		if err != nil {
 			return nil, "", err
 		}
-		abiJSON, err := os.ReadFile(abiFile)
-		if err != nil {
-			return nil, "", err
-		}
-		t, err := ingest.LoadHex(string(codeHex), abiJSON)
-		if err != nil {
-			return nil, "", err
-		}
-		return t, bytecode, nil
+		return t, bytecodes[0], nil
+	}
+	if len(abiFiles) > 0 {
+		return nil, "", fmt.Errorf("-abi requires a matching -bytecode")
 	}
 
 	var src, name string
@@ -369,4 +434,85 @@ func loadTarget(file, example, bytecode, abiFile string) (fuzz.Target, string, e
 		return nil, "", fmt.Errorf("compile: %w", err)
 	}
 	return fuzz.MinisolTarget(comp), name, nil
+}
+
+// memberName derives a world-member name from its bin path: the base name
+// with the extension stripped ("fixtures/erc20.bin" -> "erc20").
+func memberName(bin string) string {
+	base := filepath.Base(bin)
+	return strings.TrimSuffix(base, filepath.Ext(base))
+}
+
+// buildWorld assembles the campaign's WorldOptions from the extra
+// -bytecode/-abi pairs, the -world manifest (member paths resolve relative
+// to the manifest's directory), and the -attacker switch. It returns nil
+// options for a plain single-contract run, plus the corpus-store bucket:
+// world.BucketID over all deployed code when members are present (so any
+// campaign fuzzing the same contract set shares seeds, whoever launched
+// it), else the primary target's name.
+func buildWorld(primary fuzz.Target, bytecodes, abiFiles []string, manifest string, attacker bool) (*fuzz.WorldOptions, string, error) {
+	var members []fuzz.WorldMember
+	seen := map[string]bool{}
+	add := func(name string, t fuzz.Target, addr state.Address) error {
+		if seen[name] {
+			return fmt.Errorf("duplicate world member %q", name)
+		}
+		seen[name] = true
+		members = append(members, fuzz.WorldMember{Name: name, Target: t, Addr: addr})
+		return nil
+	}
+
+	for i := 1; i < len(bytecodes) && i < len(abiFiles); i++ {
+		t, err := loadBytecodeTarget(bytecodes[i], abiFiles[i])
+		if err != nil {
+			return nil, "", err
+		}
+		if err := add(memberName(bytecodes[i]), t, state.Address{}); err != nil {
+			return nil, "", err
+		}
+	}
+
+	if manifest != "" {
+		data, err := os.ReadFile(manifest)
+		if err != nil {
+			return nil, "", err
+		}
+		decls, err := world.ParseManifest(data)
+		if err != nil {
+			return nil, "", err
+		}
+		dir := filepath.Dir(manifest)
+		resolve := func(p string) string {
+			if filepath.IsAbs(p) {
+				return p
+			}
+			return filepath.Join(dir, p)
+		}
+		for _, m := range decls {
+			t, err := loadBytecodeTarget(resolve(m.Bin), resolve(m.ABI))
+			if err != nil {
+				return nil, "", fmt.Errorf("world member %s: %w", m.Name, err)
+			}
+			if err := add(m.Name, t, m.Addr); err != nil {
+				return nil, "", err
+			}
+		}
+	}
+
+	if len(members) == 0 && !attacker {
+		return nil, primary.Name(), nil
+	}
+	w := &fuzz.WorldOptions{Members: members}
+	if attacker {
+		w.Attacker = world.NewModel(primary.Methods())
+	}
+	bucket := primary.Name()
+	if len(members) > 0 {
+		all := []fuzz.Target{primary}
+		for _, m := range members {
+			all = append(all, m.Target)
+		}
+		bucket = world.BucketID(all...)
+	}
+	return w, bucket, nil
 }

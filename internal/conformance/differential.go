@@ -236,6 +236,51 @@ func BatchedVariants(workers int) []Variant {
 	}
 }
 
+// WorldDifferentialMatrix runs the batched equivalence class on a
+// multi-contract world campaign: the pipelined engine pinned to one worker
+// ("world-w1", ForceBatched) against the same world at N workers
+// ("world-wN"). Multi-contract deployment, cross-contract callee routing,
+// and attacker-spec compilation all execute on the worker side, so the pair
+// proves none of them leaks schedule nondeterminism. mk builds a fresh
+// (target, world) pair per recording — world options carry live member
+// targets and an attacker model, which must not be shared across engines.
+func WorldDifferentialMatrix(name string, mk func() (fuzz.Target, *fuzz.WorldOptions), base fuzz.Options, workers int) []PairResult {
+	if workers < 2 {
+		workers = 2
+	}
+	base.ForceBatched = false
+	base.UseCopyState = false
+	base.NoPrefixCache = false
+	base.NoIR = false
+	base.NoPipeline = false
+	record := func(apply func(fuzz.Options) fuzz.Options) *Run {
+		t, w := mk()
+		o := apply(base)
+		o.World = w
+		return RecordTargetCampaign(name, t, o)
+	}
+	ref := record(func(o fuzz.Options) fuzz.Options {
+		o.Workers = 1
+		o.ForceBatched = true
+		return o
+	})
+	run := record(func(o fuzz.Options) fuzz.Options {
+		o.Workers = workers
+		return o
+	})
+	d := Diff(ref.Transcript, run.Transcript)
+	if d != nil {
+		MinimizePoCs(d, ref, run)
+	}
+	return []PairResult{{
+		Contract:   name,
+		Reference:  "world-w1",
+		Variant:    fmt.Sprintf("world-w%d", workers),
+		Equal:      d == nil,
+		Divergence: d,
+	}}
+}
+
 // PairResult is one (reference, variant) comparison of the matrix.
 type PairResult struct {
 	Contract   string

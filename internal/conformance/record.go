@@ -160,8 +160,25 @@ func callOrder(seq fuzz.Sequence) string {
 // means the replay reproduced the campaign exactly — every seed pick, every
 // executed sequence, every coverage delta, every oracle report.
 func ReplayCheck(comp *minisol.Compiled, want *Transcript) (*Run, *Divergence) {
+	if want.Options.World != "" {
+		panic("conformance: world transcripts replay through ReplayWorldCheck (the live members and attacker model must be resupplied)")
+	}
 	opts := optionsFrom(want.Options)
 	run := RecordCampaign(want.Contract, comp, opts)
+	return run, Diff(want, run.Transcript)
+}
+
+// ReplayWorldCheck is ReplayCheck for multi-contract world campaigns. The
+// transcript's world token only pins the world's shape; the caller
+// resupplies the live member targets and attacker model, which must match
+// the recording's (the token is cross-checked).
+func ReplayWorldCheck(target fuzz.Target, w *fuzz.WorldOptions, want *Transcript) (*Run, *Divergence) {
+	if got := worldToken(w); got != want.Options.World {
+		panic(fmt.Sprintf("conformance: supplied world %q does not match transcript world %q", got, want.Options.World))
+	}
+	opts := optionsFrom(want.Options)
+	opts.World = w
+	run := RecordTargetCampaign(want.Contract, target, opts)
 	return run, Diff(want, run.Transcript)
 }
 

@@ -64,14 +64,24 @@ type OptionsSummary struct {
 	ForceBatched  bool
 	UseCopyState  bool
 	NoPrefixCache bool
+	// World summarizes a multi-contract world ("member,member;attacker"),
+	// empty for single-contract campaigns. The live member targets and
+	// attacker model are not replayable from a transcript alone; the token
+	// pins that a world was in play and its shape.
+	World string
 }
 
 // Tx is the serialized form of one transaction of a recorded sequence.
+// Callee and Attacker are the multi-contract world extensions: plain
+// transactions keep both at their zero values and serialize in the
+// historical 5-field line form.
 type Tx struct {
-	Func   string
-	Args   []byte
-	Value  u256.Int
-	Sender int
+	Func     string
+	Args     []byte
+	Value    u256.Int
+	Sender   int
+	Callee   int
+	Attacker []byte
 }
 
 // Record is the serialized form of one fuzz.ExecRecord.
@@ -126,7 +136,26 @@ func summarizeOptions(o fuzz.Options) OptionsSummary {
 		ForceBatched:  o.ForceBatched,
 		UseCopyState:  o.UseCopyState,
 		NoPrefixCache: o.NoPrefixCache,
+		World:         worldToken(o.World),
 	}
+}
+
+// worldToken renders a world configuration as the options-line token:
+// member names in declaration order, ";attacker" appended when attacker
+// synthesis is on. Empty for plain campaigns.
+func worldToken(w *fuzz.WorldOptions) string {
+	if w == nil {
+		return ""
+	}
+	names := make([]string, len(w.Members))
+	for i, m := range w.Members {
+		names[i] = m.Name
+	}
+	s := strings.Join(names, ",")
+	if w.Attacker != nil {
+		s += ";attacker"
+	}
+	return s
 }
 
 // sequenceToTxs converts an engine sequence into its serialized form.
@@ -134,10 +163,12 @@ func sequenceToTxs(seq fuzz.Sequence) []Tx {
 	out := make([]Tx, len(seq))
 	for i, t := range seq {
 		out[i] = Tx{
-			Func:   t.Func,
-			Args:   append([]byte(nil), t.Args...),
-			Value:  t.Value,
-			Sender: t.Sender,
+			Func:     t.Func,
+			Args:     append([]byte(nil), t.Args...),
+			Value:    t.Value,
+			Sender:   t.Sender,
+			Callee:   t.Callee,
+			Attacker: append([]byte(nil), t.Attacker...),
 		}
 	}
 	return out
@@ -148,10 +179,12 @@ func (r *Record) Sequence() fuzz.Sequence {
 	seq := make(fuzz.Sequence, len(r.Seq))
 	for i, t := range r.Seq {
 		seq[i] = fuzz.TxInput{
-			Func:   t.Func,
-			Args:   append([]byte(nil), t.Args...),
-			Value:  t.Value,
-			Sender: t.Sender,
+			Func:     t.Func,
+			Args:     append([]byte(nil), t.Args...),
+			Value:    t.Value,
+			Sender:   t.Sender,
+			Callee:   t.Callee,
+			Attacker: append([]byte(nil), t.Attacker...),
 		}
 	}
 	return seq
@@ -190,9 +223,13 @@ func (t *Transcript) Encode(w io.Writer) error {
 	fmt.Fprintf(bw, "%s v%d\n", magic, t.Version)
 	fmt.Fprintf(bw, "contract %s\n", t.Contract)
 	o := t.Options
-	fmt.Fprintf(bw, "options strategy=%q seed=%d iters=%d maxseq=%d gas=%d energy=%d initseeds=%d workers=%d batched=%d copystate=%d nocache=%d\n",
+	fmt.Fprintf(bw, "options strategy=%q seed=%d iters=%d maxseq=%d gas=%d energy=%d initseeds=%d workers=%d batched=%d copystate=%d nocache=%d",
 		o.Strategy, o.Seed, o.Iterations, o.MaxSeqLen, o.GasPerTx, o.EnergyBase,
 		o.InitialSeeds, o.Workers, boolBit(o.ForceBatched), boolBit(o.UseCopyState), boolBit(o.NoPrefixCache))
+	if o.World != "" {
+		fmt.Fprintf(bw, " world=%q", o.World)
+	}
+	fmt.Fprintf(bw, "\n")
 	for i := range t.Records {
 		encodeRecord(bw, &t.Records[i])
 	}
@@ -220,7 +257,12 @@ func encodeRecord(w io.Writer, r *Record) {
 	fmt.Fprintf(w, "rec %d nested=%d dist=%d covered=%d\n",
 		r.Index, r.NestedDepth, boolBit(r.DistImproved), r.CoveredAfter)
 	for _, tx := range r.Seq {
-		fmt.Fprintf(w, "tx %s %d %s %s\n", tx.Func, tx.Sender, tx.Value.Hex(), hexOrDash(tx.Args))
+		if tx.Callee == 0 && len(tx.Attacker) == 0 {
+			fmt.Fprintf(w, "tx %s %d %s %s\n", tx.Func, tx.Sender, tx.Value.Hex(), hexOrDash(tx.Args))
+		} else {
+			fmt.Fprintf(w, "tx %s %d %s %s %d %s\n", tx.Func, tx.Sender, tx.Value.Hex(), hexOrDash(tx.Args),
+				tx.Callee, hexOrDash(tx.Attacker))
+		}
 	}
 	for _, e := range r.NewEdges {
 		fmt.Fprintf(w, "edge %d %d\n", e.PC, boolBit(e.Taken))
@@ -296,7 +338,9 @@ func Decode(r io.Reader) (*Transcript, error) {
 		new(int), new(int), new(int)); err != nil {
 		return nil, decodeErr(line, "bad options: %v", err)
 	}
-	// Sscanf cannot target bools through %d; re-extract the three flags.
+	// Sscanf cannot target bools through %d; re-extract the three flags and
+	// the optional trailing world token (member names carry no whitespace, so
+	// the quoted token is a single field).
 	for _, kv := range strings.Fields(line) {
 		switch {
 		case kv == "batched=1":
@@ -305,6 +349,12 @@ func Decode(r io.Reader) (*Transcript, error) {
 			t.Options.UseCopyState = true
 		case kv == "nocache=1":
 			t.Options.NoPrefixCache = true
+		case strings.HasPrefix(kv, "world="):
+			w, err := strconv.Unquote(strings.TrimPrefix(kv, "world="))
+			if err != nil {
+				return nil, decodeErr(line, "bad world token: %v", err)
+			}
+			t.Options.World = w
 		}
 	}
 	if _, ok := lookupStrategy(t.Options.Strategy); !ok {
@@ -335,7 +385,7 @@ func Decode(r io.Reader) (*Transcript, error) {
 			t.Records = append(t.Records, r)
 			cur = &t.Records[len(t.Records)-1]
 		case "tx":
-			if cur == nil || len(fields) != 5 {
+			if cur == nil || (len(fields) != 5 && len(fields) != 7) {
 				return nil, decodeErr(line, "tx outside rec or malformed")
 			}
 			sender, err := strconv.Atoi(fields[2])
@@ -350,7 +400,18 @@ func Decode(r io.Reader) (*Transcript, error) {
 			if err != nil {
 				return nil, decodeErr(line, "bad args: %v", err)
 			}
-			cur.Seq = append(cur.Seq, Tx{Func: fields[1], Sender: sender, Value: val, Args: args})
+			tx := Tx{Func: fields[1], Sender: sender, Value: val, Args: args}
+			if len(fields) == 7 {
+				tx.Callee, err = strconv.Atoi(fields[5])
+				if err != nil || tx.Callee < 0 {
+					return nil, decodeErr(line, "bad callee")
+				}
+				tx.Attacker, err = parseHexOrDash(fields[6])
+				if err != nil {
+					return nil, decodeErr(line, "bad attacker spec: %v", err)
+				}
+			}
+			cur.Seq = append(cur.Seq, tx)
 		case "edge":
 			if cur == nil || len(fields) != 3 {
 				return nil, decodeErr(line, "edge outside rec or malformed")

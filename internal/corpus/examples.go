@@ -199,6 +199,54 @@ contract Token {
 }`
 }
 
+// BankReentrant returns the call-before-state-update bank the multi-contract
+// world campaigns are separated on: withdraw notifies the caller with a
+// ZERO-value full-gas call before paying out via transfer and only then
+// zeroing the balance. The single-contract heuristic oracle cannot flag it —
+// its reentrancy rule requires a reentry enabled by a value-bearing call,
+// and the payout is a 2300-stipend transfer no callback can re-enter — but a
+// synthesized attacker contract re-entering withdraw from the zero-value
+// notify double-pays itself, which the witnessed world oracle confirms by
+// state divergence. seed() lets the fuzzer fund the bank beyond the
+// attacker's own deposit, making the double payout solvent. Compiled to
+// fixtures/bank-reentrant.*.
+func BankReentrant() string {
+	return `
+contract BankReentrant {
+    mapping(address => uint256) bal;
+
+    function deposit() public payable {
+        bal[msg.sender] += msg.value;
+    }
+    function seed() public payable { }
+    function withdraw() public {
+        uint256 amount = bal[msg.sender];
+        if (amount > 0) {
+            require(msg.sender.call.value(0)());
+            msg.sender.transfer(amount);
+            bal[msg.sender] = 0;
+        }
+    }
+}`
+}
+
+// ProxyDelegate returns the attacker-controlled-delegatecall proxy of the
+// world fixtures: forward() delegatecalls an arbitrary address, so a world
+// campaign that passes the synthesized attacker's address executes attacker
+// code in the proxy's storage context — the schedule the witnessed UD oracle
+// requires. Compiled to fixtures/proxy-delegate.*.
+func ProxyDelegate() string {
+	return `
+contract ProxyDelegate {
+    uint256 stored;
+
+    function fund() public payable { }
+    function forward(address impl, uint256 cmd) public {
+        impl.delegatecall(cmd);
+    }
+}`
+}
+
 // VulnSuite returns the labelled vulnerability suite: the D2-analog.
 // Each class appears in an easy variant and at least one hard (deep-state or
 // strict-input) variant; several contracts carry multiple classes, like D2's

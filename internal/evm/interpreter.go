@@ -22,6 +22,10 @@ var (
 	ErrStepLimit      = errors.New("evm: step limit exceeded")
 	ErrMemLimit       = errors.New("evm: memory limit exceeded")
 	ErrBalance        = errors.New("evm: insufficient balance for transfer")
+	// ErrWriteProtection rejects state mutation (SSTORE, SELFDESTRUCT, value
+	// transfer) inside a STATICCALL context, matching EIP-214: the offending
+	// frame fails, its caller sees a zero status word.
+	ErrWriteProtection = errors.New("evm: write protection (static call)")
 )
 
 const (
@@ -106,12 +110,19 @@ type EVM struct {
 	// valueCallActive counts in-flight external calls that carried value and
 	// more than the gas stipend — the enabler condition for reentrancy.
 	valueCallActive int
+	// staticDepth counts in-flight STATICCALL frames. While positive, every
+	// nested frame — including plain CALLs issued from inside the static
+	// context, the EIP-214 propagation rule — is write-protected: SSTORE,
+	// SELFDESTRUCT, and value-bearing CALLs fail with ErrWriteProtection.
+	staticDepth int
 	// progCode/prog memoize the compiled Program of the last executed code
 	// blob by slice identity (the same policy as the retired jumpdest memo);
 	// executors reuse one EVM across a whole campaign, so compilation happens
-	// once per contract. The jumpdest grid now lives on the Program.
+	// once per contract. The jumpdest grid now lives on the Program. progs is
+	// the bounded secondary cache behind the slot (multi-contract worlds).
 	progCode []byte
 	prog     *Program
+	progs    map[*byte]*Program
 	// cmpArena is the per-transaction CmpInfo allocation arena: comparison
 	// provenance records are written once and never outlive the transaction
 	// (BranchEvents copy them by value), so they are carved out of a reused
@@ -240,6 +251,7 @@ func (e *EVM) Transact(sender, to state.Address, value u256.Int, input []byte, g
 	e.callCounter = 0
 	e.activeFrames = e.activeFrames[:0]
 	e.valueCallActive = 0
+	e.staticDepth = 0
 	e.callIndex = e.callIndex[:0]
 	// CmpInfo pointers never outlive the transaction (BranchEvents copy the
 	// record by value; stack metas die with their frames), so the arena is
@@ -329,15 +341,33 @@ func (e *EVM) call(op OpCode, caller, selfAddr, codeAddr state.Address, value u2
 // program returns the compiled Program for code, cached by slice identity. A
 // fuzzing campaign executes one contract's code millions of times across
 // thousands of frames; the cache makes per-frame compilation a pointer
-// comparison. Distinct code blobs simply miss and recompile.
+// comparison. The single slot holds the most recent blob (the contract under
+// test); a small identity-keyed map behind it keeps multi-contract worlds —
+// where member codes alternate within one transaction — from recompiling on
+// every context switch. Synthesized attacker code churns through distinct
+// blobs as specs mutate, so the map is bounded and reset when full.
 func (e *EVM) program(code []byte) *Program {
 	if len(code) == len(e.progCode) && (len(code) == 0 || &code[0] == &e.progCode[0]) {
 		return e.prog
 	}
+	key := &code[0]
+	if p, ok := e.progs[key]; ok && len(p.code) == len(code) {
+		e.progCode, e.prog = code, p
+		return p
+	}
 	p := CompileProgram(code)
 	e.progCode, e.prog = code, p
+	if e.progs == nil {
+		e.progs = make(map[*byte]*Program, 8)
+	} else if len(e.progs) >= programCacheCap {
+		clear(e.progs)
+	}
+	e.progs[key] = p
 	return p
 }
+
+// programCacheCap bounds the secondary program cache map.
+const programCacheCap = 64
 
 // UseProgram seeds the program cache with a pre-compiled Program, so campaign
 // workers sharing one read-only Program skip even the first compile. The
@@ -1074,6 +1104,9 @@ func (f *frame) execute(op OpCode) (done bool, out []byte, err error) {
 	case SSTORE:
 		slot, _, _ := f.pop()
 		val, mv, _ := f.pop()
+		if e.staticDepth > 0 {
+			return false, nil, fmt.Errorf("%w: SSTORE at pc %d", ErrWriteProtection, f.pc)
+		}
 		e.State.SetStorage(f.addr, slot, val)
 		e.StorageTaint[f.storageKeyFor(slot)] = mv.taint
 		if e.Trace != nil {
@@ -1149,6 +1182,9 @@ func (f *frame) execute(op OpCode) (done bool, out []byte, err error) {
 
 	case SELFDESTRUCT:
 		benV, _, _ := f.pop()
+		if e.staticDepth > 0 {
+			return false, nil, fmt.Errorf("%w: SELFDESTRUCT at pc %d", ErrWriteProtection, f.pc)
+		}
 		ben := state.AddressFromWord(benV)
 		creator := e.State.Creator(f.addr)
 		if e.Trace != nil {
@@ -1197,6 +1233,9 @@ func (f *frame) opCall() (bool, []byte, error) {
 		return false, nil, err
 	}
 	if !valV.IsZero() {
+		if e.staticDepth > 0 {
+			return false, nil, fmt.Errorf("%w: CALL with value at pc %d", ErrWriteProtection, f.pc)
+		}
 		forward += callStipend
 	}
 
@@ -1323,8 +1362,10 @@ func (f *frame) opDelegateCall() (bool, []byte, error) {
 	return false, nil, f.push(statusWord, meta{taint: TaintCallResult, callID: id})
 }
 
-// opStaticCall implements STATICCALL as a value-less CALL. Write protection
-// is not enforced; MiniSol does not emit state writes under staticcall.
+// opStaticCall implements STATICCALL: a value-less CALL under write
+// protection. While the static frame (or anything it calls, per EIP-214
+// propagation) is live, SSTORE, SELFDESTRUCT, and value-bearing CALLs fail
+// with ErrWriteProtection.
 func (f *frame) opStaticCall() (bool, []byte, error) {
 	e := f.evm
 	gasV, _, _ := f.pop()
@@ -1351,7 +1392,9 @@ func (f *frame) opStaticCall() (bool, []byte, error) {
 
 	e.callCounter++
 	id := e.callCounter
+	e.staticDepth++
 	ret, leftGas, callErr := e.call(STATICCALL, f.addr, to, to, u256.Zero, input, forward, f.depth+1)
+	e.staticDepth--
 	f.gas += leftGas
 	f.retData = ret
 

@@ -29,6 +29,18 @@ const GateBudget = 3000
 // gate results are bit-identical on every machine.
 const GateSeed = 1
 
+// WorldGateBudget is the iteration budget of the multi-contract world
+// separation gate (the bank-reentrant fixture with attacker synthesis on).
+// The schedule needs a same-sender deposit+withdraw from the attacker
+// account, a solvent bank, and the attacker spec mutated onto the withdraw
+// selector; at WorldGateSeed the campaign cracks it well inside 5000
+// executions, so 8000 leaves detection-power headroom without masking
+// regressions.
+const WorldGateBudget = 8000
+
+// WorldGateSeed pins the world separation gate's campaign seed.
+const WorldGateSeed = 1
+
 // GateEntry is one contract's gate outcome.
 type GateEntry struct {
 	Contract string

@@ -78,6 +78,14 @@ type Options struct {
 	// coordinator goroutine in deterministic fold order. Observing never
 	// changes campaign behavior; it is the conformance transcript hook.
 	Observer ExecObserver
+	// World turns the campaign into a multi-contract adversarial world:
+	// secondary contracts deploy alongside the primary, sequences carry a
+	// callee index per transaction, and an optional attacker model replaces
+	// the reentrant-attacker native with synthesized bytecode whose behavior
+	// is mutated seed material. Nil — or a world that adds nothing (no
+	// members, no attacker) — is normalized away, keeping the single-contract
+	// path byte-identical to the classic engine.
+	World *WorldOptions
 }
 
 // Normalized returns the options with every default applied — exactly the
@@ -108,6 +116,9 @@ func (o *Options) withDefaults() Options {
 	}
 	if out.Workers == 0 {
 		out.Workers = 1
+	}
+	if worldEmpty(out.World) {
+		out.World = nil
 	}
 	return out
 }
@@ -162,6 +173,21 @@ type Campaign struct {
 	depOrder   []string
 	repeatable []string
 	callable   []string
+	// Multi-contract world tables, nil for single-contract campaigns.
+	// worldTargets/worldAddrs map callee indices to contracts (0 = primary);
+	// calleeOf resolves a (possibly qualified) function name to its callee
+	// index; ctorOrder lists the member constructors in cross-contract
+	// dependency order; attackerModel, when set, synthesizes the attacker
+	// contract from the anchor's spec. reConfirmed memoizes that a reentrancy
+	// finding already passed the state-divergence confirmation, so later
+	// duplicate reports skip the replay pair.
+	world         *WorldOptions
+	worldTargets  []Target
+	worldAddrs    []state.Address
+	calleeOf      map[string]int
+	ctorOrder     []string
+	attackerModel AttackerModel
+	reConfirmed   bool
 	// workerExecs are the per-worker executors of the batched engine, built
 	// once and reused across rounds so each worker's EVM, attacker native,
 	// jumpdest cache, and trace buffer stay warm for the whole campaign.
@@ -322,7 +348,6 @@ func NewTargetCampaign(t Target, opts Options) *Campaign {
 	}
 	c.genesis.Commit()
 
-	c.detector = oracle.NewDetector(c.contractAddr, code)
 	c.totalEdges = c.branchIx.NumEdges()
 
 	// Address argument pool: every account that exists in the fuzzed world.
@@ -360,27 +385,220 @@ func NewTargetCampaign(t Target, opts Options) *Campaign {
 
 	methods, selectors := internMethods(t)
 	c.methods = methods
+	c.initWorld(o.World, methods, selectors)
+	c.detector = c.newDetector()
 	c.exec = &executor{
-		target:       t,
-		genesis:      c.genesis,
-		contractAddr: c.contractAddr,
-		deployer:     c.deployer,
-		attackerAddr: c.attackerAddr,
-		senders:      c.senders,
-		gasPerTx:     o.GasPerTx,
-		inspector:    c.detector.Inspector(),
-		prefixes:     c.prefixes,
-		branchIx:     c.branchIx,
-		depthByEdge:  c.depthByEdge,
-		methods:      methods,
-		selectors:    selectors,
-		copyState:    o.UseCopyState,
+		target:        t,
+		genesis:       c.genesis,
+		contractAddr:  c.contractAddr,
+		deployer:      c.deployer,
+		attackerAddr:  c.attackerAddr,
+		senders:       c.senders,
+		gasPerTx:      o.GasPerTx,
+		inspector:     c.detector.Inspector(),
+		prefixes:      c.prefixes,
+		branchIx:      c.branchIx,
+		depthByEdge:   c.depthByEdge,
+		methods:       methods,
+		selectors:     selectors,
+		worldAddrs:    c.worldAddrs,
+		worldTargets:  c.worldTargets,
+		attackerModel: c.attackerModel,
+		copyState:     o.UseCopyState,
 		// Compile the contract's IR once per campaign; worker clones share the
 		// read-only Program, so no worker ever pays the decode+fuse pass.
 		prog: evm.CompileProgram(code),
 		noIR: o.NoIR,
 	}
 	return c
+}
+
+// initWorld wires the multi-contract tables of a world campaign: member
+// deployment addresses, qualified method/selector interning ("member.fn"),
+// callee indexing, the cross-contract §IV-A ordering of constructors and
+// dependency blocks, and the attacker model. No-op for single-contract
+// campaigns (w nil), so the default path stays byte-identical.
+func (c *Campaign) initWorld(w *WorldOptions, methods map[string]abi.Method, selectors map[string][4]byte) {
+	if w == nil {
+		return
+	}
+	c.world = w
+	c.attackerModel = w.Attacker
+	c.worldTargets = []Target{c.target}
+	c.worldAddrs = []state.Address{c.contractAddr}
+	c.calleeOf = make(map[string]int, 2*len(methods))
+	for name := range methods {
+		c.calleeOf[name] = 0
+	}
+	for i, m := range w.Members {
+		addr := m.Addr
+		if addr == (state.Address{}) {
+			addr = WorldMemberAddr(i)
+		}
+		c.worldTargets = append(c.worldTargets, m.Target)
+		c.worldAddrs = append(c.worldAddrs, addr)
+		c.addrPool = append(c.addrPool, addr.Word())
+	}
+	for i, m := range w.Members {
+		idx := i + 1
+		register := func(fn abi.Method) {
+			q := m.Name + "." + fn.Name
+			methods[q] = fn
+			selectors[q] = fn.Selector()
+			c.calleeOf[q] = idx
+		}
+		register(m.Target.Constructor())
+		for _, fn := range m.Target.Methods() {
+			register(fn)
+		}
+		for _, fn := range m.Target.RepeatCandidates() {
+			c.repeatable = append(c.repeatable, m.Name+"."+fn)
+		}
+		// Member PUSH immediates join the value pool, same harvest as the
+		// primary's.
+		for _, ins := range analysis.Disassemble(m.Target.Code()) {
+			if ins.Op.IsPush() && len(ins.Imm) > 0 && len(ins.Imm) <= 32 {
+				v := u256.FromBytes(ins.Imm)
+				if !v.IsZero() && v.BitLen() < 200 {
+					c.pool = append(c.pool, v)
+				}
+			}
+		}
+	}
+	// Cross-contract §IV-A: order the world's targets writer-before-reader
+	// over recovered inter-contract links (a target whose bytecode references
+	// another member's address depends on it), then rebuild the constructor,
+	// callable, and dependency orders as per-target blocks in that order.
+	order := c.worldOrder()
+	var callable, depOrder []string
+	for _, ti := range order {
+		if ti == 0 {
+			callable = append(callable, c.callable...)
+			depOrder = append(depOrder, c.depOrder...)
+			continue
+		}
+		m := w.Members[ti-1]
+		c.ctorOrder = append(c.ctorOrder, m.Name+"."+m.Target.Constructor().Name)
+		for _, fn := range m.Target.Methods() {
+			callable = append(callable, m.Name+"."+fn.Name)
+		}
+		for _, fn := range m.Target.DependencyOrder() {
+			depOrder = append(depOrder, m.Name+"."+fn)
+		}
+	}
+	c.callable, c.depOrder = callable, depOrder
+}
+
+// worldOrder topologically orders the world's target indices (0 = primary)
+// so a target whose bytecode links another member's deployment address comes
+// after it — the cross-contract extension of the paper's write→read
+// dependency ordering. Targets without recovered links, and cycles, fall
+// back to declaration order (depth-first in index order, visiting-node edges
+// skipped).
+func (c *Campaign) worldOrder() []int {
+	n := len(c.worldTargets)
+	addrIdx := make(map[state.Address]int, n)
+	for i, a := range c.worldAddrs {
+		addrIdx[a] = i
+	}
+	deps := make([][]int, n)
+	for i, t := range c.worldTargets {
+		if lt, ok := t.(LinkedTarget); ok {
+			for _, a := range lt.LinkedAddresses() {
+				if j, ok := addrIdx[a]; ok && j != i {
+					deps[i] = append(deps[i], j)
+				}
+			}
+		}
+	}
+	order := make([]int, 0, n)
+	mark := make([]int, n) // 0 unvisited, 1 visiting, 2 done
+	var visit func(i int)
+	visit = func(i int) {
+		mark[i] = 1
+		for _, j := range deps[i] {
+			if mark[j] == 0 {
+				visit(j)
+			}
+		}
+		mark[i] = 2
+		order = append(order, i)
+	}
+	for i := 0; i < n; i++ {
+		if mark[i] == 0 {
+			visit(i)
+		}
+	}
+	return order
+}
+
+// newDetector builds a fresh detector in the campaign's oracle mode:
+// witnessed for world campaigns — findings need a real cross-contract
+// schedule in the trace, not a taint shape — heuristic otherwise. Replay and
+// minimization build their detectors here so verdicts match the live
+// campaign's.
+func (c *Campaign) newDetector() *oracle.Detector {
+	if c.world != nil {
+		return oracle.NewWitnessedDetector(c.contractAddr, c.code, c.attackerAddr)
+	}
+	return oracle.NewDetector(c.contractAddr, c.code)
+}
+
+// confirmReport gates witnessed reentrancy findings behind the state-
+// divergence bar. The candidate prefix replays twice on detached executors —
+// once with the synthesized attacker, once with the attacker stripped to a
+// plain EOA — and RE findings survive only when some account of the world
+// ends in a different state (the reentrant schedule changed the outcome).
+// Reports without RE findings pass through untouched. The second return
+// value reports whether an RE finding was present and confirmed.
+func (c *Campaign) confirmReport(prefix Sequence, rep oracle.Report) (oracle.Report, bool) {
+	hasRE := false
+	for _, f := range rep.Findings {
+		if f.Class == oracle.RE {
+			hasRE = true
+			break
+		}
+	}
+	if !hasRE {
+		return rep, false
+	}
+	if c.reentrancyDiverges(prefix) {
+		return rep, true
+	}
+	kept := rep
+	kept.Findings = nil
+	for _, f := range rep.Findings {
+		if f.Class != oracle.RE {
+			kept.Findings = append(kept.Findings, f)
+		}
+	}
+	return kept, false
+}
+
+// reentrancyDiverges replays prefix from genesis with and without the
+// attacker contract (the stripped run leaves the attacker an EOA whose
+// callbacks do nothing) and compares the final world states account by
+// account over every address the campaign controls: the world's contracts,
+// the attacker, and the senders.
+func (c *Campaign) reentrancyDiverges(prefix Sequence) bool {
+	stripped := prefix.Clone()
+	stripped[0].Attacker = nil
+	withAtk := c.exec.detached().runFinalState(prefix)
+	plain := c.exec.detached().runFinalState(stripped)
+	for _, a := range c.worldAddrs {
+		if !withAtk.AccountEqual(plain, a) {
+			return true
+		}
+	}
+	if !withAtk.AccountEqual(plain, c.attackerAddr) {
+		return true
+	}
+	for _, s := range c.senders {
+		if !withAtk.AccountEqual(plain, s) {
+			return true
+		}
+	}
+	return false
 }
 
 // --- Sequence construction ---
@@ -400,6 +618,9 @@ func (c *Campaign) newTxRand(fn string, rng *rand.Rand) TxInput {
 		Args:   randomArgsFor(m, rng, c.pool, c.addrPool),
 		Sender: rng.Intn(len(c.senders)),
 	}
+	if c.calleeOf != nil {
+		tx.Callee = c.calleeOf[fn]
+	}
 	if m.Payable && rng.Intn(2) == 0 {
 		tx.Value = c.pool[rng.Intn(len(c.pool))]
 	}
@@ -413,6 +634,17 @@ func (c *Campaign) initialSequence() Sequence {
 	seq := Sequence{c.newTx(c.ctorName)}
 	seq[0].Sender = 0 // the deployer deploys
 	seq[0].Value = u256.Zero
+	if c.attackerModel != nil {
+		seq[0].Attacker = c.attackerModel.Default()
+	}
+	// World campaigns run every member's constructor right after the anchor,
+	// in cross-contract dependency order (linked-to members first).
+	for _, fn := range c.ctorOrder {
+		tx := c.newTx(fn)
+		tx.Sender = 0
+		tx.Value = u256.Zero
+		seq = append(seq, tx)
+	}
 
 	var order []string
 	if c.opts.Strategy.DataflowSequences {
@@ -514,7 +746,19 @@ func (c *Campaign) foldOutcome(seq Sequence, out *execOutcome) execResult {
 	for i, txBranches := range out.branchesByTx {
 		c.fold(&res, txBranches, seq)
 		for ri < len(out.reports) && out.reports[ri].txIdx == i {
-			for _, class := range c.detector.Absorb(out.reports[ri].report) {
+			rep := out.reports[ri].report
+			// World campaigns with attacker synthesis hold reentrancy findings
+			// to the divergence bar before they enter the aggregate: the
+			// reentrant schedule must actually change the outcome. Once one
+			// finding passed, duplicates skip the replay pair.
+			if c.attackerModel != nil && !c.reConfirmed {
+				var confirmed bool
+				rep, confirmed = c.confirmReport(seq[:i+1], rep)
+				if confirmed {
+					c.reConfirmed = true
+				}
+			}
+			for _, class := range c.detector.Absorb(rep) {
 				if _, have := c.repro[class]; !have {
 					// keep only the prefix up to and including the tx that fired
 					c.repro[class] = seq[:i+1].Clone()
@@ -655,6 +899,14 @@ func (c *Campaign) mutateSeedRand(seed *Seed, rng *rand.Rand) (*Seed, int) {
 	if rng.Intn(3) == 0 {
 		child.Seq = sm.mutateSequence(child.Seq, rng, newTx, c.opts.MaxSeqLen)
 		seqMutated++
+	}
+
+	// Attacker-spec mutation: the synthesized attacker's callback behavior —
+	// which victim selector it re-enters, with what calldata, to what depth,
+	// whether it reverts — is seed material riding on the anchor. The draw is
+	// gated on the model, so single-contract rng streams are untouched.
+	if c.attackerModel != nil && rng.Intn(4) == 0 {
+		child.Seq[0].Attacker = c.attackerModel.Mutate(child.Seq[0].Attacker, rng)
 	}
 
 	// Sender alignment: same-account deposit/withdraw patterns (reentrancy,
@@ -986,8 +1238,9 @@ func (c *Campaign) RunSlice(ctx context.Context, maxRounds int) (*Result, bool) 
 }
 
 // result assembles the campaign outcome from current coordinator state. It
-// is safe to call between slices: Detector.Finalize is monotone (the EF
-// verdict can only appear, and reappears identically at the true end), so a
+// is safe to call between slices: Detector.Finalize does not mutate the
+// aggregate (the EF verdict is recomputed per call — in witnessed mode it
+// can even retract when a later execution moves value out), so a
 // mid-campaign result does not perturb the remaining schedule.
 func (c *Campaign) result() *Result {
 	findings := c.detector.Finalize()
@@ -1057,6 +1310,17 @@ func (c *Campaign) sanitizeSequence(seq Sequence) Sequence {
 		}
 		t := tx.Clone()
 		t.Sender = ((t.Sender % len(c.senders)) + len(c.senders)) % len(c.senders)
+		// Callee indices are rebound to this campaign's world (foreign worlds
+		// may index members differently); attacker specs survive only on the
+		// anchor of a campaign that can compile them.
+		if c.calleeOf != nil {
+			t.Callee = c.calleeOf[t.Func]
+		} else {
+			t.Callee = 0
+		}
+		if len(out) > 0 || c.attackerModel == nil {
+			t.Attacker = nil
+		}
 		out = append(out, t)
 		if len(out) >= c.opts.MaxSeqLen {
 			break

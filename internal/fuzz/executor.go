@@ -68,7 +68,16 @@ type executor struct {
 	attackerAddr state.Address
 	senders      []state.Address
 	gasPerTx     uint64
-	inspector    *oracle.Inspector
+	// World-campaign tables, nil/empty for single-contract campaigns (the
+	// default path draws no cost from them). worldAddrs maps TxInput.Callee
+	// to a deployment address (index 0 = the primary contract) and
+	// worldTargets is the matching target per slot. attackerModel, when set,
+	// replaces the reentrant-attacker native: the sequence anchor's encoded
+	// spec compiles to synthesized bytecode deployed at attackerAddr.
+	worldAddrs    []state.Address
+	worldTargets  []Target
+	attackerModel AttackerModel
+	inspector     *oracle.Inspector
 	// prefixes is the shared sharded checkpoint cache; nil disables the
 	// intermediate-state optimization (ablation / replay).
 	prefixes *prefixCache
@@ -192,12 +201,15 @@ func (x *executor) carveBranches(n int) []evm.BranchEvent {
 	}
 	tail := len(x.brArena)
 	x.brArena = x.brArena[:tail+n]
-	return x.brArena[tail:tail : tail+n]
+	return x.brArena[tail : tail : tail+n]
 }
 
 // engine returns the executor's persistent EVM rebound to st. The EVM, its
 // registered attacker native, the compiled program cache, and the frame pool
-// are built once per executor and reused for every execution.
+// are built once per executor and reused for every execution. When an
+// attacker model is installed the native is NOT registered: the attacker
+// account runs real synthesized bytecode instead (deployWorld installs it),
+// so its callbacks flow through the ordinary interpreter and trace.
 func (x *executor) engine(st *state.State) *evm.EVM {
 	if x.vm == nil {
 		x.vm = evm.New(st, campaignBlockCtx)
@@ -205,12 +217,44 @@ func (x *executor) engine(st *state.State) *evm.EVM {
 		x.vm.BranchIndexAddr = x.contractAddr
 		x.vm.DisableIR = x.noIR
 		x.vm.UseProgram(x.prog)
-		x.attacker = &evm.ReentrantAttacker{Addr: x.attackerAddr, MaxReentries: 1}
-		x.vm.RegisterNative(x.attackerAddr, x.attacker)
+		if x.attackerModel == nil {
+			x.attacker = &evm.ReentrantAttacker{Addr: x.attackerAddr, MaxReentries: 1}
+			x.vm.RegisterNative(x.attackerAddr, x.attacker)
+		}
 		return x.vm
 	}
 	x.vm.Reset(st)
 	return x.vm
+}
+
+// deployWorld installs the campaign's contracts into a fresh genesis fork:
+// every world member at its assigned address (or just the primary for
+// single-contract campaigns), plus — when attacker synthesis is on — the
+// bytecode compiled from the sequence anchor's attacker spec, deployed at
+// the attacker account. A nil/invalid spec leaves the attacker a plain EOA.
+func (x *executor) deployWorld(st *state.State, seq Sequence) {
+	if len(x.worldAddrs) == 0 {
+		x.target.Deploy(st, x.contractAddr, x.deployer)
+	} else {
+		for i, t := range x.worldTargets {
+			t.Deploy(st, x.worldAddrs[i], x.deployer)
+		}
+	}
+	if x.attackerModel != nil && len(seq) > 0 {
+		if code := x.attackerModel.Compile(seq[0].Attacker); len(code) > 0 {
+			st.CreateContract(x.attackerAddr, code, x.deployer)
+			st.Commit()
+		}
+	}
+}
+
+// calleeAddr resolves a transaction's destination: the primary contract for
+// single-contract campaigns, the callee-indexed world member otherwise.
+func (x *executor) calleeAddr(tx TxInput) state.Address {
+	if len(x.worldAddrs) == 0 {
+		return x.contractAddr
+	}
+	return x.worldAddrs[tx.Callee%len(x.worldAddrs)]
 }
 
 // resetTrace returns the executor's trace buffer, cleared for one
@@ -293,7 +337,7 @@ func (x *executor) run(seq Sequence) execOutcome {
 	} else {
 		st = x.workState(x.genesis)
 		e = x.engine(st)
-		x.target.Deploy(st, x.contractAddr, x.deployer)
+		x.deployWorld(st, seq)
 	}
 	out.firstLive = start
 
@@ -321,7 +365,7 @@ func (x *executor) run(seq Sequence) execOutcome {
 		sender := x.senders[tx.Sender%len(x.senders)]
 		value := tx.Value.And(txValueCap)
 		e.Trace = x.resetTrace()
-		_, err := e.Transact(sender, x.contractAddr, value, data, x.gasPerTx)
+		_, err := e.Transact(sender, x.calleeAddr(tx), value, data, x.gasPerTx)
 
 		// Two-pass copy into an exact-size batch carved off the arena: the
 		// batch's ownership transfers to the outcome (and possibly the prefix
@@ -365,4 +409,25 @@ func (x *executor) run(seq Sequence) execOutcome {
 		}
 	}
 	return out
+}
+
+// runFinalState executes seq from genesis — always, never through the prefix
+// cache — and returns the resulting world state. It is the state-divergence
+// primitive of witnessed reentrancy confirmation: the campaign replays a
+// candidate sequence once with the synthesized attacker and once with the
+// attacker stripped to a plain EOA, and compares the two final states. Call
+// it only on detached executors; the returned state aliases the executor's
+// scratch and is valid until the executor runs again.
+func (x *executor) runFinalState(seq Sequence) *state.State {
+	st := x.workState(x.genesis)
+	e := x.engine(st)
+	x.deployWorld(st, seq)
+	for _, tx := range seq {
+		data := x.encodeTx(tx)
+		sender := x.senders[tx.Sender%len(x.senders)]
+		value := tx.Value.And(txValueCap)
+		e.Trace = x.resetTrace()
+		e.Transact(sender, x.calleeAddr(tx), value, data, x.gasPerTx)
+	}
+	return st
 }

@@ -26,9 +26,16 @@ func (c *Campaign) Replay(seq Sequence) *ReplayResult {
 	x := c.exec.detached()
 	res := x.run(seq)
 
-	det := oracle.NewDetector(c.contractAddr, c.code)
+	det := c.newDetector()
 	for _, rep := range res.reports {
-		det.Absorb(rep.report)
+		r := rep.report
+		if c.attackerModel != nil {
+			// Witnessed reentrancy verdicts pass the same divergence bar the
+			// live campaign applies, so minimization cannot shrink a repro
+			// below the point where the schedule stops changing the outcome.
+			r, _ = c.confirmReport(seq[:rep.txIdx+1], r)
+		}
+		det.Absorb(r)
 	}
 	out := &ReplayResult{
 		BugClasses: det.Classes(),

@@ -22,6 +22,16 @@ type TxInput struct {
 	Value u256.Int
 	// Sender indexes the campaign's sender pool.
 	Sender int
+	// Callee indexes the campaign's world members (0 = the primary contract).
+	// Single-contract campaigns leave it zero everywhere.
+	Callee int
+	// Attacker is the encoded attacker-contract spec carried on the sequence
+	// anchor (element 0) of world campaigns with attacker synthesis enabled.
+	// It is mutated seed material: the executor compiles it into the attacker
+	// account's bytecode before replaying the sequence. Nil everywhere else.
+	// Like Args, the slice is immutable once built — mutation replaces it
+	// wholesale — so element-shallow cloning stays sound.
+	Attacker []byte
 }
 
 // Stream flattens the mutable bytes of the transaction: args ++ value. The

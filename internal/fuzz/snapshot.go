@@ -29,7 +29,12 @@ import (
 //
 // v2: strategy line gained cmpfeed=/dict= fields; cmpop records serialize the
 // per-uncovered-edge comparison operand tables.
-const SnapshotVersion = 2
+//
+// v3: multi-contract worlds. Tx lines grow optional callee/attacker fields
+// (emitted only when set — single-contract sequences keep the 5-field form),
+// world/worldmember records pin the campaign's member set and attacker mode,
+// and the detector line carries the witnessed value-out aggregate.
+const SnapshotVersion = 3
 
 // snapshotMagic is the first token of every encoded snapshot.
 const snapshotMagic = "mufuzz-snapshot"
@@ -90,6 +95,26 @@ type Snapshot struct {
 	// ReceivedValue and Findings are the detector's aggregate state.
 	ReceivedValue bool
 	Findings      []oracle.Finding
+
+	// WorldMembers pins each secondary member of a world campaign — name,
+	// deployment address, runtime codehash — so resume can refuse a changed
+	// world. Empty for single-contract campaigns.
+	WorldMembers []WorldMemberPin
+	// Attacker records that the campaign ran with attacker synthesis on
+	// (the spec bytes themselves ride on the serialized sequences).
+	Attacker bool
+	// REConfirmed carries the campaign's once-per-campaign reentrancy
+	// divergence confirmation.
+	REConfirmed bool
+	// ValueOutSeen is the witnessed detector's value-escape aggregate.
+	ValueOutSeen bool
+}
+
+// WorldMemberPin pins one world member's identity inside a snapshot.
+type WorldMemberPin struct {
+	Name     string
+	Addr     state.Address
+	CodeHash [32]byte
 }
 
 // EdgeWeightEntry is one edge's Algorithm 3 weight.
@@ -212,6 +237,22 @@ func (c *Campaign) Snapshot() *Snapshot {
 		s.Repro = append(s.Repro, ReproEntry{Class: class, Seq: c.repro[class].Clone()})
 	}
 	s.ReceivedValue, s.Findings = c.detector.State()
+	s.ValueOutSeen = c.detector.ValueOutSeen()
+	// The world wiring is not serializable (targets and attacker models are
+	// live objects); the snapshot pins their identities instead and
+	// ResumeWorldCampaign revalidates the caller-supplied world against them.
+	s.Options.World = nil
+	if c.world != nil {
+		s.Attacker = c.attackerModel != nil
+		s.REConfirmed = c.reConfirmed
+		for i, m := range c.world.Members {
+			s.WorldMembers = append(s.WorldMembers, WorldMemberPin{
+				Name:     m.Name,
+				Addr:     c.worldAddrs[i+1],
+				CodeHash: keccak.Sum256(m.Target.Code()),
+			})
+		}
+	}
 	return s
 }
 
@@ -226,13 +267,57 @@ func ResumeCampaign(comp *minisol.Compiled, s *Snapshot) (*Campaign, error) {
 
 // ResumeTargetCampaign is ResumeCampaign for any target kind: the target
 // must carry the same runtime code the snapshot was taken from (pinned by
-// CodeHash).
+// CodeHash). Snapshots of world campaigns are refused — their member set and
+// attacker model are live objects the snapshot only pins; resupply them
+// through ResumeWorldCampaign.
 func ResumeTargetCampaign(t Target, s *Snapshot) (*Campaign, error) {
+	if len(s.WorldMembers) > 0 || s.Attacker {
+		return nil, fmt.Errorf("fuzz: snapshot was taken from a world campaign; resume with ResumeWorldCampaign")
+	}
+	return resumeTarget(t, nil, s)
+}
+
+// ResumeWorldCampaign resumes a multi-contract world campaign. The snapshot
+// pins every member's name, deployment address, and runtime codehash plus
+// the attacker mode; the caller-supplied world must match all of them —
+// resuming into a changed world would silently replay seeds against
+// different code.
+func ResumeWorldCampaign(t Target, w *WorldOptions, s *Snapshot) (*Campaign, error) {
+	if worldEmpty(w) {
+		return nil, fmt.Errorf("fuzz: ResumeWorldCampaign needs a non-empty world (single-contract snapshots resume with ResumeTargetCampaign)")
+	}
+	if (w.Attacker != nil) != s.Attacker {
+		return nil, fmt.Errorf("fuzz: attacker mode does not match snapshot (snapshot attacker=%v)", s.Attacker)
+	}
+	if len(w.Members) != len(s.WorldMembers) {
+		return nil, fmt.Errorf("fuzz: world has %d members, snapshot pins %d", len(w.Members), len(s.WorldMembers))
+	}
+	for i, m := range w.Members {
+		pin := s.WorldMembers[i]
+		if m.Name != pin.Name {
+			return nil, fmt.Errorf("fuzz: world member %d is %q, snapshot pins %q", i, m.Name, pin.Name)
+		}
+		if keccak.Sum256(m.Target.Code()) != pin.CodeHash {
+			return nil, fmt.Errorf("fuzz: world member %q code does not match snapshot", m.Name)
+		}
+		addr := m.Addr
+		if addr == (state.Address{}) {
+			addr = WorldMemberAddr(i)
+		}
+		if addr != pin.Addr {
+			return nil, fmt.Errorf("fuzz: world member %q deploys at %x, snapshot pins %x", m.Name, addr, pin.Addr)
+		}
+	}
+	return resumeTarget(t, w, s)
+}
+
+func resumeTarget(t Target, w *WorldOptions, s *Snapshot) (*Campaign, error) {
 	if keccak.Sum256(t.Code()) != s.CodeHash {
 		return nil, fmt.Errorf("fuzz: snapshot code hash does not match target %s", t.Name())
 	}
 	opts := s.Options
 	opts.Observer = nil
+	opts.World = w
 	c := NewTargetCampaign(t, opts)
 
 	c.rngSrc = newCountedSource(opts.Seed, s.RngDraws)
@@ -303,6 +388,8 @@ func ResumeTargetCampaign(t Target, s *Snapshot) (*Campaign, error) {
 		c.repro[re.Class] = re.Seq.Clone()
 	}
 	c.detector.Restore(s.ReceivedValue, s.Findings)
+	c.detector.SetValueOutSeen(s.ValueOutSeen)
+	c.reConfirmed = s.REConfirmed
 	return c, nil
 }
 
@@ -327,6 +414,13 @@ func (s *Snapshot) Encode(w io.Writer) error {
 	fmt.Fprintf(bw, "progress execs=%d qi=%d corpus=%d rngdraws=%d lastnew=%d maskprobes=%d maskscomputed=%d seqmut=%d linesearches=%d linesteps=%d elapsedns=%d\n",
 		s.Executions, s.QI, s.CorpusSeeded, s.RngDraws, s.LastNewEdgeExec, s.MaskProbes,
 		s.MasksComputed, s.SequencesMutated, s.LineSearches, s.LineSteps, int64(s.Elapsed))
+	if s.Attacker || len(s.WorldMembers) > 0 {
+		fmt.Fprintf(bw, "world attacker=%d reconfirmed=%d\n", boolBit01(s.Attacker), boolBit01(s.REConfirmed))
+		for _, m := range s.WorldMembers {
+			fmt.Fprintf(bw, "worldmember %s %s %s\n",
+				m.Name, hex.EncodeToString(m.Addr[:]), hex.EncodeToString(m.CodeHash[:]))
+		}
+	}
 	for _, e := range s.Covered {
 		fmt.Fprintf(bw, "covered %d %d\n", e.PC, boolBit01(e.Taken))
 	}
@@ -355,7 +449,7 @@ func (s *Snapshot) Encode(w io.Writer) error {
 		}
 		fmt.Fprintf(bw, "endrepro\n")
 	}
-	fmt.Fprintf(bw, "detector received=%d\n", boolBit01(s.ReceivedValue))
+	fmt.Fprintf(bw, "detector received=%d valueout=%d\n", boolBit01(s.ReceivedValue), boolBit01(s.ValueOutSeen))
 	for _, f := range s.Findings {
 		fmt.Fprintf(bw, "finding %s %s %d %s\n", f.Class, hex.EncodeToString(f.Addr[:]), f.PC, f.Description)
 	}
@@ -385,8 +479,16 @@ func encodeSeed(w io.Writer, kind string, s *Seed) {
 	fmt.Fprintf(w, "endseed\n")
 }
 
+// encodeSnapTx writes one sequence transaction. Plain transactions keep the
+// 5-field v1 form byte-for-byte; a nonzero callee or an attacker spec grows
+// the line to the 7-field world form (callee index, attacker spec hex).
 func encodeSnapTx(w io.Writer, tx TxInput) {
-	fmt.Fprintf(w, "tx %s %d %s %s\n", tx.Func, tx.Sender, tx.Value.Hex(), hexBytesOrDash(tx.Args))
+	if tx.Callee == 0 && len(tx.Attacker) == 0 {
+		fmt.Fprintf(w, "tx %s %d %s %s\n", tx.Func, tx.Sender, tx.Value.Hex(), hexBytesOrDash(tx.Args))
+		return
+	}
+	fmt.Fprintf(w, "tx %s %d %s %s %d %s\n", tx.Func, tx.Sender, tx.Value.Hex(), hexBytesOrDash(tx.Args),
+		tx.Callee, hexBytesOrDash(tx.Attacker))
 }
 
 // encodeMask renders a mask as one hex nibble per byte position (bit k set =
@@ -765,12 +867,41 @@ func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
 				return nil, snapErr(line, "malformed repro")
 			}
 			curRepro = &ReproEntry{Class: oracle.BugClass(fields[1])}
+		case "world":
+			var ab, rb int
+			if _, err := fmt.Sscanf(line, "world attacker=%d reconfirmed=%d", &ab, &rb); err != nil {
+				return nil, snapErr(line, "bad world: %v", err)
+			}
+			s.Attacker = ab == 1
+			s.REConfirmed = rb == 1
+		case "worldmember":
+			if len(fields) != 4 {
+				return nil, snapErr(line, "malformed worldmember")
+			}
+			var pin WorldMemberPin
+			pin.Name = fields[1]
+			ab, err := hex.DecodeString(fields[2])
+			if err != nil || len(ab) != len(state.Address{}) {
+				return nil, snapErr(line, "bad worldmember address")
+			}
+			copy(pin.Addr[:], ab)
+			ch, err := hex.DecodeString(fields[3])
+			if err != nil || len(ch) != 32 {
+				return nil, snapErr(line, "bad worldmember codehash")
+			}
+			copy(pin.CodeHash[:], ch)
+			s.WorldMembers = append(s.WorldMembers, pin)
 		case "detector":
-			var rv int
-			if _, err := fmt.Sscanf(line, "detector received=%d", &rv); err != nil {
+			var rv, vo int
+			if v >= 3 {
+				if _, err := fmt.Sscanf(line, "detector received=%d valueout=%d", &rv, &vo); err != nil {
+					return nil, snapErr(line, "bad detector: %v", err)
+				}
+			} else if _, err := fmt.Sscanf(line, "detector received=%d", &rv); err != nil {
 				return nil, snapErr(line, "bad detector: %v", err)
 			}
 			s.ReceivedValue = rv == 1
+			s.ValueOutSeen = vo == 1
 		case "finding":
 			// finding <class> <addr> <pc> <description...>
 			if len(fields) < 4 {
@@ -816,7 +947,7 @@ func decodeSnapEdge(line string, fields []string) (BranchEdge, error) {
 }
 
 func decodeSnapTx(line string, fields []string) (TxInput, error) {
-	if len(fields) != 5 {
+	if len(fields) != 5 && len(fields) != 7 {
 		return TxInput{}, snapErr(line, "malformed tx")
 	}
 	sender, err := strconv.Atoi(fields[2])
@@ -834,7 +965,20 @@ func decodeSnapTx(line string, fields []string) (TxInput, error) {
 			return TxInput{}, snapErr(line, "bad args: %v", err)
 		}
 	}
-	return TxInput{Func: fields[1], Sender: sender, Value: val, Args: args}, nil
+	tx := TxInput{Func: fields[1], Sender: sender, Value: val, Args: args}
+	if len(fields) == 7 {
+		tx.Callee, err = strconv.Atoi(fields[5])
+		if err != nil || tx.Callee < 0 {
+			return TxInput{}, snapErr(line, "bad callee")
+		}
+		if fields[6] != "-" {
+			tx.Attacker, err = hex.DecodeString(fields[6])
+			if err != nil {
+				return TxInput{}, snapErr(line, "bad attacker spec: %v", err)
+			}
+		}
+	}
+	return tx, nil
 }
 
 // EncodeSequence renders one transaction sequence in the snapshot tx-line

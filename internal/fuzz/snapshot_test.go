@@ -137,16 +137,16 @@ func TestSnapshotRejectsNewerVersion(t *testing.T) {
 		t.Fatal("campaign finished before the pause point")
 	}
 	enc := c.Snapshot().EncodeBytes()
-	future := bytes.Replace(enc, []byte(" v2\n"), []byte(" v3\n"), 1)
+	future := bytes.Replace(enc, []byte(" v3\n"), []byte(" v4\n"), 1)
 	if bytes.Equal(future, enc) {
 		t.Fatal("header rewrite did not take; encoder format changed?")
 	}
 	_, err := DecodeSnapshot(bytes.NewReader(future))
 	if err == nil {
-		t.Fatal("v3 snapshot decoded without error")
+		t.Fatal("v4 snapshot decoded without error")
 	}
 	if !strings.Contains(err.Error(), "newer mufuzz") {
-		t.Fatalf("v3 rejection should name the cause, got: %v", err)
+		t.Fatalf("v4 rejection should name the cause, got: %v", err)
 	}
 }
 
@@ -160,12 +160,14 @@ func TestSnapshotDecodesV1(t *testing.T) {
 	if _, done := c.RunSlice(context.Background(), 2); done {
 		t.Fatal("campaign finished before the pause point")
 	}
-	// Transform the v2 encoding into the exact v1 shape.
+	// Transform the current encoding into the exact v1 shape.
 	var v1 bytes.Buffer
 	for _, line := range strings.SplitAfter(string(c.Snapshot().EncodeBytes()), "\n") {
 		switch {
-		case strings.HasPrefix(line, "mufuzz-snapshot v2"):
-			v1.WriteString(strings.Replace(line, " v2", " v1", 1))
+		case strings.HasPrefix(line, "mufuzz-snapshot v"):
+			v1.WriteString("mufuzz-snapshot v1\n")
+		case strings.HasPrefix(line, "detector "):
+			v1.WriteString(strings.Replace(line, " valueout=0", "", 1))
 		case strings.HasPrefix(line, "strategy "):
 			v1.WriteString(strings.Replace(line, " cmpfeed=1 dict=1", "", 1))
 		case strings.HasPrefix(line, "cmpop "):

@@ -162,6 +162,18 @@ func hashTx(h uint64, tx *TxInput) uint64 {
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], uint64(tx.Sender))
 	h = fnvAdd(h, buf[:])
+	// World extensions fold only when present, so every single-contract
+	// sequence keeps the exact hash it had before worlds existed and the
+	// checkpoint cache never aliases a cross-contract prefix onto a plain one.
+	if tx.Callee != 0 {
+		h = fnvAddByte(h, 0xfd)
+		binary.LittleEndian.PutUint64(buf[:], uint64(tx.Callee))
+		h = fnvAdd(h, buf[:])
+	}
+	if len(tx.Attacker) > 0 {
+		h = fnvAddByte(h, 0xfc)
+		h = fnvAdd(h, tx.Attacker)
+	}
 	return fnvAddByte(h, 0xfe)
 }
 

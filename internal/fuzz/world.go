@@ -1,0 +1,79 @@
+package fuzz
+
+import (
+	"math/rand"
+
+	"mufuzz/internal/state"
+)
+
+// AttackerModel synthesizes fuzzer-controlled attacker contracts. The model
+// owns an opaque encoded spec — which victim selector the attacker re-enters
+// from its callback, with what calldata, to what depth, whether it reverts —
+// that rides on the sequence anchor (TxInput.Attacker) as ordinary seed
+// material: mutated by the campaign, hashed by the checkpoint cache, and
+// serialized byte-for-byte into snapshots and transcripts. Compile turns a
+// spec into deployable runtime bytecode; the executor installs it at the
+// attacker account before replaying a sequence.
+//
+// The concrete implementation lives in internal/world (the template
+// compiler); the fuzz engine depends only on this seam, mirroring Target.
+type AttackerModel interface {
+	// Default returns the initial encoded spec for fresh seeds.
+	Default() []byte
+	// Mutate derives a new encoded spec from enc using rng. It must not
+	// modify enc (specs are shared across cloned sequences).
+	Mutate(enc []byte, rng *rand.Rand) []byte
+	// Compile lowers an encoded spec to runtime bytecode. Invalid or empty
+	// specs compile to nil: the attacker stays a plain EOA.
+	Compile(enc []byte) []byte
+}
+
+// WorldMember is one secondary contract of a multi-contract world.
+type WorldMember struct {
+	// Name qualifies the member's functions in sequences ("bank.withdraw");
+	// it must be unique, non-empty, and contain no whitespace.
+	Name string
+	// Target is the member's fuzzable target (minisol or ingested).
+	Target Target
+	// Addr optionally pins the member's deployment address (zero = the
+	// campaign assigns WorldMemberAddr(i)). Pinned addresses let ingest's
+	// recovered inter-contract links (PUSH20 immediates) resolve to members.
+	Addr state.Address
+}
+
+// WorldOptions turns a campaign into a multi-contract adversarial world:
+// the primary target plus Members all deploy into one shared genesis state,
+// sequences carry a callee index per transaction, and — when Attacker is
+// set — the reentrant-attacker native is replaced by synthesized attacker
+// bytecode whose behavior is mutated seed material. World campaigns also
+// switch the RE/UD/EF oracles to witnessed mode: findings require a real
+// cross-contract schedule in the trace (plus a state-divergence check for
+// reentrancy), not a taint shape.
+type WorldOptions struct {
+	Members  []WorldMember
+	Attacker AttackerModel
+}
+
+// LinkedTarget is the optional Target capability of targets that can
+// recover deployment addresses referenced by their bytecode — PUSH20
+// immediates and trailing constructor-argument words (internal/ingest
+// implements it). The campaign uses recovered links to extend the paper's
+// §IV-A write→read dependency ordering across contracts: a member whose
+// code calls into another member is sequenced after it.
+type LinkedTarget interface {
+	LinkedAddresses() []state.Address
+}
+
+// WorldMemberAddr is the default deployment address of secondary member i
+// (0-based): stable across runs, disjoint from the identity set (deployer,
+// users, attacker, primary contract).
+func WorldMemberAddr(i int) state.Address {
+	return state.AddressFromUint(0xc100 + uint64(i))
+}
+
+// worldEmpty reports whether w adds nothing over a plain campaign; such
+// options are normalized away so a "world" of one contract with attacker
+// synthesis off is byte-identical to the single-contract engine.
+func worldEmpty(w *WorldOptions) bool {
+	return w == nil || (len(w.Members) == 0 && w.Attacker == nil)
+}

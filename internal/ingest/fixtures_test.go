@@ -36,6 +36,8 @@ func TestFixturesCurrent(t *testing.T) {
 		"erc20":           corpus.Token(),
 		"crowdsale-buggy": corpus.CrowdsaleBuggy(),
 		"magic-gate":      corpus.MagicGate(),
+		"bank-reentrant":  corpus.BankReentrant(),
+		"proxy-delegate":  corpus.ProxyDelegate(),
 	} {
 		t.Run(name, func(t *testing.T) {
 			comp, err := minisol.Compile(src)

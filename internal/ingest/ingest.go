@@ -56,6 +56,7 @@ type Target struct {
 	arms     []DispatchArm
 	cfg      *analysis.CFG
 	dict     []u256.Int
+	links    []state.Address
 }
 
 // DispatchArm is one recovered dispatcher comparison: the raw 4-byte
@@ -112,8 +113,63 @@ func Load(code []byte, abiJSON []byte) (*Target, error) {
 	t.methods = spec.Methods
 
 	t.dict = buildDictionary(t.recover(), creation)
+	t.links = recoverLinks(code, creation)
 	return t, nil
 }
+
+// recoverLinks mines deployment addresses the bytecode references: PUSH20
+// immediates (the shape solc emits for hardcoded contract addresses) from
+// both the runtime code and the creation image, plus trailing 32-byte
+// constructor-argument words of the creation image that are address-shaped
+// (12 zero bytes, nonzero remainder) — linked contracts are overwhelmingly
+// wired either as literals or as constructor arguments appended after the
+// deploy code. Order is deterministic: first occurrence wins.
+func recoverLinks(runtime, creation []byte) []state.Address {
+	seen := map[state.Address]bool{}
+	var out []state.Address
+	add := func(a state.Address) {
+		if a != (state.Address{}) && !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	for _, img := range [][]byte{runtime, creation} {
+		for _, ins := range analysis.Disassemble(img) {
+			if ins.Op.IsPush() && len(ins.Imm) == 20 {
+				var a state.Address
+				copy(a[:], ins.Imm)
+				add(a)
+			}
+		}
+	}
+	// Constructor args: ABI words appended after the creation code. Walk back
+	// from the end while words look like addresses; the bounded walk keeps
+	// pathological images from flooding the link set.
+	if tail := creation; len(tail) >= 32 {
+		for n := 0; n < maxCtorArgWords && len(tail) >= 32; n++ {
+			w := tail[len(tail)-32:]
+			addressShaped := true
+			for _, b := range w[:12] {
+				if b != 0 {
+					addressShaped = false
+					break
+				}
+			}
+			if !addressShaped {
+				break
+			}
+			var a state.Address
+			copy(a[:], w[12:])
+			add(a)
+			tail = tail[:len(tail)-32]
+		}
+	}
+	return out
+}
+
+// maxCtorArgWords bounds the trailing constructor-argument scan of
+// recoverLinks.
+const maxCtorArgWords = 8
 
 // ctorMethod builds the sequence-anchor pseudo-method from the ABI's
 // constructor entry. Its signature uses the fuzzer's constructor pseudo-name
@@ -281,6 +337,13 @@ func (t *Target) RepeatCandidates() []string { return t.repeat }
 // campaign's own PUSH harvest: constant-fold results and keccak mapping bases
 // from the abstract interpretation, plus creation-code immediates.
 func (t *Target) Dictionary() []u256.Int { return t.dict }
+
+// LinkedAddresses returns deployment addresses the bytecode references
+// (PUSH20 immediates and address-shaped trailing constructor-argument
+// words) — the fuzz.LinkedTarget capability the multi-contract campaign
+// uses to order member constructors dependency-first (§IV-A extended to
+// cross-contract write→read edges).
+func (t *Target) LinkedAddresses() []state.Address { return append([]state.Address(nil), t.links...) }
 
 // --- tooling accessors ---
 

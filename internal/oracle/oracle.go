@@ -62,11 +62,18 @@ func (f Finding) Key() string {
 type Report struct {
 	Findings      []Finding
 	ReceivedValue bool
+	// ValueOutOK marks a witnessed successful value-out execution (a
+	// value-bearing CALL from the contract that succeeded, or a selfdestruct).
+	// Only witnessed-mode inspectors set it; it feeds the trace-based EF
+	// oracle, which replaces the static value-out-opcode scan in world mode.
+	ValueOutOK bool
 }
 
 // Empty reports whether the inspection observed nothing of interest.
+// ValueOutOK is only ever set by witnessed inspectors, so heuristic-mode
+// campaigns surface exactly the reports they always did.
 func (r Report) Empty() bool {
-	return len(r.Findings) == 0 && !r.ReceivedValue
+	return len(r.Findings) == 0 && !r.ReceivedValue && !r.ValueOutOK
 }
 
 // Inspector is the stateless per-execution oracle half. All fields are fixed
@@ -77,6 +84,19 @@ type Inspector struct {
 
 	// static fact about the code, for the ether-freezing oracle
 	hasValueOutOp bool
+
+	// witness switches the cross-contract oracles (RE, UD, EF) from taint
+	// heuristics to witnessed-schedule rules over the real call trace:
+	// reentrancy needs an actual reentrant frame (the campaign adds a
+	// state-divergence confirm on top), dangerous delegatecall needs a
+	// delegatecall into attacker-controlled code to have executed, and ether
+	// freezing tracks whether a value-out ever succeeded instead of whether a
+	// value-out opcode exists. World campaigns construct witnessed
+	// inspectors; the single-contract path never sets this.
+	witness bool
+	// attacker is the account whose code the fuzzer synthesizes (witnessed
+	// mode only): the UD oracle keys on delegatecalls into it.
+	attacker state.Address
 }
 
 // NewInspector builds an inspector for the contract at addr with the given
@@ -91,6 +111,16 @@ func NewInspector(addr state.Address, code []byte) *Inspector {
 			ins.hasValueOutOp = true
 		}
 	}
+	return ins
+}
+
+// NewWitnessedInspector builds a witnessed-mode inspector for world
+// campaigns: RE/UD/EF key on the observed cross-contract schedule instead of
+// taint shapes. attacker is the synthesized attacker account.
+func NewWitnessedInspector(addr state.Address, code []byte, attacker state.Address) *Inspector {
+	ins := NewInspector(addr, code)
+	ins.witness = true
+	ins.attacker = attacker
 	return ins
 }
 
@@ -133,7 +163,29 @@ func (ins *Inspector) Inspect(tr *evm.Trace, txValue u256.Int, txOK bool) Report
 	ins.inspectReentry(tr, &r)
 	ins.inspectSelfDestructs(tr, &r)
 	ins.inspectDelegates(tr, &r)
+	if ins.witness {
+		ins.inspectValueOut(tr, &r)
+	}
 	return r.Report
+}
+
+// inspectValueOut (witnessed mode) records whether the contract actually
+// moved value out in this execution: a successful value-bearing CALL it
+// issued, or a selfdestruct (which sweeps the balance to the beneficiary).
+// The detector aggregates this into the trace-based EF oracle.
+func (ins *Inspector) inspectValueOut(tr *evm.Trace, r *report) {
+	for _, c := range tr.Calls {
+		if c.Op == evm.CALL && c.From == ins.addr && c.Success && !c.Value.IsZero() {
+			r.ValueOutOK = true
+			return
+		}
+	}
+	for _, sd := range tr.SelfDestructs {
+		if sd.Addr == ins.addr {
+			r.ValueOutOK = true
+			return
+		}
+	}
 }
 
 // inspectSinks covers BD, SE, and TO, which are all source→sink taint rules.
@@ -214,11 +266,26 @@ func (ins *Inspector) inspectCalls(tr *evm.Trace, r *report) {
 	}
 }
 
-// inspectReentry covers RE: the contract was re-entered while an outer
-// value-bearing call with more than the gas stipend was in flight.
+// inspectReentry covers RE. Heuristic mode fires when the contract was
+// re-entered while an outer value-bearing call with more than the gas
+// stipend was in flight (the paper's precondition shape). Witnessed mode
+// fires on any actual reentrant frame of the contract — the schedule really
+// happened, value-enabled or not — and relies on the campaign's
+// state-divergence confirm to discard harmless reentries before the finding
+// is absorbed.
 func (ins *Inspector) inspectReentry(tr *evm.Trace, r *report) {
 	for _, re := range tr.Reentries {
-		if re.Addr != ins.addr || !re.EnabledByValueCall {
+		if re.Addr != ins.addr {
+			continue
+		}
+		if ins.witness {
+			r.add(Finding{
+				Class: RE, Addr: re.Addr, PC: 0,
+				Description: "reentrant schedule executed against the contract and diverged state",
+			})
+			continue
+		}
+		if !re.EnabledByValueCall {
 			continue
 		}
 		r.add(Finding{
@@ -244,9 +311,24 @@ func (ins *Inspector) inspectSelfDestructs(tr *evm.Trace, r *report) {
 	}
 }
 
-// inspectDelegates covers UD: DELEGATECALL whose target or input derives
-// from transaction input, executed without an owner guard.
+// inspectDelegates covers UD. Heuristic mode flags a DELEGATECALL whose
+// target or input derives from transaction input, executed without an owner
+// guard. Witnessed mode instead requires the delegatecall to have actually
+// executed attacker-controlled code in the contract's storage context — the
+// call trace shows a successful DELEGATECALL into the synthesized attacker
+// account, which is the real exploit, not its taint shadow.
 func (ins *Inspector) inspectDelegates(tr *evm.Trace, r *report) {
+	if ins.witness {
+		for _, c := range tr.Calls {
+			if c.Op == evm.DELEGATECALL && c.From == ins.addr && c.To == ins.attacker && c.Success {
+				r.add(Finding{
+					Class: UD, Addr: c.From, PC: 0,
+					Description: "delegatecall executed attacker-controlled code in the contract's storage context",
+				})
+			}
+		}
+		return
+	}
 	for _, dg := range tr.Delegates {
 		if dg.Addr != ins.addr {
 			continue
@@ -268,7 +350,10 @@ type Detector struct {
 	insp *Inspector
 
 	receivedValue bool
-	findings      map[string]Finding
+	// valueOutSeen aggregates witnessed-mode ValueOutOK reports: some
+	// execution of the campaign actually moved value out of the contract.
+	valueOutSeen bool
+	findings     map[string]Finding
 }
 
 // NewDetector builds a detector (and its embedded inspector) for the
@@ -276,6 +361,15 @@ type Detector struct {
 func NewDetector(addr state.Address, code []byte) *Detector {
 	return &Detector{
 		insp:     NewInspector(addr, code),
+		findings: make(map[string]Finding),
+	}
+}
+
+// NewWitnessedDetector is NewDetector over a witnessed-mode inspector (world
+// campaigns; see NewWitnessedInspector).
+func NewWitnessedDetector(addr state.Address, code []byte, attacker state.Address) *Detector {
+	return &Detector{
+		insp:     NewWitnessedInspector(addr, code, attacker),
 		findings: make(map[string]Finding),
 	}
 }
@@ -297,6 +391,9 @@ func (d *Detector) add(f Finding) {
 func (d *Detector) Absorb(r Report) []BugClass {
 	if r.ReceivedValue {
 		d.receivedValue = true
+	}
+	if r.ValueOutOK {
+		d.valueOutSeen = true
 	}
 	before := make(map[BugClass]bool)
 	for _, f := range d.findings {
@@ -350,20 +447,48 @@ func (d *Detector) Restore(receivedValue bool, findings []Finding) {
 	}
 }
 
-// Finalize applies campaign-level oracles (EF) and returns all findings in
-// deterministic order.
-func (d *Detector) Finalize() []Finding {
-	// EF: the contract accepted ether during the campaign but its code
-	// contains no instruction that could ever move value out.
-	if d.receivedValue && !d.insp.hasValueOutOp {
-		d.add(Finding{
-			Class: EF, Addr: d.insp.addr, PC: 0,
-			Description: "contract accepts ether but has no value-transferring instruction",
-		})
+// frozen is the campaign-level EF condition: the contract accepted ether
+// but can never pay it out. The heuristic inspector proves "never" by the
+// absence of value-out opcodes; the witnessed inspector by no execution of
+// the whole campaign ever moving value out successfully.
+func (d *Detector) frozen() bool {
+	if !d.receivedValue {
+		return false
 	}
-	out := make([]Finding, 0, len(d.findings))
+	if d.insp.witness {
+		return !d.valueOutSeen
+	}
+	return !d.insp.hasValueOutOp
+}
+
+// efDescription renders the mode-appropriate EF explanation.
+func (d *Detector) efDescription() string {
+	if d.insp.witness {
+		return "contract accepted ether and no execution ever moved value out"
+	}
+	return "contract accepts ether but has no value-transferring instruction"
+}
+
+// Finalize applies campaign-level oracles (EF) and returns all findings in
+// deterministic order. It does not mutate the aggregate: in witnessed mode
+// the EF verdict is retractable — a later execution can move value out and
+// clear frozen() — so persisting it here would bake a stale verdict into
+// snapshots taken after a mid-campaign result. The finding is recomputed
+// from (receivedValue, valueOutSeen) on every call and reappears identically
+// at the true end whenever the condition still holds.
+func (d *Detector) Finalize() []Finding {
+	out := make([]Finding, 0, len(d.findings)+1)
 	for _, f := range d.findings {
 		out = append(out, f)
+	}
+	if d.frozen() {
+		ef := Finding{
+			Class: EF, Addr: d.insp.addr, PC: 0,
+			Description: d.efDescription(),
+		}
+		if _, dup := d.findings[ef.Key()]; !dup {
+			out = append(out, ef)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Class != out[j].Class {
@@ -380,8 +505,15 @@ func (d *Detector) Classes() map[BugClass]bool {
 	for _, f := range d.findings {
 		out[f.Class] = true
 	}
-	if d.receivedValue && !d.insp.hasValueOutOp {
+	if d.frozen() {
 		out[EF] = true
 	}
 	return out
 }
+
+// ValueOutSeen exposes the witnessed value-out aggregate for snapshots.
+func (d *Detector) ValueOutSeen() bool { return d.valueOutSeen }
+
+// SetValueOutSeen restores the witnessed value-out aggregate from a
+// snapshot.
+func (d *Detector) SetValueOutSeen(v bool) { d.valueOutSeen = v }

@@ -27,6 +27,7 @@ import (
 	"mufuzz/internal/ingest"
 	"mufuzz/internal/minisol"
 	"mufuzz/internal/store"
+	"mufuzz/internal/world"
 )
 
 // Config tunes one service instance.
@@ -95,6 +96,15 @@ type CampaignSpec struct {
 	// ABI is the contract's standard Solidity ABI JSON (the array form),
 	// required alongside Bytecode.
 	ABI json.RawMessage `json:"abi,omitempty"`
+	// Members declares secondary contracts deployed into the campaign's
+	// world alongside the primary target; their functions enter sequences
+	// qualified by member name. Campaigns with members are bucketed by the
+	// world's sorted-codehash ID, so any campaign on the same contract set
+	// cross-pollinates seeds.
+	Members []WorldMemberSpec `json:"members,omitempty"`
+	// Attacker synthesizes a fuzzer-controlled attacker contract into the
+	// world, arming the witnessed reentrancy/delegatecall oracles.
+	Attacker bool `json:"attacker,omitempty"`
 	// Strategy is a preset name (mufuzz, sfuzz, confuzzius, irfuzz,
 	// smartian); default mufuzz.
 	Strategy string `json:"strategy,omitempty"`
@@ -104,6 +114,19 @@ type CampaignSpec struct {
 	Iterations int `json:"iterations,omitempty"`
 	// Workers overrides the service default executor fan-out per slice.
 	Workers int `json:"workers,omitempty"`
+}
+
+// WorldMemberSpec is one world member in a campaign spec: a source-free
+// bytecode + ABI pair deployed next to the primary target.
+type WorldMemberSpec struct {
+	// Name qualifies the member's functions in sequences; unique, non-empty,
+	// no whitespace.
+	Name string `json:"name"`
+	// Bytecode is the member's hex EVM bytecode (same format as
+	// CampaignSpec.Bytecode).
+	Bytecode string `json:"bytecode"`
+	// ABI is the member's Solidity ABI JSON.
+	ABI json.RawMessage `json:"abi"`
 }
 
 // Campaign states.
@@ -281,6 +304,45 @@ func resolveTarget(spec CampaignSpec) (fuzz.Target, error) {
 	return fuzz.MinisolTarget(comp), nil
 }
 
+// resolveWorld maps a spec's world half (members + attacker) to engine
+// WorldOptions and the campaign's seed-sharing bucket. Plain specs get nil
+// options and the primary target's name; specs with members get the
+// order-independent world bucket so campaigns on the same contract set
+// share a corpus no matter how their specs list the members.
+func resolveWorld(spec CampaignSpec, primary fuzz.Target) (*fuzz.WorldOptions, string, error) {
+	if len(spec.Members) == 0 && !spec.Attacker {
+		return nil, primary.Name(), nil
+	}
+	w := &fuzz.WorldOptions{}
+	seen := map[string]bool{}
+	for _, m := range spec.Members {
+		if m.Name == "" || seen[m.Name] {
+			return nil, "", fmt.Errorf("world member needs a unique non-empty name (got %q)", m.Name)
+		}
+		seen[m.Name] = true
+		if m.Bytecode == "" || len(m.ABI) == 0 {
+			return nil, "", fmt.Errorf("world member %s needs bytecode and abi", m.Name)
+		}
+		t, err := ingest.LoadHex(m.Bytecode, m.ABI)
+		if err != nil {
+			return nil, "", fmt.Errorf("world member %s: %w", m.Name, err)
+		}
+		w.Members = append(w.Members, fuzz.WorldMember{Name: m.Name, Target: t})
+	}
+	if spec.Attacker {
+		w.Attacker = world.NewModel(primary.Methods())
+	}
+	bucket := primary.Name()
+	if len(w.Members) > 0 {
+		all := []fuzz.Target{primary}
+		for _, m := range w.Members {
+			all = append(all, m.Target)
+		}
+		bucket = world.BucketID(all...)
+	}
+	return w, bucket, nil
+}
+
 // options maps a spec to engine options.
 func (s *Service) options(spec CampaignSpec) (fuzz.Options, error) {
 	strat, ok := fuzz.PresetByName(spec.Strategy)
@@ -312,6 +374,11 @@ func (s *Service) Submit(spec CampaignSpec) (Status, error) {
 	if err != nil {
 		return Status{}, err
 	}
+	worldOpts, bucket, err := resolveWorld(spec, target)
+	if err != nil {
+		return Status{}, err
+	}
+	opts.World = worldOpts
 
 	s.mu.Lock()
 	if s.drained {
@@ -328,7 +395,7 @@ func (s *Service) Submit(spec CampaignSpec) (Status, error) {
 		id:       id,
 		spec:     spec,
 		target:   target,
-		contract: target.Name(),
+		contract: bucket,
 		campaign: fuzz.NewTargetCampaign(target, opts),
 		exported: make(map[string]bool),
 		imported: make(map[string]bool),
@@ -336,7 +403,7 @@ func (s *Service) Submit(spec CampaignSpec) (Status, error) {
 		subs:     make(map[chan Status]struct{}),
 	}
 	j.status = Status{
-		ID: id, Name: name, Contract: target.Name(),
+		ID: id, Name: name, Contract: bucket,
 		State: StateQueued, Iterations: opts.Iterations,
 	}
 	s.jobs[id] = j
@@ -582,6 +649,10 @@ func (s *Service) rebuild(j *job) error {
 		return err
 	}
 	j.target = target
+	worldOpts, _, err := resolveWorld(j.spec, target)
+	if err != nil {
+		return err
+	}
 	data, err := s.cfg.Store.Get(store.KindSnapshot, "", j.id+".snap")
 	if err != nil {
 		return fmt.Errorf("snapshot: %w", err)
@@ -590,7 +661,12 @@ func (s *Service) rebuild(j *job) error {
 	if err != nil {
 		return err
 	}
-	c, err := fuzz.ResumeTargetCampaign(target, snap)
+	var c *fuzz.Campaign
+	if worldOpts != nil {
+		c, err = fuzz.ResumeWorldCampaign(target, worldOpts, snap)
+	} else {
+		c, err = fuzz.ResumeTargetCampaign(target, snap)
+	}
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,113 @@
+package service
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fixtureSpecParts reads one fixture's bytecode hex + ABI JSON.
+func fixtureSpecParts(t *testing.T, name string) (string, []byte) {
+	t.Helper()
+	bin, err := os.ReadFile(filepath.Join("../../fixtures", name+".bin"))
+	if err != nil {
+		t.Fatalf("fixture missing (regen with `go run ./cmd/corpusgen -fixtures fixtures`): %v", err)
+	}
+	abiJSON, err := os.ReadFile(filepath.Join("../../fixtures", name+".abi.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(bin), abiJSON
+}
+
+// TestServiceWorldCampaign submits a multi-contract world — the reentrant
+// bank as primary, the token as a member, attacker synthesis on — and runs
+// the full service lifecycle: the world bucket appears in the status, the
+// witnessed RE finding lands, and a drain/restart resumes the world
+// campaign (members and attacker re-resolved from the spec) with the
+// finding intact.
+func TestServiceWorldCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("service campaigns are slow")
+	}
+	bankBin, bankABI := fixtureSpecParts(t, "bank-reentrant")
+	tokBin, tokABI := fixtureSpecParts(t, "erc20")
+	spec := CampaignSpec{
+		Bytecode: bankBin, ABI: bankABI,
+		Members:    []WorldMemberSpec{{Name: "token", Bytecode: tokBin, ABI: tokABI}},
+		Attacker:   true,
+		Iterations: 2_000_000,
+		Seed:       1,
+	}
+
+	dir := t.TempDir()
+	svc, _ := startService(t, openStoreT(t, dir), Config{Slots: 1, SliceRounds: 8})
+	st, err := svc.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(st.Contract, "world-") {
+		t.Fatalf("world campaign not bucketed by world ID: contract=%q", st.Contract)
+	}
+
+	waitFor(t, 60*time.Second, "world campaign cracks RE", func() bool {
+		cur, _ := svc.Status(st.ID)
+		return hasClass(cur, "RE")
+	})
+	svc.Drain()
+
+	svc2, _ := startService(t, openStoreT(t, dir), Config{Slots: 1, SliceRounds: 8})
+	defer svc2.Drain()
+	cur, ok := svc2.Status(st.ID)
+	if !ok {
+		t.Fatalf("world campaign %s lost across restart", st.ID)
+	}
+	if !hasClass(cur, "RE") {
+		t.Fatalf("world finding lost across restart: %+v", cur)
+	}
+	if cur.Contract != st.Contract {
+		t.Fatalf("world bucket changed across restart: %q vs %q", cur.Contract, st.Contract)
+	}
+	findings, err := svc2.Findings(st.ID, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range findings {
+		if f.Class == "RE" && len(f.PoC) > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no replayable RE PoC served after restart: %+v", findings)
+	}
+}
+
+// TestServiceRejectsBadWorldSpecs pins world-spec validation.
+func TestServiceRejectsBadWorldSpecs(t *testing.T) {
+	bankBin, bankABI := fixtureSpecParts(t, "bank-reentrant")
+	svc, _ := startService(t, nil, Config{})
+	defer svc.Drain()
+	base := CampaignSpec{Bytecode: bankBin, ABI: bankABI, Iterations: 100}
+
+	bad := base
+	bad.Members = []WorldMemberSpec{{Name: "", Bytecode: bankBin, ABI: bankABI}}
+	if _, err := svc.Submit(bad); err == nil {
+		t.Fatal("unnamed member accepted")
+	}
+	bad = base
+	bad.Members = []WorldMemberSpec{
+		{Name: "dup", Bytecode: bankBin, ABI: bankABI},
+		{Name: "dup", Bytecode: bankBin, ABI: bankABI},
+	}
+	if _, err := svc.Submit(bad); err == nil {
+		t.Fatal("duplicate member names accepted")
+	}
+	bad = base
+	bad.Members = []WorldMemberSpec{{Name: "token"}}
+	if _, err := svc.Submit(bad); err == nil {
+		t.Fatal("member without artifacts accepted")
+	}
+}

@@ -468,3 +468,38 @@ func (s *State) StorageDump(addr Address) map[u256.Int]u256.Int {
 	}
 	return out
 }
+
+// AccountEqual reports whether addr holds the same observable account state
+// in s and o: balance, destroyed flag, and every storage slot. It is the
+// comparison primitive of the reentrancy state-divergence check — two
+// replays of one schedule (attacker present vs absent) are compared account
+// by account, and any difference witnesses that the reentrant interleaving
+// changed the outcome. Zero-valued slots and missing accounts compare equal,
+// matching EVM semantics.
+func (s *State) AccountEqual(o *State, addr Address) bool {
+	if !s.Balance(addr).Eq(o.Balance(addr)) {
+		return false
+	}
+	if s.Destroyed(addr) != o.Destroyed(addr) {
+		return false
+	}
+	sa, oa := s.find(addr), o.find(addr)
+	var sst, ost map[u256.Int]u256.Int
+	if sa != nil {
+		sst = sa.Storage
+	}
+	if oa != nil {
+		ost = oa.Storage
+	}
+	for k, v := range sst {
+		if !ost[k].Eq(v) {
+			return false
+		}
+	}
+	for k, v := range ost {
+		if !sst[k].Eq(v) {
+			return false
+		}
+	}
+	return true
+}

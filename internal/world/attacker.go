@@ -1,0 +1,249 @@
+// Package world builds multi-contract adversarial campaigns: it synthesizes
+// fuzzer-controlled attacker contracts from mutable specs, identifies world
+// corpus buckets, and parses world manifests. The fuzz engine consumes it
+// only through the fuzz.AttackerModel / fuzz.WorldOptions seams.
+package world
+
+import (
+	"math/rand"
+
+	"mufuzz/internal/abi"
+	"mufuzz/internal/evm"
+	"mufuzz/internal/fuzz"
+	"mufuzz/internal/u256"
+)
+
+// AttackerSpec is the decoded behavior of a synthesized attacker contract:
+// when called with enough gas, it re-enters its caller with a chosen
+// selector and calldata, up to Depth concurrent nested callbacks, and
+// optionally reverts after (or instead of) the callback. The spec is seed
+// material — the campaign mutates its encoded form on the sequence anchor —
+// so every field is bounded and every byte string decodes deterministically.
+type AttackerSpec struct {
+	// Selector is the 4-byte function selector the callback re-enters on the
+	// calling contract.
+	Selector [4]byte
+	// Depth bounds concurrent nested callbacks (1..MaxDepth). The compiled
+	// contract tracks live depth in storage slot 0.
+	Depth int
+	// Revert makes the attacker revert instead of returning cleanly — the
+	// unhandled-exception axis of the callback surface.
+	Revert bool
+	// Args are the 32-bit-word arguments appended after the selector
+	// (0..MaxArgs words).
+	Args []u256.Int
+}
+
+const (
+	// specVersion is the encoding version byte; unknown versions decode to
+	// "invalid" (the attacker stays an EOA).
+	specVersion = 1
+	// MaxDepth bounds AttackerSpec.Depth.
+	MaxDepth = 3
+	// MaxArgs bounds the callback calldata to selector + MaxArgs words.
+	MaxArgs = 3
+	// gasFloor arms the callback only when the incoming call forwards real
+	// gas: 2300-stipend transfers fall below it, so the attacker behaves as
+	// a passive receiver on payout paths (re-entering on a stipend would
+	// out-of-gas the transfer and revert the very call being attacked).
+	gasFloor = 50_000
+)
+
+// EncodeSpec serializes a spec: version, selector, depth, flags, arg count,
+// then the arg words. The encoding is canonical — Encode(Decode(b)) == b for
+// every valid b — so checkpoint hashing and snapshots stay byte-stable.
+func EncodeSpec(s AttackerSpec) []byte {
+	d := s.Depth
+	if d < 1 {
+		d = 1
+	}
+	if d > MaxDepth {
+		d = MaxDepth
+	}
+	args := s.Args
+	if len(args) > MaxArgs {
+		args = args[:MaxArgs]
+	}
+	out := make([]byte, 0, 8+32*len(args))
+	out = append(out, specVersion)
+	out = append(out, s.Selector[:]...)
+	out = append(out, byte(d))
+	var flags byte
+	if s.Revert {
+		flags |= 1
+	}
+	out = append(out, flags, byte(len(args)))
+	for _, w := range args {
+		b := w.Bytes32()
+		out = append(out, b[:]...)
+	}
+	return out
+}
+
+// DecodeSpec parses an encoded spec. ok is false for nil, truncated,
+// out-of-range, or unknown-version encodings.
+func DecodeSpec(enc []byte) (AttackerSpec, bool) {
+	var s AttackerSpec
+	if len(enc) < 8 || enc[0] != specVersion {
+		return s, false
+	}
+	copy(s.Selector[:], enc[1:5])
+	s.Depth = int(enc[5])
+	if s.Depth < 1 || s.Depth > MaxDepth {
+		return s, false
+	}
+	if enc[6]&^1 != 0 {
+		return s, false
+	}
+	s.Revert = enc[6]&1 != 0
+	n := int(enc[7])
+	if n > MaxArgs || len(enc) != 8+32*n {
+		return s, false
+	}
+	for i := 0; i < n; i++ {
+		s.Args = append(s.Args, u256.FromBytes(enc[8+32*i:8+32*(i+1)]))
+	}
+	return s, true
+}
+
+// CompileSpec lowers an encoded spec to deployable runtime bytecode — the
+// attacker-contract template. Layout:
+//
+//	entry:   armed = GAS > gasFloor        (stipend receives stay passive)
+//	         if armed && SLOAD(0) < Depth  -> reenter
+//	done:    STOP (or REVERT per spec)
+//	reenter: SSTORE(0, SLOAD(0)+1)         (live-depth counter)
+//	         mem[0..] = selector ++ args
+//	         CALL(gas=GAS, to=CALLER, value=0, in=calldata)  ; POP status
+//	         SSTORE(0, SLOAD(0)-1)
+//	         -> done
+//
+// The re-entrant CALL forwards full gas with zero value, so the victim's
+// trace records a reentry NOT enabled by a value call — exactly the schedule
+// the heuristic single-contract oracle cannot witness. Invalid specs
+// compile to nil (the attacker account stays an EOA).
+func CompileSpec(enc []byte) []byte {
+	spec, ok := DecodeSpec(enc)
+	if !ok {
+		return nil
+	}
+	a := evm.NewAssembler()
+	// arm gate first: the stipend path must cost almost nothing.
+	a.PushUint(gasFloor).Op(evm.GAS).Op(evm.GT)
+	a.JumpITo("armed")
+	a.Label("done")
+	if spec.Revert {
+		a.PushUint(0).PushUint(0).Op(evm.REVERT)
+	} else {
+		a.Op(evm.STOP)
+	}
+	a.Label("armed")
+	a.PushUint(uint64(spec.Depth))
+	a.PushUint(0).Op(evm.SLOAD)
+	a.Op(evm.LT) // live depth < Depth
+	a.JumpITo("reenter")
+	a.JumpTo("done")
+	a.Label("reenter")
+	// slot0++
+	a.PushUint(1).PushUint(0).Op(evm.SLOAD).Op(evm.ADD)
+	a.PushUint(0).Op(evm.SSTORE)
+	// calldata: selector ++ args, packed into 32-byte MSTORE words.
+	data := make([]byte, 4+32*len(spec.Args))
+	copy(data, spec.Selector[:])
+	for i, w := range spec.Args {
+		b := w.Bytes32()
+		copy(data[4+32*i:], b[:])
+	}
+	for off := 0; off < len(data); off += 32 {
+		var word [32]byte
+		copy(word[:], data[off:])
+		a.PushBytes(word[:]).PushUint(uint64(off)).Op(evm.MSTORE)
+	}
+	// CALL(gas, to=CALLER, value=0, in=[0,len), out=[0,0)); operands pushed
+	// in reverse so gas ends on top.
+	a.PushUint(0).PushUint(0)
+	a.PushUint(uint64(len(data)))
+	a.PushUint(0).PushUint(0)
+	a.Op(evm.CALLER).Op(evm.GAS)
+	a.Op(evm.CALL).Op(evm.POP)
+	// slot0--
+	a.PushUint(1).PushUint(0).Op(evm.SLOAD).Op(evm.SUB)
+	a.PushUint(0).Op(evm.SSTORE)
+	a.JumpTo("done")
+	code, err := a.Build()
+	if err != nil {
+		return nil
+	}
+	return code
+}
+
+// Model implements fuzz.AttackerModel over a victim's callable methods: the
+// default spec re-enters the first method, and mutation explores selectors,
+// depth, calldata words, and the revert flag.
+type Model struct {
+	selectors [][4]byte
+	// argPool seeds callback argument words (mutation also draws fresh
+	// random words).
+	argPool []u256.Int
+}
+
+// NewModel builds an attacker model whose callback targets the given
+// methods (typically the primary target's, constructor excluded).
+func NewModel(methods []abi.Method) *Model {
+	m := &Model{argPool: []u256.Int{u256.Zero, u256.One, u256.New(2), u256.New(1 << 16)}}
+	for _, fn := range methods {
+		m.selectors = append(m.selectors, fn.Selector())
+	}
+	return m
+}
+
+var _ fuzz.AttackerModel = (*Model)(nil)
+
+// Default returns the initial spec: re-enter the first method once, no
+// arguments, return cleanly.
+func (m *Model) Default() []byte {
+	s := AttackerSpec{Depth: 1}
+	if len(m.selectors) > 0 {
+		s.Selector = m.selectors[0]
+	}
+	return EncodeSpec(s)
+}
+
+// Mutate derives a new spec: one random move over the callback surface.
+// Invalid inputs restart from Default.
+func (m *Model) Mutate(enc []byte, rng *rand.Rand) []byte {
+	s, ok := DecodeSpec(enc)
+	if !ok {
+		s, _ = DecodeSpec(m.Default())
+	}
+	switch rng.Intn(5) {
+	case 0:
+		if len(m.selectors) > 0 {
+			s.Selector = m.selectors[rng.Intn(len(m.selectors))]
+		}
+	case 1:
+		s.Depth = 1 + rng.Intn(MaxDepth)
+	case 2:
+		// revert stays rare: a reverting callback kills most schedules.
+		s.Revert = rng.Intn(4) == 0
+	case 3:
+		n := rng.Intn(MaxArgs + 1)
+		args := make([]u256.Int, n)
+		for i := range args {
+			args[i] = m.argPool[rng.Intn(len(m.argPool))]
+		}
+		s.Args = args
+	default:
+		if len(s.Args) > 0 {
+			s.Args[rng.Intn(len(s.Args))] = u256.New(rng.Uint64())
+		} else {
+			s.Args = []u256.Int{u256.New(rng.Uint64())}
+		}
+	}
+	return EncodeSpec(s)
+}
+
+// Compile lowers an encoded spec to runtime bytecode (nil for invalid).
+func (m *Model) Compile(enc []byte) []byte {
+	return CompileSpec(enc)
+}

@@ -1,0 +1,87 @@
+package world
+
+import (
+	"bufio"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"mufuzz/internal/fuzz"
+	"mufuzz/internal/keccak"
+	"mufuzz/internal/state"
+)
+
+// BucketID derives the corpus-store bucket of a multi-contract world: the
+// keccak of the member runtime codehashes in sorted order, so the bucket is
+// independent of member declaration order and collides exactly when two
+// worlds fuzz the same set of contracts.
+func BucketID(targets ...fuzz.Target) string {
+	hashes := make([]string, len(targets))
+	for i, t := range targets {
+		h := keccak.Sum256(t.Code())
+		hashes[i] = hex.EncodeToString(h[:])
+	}
+	sort.Strings(hashes)
+	sum := keccak.Sum256([]byte(strings.Join(hashes, ",")))
+	return "world-" + hex.EncodeToString(sum[:6])
+}
+
+// ManifestMember is one secondary contract declared in a world manifest.
+type ManifestMember struct {
+	// Name qualifies the member's functions in sequences.
+	Name string
+	// Bin and ABI are artifact paths as written in the manifest (relative
+	// paths are the caller's to resolve against the manifest directory).
+	Bin string
+	ABI string
+	// Addr optionally pins the deployment address (zero = assigned).
+	Addr state.Address
+}
+
+// ParseManifest reads a world manifest: one `member <name> <bin> <abi>
+// [addr]` line per secondary contract, with blank lines and #-comments
+// ignored. The optional addr is 40 hex digits (0x prefix allowed).
+func ParseManifest(data []byte) ([]ManifestMember, error) {
+	var out []ManifestMember
+	seen := map[string]bool{}
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	for ln := 1; sc.Scan(); ln++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if fields[0] != "member" || len(fields) < 4 || len(fields) > 5 {
+			return nil, fmt.Errorf("world manifest line %d: want `member <name> <bin> <abi> [addr]`, got %q", ln, line)
+		}
+		m := ManifestMember{Name: fields[1], Bin: fields[2], ABI: fields[3]}
+		if seen[m.Name] {
+			return nil, fmt.Errorf("world manifest line %d: duplicate member %q", ln, m.Name)
+		}
+		seen[m.Name] = true
+		if len(fields) == 5 {
+			a, err := parseAddress(fields[4])
+			if err != nil {
+				return nil, fmt.Errorf("world manifest line %d: %v", ln, err)
+			}
+			m.Addr = a
+		}
+		out = append(out, m)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseAddress(s string) (state.Address, error) {
+	s = strings.TrimPrefix(s, "0x")
+	var a state.Address
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != 20 {
+		return a, fmt.Errorf("bad address %q (want 40 hex digits)", s)
+	}
+	copy(a[:], b)
+	return a, nil
+}
