@@ -23,15 +23,19 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"time"
 
 	"mufuzz/internal/corpus"
 	"mufuzz/internal/experiments"
+	"mufuzz/internal/fleet"
 	"mufuzz/internal/fuzz"
 	"mufuzz/internal/minisol"
 	"mufuzz/internal/service"
@@ -39,7 +43,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all | fig5a | fig5b | fig6 | table2 | table3 | fig7 | table4 | motivating | campaign | service")
+		exp     = flag.String("exp", "all", "experiment: all | fig5a | fig5b | fig6 | table2 | table3 | fig7 | table4 | motivating | campaign | service | fleet")
 		n       = flag.Int("n", 24, "contracts per generated dataset")
 		iters   = flag.Int("iters", 2500, "fuzzing budget (sequence executions) per contract")
 		seed    = flag.Int64("seed", 1, "corpus + campaign seed")
@@ -159,6 +163,10 @@ func main() {
 	run("service", func() error {
 		return serviceOverhead(*benchJS, *iters, *seed)
 	})
+
+	run("fleet", func() error {
+		return fleetOverhead(*benchJS, *iters, *seed)
+	})
 }
 
 // campaignRun is one measured configuration of the campaign throughput
@@ -190,11 +198,11 @@ type campaignRun struct {
 
 // campaignBench is the BENCH_campaign.json schema.
 type campaignBench struct {
-	Benchmark  string        `json:"benchmark"`
-	Contract   string        `json:"contract"`
-	Iterations int           `json:"iterations"`
-	NumCPU     int           `json:"num_cpu"`
-	Seed       int64         `json:"seed"`
+	Benchmark  string `json:"benchmark"`
+	Contract   string `json:"contract"`
+	Iterations int    `json:"iterations"`
+	NumCPU     int    `json:"num_cpu"`
+	Seed       int64  `json:"seed"`
 	// Runs is the retained measurement history: each benchtab invocation
 	// APPENDS its timestamped measurements (one per worker count) instead of
 	// overwriting, so the file records the perf trajectory across PRs. At
@@ -211,6 +219,10 @@ type campaignBench struct {
 	// campaigns multiplexed through the campaign service's bounded slot
 	// pool versus the same N run back to back on bare engines.
 	Service *serviceBench `json:"service,omitempty"`
+	// Fleet is the coordination-overhead measurement (-exp fleet): N
+	// campaigns executed as leased slices through the fleet coordinator
+	// on one worker versus the same N through the single-node service.
+	Fleet *fleetBench `json:"fleet,omitempty"`
 }
 
 // serviceBench quantifies what the campaign-service scheduler costs: the
@@ -453,5 +465,200 @@ func serviceOverhead(path string, iterations int, seed int64) error {
 	fmt.Printf("  service scheduler: %d campaigns  sequential %8.0f execs/s  multiplexed %8.0f execs/s  overhead %.1f%%\n",
 		campaigns, seqRate, muxRate, bench.Service.OverheadPct)
 	fmt.Printf("  JSON merged into %s\n", path)
+	return nil
+}
+
+// fleetBench quantifies what fleet coordination costs over the plain
+// campaign service: the same campaigns executed as HTTP-leased slices —
+// snapshot commit per slice, lease traffic, scheduling — on a single
+// worker, versus the single-node service scheduler. The gated number runs
+// without conformance transcripts (pure coordination, functionally equal
+// to the service baseline); the recorded number adds the per-execution
+// transcript chunks that buy the byte-identical migration proof, reported
+// for visibility but not gated.
+type fleetBench struct {
+	Campaigns                int     `json:"campaigns"`
+	Iterations               int     `json:"iterations"`
+	Rounds                   int     `json:"rounds"`
+	ServiceExecsPerSec       float64 `json:"service_execs_per_sec"`
+	FleetExecsPerSec         float64 `json:"fleet_execs_per_sec"`
+	OverheadPct              float64 `json:"overhead_pct"`
+	FleetRecordedExecsPerSec float64 `json:"fleet_recorded_execs_per_sec"`
+	RecordedOverheadPct      float64 `json:"recorded_overhead_pct"`
+	GatePct                  float64 `json:"gate_pct"`
+}
+
+// fleetGatePct is the acceptance ceiling on fleet coordination overhead:
+// distributing over one worker must cost less than this versus the plain
+// service (the coordination tax a real fleet amortizes across nodes).
+const fleetGatePct = 5.0
+
+// fleetOverhead measures the fleet coordination tax and gates it. The
+// result is merged into BENCH_campaign.json alongside the engine
+// trajectory.
+func fleetOverhead(path string, iterations int, seed int64) error {
+	const campaigns = 4
+	const sliceRounds = 8
+
+	// Baseline: the single-node service scheduler, one slot, no store —
+	// the fleet's own baseline semantics (time-sliced campaigns, snapshot
+	// boundaries), minus the distribution layer.
+	runService := func() (float64, error) {
+		svc := service.New(service.Config{Slots: 1, SliceRounds: sliceRounds, Workers: 1})
+		if err := svc.Start(); err != nil {
+			return 0, err
+		}
+		defer svc.Close()
+		start := time.Now()
+		for i := 0; i < campaigns; i++ {
+			if _, err := svc.Submit(service.CampaignSpec{
+				Source: corpus.Crowdsale(), Seed: seed + int64(i), Iterations: iterations,
+			}); err != nil {
+				return 0, err
+			}
+		}
+		execs := 0
+		for {
+			done := 0
+			execs = 0
+			for _, st := range svc.Statuses() {
+				execs += st.Executions
+				if st.State == service.StateDone {
+					done++
+				}
+			}
+			if done == campaigns {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		return float64(execs) / time.Since(start).Seconds(), nil
+	}
+
+	// Fleet: the same campaigns leased slice by slice over live HTTP to
+	// one worker (no store: pure coordination overhead, not disk I/O).
+	// Measured twice — without conformance transcripts (the gated number,
+	// functionally equal to the service baseline) and with them (the price
+	// of the migration proof, informational).
+	runFleet := func(noTranscript bool) (float64, error) {
+		co := fleet.NewCoordinator(fleet.CoordinatorConfig{Rounds: sliceRounds, DefaultIterations: iterations})
+		srv := httptest.NewServer(co.Handler())
+		defer srv.Close()
+		client := fleet.NewClient(srv.URL, seed)
+		ctx := context.Background()
+		start := time.Now()
+		var ids []string
+		for i := 0; i < campaigns; i++ {
+			st, err := client.Submit(ctx, fleet.SubmitRequest{
+				NoTranscript: noTranscript,
+				Spec: service.CampaignSpec{
+					Source: corpus.Crowdsale(), Seed: seed + int64(i), Iterations: iterations,
+				},
+			})
+			if err != nil {
+				return 0, err
+			}
+			ids = append(ids, st.ID)
+		}
+		w := fleet.NewWorker("bench-worker", client)
+		for {
+			ran, err := w.RunOne(ctx)
+			if err != nil {
+				return 0, err
+			}
+			if ran {
+				continue
+			}
+			// No lease granted: either all campaigns finished or a
+			// transient lull — check, and only then idle.
+			done := 0
+			for _, id := range ids {
+				st, err := client.Status(ctx, id)
+				if err != nil {
+					return 0, err
+				}
+				if st.State == "done" {
+					done++
+				}
+			}
+			if done == campaigns {
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		execs := 0
+		for _, id := range ids {
+			st, err := client.Status(ctx, id)
+			if err != nil {
+				return 0, err
+			}
+			execs += st.Executions
+		}
+		return float64(execs) / time.Since(start).Seconds(), nil
+	}
+	// Both sides run the identical deterministic workload, so throughput
+	// differences are pure scheduling/coordination cost plus machine noise.
+	// Alternate the sides over several trials and keep each side's best
+	// rate — best-of-N discards the noise (GC pauses, co-tenant CPU spikes)
+	// that a single short trial on a shared machine cannot.
+	const trials = 3
+	var svcRate, fleetRate, recordedRate float64
+	for t := 0; t < trials; t++ {
+		r, err := runService()
+		if err != nil {
+			return err
+		}
+		svcRate = math.Max(svcRate, r)
+		if r, err = runFleet(true); err != nil {
+			return err
+		}
+		fleetRate = math.Max(fleetRate, r)
+		if r, err = runFleet(false); err != nil {
+			return err
+		}
+		recordedRate = math.Max(recordedRate, r)
+	}
+
+	overhead := 100 * (1 - fleetRate/svcRate)
+	recordedOverhead := 100 * (1 - recordedRate/svcRate)
+
+	// Merge into the existing trajectory file.
+	bench := campaignBench{}
+	if data, err := os.ReadFile(path); err == nil {
+		_ = json.Unmarshal(data, &bench)
+	}
+	if bench.Benchmark == "" {
+		bench = campaignBench{Benchmark: "CampaignThroughput", Contract: "Crowdsale",
+			Iterations: iterations, NumCPU: runtime.NumCPU(), Seed: seed, Speedup: 1}
+	}
+	bench.Fleet = &fleetBench{
+		Campaigns:                campaigns,
+		Iterations:               iterations,
+		Rounds:                   sliceRounds,
+		ServiceExecsPerSec:       svcRate,
+		FleetExecsPerSec:         fleetRate,
+		OverheadPct:              overhead,
+		FleetRecordedExecsPerSec: recordedRate,
+		RecordedOverheadPct:      recordedOverhead,
+		GatePct:                  fleetGatePct,
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(bench); err != nil {
+		return err
+	}
+	fmt.Printf("  fleet coordination: %d campaigns  service %8.0f execs/s  fleet %8.0f execs/s  overhead %.1f%% (gate <%.0f%%)\n",
+		campaigns, svcRate, fleetRate, overhead, fleetGatePct)
+	fmt.Printf("  with transcripts:   %36s fleet %8.0f execs/s  overhead %.1f%% (informational)\n",
+		"", recordedRate, recordedOverhead)
+	fmt.Printf("  JSON merged into %s\n", path)
+	if overhead >= fleetGatePct {
+		return fmt.Errorf("fleet coordination overhead %.1f%% breaches the %.0f%% gate", overhead, fleetGatePct)
+	}
 	return nil
 }

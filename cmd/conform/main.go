@@ -13,6 +13,14 @@
 //	conform -mode strategies [-contracts a] [-iters 1000] [-seed 1]
 //	conform -mode record -contracts a -out a.transcript [-iters 400]
 //	conform -mode replay -in a.transcript
+//	conform -mode fleet-ref -spec spec.json -out ref.transcript
+//
+// Mode fleet-ref records the single-node reference transcript of a fleet
+// campaign spec (a service CampaignSpec JSON file, canonicalized exactly
+// as the fleet coordinator canonicalizes submissions): the bytes a
+// coordinator's assembled transcript must equal no matter how many
+// workers the campaign migrated across. CI's fleet smoke hashes this
+// against the transcript of a campaign whose worker was killed mid-slice.
 //
 // Contract names come from the corpus: "crowdsale", "crowdsale-buggy",
 // "game", or any labelled suite name (run `-mode list` to enumerate).
@@ -22,6 +30,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -33,9 +42,11 @@ import (
 	"mufuzz/internal/conformance"
 	"mufuzz/internal/corpus"
 	"mufuzz/internal/experiments"
+	"mufuzz/internal/fleet"
 	"mufuzz/internal/fuzz"
 	"mufuzz/internal/ingest"
 	"mufuzz/internal/minisol"
+	"mufuzz/internal/service"
 	"mufuzz/internal/world"
 )
 
@@ -60,13 +71,14 @@ var defaultDiffSet = []string{"crowdsale", "crowdsale-buggy", "re_swc107_crossfn
 
 func main() {
 	var (
-		mode      = flag.String("mode", "diff", "diff | gate | strategies | record | replay | list")
+		mode      = flag.String("mode", "diff", "diff | gate | strategies | record | replay | fleet-ref | list")
 		contracts = flag.String("contracts", "", "comma-separated contract names (default: the 3-contract diff set)")
 		iters     = flag.Int("iters", 400, "iteration budget per campaign (gate defaults to the fixed gate budget)")
 		seed      = flag.Int64("seed", 1, "campaign seed")
 		workers   = flag.Int("workers", 0, "batched-class worker count (0 = NumCPU, capped at 8)")
-		out       = flag.String("out", "", "transcript output path (mode record)")
+		out       = flag.String("out", "", "transcript output path (modes record, fleet-ref)")
 		in        = flag.String("in", "", "transcript input path (mode replay)")
+		specPath  = flag.String("spec", "", "campaign spec JSON path (mode fleet-ref)")
 		fixtures  = flag.String("fixtures", "fixtures", "ingest fixture dir for the world pair (mode diff)")
 	)
 	flag.Parse()
@@ -192,6 +204,31 @@ func main() {
 		}
 		fmt.Printf("replay of %s byte-identical (%d executions) and sequence-verified\n",
 			want.Contract, len(want.Records))
+
+	case "fleet-ref":
+		if *specPath == "" || *out == "" {
+			fatal(fmt.Errorf("mode fleet-ref needs -spec and -out"))
+		}
+		data, err := os.ReadFile(*specPath)
+		if err != nil {
+			fatal(err)
+		}
+		var spec service.CampaignSpec
+		if err := json.Unmarshal(data, &spec); err != nil {
+			fatal(fmt.Errorf("bad spec %s: %w", *specPath, err))
+		}
+		// Defaults mirror the coordinator's (20000 iterations, 1 worker);
+		// specs that pin both fields — as CI's do — are default-free.
+		run, err := fleet.ReferenceTranscript(spec, 20000, 1)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, run.Transcript.EncodeBytes(), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("fleet reference %s: %d executions, %d/%d edges, classes %v → %s\n",
+			run.Name, run.Result.Executions, run.Result.CoveredEdges, run.Result.TotalEdges,
+			run.Transcript.Final.Classes, *out)
 
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))

@@ -12,9 +12,9 @@
 //
 // Submit and watch campaigns over the HTTP JSON API:
 //
-//	curl -X POST localhost:8700/v1/campaigns \
+//	curl -X POST localhost:8700/v1/campaigns -H 'Content-Type: application/json' \
 //	     -d '{"example":"crowdsale-buggy","iterations":20000}'
-//	curl -X POST localhost:8700/v1/campaigns \
+//	curl -X POST localhost:8700/v1/campaigns -H 'Content-Type: application/json' \
 //	     -d '{"bytecode":"0x6000...","abi":[...],"iterations":20000}'   # source-free
 //	curl localhost:8700/v1/campaigns/c0001
 //	curl localhost:8700/v1/campaigns/c0001/findings?minimize=1
@@ -22,6 +22,23 @@
 //
 // SIGINT/SIGTERM drain before exit; restarting with the same -store resumes
 // every unfinished campaign.
+//
+// # Fleet modes
+//
+// The same binary runs the distributed fleet (see internal/fleet):
+//
+//	mufuzzd -coordinator [-addr :8700] [-store mufuzz-store] \
+//	        [-lease-rounds 8] [-lease-ttl 10s]
+//
+// runs the fleet coordinator — a control plane that leases campaign slices
+// to workers and assembles the migration-equivalence transcripts — and
+//
+//	mufuzzd -join http://coordinator:8700 [-worker-name node-a] [-addr :8701]
+//
+// runs a worker node that pulls and executes leased slices. Workers hold no
+// durable state; killing one loses at most the slice in flight, which the
+// coordinator re-leases after its TTL. Both modes serve /healthz and
+// /readyz on -addr.
 package main
 
 import (
@@ -34,9 +51,11 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"mufuzz/internal/fleet"
 	"mufuzz/internal/service"
 	"mufuzz/internal/store"
 )
@@ -52,6 +71,12 @@ func main() {
 		debugAddr   = flag.String("debug-addr", "", "optional pprof listen address (e.g. localhost:6060); off when empty")
 		mutexFrac   = flag.Int("mutex-profile-fraction", 0, "sample 1/n of mutex contention events for /debug/pprof/mutex (0 = off)")
 		blockRate   = flag.Int("block-profile-rate", 0, "sample goroutine blocking events >= n ns for /debug/pprof/block (0 = off)")
+
+		coordinator = flag.Bool("coordinator", false, "run the fleet coordinator instead of the single-node service")
+		leaseRounds = flag.Int("lease-rounds", 8, "coordinator: energy rounds per leased slice")
+		leaseTTL    = flag.Duration("lease-ttl", 10*time.Second, "coordinator: lease lifetime without a heartbeat")
+		join        = flag.String("join", "", "worker mode: coordinator base URL to pull leased slices from")
+		workerName  = flag.String("worker-name", "", "worker mode: node name (default host:pid)")
 	)
 	flag.Parse()
 
@@ -74,6 +99,16 @@ func main() {
 			}
 		}()
 		fmt.Printf("mufuzzd: pprof debug server on http://%s/debug/pprof/\n", *debugAddr)
+	}
+
+	switch {
+	case *coordinator && *join != "":
+		fmt.Fprintln(os.Stderr, "mufuzzd: -coordinator and -join are mutually exclusive")
+		os.Exit(1)
+	case *coordinator:
+		os.Exit(runCoordinator(*addr, *storeDir, *leaseRounds, *leaseTTL, *iters, *workers))
+	case *join != "":
+		os.Exit(runWorker(*addr, *join, *workerName))
 	}
 
 	st, err := store.Open(*storeDir)
@@ -124,4 +159,111 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	_ = srv.Shutdown(ctx)
+}
+
+// runCoordinator serves the fleet control plane until SIGINT/SIGTERM.
+func runCoordinator(addr, storeDir string, rounds int, ttl time.Duration, iters, workers int) int {
+	st, err := store.Open(storeDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mufuzzd:", err)
+		return 1
+	}
+	co := fleet.NewCoordinator(fleet.CoordinatorConfig{
+		Store:             st,
+		Rounds:            rounds,
+		LeaseTTL:          ttl,
+		DefaultIterations: iters,
+		DefaultWorkers:    workers,
+	})
+	fmt.Printf("mufuzzd: fleet coordinator on %s, store %s, %d round(s)/slice, lease TTL %s\n",
+		addr, storeDir, rounds, ttl)
+
+	srv := &http.Server{Addr: addr, Handler: co.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("mufuzzd: %v — shutting down coordinator\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		return 0
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "mufuzzd:", err)
+			return 1
+		}
+		return 0
+	}
+}
+
+// runWorker pulls and executes leased slices until SIGINT/SIGTERM. A
+// slice in flight at shutdown is abandoned (never committed mid-slice);
+// its lease lapses and the coordinator re-grants it elsewhere.
+func runWorker(addr, coordinatorURL, name string) int {
+	if name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	client := fleet.NewClient(coordinatorURL, time.Now().UnixNano())
+	w := fleet.NewWorker(name, client)
+
+	// The worker serves its own liveness/readiness: ready once the
+	// coordinator has answered readyz, so orchestrators gate on worker
+	// readiness instead of sleep-and-poll.
+	var ready atomic.Bool
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"ok\":true,\"worker\":%q}\n", name)
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if !ready.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, `{"ready":false,"reason":"coordinator not reachable yet"}`)
+			return
+		}
+		fmt.Fprintln(w, `{"ready":true}`)
+	})
+	srv := &http.Server{Addr: addr, Handler: mux}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "mufuzzd:", err)
+		}
+	}()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		fmt.Printf("mufuzzd: %v — abandoning slice in flight and exiting\n", sig)
+		cancel()
+	}()
+
+	fmt.Printf("mufuzzd: worker %s joining fleet at %s\n", name, coordinatorURL)
+	if err := client.WaitReady(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "mufuzzd: coordinator never became ready:", err)
+		return 1
+	}
+	ready.Store(true)
+	fmt.Printf("mufuzzd: worker %s ready\n", name)
+
+	err := w.Run(ctx)
+	sctx, scancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer scancel()
+	_ = srv.Shutdown(sctx)
+	if err != nil && !errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "mufuzzd:", err)
+		return 1
+	}
+	return 0
 }

@@ -13,14 +13,18 @@ import (
 	"mufuzz/internal/oracle"
 )
 
-// recorder implements fuzz.ExecObserver by accumulating serialized records.
+// Recorder implements fuzz.ExecObserver by accumulating serialized records.
 // The coordinator calls OnExec on one goroutine in fold order, so no locking
-// is needed.
-type recorder struct {
+// is needed. Fleet workers install one per leased slice and ship the
+// accumulated chunk (EncodeRecords) back with the slice commit.
+type Recorder struct {
 	records []Record
 }
 
-func (r *recorder) OnExec(rec fuzz.ExecRecord) {
+// Records returns the accumulated records in execution order.
+func (r *Recorder) Records() []Record { return r.records }
+
+func (r *Recorder) OnExec(rec fuzz.ExecRecord) {
 	r.records = append(r.records, Record{
 		Index:        rec.Index,
 		Seq:          sequenceToTxs(rec.Seq),
@@ -61,7 +65,7 @@ func RecordTargetCampaign(name string, target fuzz.Target, opts fuzz.Options) *R
 		panic("conformance: campaigns with a TimeBudget are not deterministically replayable; use Iterations")
 	}
 	opts = opts.Normalized()
-	rec := &recorder{}
+	rec := &Recorder{}
 	opts.Observer = rec
 	c := fuzz.NewTargetCampaign(target, opts)
 	res := c.Run()
@@ -87,7 +91,7 @@ func RecordInterrupted(name string, comp *minisol.Compiled, opts fuzz.Options, p
 		panic("conformance: campaigns with a TimeBudget are not deterministically replayable; use Iterations")
 	}
 	opts = opts.Normalized()
-	rec := &recorder{}
+	rec := &Recorder{}
 	opts.Observer = rec
 	c := fuzz.NewCampaign(comp, opts)
 	var res *fuzz.Result
@@ -115,6 +119,19 @@ func RecordInterrupted(name string, comp *minisol.Compiled, opts fuzz.Options, p
 	}
 	return &Run{Name: name, Campaign: c, Result: res, Transcript: t}, nil
 }
+
+// Summarize projects the deterministic portion of a completed campaign's
+// result into the transcript's final summary — exported so a fleet worker
+// finishing the last slice of a distributed campaign can hand the coordinator
+// the exact summary an uninterrupted single-node recording would carry.
+func Summarize(c *fuzz.Campaign, res *fuzz.Result) Summary { return summarize(c, res) }
+
+// SummarizeOptions projects normalized engine options into the transcript's
+// options line. The caller must pass the defaults-applied form
+// (Options.Normalized()); fleet coordinators and workers both derive it from
+// the campaign spec so the assembled transcript pins the configuration
+// exactly as RecordTargetCampaign would.
+func SummarizeOptions(o fuzz.Options) OptionsSummary { return summarizeOptions(o) }
 
 // summarize projects the deterministic portion of a campaign result,
 // including the final covered-edge set in canonical order.

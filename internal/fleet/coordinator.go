@@ -1,0 +1,594 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"mufuzz/internal/conformance"
+	"mufuzz/internal/fuzz"
+	"mufuzz/internal/service"
+	"mufuzz/internal/store"
+)
+
+// CoordinatorConfig configures a fleet coordinator.
+type CoordinatorConfig struct {
+	// Store persists pollination seeds and finished transcripts. nil runs
+	// fully in memory: no cross-node pollination, transcripts served from
+	// memory only (used by overhead benchmarks).
+	Store *store.Store
+	// Rounds is the energy-round budget of each leased slice. Default 8.
+	Rounds int
+	// LeaseTTL is how long a granted lease lives without a heartbeat.
+	// Default 10s.
+	LeaseTTL time.Duration
+	// DefaultIterations fills omitted spec iteration budgets. Default 20000.
+	DefaultIterations int
+	// DefaultWorkers fills omitted spec executor fan-outs. Default 1.
+	DefaultWorkers int
+	// TenantMaxInFlight caps concurrently leased slices per tenant.
+	// Default 2.
+	TenantMaxInFlight int
+	// TenantMaxActive caps a tenant's non-terminal campaigns; submissions
+	// beyond it are refused with 429 and a Retry-After hint. Default 16.
+	TenantMaxActive int
+	// RetryAfter is the client back-off hint on 429 and empty lease polls.
+	// Default 1s.
+	RetryAfter time.Duration
+	// ImportPerLease caps pollination seeds shipped with one lease.
+	// Default 64.
+	ImportPerLease int
+}
+
+func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
+	if c.Rounds == 0 {
+		c.Rounds = 8
+	}
+	if c.LeaseTTL == 0 {
+		c.LeaseTTL = 10 * time.Second
+	}
+	if c.DefaultIterations == 0 {
+		c.DefaultIterations = 20000
+	}
+	if c.DefaultWorkers == 0 {
+		c.DefaultWorkers = 1
+	}
+	if c.TenantMaxInFlight == 0 {
+		c.TenantMaxInFlight = 2
+	}
+	if c.TenantMaxActive == 0 {
+		c.TenantMaxActive = 16
+	}
+	if c.RetryAfter == 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.ImportPerLease == 0 {
+		c.ImportPerLease = 64
+	}
+	return c
+}
+
+// Campaign states.
+const (
+	stateQueued = "queued"
+	stateLeased = "leased"
+	stateDone   = "done"
+	stateFailed = "failed"
+)
+
+// campaign is the coordinator's record of one distributed campaign. All
+// engine state lives in the snapshot chain; the coordinator never runs the
+// engine.
+type campaign struct {
+	id     string
+	tenant string
+	bucket string
+	spec   service.CampaignSpec // canonicalized at submit
+	// record is whether this campaign carries a conformance transcript
+	// (off for NoTranscript submissions).
+	record bool
+
+	state string
+	seq   int // next slice number
+
+	// snapshot is the last committed snapshot (empty before slice 0
+	// commits); the only state a re-granted lease resumes from.
+	snapshot []byte
+	// chunks is the committed transcript prefix as the raw encoded record
+	// chunks, in commit order — spliced verbatim into the assembled
+	// transcript, never re-encoded. lastIndex is the index of the last
+	// committed record, for chunk-continuity validation.
+	chunks    [][]byte
+	lastIndex int
+
+	// lastLeaseID / lastResp make commits idempotent: a retried commit of
+	// the just-committed lease is acknowledged from here without
+	// reapplying.
+	lastLeaseID string
+	lastResp    CompleteResponse
+
+	// imported/exported track pollination fingerprints this campaign has
+	// consumed or produced, so lease imports never echo a campaign's own
+	// seeds back at it.
+	imported map[string]bool
+	exported map[string]bool
+
+	status     CampaignStatus
+	findings   []service.Finding
+	transcript []byte // assembled once done
+}
+
+// lease is one outstanding grant.
+type lease struct {
+	id         string
+	campaignID string
+	worker     string
+	expires    time.Time
+}
+
+// tenantState is per-tenant fair-share accounting.
+type tenantState struct {
+	inFlight  int
+	lastGrant int64 // grant sequence number; least wins the next grant
+}
+
+// Coordinator owns campaign lifecycles and leases slices to workers. It is
+// an HTTP-facing control plane only: all fuzzing happens on workers, and
+// all campaign state the coordinator holds is the deterministic commit
+// chain (snapshots, record chunks, seeds, findings).
+type Coordinator struct {
+	cfg CoordinatorConfig
+
+	mu        sync.Mutex
+	campaigns map[string]*campaign
+	order     []string
+	leases    map[string]*lease
+	tenants   map[string]*tenantState
+	nextID    int
+	nextLease int
+	grantSeq  int64
+}
+
+// NewCoordinator creates a coordinator.
+func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
+	return &Coordinator{
+		cfg:       cfg.withDefaults(),
+		campaigns: make(map[string]*campaign),
+		leases:    make(map[string]*lease),
+		tenants:   make(map[string]*tenantState),
+	}
+}
+
+// Ready reports readiness: the coordinator is a passive control plane, so
+// it is ready as soon as it is constructed (its store, if any, was opened
+// by the caller).
+func (co *Coordinator) Ready() (bool, string) { return true, "" }
+
+// RetryAfter returns the configured client back-off hint.
+func (co *Coordinator) RetryAfter() time.Duration { return co.cfg.RetryAfter }
+
+// Submit canonicalizes, validates, and enqueues one campaign. A tenant
+// over its active-campaign budget gets errBusy (mapped to 429 upstream).
+func (co *Coordinator) Submit(req SubmitRequest) (CampaignStatus, error) {
+	spec, err := CanonicalizeSpec(req.Spec, co.cfg.DefaultIterations, co.cfg.DefaultWorkers)
+	if err != nil {
+		return CampaignStatus{}, err
+	}
+	// Resolve eagerly so a bad spec fails at submit, not on a worker.
+	target, err := service.ResolveTarget(spec)
+	if err != nil {
+		return CampaignStatus{}, err
+	}
+	_, bucket, err := service.ResolveWorld(spec, target)
+	if err != nil {
+		return CampaignStatus{}, err
+	}
+	name := spec.Name
+	if name == "" {
+		name = target.Name()
+	}
+
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if co.activeLocked(req.Tenant) >= co.cfg.TenantMaxActive {
+		return CampaignStatus{}, errBusy{fmt.Errorf("tenant %q at active campaign cap (%d)", tenantLabel(req.Tenant), co.cfg.TenantMaxActive)}
+	}
+	co.nextID++
+	id := fmt.Sprintf("f%04d", co.nextID)
+	c := &campaign{
+		id:       id,
+		tenant:   req.Tenant,
+		bucket:   bucket,
+		spec:     spec,
+		record:   !req.NoTranscript,
+		state:    stateQueued,
+		imported: make(map[string]bool),
+		exported: make(map[string]bool),
+	}
+	c.status = CampaignStatus{
+		ID: id, Tenant: req.Tenant, Name: name, Contract: bucket,
+		State: stateQueued, Iterations: spec.Iterations,
+	}
+	co.campaigns[id] = c
+	co.order = append(co.order, id)
+	if _, ok := co.tenants[req.Tenant]; !ok {
+		co.tenants[req.Tenant] = &tenantState{}
+	}
+	return c.status, nil
+}
+
+// errBusy marks back-pressure refusals; the HTTP layer maps it to 429.
+type errBusy struct{ error }
+
+func tenantLabel(t string) string {
+	if t == "" {
+		return "default"
+	}
+	return t
+}
+
+// activeLocked counts a tenant's non-terminal campaigns.
+func (co *Coordinator) activeLocked(tenant string) int {
+	n := 0
+	for _, c := range co.campaigns {
+		if c.tenant == tenant && c.state != stateDone && c.state != stateFailed {
+			n++
+		}
+	}
+	return n
+}
+
+// expireLocked lapses overdue leases, returning their campaigns to the
+// queue. Expiry is lazy — every scheduling entry point calls it — so a
+// dead worker's slice is re-granted the next time any worker asks for
+// work, with no background timer to race against.
+func (co *Coordinator) expireLocked(now time.Time) {
+	for id, l := range co.leases {
+		if now.Before(l.expires) {
+			continue
+		}
+		delete(co.leases, id)
+		if t := co.tenants[co.campaigns[l.campaignID].tenant]; t != nil && t.inFlight > 0 {
+			t.inFlight--
+		}
+		c := co.campaigns[l.campaignID]
+		if c.state == stateLeased {
+			c.state = stateQueued
+			c.status.State = stateQueued
+			c.status.Worker = ""
+		}
+	}
+}
+
+// Acquire grants one lease to a worker, or returns nil when nothing is
+// runnable (the worker should retry after RetryAfter). Grants are
+// fair-share: among tenants under their in-flight cap with queued
+// campaigns, the least-recently-granted tenant wins; within a tenant,
+// campaigns run in submission order.
+func (co *Coordinator) Acquire(req LeaseRequest) (*Lease, error) {
+	now := time.Now()
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.expireLocked(now)
+
+	var best *campaign
+	var bestTenant *tenantState
+	for _, id := range co.order {
+		c := co.campaigns[id]
+		if c.state != stateQueued {
+			continue
+		}
+		t := co.tenants[c.tenant]
+		if t.inFlight >= co.cfg.TenantMaxInFlight {
+			continue
+		}
+		if best == nil || t.lastGrant < bestTenant.lastGrant {
+			best, bestTenant = c, t
+		}
+	}
+	if best == nil {
+		return nil, nil
+	}
+
+	co.nextLease++
+	co.grantSeq++
+	l := &lease{
+		id:         fmt.Sprintf("l%06d", co.nextLease),
+		campaignID: best.id,
+		worker:     req.Worker,
+		expires:    now.Add(co.cfg.LeaseTTL),
+	}
+	co.leases[l.id] = l
+	bestTenant.inFlight++
+	bestTenant.lastGrant = co.grantSeq
+	best.state = stateLeased
+	best.status.State = stateLeased
+	best.status.Worker = req.Worker
+
+	out := &Lease{
+		ID:         l.id,
+		CampaignID: best.id,
+		Seq:        best.seq,
+		Spec:       best.spec,
+		Snapshot:   best.snapshot,
+		Rounds:     co.cfg.Rounds,
+		TTLMillis:  co.cfg.LeaseTTL.Milliseconds(),
+		Bucket:     best.bucket,
+		Imports:    co.leaseImportsLocked(best),
+		Pollinate:  co.cfg.Store != nil,
+		Record:     best.record,
+	}
+	// Snapshot elision: if the worker still holds exactly this (campaign,
+	// seq) live from its own last commit, skip shipping the snapshot — the
+	// commit chain is deterministic, so seq identity implies byte identity.
+	if req.WarmCampaign == best.id && req.WarmSeq == best.seq && best.seq > 0 {
+		out.Snapshot = nil
+		out.SnapshotElided = true
+	}
+	return out, nil
+}
+
+// leaseImportsLocked picks pollination seeds for a lease: store seeds of
+// the campaign's bucket the campaign has neither produced nor consumed.
+func (co *Coordinator) leaseImportsLocked(c *campaign) []SeedObject {
+	if co.cfg.Store == nil {
+		return nil
+	}
+	entries, err := co.cfg.Store.Seeds(c.bucket)
+	if err != nil {
+		return nil
+	}
+	var out []SeedObject
+	for _, e := range entries {
+		if len(out) >= co.cfg.ImportPerLease {
+			break
+		}
+		if c.imported[e.Name] || c.exported[e.Name] {
+			continue
+		}
+		out = append(out, SeedObject{Fingerprint: e.Name, Payload: e.Payload})
+	}
+	return out
+}
+
+// Heartbeat extends a lease's TTL. Unknown leases (expired, committed, or
+// never granted) report false: the worker must abandon the slice.
+func (co *Coordinator) Heartbeat(leaseID string) (time.Duration, bool) {
+	now := time.Now()
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.expireLocked(now)
+	l, ok := co.leases[leaseID]
+	if !ok {
+		return 0, false
+	}
+	l.expires = now.Add(co.cfg.LeaseTTL)
+	return co.cfg.LeaseTTL, true
+}
+
+// Complete commits one finished slice under a lease. Commits are
+// idempotent (a retry of the last committed lease acknowledges without
+// reapplying) and stale commits — an expired lease whose slice was
+// re-granted — are refused with errStale so the worker discards its work.
+func (co *Coordinator) Complete(leaseID string, req CompleteRequest) (CompleteResponse, error) {
+	now := time.Now()
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.expireLocked(now)
+
+	l, ok := co.leases[leaseID]
+	if !ok {
+		// Idempotent retry of an already-committed lease?
+		for _, c := range co.campaigns {
+			if c.lastLeaseID == leaseID {
+				resp := c.lastResp
+				resp.Duplicate = true
+				return resp, nil
+			}
+		}
+		return CompleteResponse{}, errStale{fmt.Errorf("lease %s is not current (expired or never granted)", leaseID)}
+	}
+	c := co.campaigns[l.campaignID]
+
+	// Validate the record chunk before touching any state. The shallow
+	// scan checks grammar and extracts indexes without the full semantic
+	// parse — the chunk bytes are spliced into the transcript verbatim, so
+	// nothing downstream needs the parsed form.
+	chunk, err := conformance.ScanRecordChunk(req.Records)
+	if err != nil {
+		return CompleteResponse{}, fmt.Errorf("lease %s: bad record chunk: %w", leaseID, err)
+	}
+	if chunk.Count > 0 && chunk.First <= c.lastIndex {
+		return CompleteResponse{}, fmt.Errorf("lease %s: record chunk rewinds transcript (chunk starts at %d, committed through %d)", leaseID, chunk.First, c.lastIndex)
+	}
+	if !req.Done && len(req.Snapshot) == 0 {
+		return CompleteResponse{}, fmt.Errorf("lease %s: mid-campaign commit without snapshot", leaseID)
+	}
+	if req.Done && req.Final == nil {
+		return CompleteResponse{}, fmt.Errorf("lease %s: final commit without summary", leaseID)
+	}
+
+	// Commit.
+	delete(co.leases, leaseID)
+	if t := co.tenants[c.tenant]; t != nil && t.inFlight > 0 {
+		t.inFlight--
+	}
+	c.seq++
+	c.snapshot = req.Snapshot
+	if c.record && chunk.Count > 0 {
+		c.chunks = append(c.chunks, req.Records)
+		c.lastIndex = chunk.Last
+	}
+	imported := 0
+	for _, fp := range req.Imported {
+		if !c.imported[fp] {
+			c.imported[fp] = true
+			imported++
+		}
+	}
+	exported := co.storeExportsLocked(c, req.Exports)
+
+	st := &c.status
+	st.Slices++
+	st.Executions = req.Progress.Executions
+	st.Coverage = req.Progress.Coverage
+	st.CoveredEdges = req.Progress.CoveredEdges
+	st.TotalEdges = req.Progress.TotalEdges
+	st.SeedQueueLen = req.Progress.SeedQueueLen
+	st.Findings = req.Progress.Findings
+	st.Classes = req.Progress.Classes
+	st.SeedsImported += imported
+	st.SeedsExported += exported
+	st.Worker = ""
+
+	resp := CompleteResponse{Committed: true}
+	if req.Done {
+		c.state = stateDone
+		st.State = stateDone
+		c.findings = req.Findings
+		if c.record {
+			co.assembleTranscriptLocked(c, req.Final)
+		}
+		resp.CampaignDone = true
+	} else {
+		c.state = stateQueued
+		st.State = stateQueued
+	}
+	c.lastLeaseID = leaseID
+	c.lastResp = resp
+	return resp, nil
+}
+
+// errStale marks commits under a lapsed lease; the HTTP layer maps it to
+// 409 so the worker discards the slice instead of retrying.
+type errStale struct{ error }
+
+// storeExportsLocked persists a commit's seed exports. Exports are
+// content-addressed, so replays of the same commit store nothing new.
+func (co *Coordinator) storeExportsLocked(c *campaign, exports []SeedObject) int {
+	n := 0
+	for _, e := range exports {
+		if c.exported[e.Fingerprint] {
+			continue
+		}
+		c.exported[e.Fingerprint] = true
+		if co.cfg.Store == nil {
+			n++
+			continue
+		}
+		if wrote, err := co.cfg.Store.PutSeed(c.bucket, e.Fingerprint, e.Payload); err == nil && wrote {
+			n++
+		}
+	}
+	return n
+}
+
+// assembleTranscriptLocked builds the campaign's conformance transcript
+// from the committed record chain — the byte-identical-migration proof.
+// The options line is derived from the canonical spec exactly as a
+// single-node recording would derive it.
+func (co *Coordinator) assembleTranscriptLocked(c *campaign, final *conformance.Summary) {
+	opts, err := service.SpecOptions(c.spec, co.cfg.DefaultIterations, co.cfg.DefaultWorkers)
+	if err == nil {
+		// The options line carries the world token for multi-contract
+		// campaigns; re-resolve it the same way the workers did.
+		var target fuzz.Target
+		if target, err = service.ResolveTarget(c.spec); err == nil {
+			opts.World, _, err = service.ResolveWorld(c.spec, target)
+		}
+	}
+	if err != nil {
+		c.state = stateFailed
+		c.status.State = stateFailed
+		c.status.Error = fmt.Sprintf("assemble transcript: %v", err)
+		return
+	}
+	var buf bytes.Buffer
+	if err := conformance.EncodeAssembled(&buf, c.status.Name,
+		conformance.SummarizeOptions(opts.Normalized()), c.chunks, *final); err != nil {
+		c.state = stateFailed
+		c.status.State = stateFailed
+		c.status.Error = fmt.Sprintf("assemble transcript: %v", err)
+		return
+	}
+	c.transcript = buf.Bytes()
+	if co.cfg.Store != nil {
+		_ = co.cfg.Store.Put(store.KindTranscript, c.bucket, c.id, c.transcript)
+	}
+}
+
+// SyncSeeds stores pushed seeds into a bucket — the idempotent cross-node
+// pollination entry point. Without a store it reports zero stored.
+func (co *Coordinator) SyncSeeds(bucket string, seeds []SeedObject) (int, error) {
+	if co.cfg.Store == nil {
+		return 0, nil
+	}
+	n := 0
+	for _, s := range seeds {
+		wrote, err := co.cfg.Store.PutSeed(bucket, s.Fingerprint, s.Payload)
+		if err != nil {
+			return n, err
+		}
+		if wrote {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// Statuses lists campaigns in submission order.
+func (co *Coordinator) Statuses() []CampaignStatus {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.expireLocked(time.Now())
+	out := make([]CampaignStatus, 0, len(co.order))
+	for _, id := range co.order {
+		out = append(out, co.campaigns[id].status)
+	}
+	return out
+}
+
+// Status returns one campaign's status.
+func (co *Coordinator) Status(id string) (CampaignStatus, bool) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.expireLocked(time.Now())
+	c, ok := co.campaigns[id]
+	if !ok {
+		return CampaignStatus{}, false
+	}
+	return c.status, true
+}
+
+// Findings returns a finished campaign's findings.
+func (co *Coordinator) Findings(id string) ([]service.Finding, error) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	c, ok := co.campaigns[id]
+	if !ok {
+		return nil, fmt.Errorf("no campaign %s", id)
+	}
+	out := make([]service.Finding, len(c.findings))
+	copy(out, c.findings)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Class != out[j].Class {
+			return out[i].Class < out[j].Class
+		}
+		return out[i].PC < out[j].PC
+	})
+	return out, nil
+}
+
+// Transcript returns a finished campaign's assembled conformance
+// transcript, or ok=false while the campaign is still running.
+func (co *Coordinator) Transcript(id string) ([]byte, bool) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	c, ok := co.campaigns[id]
+	if !ok || len(c.transcript) == 0 {
+		return nil, false
+	}
+	return c.transcript, true
+}

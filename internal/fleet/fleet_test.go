@@ -1,0 +1,356 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mufuzz/internal/service"
+	"mufuzz/internal/store"
+)
+
+// buggySpec is the shared test campaign: the seeded-bug example, small
+// budget, fixed seed — deterministic and fast, with real findings.
+func buggySpec(iters int) service.CampaignSpec {
+	return service.CampaignSpec{Example: "crowdsale-buggy", Seed: 7, Iterations: iters}
+}
+
+// referenceTranscript records the uninterrupted single-node run a fleet
+// campaign must be byte-identical to.
+func referenceTranscript(t *testing.T, spec service.CampaignSpec, defaultIters, defaultWorkers int) []byte {
+	t.Helper()
+	run, err := ReferenceTranscript(spec, defaultIters, defaultWorkers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run.Transcript.EncodeBytes()
+}
+
+// TestFleetMigrationEquivalence is the subsystem's cardinal property: a
+// campaign executed as leased slices across two workers — including a
+// lease granted to a worker that dies mid-slice and lapses — produces a
+// conformance transcript byte-identical to an uninterrupted single-node
+// run of the same spec.
+func TestFleetMigrationEquivalence(t *testing.T) {
+	const ttl = 80 * time.Millisecond
+	co := NewCoordinator(CoordinatorConfig{
+		Rounds:            4,
+		LeaseTTL:          ttl,
+		DefaultIterations: 2000,
+		RetryAfter:        time.Second,
+	})
+	srv := httptest.NewServer(co.Handler())
+	defer srv.Close()
+	client := NewClient(srv.URL, 42)
+	ctx := context.Background()
+
+	spec := buggySpec(1200)
+	st, err := client.Submit(ctx, SubmitRequest{Tenant: "acme", Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Worker one executes the first two slices normally.
+	w1 := NewWorker("w1", client)
+	for i := 0; i < 2; i++ {
+		ran, err := w1.RunOne(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ran {
+			t.Fatalf("slice %d: no lease granted", i)
+		}
+	}
+	mid, err := client.Status(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid.State == stateDone {
+		t.Fatalf("campaign finished in 2 slices; budget too small to exercise migration")
+	}
+
+	// A third worker takes the next lease and dies mid-slice: the lease
+	// is never heartbeat or committed, so it lapses after the TTL and the
+	// same slice is re-granted from the last committed snapshot.
+	dead, err := client.Acquire(ctx, LeaseRequest{Worker: "doomed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dead == nil {
+		t.Fatal("no lease for the doomed worker")
+	}
+	time.Sleep(ttl + 20*time.Millisecond)
+
+	// Worker two drives the campaign to completion, starting with the
+	// re-granted slice.
+	w2 := NewWorker("w2", client)
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		cur, err := client.Status(ctx, st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur.State == stateDone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign did not finish; last status %+v", cur)
+		}
+		ran, err := w2.RunOne(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ran {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	got, err := client.Transcript(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := referenceTranscript(t, spec, 2000, 1)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("migrated fleet transcript diverges from single-node reference (%d vs %d bytes)", len(got), len(want))
+	}
+
+	// The re-granted slice means more grants than commits: the doomed
+	// lease's work was discarded, not merged.
+	final, _ := client.Status(ctx, st.ID)
+	if final.Findings == 0 {
+		t.Fatal("buggy example produced no findings through the fleet")
+	}
+	findings, err := client.Findings(ctx, st.ID)
+	if err != nil || len(findings) == 0 {
+		t.Fatalf("findings endpoint: %v (%d findings)", err, len(findings))
+	}
+}
+
+// TestFleetCompleteIdempotent exercises commit idempotency and staleness
+// directly at the coordinator: a retried commit of the just-committed
+// lease acknowledges as a duplicate without advancing the campaign, and a
+// commit under a lapsed lease is refused stale.
+func TestFleetCompleteIdempotent(t *testing.T) {
+	co := NewCoordinator(CoordinatorConfig{LeaseTTL: 50 * time.Millisecond})
+	if _, err := co.Submit(SubmitRequest{Spec: service.CampaignSpec{Example: "crowdsale", Seed: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	l, err := co.Acquire(LeaseRequest{Worker: "w"})
+	if err != nil || l == nil {
+		t.Fatalf("acquire: %v %v", l, err)
+	}
+	req := CompleteRequest{Worker: "w", Snapshot: []byte("opaque-snapshot")}
+	r1, err := co.Complete(l.ID, req)
+	if err != nil || !r1.Committed || r1.Duplicate {
+		t.Fatalf("first commit: %+v %v", r1, err)
+	}
+	r2, err := co.Complete(l.ID, req)
+	if err != nil || !r2.Committed || !r2.Duplicate {
+		t.Fatalf("retried commit should acknowledge as duplicate: %+v %v", r2, err)
+	}
+	st, _ := co.Status("f0001")
+	if st.Slices != 1 {
+		t.Fatalf("duplicate commit advanced the campaign: %d slices", st.Slices)
+	}
+
+	// Next lease lapses before its commit: refused stale, slice re-granted
+	// with the same sequence number.
+	l2, err := co.Acquire(LeaseRequest{Worker: "w"})
+	if err != nil || l2 == nil {
+		t.Fatalf("acquire 2: %v %v", l2, err)
+	}
+	time.Sleep(70 * time.Millisecond)
+	if _, err := co.Complete(l2.ID, req); err == nil {
+		t.Fatal("commit under a lapsed lease must be refused")
+	} else if _, ok := err.(errStale); !ok {
+		t.Fatalf("want errStale, got %T %v", err, err)
+	}
+	l3, err := co.Acquire(LeaseRequest{Worker: "w2"})
+	if err != nil || l3 == nil {
+		t.Fatalf("re-grant after lapse: %v %v", l3, err)
+	}
+	if l3.Seq != l2.Seq {
+		t.Fatalf("re-granted slice must resume the uncommitted sequence: got %d want %d", l3.Seq, l2.Seq)
+	}
+	if !bytes.Equal(l3.Snapshot, []byte("opaque-snapshot")) {
+		t.Fatal("re-granted slice must carry the last committed snapshot")
+	}
+}
+
+// TestFleetSeedSyncIdempotent pins pollination idempotency end to end:
+// pushing the same fingerprinted seeds twice stores them once, and the
+// store holds exactly the pushed objects.
+func TestFleetSeedSyncIdempotent(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := NewCoordinator(CoordinatorConfig{Store: st})
+	srv := httptest.NewServer(co.Handler())
+	defer srv.Close()
+	client := NewClient(srv.URL, 7)
+	ctx := context.Background()
+
+	seeds := []SeedObject{
+		{Fingerprint: "aaaa", Payload: []byte("seq-1")},
+		{Fingerprint: "bbbb", Payload: []byte("seq-2")},
+	}
+	n, err := client.SyncSeeds(ctx, "CrowdsaleBuggy", seeds)
+	if err != nil || n != 2 {
+		t.Fatalf("first sync: stored %d, %v", n, err)
+	}
+	n, err = client.SyncSeeds(ctx, "CrowdsaleBuggy", seeds)
+	if err != nil || n != 0 {
+		t.Fatalf("retried sync must store nothing: stored %d, %v", n, err)
+	}
+	entries, err := st.Seeds("CrowdsaleBuggy")
+	if err != nil || len(entries) != 2 {
+		t.Fatalf("store holds %d seeds, %v", len(entries), err)
+	}
+}
+
+// TestFleetBackPressure pins tenant budgets: a tenant at its active cap is
+// refused with 429 and a Retry-After hint, while other tenants proceed.
+func TestFleetBackPressure(t *testing.T) {
+	co := NewCoordinator(CoordinatorConfig{TenantMaxActive: 1, RetryAfter: 3 * time.Second})
+	srv := httptest.NewServer(co.Handler())
+	defer srv.Close()
+	client := NewClient(srv.URL, 7)
+	ctx := context.Background()
+
+	if _, err := client.SubmitOnce(ctx, SubmitRequest{Tenant: "acme", Spec: buggySpec(500)}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := client.SubmitOnce(ctx, SubmitRequest{Tenant: "acme", Spec: buggySpec(500)})
+	if !IsBusy(err) {
+		t.Fatalf("over-budget submit should be refused busy, got %v", err)
+	}
+	if _, err := client.SubmitOnce(ctx, SubmitRequest{Tenant: "umbrella", Spec: buggySpec(500)}); err != nil {
+		t.Fatalf("other tenant must not be throttled: %v", err)
+	}
+
+	// The raw response carries the Retry-After pacing hint.
+	body, _ := json.Marshal(SubmitRequest{Tenant: "acme", Spec: buggySpec(500)})
+	resp, err := http.Post(srv.URL+"/v1/fleet/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("want 429, got %d", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "3" {
+		t.Fatalf("want Retry-After: 3, got %q", ra)
+	}
+}
+
+// TestFleetFairShare pins grant rotation: with per-tenant in-flight caps,
+// grants alternate to the least-recently-served tenant instead of draining
+// one tenant's queue first.
+func TestFleetFairShare(t *testing.T) {
+	co := NewCoordinator(CoordinatorConfig{TenantMaxInFlight: 1})
+	for _, tenant := range []string{"acme", "acme", "umbrella"} {
+		if _, err := co.Submit(SubmitRequest{Tenant: tenant, Spec: service.CampaignSpec{Example: "crowdsale", Seed: 3}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l1, err := co.Acquire(LeaseRequest{Worker: "w"})
+	if err != nil || l1 == nil {
+		t.Fatalf("grant 1: %v %v", l1, err)
+	}
+	l2, err := co.Acquire(LeaseRequest{Worker: "w"})
+	if err != nil || l2 == nil {
+		t.Fatalf("grant 2: %v %v", l2, err)
+	}
+	// Submission order alone would grant acme twice; fairness hands the
+	// second grant to umbrella.
+	if l1.CampaignID != "f0001" || l2.CampaignID != "f0003" {
+		t.Fatalf("grants %s, %s; want f0001 then f0003 (tenant rotation)", l1.CampaignID, l2.CampaignID)
+	}
+	// Both tenants at their in-flight cap: no third grant even though
+	// acme has a queued campaign.
+	l3, err := co.Acquire(LeaseRequest{Worker: "w"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l3 != nil {
+		t.Fatalf("grant 3 should be refused (caps), got %s", l3.CampaignID)
+	}
+}
+
+// TestFleetLeasePollEmpty pins the idle protocol: no campaigns means 204
+// with a Retry-After hint, which the client surfaces as a nil lease.
+func TestFleetLeasePollEmpty(t *testing.T) {
+	co := NewCoordinator(CoordinatorConfig{RetryAfter: 2 * time.Second})
+	srv := httptest.NewServer(co.Handler())
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/v1/fleet/leases", "application/json", strings.NewReader(`{"worker":"w"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("want 204, got %d", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Fatalf("want Retry-After: 2, got %q", ra)
+	}
+	l, err := NewClient(srv.URL, 1).Acquire(context.Background(), LeaseRequest{Worker: "w"})
+	if err != nil || l != nil {
+		t.Fatalf("client should surface 204 as no work: %v %v", l, err)
+	}
+}
+
+// TestFleetPollination runs two campaigns on the same contract bucket
+// through one worker with a shared store and checks seeds cross over: the
+// second campaign imports seeds the first exported.
+func TestFleetPollination(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := NewCoordinator(CoordinatorConfig{Store: st, Rounds: 4, DefaultIterations: 600})
+	srv := httptest.NewServer(co.Handler())
+	defer srv.Close()
+	client := NewClient(srv.URL, 9)
+	ctx := context.Background()
+
+	a, err := client.Submit(ctx, SubmitRequest{Tenant: "acme", Spec: buggySpec(600)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := client.Submit(ctx, SubmitRequest{Tenant: "acme", Spec: service.CampaignSpec{Example: "crowdsale-buggy", Seed: 11, Iterations: 600}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w := NewWorker("w1", client)
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		sa, _ := client.Status(ctx, a.ID)
+		sb, _ := client.Status(ctx, b.ID)
+		if sa.State == stateDone && sb.State == stateDone {
+			if sa.SeedsExported+sb.SeedsExported == 0 {
+				t.Fatal("no seeds exported by either campaign")
+			}
+			if sa.SeedsImported+sb.SeedsImported == 0 {
+				t.Fatal("no cross-campaign seed imports despite a shared bucket")
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaigns did not finish: %+v %+v", sa, sb)
+		}
+		if ran, err := w.RunOne(ctx); err != nil {
+			t.Fatal(err)
+		} else if !ran {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Body-size caps. Submissions are human-sized specs; commits carry a
+// campaign snapshot plus a record chunk, which grow with corpus size.
+const (
+	maxSubmitBody   = 1 << 20
+	maxControlBody  = 64 << 10
+	maxCompleteBody = 64 << 20
+)
+
+// Handler returns the coordinator's HTTP API:
+//
+//	POST /v1/fleet/campaigns                  submit (SubmitRequest) — 429 + Retry-After over tenant budget
+//	GET  /v1/fleet/campaigns                  list campaign statuses
+//	GET  /v1/fleet/campaigns/{id}             one campaign's status
+//	GET  /v1/fleet/campaigns/{id}/findings    findings with PoCs (after done)
+//	GET  /v1/fleet/campaigns/{id}/transcript  assembled conformance transcript (after done)
+//	POST /v1/fleet/leases                     acquire a slice lease — 204 + Retry-After when idle
+//	POST /v1/fleet/leases/{id}/heartbeat      keep a lease alive — 410 when lapsed
+//	POST /v1/fleet/leases/{id}/complete       commit a finished slice — 409 when stale
+//	POST /v1/fleet/seeds/{bucket}/sync        push pollination seeds (idempotent)
+//	GET  /healthz                             liveness
+//	GET  /readyz                              readiness
+func (co *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "campaigns": len(co.Statuses())})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		ready, reason := co.Ready()
+		if !ready {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": reason})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+	})
+
+	mux.HandleFunc("POST /v1/fleet/campaigns", func(w http.ResponseWriter, r *http.Request) {
+		var req SubmitRequest
+		if !readJSON(w, r, maxSubmitBody, &req) {
+			return
+		}
+		st, err := co.Submit(req)
+		if err != nil {
+			var busy errBusy
+			if errors.As(err, &busy) {
+				w.Header().Set("Retry-After", retryAfterSeconds(co.cfg.RetryAfter))
+				writeErr(w, http.StatusTooManyRequests, err)
+				return
+			}
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, st)
+	})
+
+	mux.HandleFunc("GET /v1/fleet/campaigns", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, co.Statuses())
+	})
+
+	mux.HandleFunc("GET /v1/fleet/campaigns/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := co.Status(r.PathValue("id"))
+		if !ok {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("no campaign %s", r.PathValue("id")))
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+
+	mux.HandleFunc("GET /v1/fleet/campaigns/{id}/findings", func(w http.ResponseWriter, r *http.Request) {
+		findings, err := co.Findings(r.PathValue("id"))
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, findings)
+	})
+
+	mux.HandleFunc("GET /v1/fleet/campaigns/{id}/transcript", func(w http.ResponseWriter, r *http.Request) {
+		data, ok := co.Transcript(r.PathValue("id"))
+		if !ok {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("campaign %s has no transcript yet", r.PathValue("id")))
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(data)
+	})
+
+	mux.HandleFunc("POST /v1/fleet/leases", func(w http.ResponseWriter, r *http.Request) {
+		var req LeaseRequest
+		if !readJSON(w, r, maxControlBody, &req) {
+			return
+		}
+		l, err := co.Acquire(req)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		if l == nil {
+			w.Header().Set("Retry-After", retryAfterSeconds(co.cfg.RetryAfter))
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		writeJSON(w, http.StatusOK, l)
+	})
+
+	mux.HandleFunc("POST /v1/fleet/leases/{id}/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		ttl, ok := co.Heartbeat(r.PathValue("id"))
+		if !ok {
+			writeErr(w, http.StatusGone, fmt.Errorf("lease %s is not current", r.PathValue("id")))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"ttl_millis": ttl.Milliseconds()})
+	})
+
+	mux.HandleFunc("POST /v1/fleet/leases/{id}/complete", func(w http.ResponseWriter, r *http.Request) {
+		var req CompleteRequest
+		if !readJSON(w, r, maxCompleteBody, &req) {
+			return
+		}
+		resp, err := co.Complete(r.PathValue("id"), req)
+		if err != nil {
+			var stale errStale
+			if errors.As(err, &stale) {
+				writeErr(w, http.StatusConflict, err)
+				return
+			}
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("POST /v1/fleet/seeds/{bucket}/sync", func(w http.ResponseWriter, r *http.Request) {
+		var req SyncRequest
+		if !readJSON(w, r, maxCompleteBody, &req) {
+			return
+		}
+		n, err := co.SyncSeeds(r.PathValue("bucket"), req.Seeds)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, SyncResponse{Stored: n})
+	})
+
+	return mux
+}
+
+// readJSON decodes a size-capped JSON body, answering 400 itself on
+// failure (413-style errors from MaxBytesReader surface as 400 with the
+// reader's message).
+func readJSON(w http.ResponseWriter, r *http.Request, limit int64, v any) bool {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit)).Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func retryAfterSeconds(d time.Duration) string {
+	s := int(d.Seconds())
+	if s < 1 {
+		s = 1
+	}
+	return strconv.Itoa(s)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}

@@ -1,0 +1,225 @@
+// Package fleet is the distributed fuzzing subsystem: a coordinator that
+// owns campaign lifecycles and leases bounded slices of work to worker
+// nodes over HTTP, and the worker agent that executes leased slices with
+// the ordinary single-node engine.
+//
+// The unit of distribution is the engine's own scheduling slice
+// (Campaign.RunSlice): a lease carries the campaign spec, the last
+// committed snapshot, and a round budget; the worker resumes the campaign,
+// runs exactly that slice, and commits the successor snapshot plus the
+// slice's conformance record chunk, coverage-fingerprinted seeds, and
+// findings. Because slice boundaries are deterministic schedule points and
+// snapshots resume byte-identically, a campaign that migrates between
+// workers — including through a worker killed mid-slice, whose lease
+// expires and is re-granted from the last committed snapshot — produces a
+// conformance transcript byte-identical to an uninterrupted single-node
+// run. The coordinator assembles and serves that transcript as the
+// campaign's proof of equivalence.
+//
+// Fault tolerance is lease-based: every grant carries a TTL, workers
+// heartbeat to keep it alive, and a silent worker's lease lapses back into
+// the queue. Workers never commit a slice the engine did not finish at a
+// natural boundary (a cancelled slice is abandoned, not committed), so the
+// committed snapshot chain only ever contains deterministic states.
+// Commits are idempotent — a retried commit of the already-committed lease
+// acknowledges without reapplying — and cross-node seed pollination rides
+// the content-addressed store, keyed by coverage fingerprint, so retries
+// and duplicate syncs are free.
+//
+// Multi-tenancy is fair-share: campaigns belong to tenants, each tenant
+// has an in-flight lease cap, grants rotate to the least-recently-served
+// tenant, and a tenant over its queued-campaign budget is refused with
+// 429 and a Retry-After hint.
+package fleet
+
+import (
+	"mufuzz/internal/conformance"
+	"mufuzz/internal/service"
+)
+
+// SubmitRequest submits one campaign on behalf of a tenant.
+type SubmitRequest struct {
+	// Tenant is the fair-share scheduling identity; empty means the
+	// anonymous default tenant.
+	Tenant string `json:"tenant,omitempty"`
+	// Spec is the campaign specification, exactly as the single-node
+	// service accepts it.
+	Spec service.CampaignSpec `json:"spec"`
+	// NoTranscript disables conformance recording for this campaign:
+	// workers skip the per-execution recorder and the coordinator assembles
+	// no transcript. Default off — the byte-identical migration proof is
+	// the fleet's core guarantee — but campaigns that don't need the proof
+	// (e.g. throughput benchmarks) can shed the recording cost.
+	NoTranscript bool `json:"no_transcript,omitempty"`
+}
+
+// CampaignStatus is the coordinator's view of one campaign.
+type CampaignStatus struct {
+	ID       string `json:"id"`
+	Tenant   string `json:"tenant,omitempty"`
+	Name     string `json:"name"`
+	Contract string `json:"contract"`
+	// State is one of queued, leased, done, failed.
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+	// Worker is the node holding the current lease, if any.
+	Worker        string   `json:"worker,omitempty"`
+	Slices        int      `json:"slices"`
+	Executions    int      `json:"executions"`
+	Iterations    int      `json:"iterations"`
+	Coverage      float64  `json:"coverage"`
+	CoveredEdges  int      `json:"covered_edges"`
+	TotalEdges    int      `json:"total_edges"`
+	SeedQueueLen  int      `json:"seed_queue_len"`
+	Findings      int      `json:"findings"`
+	Classes       []string `json:"classes,omitempty"`
+	SeedsImported int      `json:"seeds_imported"`
+	SeedsExported int      `json:"seeds_exported"`
+}
+
+// LeaseRequest asks the coordinator for one slice of work.
+type LeaseRequest struct {
+	// Worker names the requesting node (heartbeats and commits echo the
+	// lease ID, so the name is informational: status display and logs).
+	Worker string `json:"worker"`
+	// WarmCampaign/WarmSeq advertise the campaign state the worker still
+	// holds live from its last commit. If the coordinator grants exactly
+	// that (campaign, seq), it elides the snapshot from the lease: the
+	// snapshot chain is deterministic, so seq identity implies byte
+	// identity, and the worker resumes in memory.
+	WarmCampaign string `json:"warm_campaign,omitempty"`
+	WarmSeq      int    `json:"warm_seq,omitempty"`
+}
+
+// Lease is one granted slice of one campaign. The worker must finish the
+// slice and commit before the TTL lapses (extending it via heartbeats), or
+// the coordinator re-grants the same slice — same snapshot, same budget —
+// to the next worker.
+type Lease struct {
+	ID         string `json:"id"`
+	CampaignID string `json:"campaign_id"`
+	// Seq is the slice number (0-based); slice 0 starts from a fresh
+	// campaign, later slices resume Snapshot.
+	Seq int `json:"seq"`
+	// Spec is the canonicalized campaign spec: strategy, seed, iterations,
+	// and workers are all filled in, so the worker derives engine options
+	// without sharing configuration with the coordinator.
+	Spec service.CampaignSpec `json:"spec"`
+	// Snapshot is the last committed campaign snapshot (encoded), empty
+	// for slice 0 and when elided (SnapshotElided).
+	Snapshot []byte `json:"snapshot,omitempty"`
+	// SnapshotElided marks a lease granted against the worker's advertised
+	// warm state: the snapshot bytes are omitted because the worker already
+	// holds the identical campaign state in memory.
+	SnapshotElided bool `json:"snapshot_elided,omitempty"`
+	// Rounds is the energy-round budget of this slice.
+	Rounds int `json:"rounds"`
+	// TTLMillis is the lease lifetime; heartbeats reset it.
+	TTLMillis int64 `json:"ttl_millis"`
+	// Bucket is the campaign's seed-sharing bucket.
+	Bucket string `json:"bucket"`
+	// Imports are pollination seeds from sibling campaigns of the same
+	// bucket that this campaign has not seen. The worker injects them
+	// before recording begins and echoes the injected fingerprints in its
+	// commit.
+	Imports []SeedObject `json:"imports,omitempty"`
+	// Pollinate asks the worker to fingerprint and export the slice's new
+	// queue sequences. False when the coordinator has no store — the
+	// exports would be dropped, so the worker skips the detached
+	// fingerprinting replays entirely.
+	Pollinate bool `json:"pollinate,omitempty"`
+	// Record asks the worker to record the slice's conformance chunk.
+	// False for campaigns submitted with NoTranscript.
+	Record bool `json:"record,omitempty"`
+}
+
+// SeedObject is one corpus seed in flight: an encoded transaction sequence
+// addressed by the fingerprint of the branch-edge set it covers. The
+// fingerprint makes every transfer idempotent — stores deduplicate by it.
+type SeedObject struct {
+	Fingerprint string `json:"fingerprint"`
+	Payload     []byte `json:"payload"`
+}
+
+// SliceProgress is the worker's progress report accompanying a commit,
+// merged into the campaign's status.
+type SliceProgress struct {
+	Executions   int      `json:"executions"`
+	Coverage     float64  `json:"coverage"`
+	CoveredEdges int      `json:"covered_edges"`
+	TotalEdges   int      `json:"total_edges"`
+	SeedQueueLen int      `json:"seed_queue_len"`
+	Findings     int      `json:"findings"`
+	Classes      []string `json:"classes,omitempty"`
+}
+
+// CompleteRequest commits one finished slice. The worker only sends it for
+// slices the engine finished at its natural boundary; a slice interrupted
+// by shutdown or a lost lease is abandoned instead (the coordinator
+// re-grants from the last committed snapshot, preserving determinism).
+type CompleteRequest struct {
+	Worker string `json:"worker"`
+	// Snapshot is the successor snapshot (encoded); required unless Done.
+	Snapshot []byte `json:"snapshot,omitempty"`
+	// Done reports the campaign finished during this slice.
+	Done bool `json:"done"`
+	// Records is the slice's conformance record chunk
+	// (conformance.EncodeRecords), appended to the campaign transcript.
+	Records []byte `json:"records,omitempty"`
+	// Imported echoes the fingerprints of lease imports actually injected,
+	// so the coordinator stops re-offering them.
+	Imported []string `json:"imported,omitempty"`
+	// Exports are novel seeds the slice discovered, fingerprinted by a
+	// detached coverage replay.
+	Exports []SeedObject `json:"exports,omitempty"`
+	// Progress updates the campaign status.
+	Progress SliceProgress `json:"progress"`
+	// Findings carries the full findings with PoC call orders once Done.
+	Findings []service.Finding `json:"findings,omitempty"`
+	// Final is the transcript's final summary, required when Done.
+	Final *conformance.Summary `json:"final,omitempty"`
+}
+
+// CompleteResponse acknowledges a commit.
+type CompleteResponse struct {
+	Committed bool `json:"committed"`
+	// Duplicate reports the lease was already committed (idempotent
+	// retry); the commit was acknowledged without reapplying.
+	Duplicate bool `json:"duplicate,omitempty"`
+	// CampaignDone reports the campaign reached a terminal state.
+	CampaignDone bool `json:"campaign_done,omitempty"`
+}
+
+// SyncRequest pushes seeds into a bucket of the coordinator's store —
+// cross-fleet pollination. Idempotent: seeds are content-addressed.
+type SyncRequest struct {
+	Seeds []SeedObject `json:"seeds"`
+}
+
+// SyncResponse reports how many pushed seeds were new.
+type SyncResponse struct {
+	Stored int `json:"stored"`
+}
+
+// errorBody is the JSON error envelope shared by all endpoints.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// CanonicalizeSpec pins every spec field a worker's option derivation
+// reads — strategy name, seed, iteration budget, executor fan-out — using
+// the coordinator's instance defaults for omitted fields. Specs travel
+// inside leases in this form, so coordinator, workers, and the single-node
+// reference recording all derive identical engine options from the lease
+// alone, with no shared configuration.
+func CanonicalizeSpec(spec service.CampaignSpec, defaultIterations, defaultWorkers int) (service.CampaignSpec, error) {
+	opts, err := service.SpecOptions(spec, defaultIterations, defaultWorkers)
+	if err != nil {
+		return spec, err
+	}
+	spec.Strategy = opts.Strategy.Name
+	spec.Seed = opts.Seed
+	spec.Iterations = opts.Iterations
+	spec.Workers = opts.Workers
+	return spec, nil
+}

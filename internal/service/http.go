@@ -16,11 +16,24 @@ import (
 //	POST /v1/campaigns/{id}/cancel   stop a campaign
 //	POST /v1/drain                   snapshot everything, stop scheduling
 //	GET  /healthz                    liveness
+//	GET  /readyz                     readiness (store open + scheduler accepting)
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "campaigns": len(s.Statuses())})
+	})
+
+	// Readiness: the store is open, the scheduler slots are running, and the
+	// service accepts submissions (not drained). 503 with a reason otherwise,
+	// so orchestrators and CI jobs can gate on it instead of sleeping.
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		ready, reason := s.Ready()
+		if !ready {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": reason})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"ready": true})
 	})
 
 	mux.HandleFunc("POST /v1/campaigns", func(w http.ResponseWriter, r *http.Request) {

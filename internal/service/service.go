@@ -222,6 +222,7 @@ type Service struct {
 	order   []string
 	nextID  int
 	drained bool
+	started bool
 
 	runq chan *job
 }
@@ -249,7 +250,27 @@ func (s *Service) Start() error {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	s.mu.Lock()
+	s.started = true
+	s.mu.Unlock()
 	return nil
+}
+
+// Ready reports whether the service can accept and schedule campaigns: the
+// store (if any) was opened and restored, the scheduler slots are running,
+// and the service has not drained. The /readyz endpoint — what fleet
+// heartbeats and CI smoke jobs poll instead of sleep-and-retry loops —
+// serves this; the empty reason means ready.
+func (s *Service) Ready() (bool, string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case !s.started:
+		return false, "scheduler not started"
+	case s.drained:
+		return false, "service drained"
+	}
+	return true, ""
 }
 
 func (s *Service) worker() {
@@ -264,9 +285,11 @@ func (s *Service) worker() {
 	}
 }
 
-// resolveTarget maps a spec to a fuzzable target: compiled MiniSol source
-// (inline or a built-in example) or source-free bytecode + ABI.
-func resolveTarget(spec CampaignSpec) (fuzz.Target, error) {
+// ResolveTarget maps a spec to a fuzzable target: compiled MiniSol source
+// (inline or a built-in example) or source-free bytecode + ABI. Exported for
+// the fleet subsystem, whose workers must resolve leased specs exactly the
+// way the service does — one resolution path, no drift.
+func ResolveTarget(spec CampaignSpec) (fuzz.Target, error) {
 	set := 0
 	for _, s := range []bool{spec.Source != "", spec.Example != "", spec.Bytecode != ""} {
 		if s {
@@ -304,12 +327,13 @@ func resolveTarget(spec CampaignSpec) (fuzz.Target, error) {
 	return fuzz.MinisolTarget(comp), nil
 }
 
-// resolveWorld maps a spec's world half (members + attacker) to engine
+// ResolveWorld maps a spec's world half (members + attacker) to engine
 // WorldOptions and the campaign's seed-sharing bucket. Plain specs get nil
 // options and the primary target's name; specs with members get the
 // order-independent world bucket so campaigns on the same contract set
-// share a corpus no matter how their specs list the members.
-func resolveWorld(spec CampaignSpec, primary fuzz.Target) (*fuzz.WorldOptions, string, error) {
+// share a corpus no matter how their specs list the members. Exported for
+// the fleet subsystem (see ResolveTarget).
+func ResolveWorld(spec CampaignSpec, primary fuzz.Target) (*fuzz.WorldOptions, string, error) {
 	if len(spec.Members) == 0 && !spec.Attacker {
 		return nil, primary.Name(), nil
 	}
@@ -343,8 +367,11 @@ func resolveWorld(spec CampaignSpec, primary fuzz.Target) (*fuzz.WorldOptions, s
 	return w, bucket, nil
 }
 
-// options maps a spec to engine options.
-func (s *Service) options(spec CampaignSpec) (fuzz.Options, error) {
+// SpecOptions maps a spec to engine options, filling omitted fields from the
+// given instance defaults. Exported for the fleet subsystem: coordinator and
+// workers derive campaign options from the spec through this one function, so
+// a leased slice runs under exactly the options the coordinator scheduled.
+func SpecOptions(spec CampaignSpec, defaultIterations, defaultWorkers int) (fuzz.Options, error) {
 	strat, ok := fuzz.PresetByName(spec.Strategy)
 	if !ok {
 		return fuzz.Options{}, fmt.Errorf("unknown strategy %q", spec.Strategy)
@@ -355,13 +382,18 @@ func (s *Service) options(spec CampaignSpec) (fuzz.Options, error) {
 	}
 	iters := spec.Iterations
 	if iters == 0 {
-		iters = s.cfg.DefaultIterations
+		iters = defaultIterations
 	}
 	workers := spec.Workers
 	if workers == 0 {
-		workers = s.cfg.Workers
+		workers = defaultWorkers
 	}
 	return fuzz.Options{Strategy: strat, Seed: seed, Iterations: iters, Workers: workers}, nil
+}
+
+// options maps a spec to engine options under this service's defaults.
+func (s *Service) options(spec CampaignSpec) (fuzz.Options, error) {
+	return SpecOptions(spec, s.cfg.DefaultIterations, s.cfg.Workers)
 }
 
 // Submit resolves and enqueues a new campaign.
@@ -370,11 +402,11 @@ func (s *Service) Submit(spec CampaignSpec) (Status, error) {
 	if err != nil {
 		return Status{}, err
 	}
-	target, err := resolveTarget(spec)
+	target, err := ResolveTarget(spec)
 	if err != nil {
 		return Status{}, err
 	}
-	worldOpts, bucket, err := resolveWorld(spec, target)
+	worldOpts, bucket, err := ResolveWorld(spec, target)
 	if err != nil {
 		return Status{}, err
 	}
@@ -644,12 +676,12 @@ func (s *Service) restore() error {
 // rebuild re-resolves a restored job's target and resumes its campaign from
 // the stored snapshot.
 func (s *Service) rebuild(j *job) error {
-	target, err := resolveTarget(j.spec)
+	target, err := ResolveTarget(j.spec)
 	if err != nil {
 		return err
 	}
 	j.target = target
-	worldOpts, _, err := resolveWorld(j.spec, target)
+	worldOpts, _, err := ResolveWorld(j.spec, target)
 	if err != nil {
 		return err
 	}

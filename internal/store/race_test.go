@@ -1,0 +1,191 @@
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestPutIfAbsentRaceChild is the cross-process half of the PutIfAbsent race
+// test: when MUFUZZ_STORE_RACE_CHILD is set, it opens the shared store
+// directory, announces READY, blocks until the parent fires the start barrier
+// over stdin, and races one PutIfAbsent on the agreed address, reporting the
+// claim outcome on stdout. It is a no-op as a normal test.
+func TestPutIfAbsentRaceChild(t *testing.T) {
+	cfg := os.Getenv("MUFUZZ_STORE_RACE_CHILD")
+	if cfg == "" {
+		t.Skip("not in child mode")
+	}
+	parts := strings.SplitN(cfg, "|", 2)
+	dir, payload := parts[0], parts[1]
+	s, err := Open(dir)
+	if err != nil {
+		fmt.Println("ERR", err)
+		return
+	}
+	// Open sweeps orphaned temp files, so every racer must be past Open
+	// before any racer starts writing: announce, then await the barrier.
+	fmt.Println("READY")
+	if _, err := bufio.NewReader(os.Stdin).ReadString('\n'); err != nil {
+		fmt.Println("ERR", err)
+		return
+	}
+	wrote, err := s.PutIfAbsent(KindSeed, "race", "addr", []byte(payload))
+	if err != nil {
+		fmt.Println("ERR", err)
+		return
+	}
+	fmt.Println("WROTE", wrote)
+}
+
+// TestPutIfAbsentMultiProcessRace races four writers — two goroutines in
+// this process and two child processes sharing the same store directory —
+// on one content address with distinct payloads, and asserts the dedup
+// contract the fleet's idempotent seed sync leans on: exactly one racer
+// observes wrote=true, and the object served afterwards is one racer's
+// payload, intact (never torn, never a hybrid).
+func TestPutIfAbsentMultiProcessRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Skip("no test executable path:", err)
+	}
+	dir := t.TempDir()
+	payloads := []string{"proc-a", "proc-b", "goroutine-c", "goroutine-d"}
+
+	// Children: re-exec this test binary in child mode. Each holds at the
+	// stdin barrier after opening the store and reporting READY.
+	type child struct {
+		cmd   *exec.Cmd
+		stdin io.WriteCloser
+		lines *bufio.Scanner
+		errs  *strings.Builder
+	}
+	var children []child
+	for i := 0; i < 2; i++ {
+		cmd := exec.Command(exe, "-test.run", "TestPutIfAbsentRaceChild", "-test.v")
+		cmd.Env = append(os.Environ(), "MUFUZZ_STORE_RACE_CHILD="+dir+"|"+payloads[i])
+		stdin, err := cmd.StdinPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs := &strings.Builder{}
+		cmd.Stderr = errs
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		children = append(children, child{cmd, stdin, bufio.NewScanner(stdout), errs})
+	}
+	scanFor := func(c child, prefixes ...string) (string, bool) {
+		for c.lines.Scan() {
+			line := strings.TrimSpace(c.lines.Text())
+			for _, p := range prefixes {
+				if strings.HasPrefix(line, p) {
+					return line, true
+				}
+			}
+		}
+		return "", false
+	}
+	for i, c := range children {
+		if _, ok := scanFor(c, "READY", "ERR"); !ok {
+			t.Fatalf("child %d never became ready\n%s", i, c.errs.String())
+		}
+	}
+
+	// Goroutines: each opens its own handle, as separate service slots
+	// would. All handles exist before the barrier fires (Open sweeps temp
+	// files, so it must never overlap an in-flight claim).
+	start := make(chan struct{})
+	results := make(chan bool, 2)
+	errCh := make(chan error, 2)
+	var wg sync.WaitGroup
+	for i := 2; i < 4; i++ {
+		s, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(s *Store, payload string) {
+			defer wg.Done()
+			<-start
+			wrote, err := s.PutIfAbsent(KindSeed, "race", "addr", []byte(payload))
+			if err != nil {
+				errCh <- err
+				return
+			}
+			results <- wrote
+		}(s, payloads[i])
+	}
+
+	// Fire the barrier for all four racers at once.
+	close(start)
+	for _, c := range children {
+		if _, err := io.WriteString(c.stdin, "go\n"); err != nil {
+			t.Fatal(err)
+		}
+		c.stdin.Close()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	winners := 0
+	close(results)
+	for wrote := range results {
+		if wrote {
+			winners++
+		}
+	}
+	for i, c := range children {
+		line, ok := scanFor(c, "WROTE", "ERR")
+		if err := c.cmd.Wait(); err != nil {
+			t.Fatalf("child %d: %v\n%s", i, err, c.errs.String())
+		}
+		switch {
+		case !ok:
+			t.Fatalf("child %d reported no outcome\n%s", i, c.errs.String())
+		case line == "WROTE true":
+			winners++
+		case line == "WROTE false":
+		default:
+			t.Fatalf("child %d: %s", i, line)
+		}
+	}
+	if winners != 1 {
+		t.Fatalf("want exactly one PutIfAbsent winner across 4 racers, got %d", winners)
+	}
+
+	// The served object must be exactly one racer's payload — frame
+	// validation on read guarantees un-torn, this guards un-swapped too.
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(KindSeed, "race", "addr")
+	if err != nil {
+		t.Fatalf("winner's object does not validate: %v", err)
+	}
+	ok := false
+	for _, p := range payloads {
+		if string(got) == p {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Fatalf("served object %q is no racer's payload", got)
+	}
+}

@@ -59,10 +59,12 @@ var allKinds = []Kind{KindSeed, KindPoC, KindSnapshot, KindMeta, KindTranscript}
 // Store is one on-disk artifact store rooted at a directory.
 type Store struct {
 	root string
-	// seq disambiguates temp names across goroutines of this process; the
-	// PID disambiguates across processes.
-	seq atomic.Uint64
 }
+
+// tmpSeq disambiguates temp names across all handles and goroutines of this
+// process (two handles on one directory must not collide); the PID
+// disambiguates across processes.
+var tmpSeq atomic.Uint64
 
 // Open creates (if needed) and opens a store rooted at dir, sweeping
 // temporary files a crashed writer left behind.
@@ -132,7 +134,7 @@ func unframe(data []byte) ([]byte, error) {
 // parent directory is fsynced too, so the rename itself survives a crash.
 func (s *Store) writeAtomic(path string, payload []byte) error {
 	dir := filepath.Dir(path)
-	tmp := filepath.Join(dir, fmt.Sprintf("%s%d-%d", tmpPrefix, os.Getpid(), s.seq.Add(1)))
+	tmp := filepath.Join(dir, fmt.Sprintf("%s%d-%d", tmpPrefix, os.Getpid(), tmpSeq.Add(1)))
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
@@ -159,6 +161,43 @@ func (s *Store) writeAtomic(path string, payload []byte) error {
 	return nil
 }
 
+// writeAtomicClaim writes a framed payload like writeAtomic but publishes it
+// with os.Link instead of os.Rename: the link fails with EEXIST when the
+// path is already taken, so among concurrent claimants of one address
+// exactly one wins (reported true) and the rest observe the winner's object.
+func (s *Store) writeAtomicClaim(path string, payload []byte) (bool, error) {
+	dir := filepath.Dir(path)
+	tmp := filepath.Join(dir, fmt.Sprintf("%s%d-%d", tmpPrefix, os.Getpid(), tmpSeq.Add(1)))
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return false, fmt.Errorf("store: %w", err)
+	}
+	_, werr := f.Write(frame(payload))
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		_ = os.Remove(tmp)
+		return false, fmt.Errorf("store: write %s: %w", path, werr)
+	}
+	lerr := os.Link(tmp, path)
+	_ = os.Remove(tmp)
+	if lerr != nil {
+		if os.IsExist(lerr) {
+			return false, nil
+		}
+		return false, fmt.Errorf("store: %w", lerr)
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return true, nil
+}
+
 // Put stores a payload under (kind, bucket, name); bucket may be "" for
 // unbucketed kinds. Existing objects are overwritten atomically.
 func (s *Store) Put(kind Kind, bucket, name string, payload []byte) error {
@@ -171,17 +210,43 @@ func (s *Store) Put(kind Kind, bucket, name string, payload []byte) error {
 
 // PutIfAbsent stores a payload unless a valid object already exists at the
 // address; it reports whether a write happened. This is the dedup primitive:
-// the first writer of a content address wins, and a corrupt object at the
-// address is replaced.
+// the first writer of a content address wins, a corrupt object at the
+// address is replaced, and the winner is exact — among any number of
+// concurrent writers (goroutines or separate processes sharing the
+// directory) exactly one observes wrote=true, because the final publish is a
+// hard link into place, which the filesystem refuses when the name already
+// exists. Losers leave the winner's object untouched, so retried
+// cross-node seed syncs are free.
 func (s *Store) PutIfAbsent(kind Kind, bucket, name string, payload []byte) (bool, error) {
 	path, err := s.objectPath(kind, bucket, name)
 	if err != nil {
 		return false, err
 	}
-	if _, err := readFramed(path); err == nil {
-		return false, nil
+	if _, err := os.Lstat(path); err == nil {
+		if _, err := readFramed(path); err == nil {
+			return false, nil
+		}
+		// Corrupt or torn object at the address: unlink it and race to claim
+		// the now-free name. Concurrent repairers both unlink (ENOENT is
+		// fine), then exactly one claim below succeeds.
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			return false, fmt.Errorf("store: %w", err)
+		}
 	}
-	return true, s.writeAtomic(path, payload)
+	wrote, err := s.writeAtomicClaim(path, payload)
+	if err != nil {
+		return false, err
+	}
+	if wrote {
+		return true, nil
+	}
+	// Lost the claim race. The winner's object was published with an atomic
+	// link of a fully-synced temp file, so it must validate; a failure here
+	// means disk-level corruption after publish, which Get reports too.
+	if _, err := readFramed(path); err != nil {
+		return false, fmt.Errorf("store: lost claim race to invalid object: %w", err)
+	}
+	return false, nil
 }
 
 // Get returns the payload at (kind, bucket, name). Partial or corrupt

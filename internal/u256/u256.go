@@ -10,9 +10,9 @@ package u256
 
 import (
 	"encoding/binary"
-	"fmt"
 	"math/big"
 	"math/bits"
+	"strconv"
 )
 
 // Int is a 256-bit unsigned integer. The zero value is zero and ready to use.
@@ -436,5 +436,27 @@ func (x Int) String() string {
 
 // Hex formats x as 0x-prefixed minimal hexadecimal.
 func (x Int) Hex() string {
-	return fmt.Sprintf("%#x", x.ToBig())
+	var buf [66]byte
+	return string(x.AppendHex(buf[:0]))
+}
+
+const hexDigits = "0123456789abcdef"
+
+// AppendHex appends the 0x-prefixed minimal hexadecimal form of x to b and
+// returns the extended slice — Hex without the string allocation, for hot
+// encoders. The output is byte-identical to fmt's %#x of the value.
+func (x Int) AppendHex(b []byte) []byte {
+	hi := 3
+	for hi > 0 && x.limbs[hi] == 0 {
+		hi--
+	}
+	b = append(b, '0', 'x')
+	// Top limb without leading zeros, lower limbs padded to 16 nibbles.
+	b = strconv.AppendUint(b, x.limbs[hi], 16)
+	for i := hi - 1; i >= 0; i-- {
+		for shift := 60; shift >= 0; shift -= 4 {
+			b = append(b, hexDigits[(x.limbs[i]>>uint(shift))&0xf])
+		}
+	}
+	return b
 }
